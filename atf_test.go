@@ -1,0 +1,390 @@
+package atf_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"atf"
+	"atf/internal/clblast"
+)
+
+// saxpyCost builds the Listing 2 cost function for input size n.
+func saxpyCost(t testing.TB, n int64) atf.CostFunction {
+	t.Helper()
+	cf, err := (&atf.OpenCL{
+		Platform: "NVIDIA", Device: "K20c",
+		Source: clblast.SaxpySource, Kernel: "saxpy",
+		Args: []atf.KernelArg{
+			atf.Scalar(int32(n)), atf.RandomScalar(),
+			atf.RandomBuffer(int(n)), atf.RandomBuffer(int(n)),
+		},
+		GlobalSize: func(c *atf.Config) []int64 { return []int64{n / c.Int("WPT")} },
+		LocalSize:  func(c *atf.Config) []int64 { return []int64{c.Int("LS")} },
+	}).CostFunction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func saxpyParams(n int64) []*atf.Param {
+	wpt := atf.TP("WPT", atf.Interval(1, n), atf.Divides(n))
+	ls := atf.TP("LS", atf.Interval(1, n),
+		atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+	return []*atf.Param{wpt, ls}
+}
+
+func TestListing2EndToEndExhaustive(t *testing.T) {
+	const n = 1 << 12
+	params := saxpyParams(n)
+	res, err := atf.Tuner{CacheCosts: true}.Tune(saxpyCost(t, n), params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best configuration")
+	}
+	if res.Evaluations != res.SpaceSize {
+		t.Fatalf("exhaustive default abort should test the whole space: %d of %d",
+			res.Evaluations, res.SpaceSize)
+	}
+	// The winning configuration must satisfy the constraints.
+	wpt, ls := res.Best.Int("WPT"), res.Best.Int("LS")
+	if n%wpt != 0 || (n/wpt)%ls != 0 {
+		t.Fatalf("invalid best config: WPT=%d LS=%d", wpt, ls)
+	}
+	if res.BestCost.Primary() <= 0 {
+		t.Fatal("non-positive best cost")
+	}
+}
+
+func TestAnnealingMatchesExhaustiveOnSaxpy(t *testing.T) {
+	const n = 1 << 12
+	cf := saxpyCost(t, n)
+	exh, err := atf.Tuner{CacheCosts: true}.Tune(cf, saxpyParams(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := atf.Tuner{
+		Technique:  atf.SimulatedAnnealing(),
+		Abort:      atf.Evaluations(200),
+		CacheCosts: true,
+		Seed:       3,
+	}.Tune(cf, saxpyParams(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annealing with a fraction of the evaluations must land within 2x of
+	// the provable optimum on this small space.
+	if ann.BestCost.Primary() > 2*exh.BestCost.Primary() {
+		t.Fatalf("annealing best %v too far from optimum %v",
+			ann.BestCost, exh.BestCost)
+	}
+}
+
+func TestOpenTunerSearchOnSaxpy(t *testing.T) {
+	const n = 1 << 12
+	res, err := atf.Tuner{
+		Technique:  atf.OpenTunerSearch(),
+		Abort:      atf.Evaluations(150),
+		CacheCosts: true,
+		Record:     true,
+	}.Tune(saxpyCost(t, n), saxpyParams(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no result")
+	}
+	// Every proposal must satisfy the constraints (it may still be
+	// launch-infeasible on the device, e.g. LS beyond the work-group
+	// limit — that shows up as infinite cost, not as a constraint
+	// violation).
+	for _, ev := range res.History {
+		wpt, ls := ev.Config.Int("WPT"), ev.Config.Int("LS")
+		if n%wpt != 0 || (n/wpt)%ls != 0 {
+			t.Fatalf("constraint-invalid config proposed: %v", ev.Config)
+		}
+	}
+}
+
+func TestRandomAndLocalSearchRun(t *testing.T) {
+	const n = 1 << 10
+	for _, tech := range []atf.Technique{atf.RandomSearch(), atf.LocalSearch(8)} {
+		res, err := atf.Tuner{
+			Technique:  tech,
+			Abort:      atf.Evaluations(50),
+			CacheCosts: true,
+		}.Tune(saxpyCost(t, n), saxpyParams(n)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best == nil {
+			t.Fatal("no result")
+		}
+	}
+}
+
+func TestTuneWithDurationAbort(t *testing.T) {
+	const n = 1 << 12
+	res, err := atf.Tuner{
+		Technique: atf.SimulatedAnnealing(),
+		Abort:     atf.AbortOr(atf.Duration(300*time.Millisecond), atf.Evaluations(1000)),
+	}.Tune(saxpyCost(t, n), saxpyParams(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no result within the time budget")
+	}
+}
+
+func TestGeneratedIntervalPowersOfTwo(t *testing.T) {
+	// The paper's generator example drives a real tuning run: WPT over
+	// powers of two only.
+	const n = 1 << 10
+	wpt := atf.TP("WPT", atf.GeneratedInterval(0, 10, 1, func(i int64) atf.Value {
+		return atf.Int(1 << uint(i))
+	}), atf.Divides(n))
+	ls := atf.TP("LS", atf.GeneratedInterval(0, 6, 1, func(i int64) atf.Value {
+		return atf.Int(1 << uint(i))
+	}), atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+	res, err := atf.Tuner{CacheCosts: true}.Tune(saxpyCost(t, n), wpt, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Best.Int("WPT")
+	if w&(w-1) != 0 {
+		t.Fatalf("WPT=%d is not a power of two", w)
+	}
+}
+
+func TestMultiObjectiveRuntimeEnergy(t *testing.T) {
+	// Two objectives, lexicographic: a synthetic cost where several
+	// configurations tie on runtime and energy must break the tie.
+	x := atf.TP("X", atf.Interval(1, 10))
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		v := c.Int("X")
+		runtime := float64(10 - v%3) // ties
+		energy := float64(v)
+		return atf.Cost{runtime, energy}, nil
+	})
+	res, err := atf.Tuner{}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime minimal at v%3==2 (runtime 8): v ∈ {2,5,8}; lowest energy 2.
+	if res.Best.Int("X") != 2 {
+		t.Fatalf("lexicographic best = %v, want X=2", res.Best)
+	}
+	// Weighted-sum order picks differently when weights invert priorities.
+	res2, err := atf.Tuner{Order: atf.WeightedSum(0, 1)}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Best.Int("X") != 1 {
+		t.Fatalf("energy-only best = %v, want X=1", res2.Best)
+	}
+}
+
+func TestGroupedTuning(t *testing.T) {
+	// Figure 1's two independent groups, tuned end-to-end.
+	tp1 := atf.TP("tp1", atf.Set(1, 2))
+	tp2 := atf.TP("tp2", atf.Set(1, 2), atf.Divides(atf.Ref("tp1")))
+	tp3 := atf.TP("tp3", atf.Set(1, 2))
+	tp4 := atf.TP("tp4", atf.Set(1, 2), atf.Divides(atf.Ref("tp3")))
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		return atf.Cost{float64(c.Int("tp1") + c.Int("tp2") + c.Int("tp3") + c.Int("tp4"))}, nil
+	})
+	res, err := atf.Tuner{}.TuneGroups(cf, atf.G(tp1, tp2), atf.G(tp3, tp4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpaceSize != 9 {
+		t.Fatalf("space size = %d, want 9", res.SpaceSize)
+	}
+	if res.BestCost.Primary() != 4 {
+		t.Fatalf("best = %v, want all-ones (cost 4)", res.Best)
+	}
+}
+
+func TestCUDACostFunction(t *testing.T) {
+	const n = 1 << 12
+	cf, err := (&atf.CUDA{
+		Device: "K20m",
+		Source: clblast.SaxpySource, Kernel: "saxpy",
+		Args: []atf.KernelArg{
+			atf.Scalar(int32(n)), atf.RandomScalar(),
+			atf.RandomBuffer(n), atf.RandomBuffer(n),
+		},
+		GridDim:  func(c *atf.Config) int64 { return n / c.Int("WPT") / c.Int("LS") },
+		BlockDim: func(c *atf.Config) int64 { return c.Int("LS") },
+	}).CostFunction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict LS so grid*block always covers n/WPT exactly.
+	wpt := atf.TP("WPT", atf.Set(1, 2, 4, 8), atf.Divides(n))
+	ls := atf.TP("LS", atf.Set(32, 64, 128),
+		atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+	res, err := atf.Tuner{CacheCosts: true}.Tune(cf, wpt, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.BestCost.Primary() <= 0 {
+		t.Fatal("CUDA tuning failed")
+	}
+}
+
+func TestGenericCostFunctionWithLogFile(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "cost.log")
+	run := filepath.Join(dir, "run.sh")
+	// The "program" reports cost = |X-6|+1 plus a second objective, via
+	// the log file — multi-objective, comma-separated.
+	script := `#!/bin/sh
+x=$ATF_TP_X
+d=$((x - 6)); [ $d -lt 0 ] && d=$((-d))
+echo "$((d + 1)),$x" > "$ATF_LOG"
+`
+	if err := os.WriteFile(run, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cf := (&atf.Generic{RunScript: run, LogFile: log}).CostFunction()
+	x := atf.TP("X", atf.Interval(1, 12))
+	res, err := atf.Tuner{}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Int("X") != 6 {
+		t.Fatalf("best = %v, want X=6", res.Best)
+	}
+	if len(res.BestCost) != 2 {
+		t.Fatalf("expected 2 objectives, got %v", res.BestCost)
+	}
+}
+
+func TestGenericCostFunctionWallClock(t *testing.T) {
+	dir := t.TempDir()
+	run := filepath.Join(dir, "run.sh")
+	script := "#!/bin/sh\nexit 0\n"
+	if err := os.WriteFile(run, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cf := (&atf.Generic{RunScript: run}).CostFunction()
+	x := atf.TP("X", atf.Interval(1, 2))
+	res, err := atf.Tuner{}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost.Primary() <= 0 {
+		t.Fatal("wall-clock cost should be positive")
+	}
+}
+
+func TestGenericCompileScriptFailurePenalized(t *testing.T) {
+	dir := t.TempDir()
+	compile := filepath.Join(dir, "compile.sh")
+	run := filepath.Join(dir, "run.sh")
+	// Compilation fails for odd X — those configs must lose, not crash.
+	if err := os.WriteFile(compile, []byte(
+		"#!/bin/sh\n[ $((ATF_TP_X % 2)) -eq 0 ] || exit 1\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(run, []byte("#!/bin/sh\nexit 0\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cf := (&atf.Generic{CompileScript: compile, RunScript: run}).CostFunction()
+	x := atf.TP("X", atf.Interval(1, 6))
+	res, err := atf.Tuner{}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Int("X")%2 != 0 {
+		t.Fatalf("failing configs must not win: %v", res.Best)
+	}
+	if res.Valid != 3 {
+		t.Fatalf("valid = %d, want 3", res.Valid)
+	}
+}
+
+func TestResultSpaceMetadata(t *testing.T) {
+	const n = 64
+	res, err := atf.Tuner{CacheCosts: true}.Tune(saxpyCost(t, n), saxpyParams(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawSpaceSize != "4096" { // 64 × 64 raw combinations
+		t.Fatalf("raw size = %s", res.RawSpaceSize)
+	}
+	if res.SpaceSize == 0 || res.SpaceSize >= 4096 {
+		t.Fatalf("constrained size = %d", res.SpaceSize)
+	}
+}
+
+func TestInfeasibleLocalSizeGetsInfiniteCost(t *testing.T) {
+	// LS beyond the device maximum (1024 for the K20c) must be handled as
+	// infinite cost, not abort the run: the space contains LS up to 2048.
+	const n = 1 << 12
+	wpt := atf.TP("WPT", atf.Set(1))
+	ls := atf.TP("LS", atf.Set(512, 2048))
+	res, err := atf.Tuner{Record: true}.Tune(saxpyCost(t, n), wpt, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Int("LS") != 512 {
+		t.Fatalf("best = %v, want LS=512", res.Best)
+	}
+	if res.Valid != 1 || res.Evaluations != 2 {
+		t.Fatalf("valid/evals = %d/%d, want 1/2", res.Valid, res.Evaluations)
+	}
+}
+
+func TestCustomTechniqueViaInterface(t *testing.T) {
+	// A user-defined technique (Section IV extensibility): pure index
+	// bisection, implemented outside the framework packages.
+	const n = 256
+	res, err := atf.Tuner{
+		Technique: &bisector{},
+		Abort:     atf.Evaluations(20),
+	}.Tune(saxpyCost(t, n), saxpyParams(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("custom technique found nothing")
+	}
+}
+
+// bisector is a deliberately simple custom search technique.
+type bisector struct {
+	sp   *atf.Space
+	lo   uint64
+	hi   uint64
+	last uint64
+	best atf.Cost
+}
+
+func (b *bisector) Initialize(sp *atf.Space, seed int64) {
+	b.sp, b.lo, b.hi = sp, 0, sp.Size()-1
+	b.best = nil
+}
+func (b *bisector) Finalize() {}
+func (b *bisector) GetNextConfig() *atf.Config {
+	b.last = (b.lo + b.hi) / 2
+	return b.sp.At(b.last)
+}
+func (b *bisector) ReportCost(c atf.Cost) {
+	if b.best == nil || c.Less(b.best) {
+		b.best = c.Clone()
+		b.lo = b.last / 2
+		b.hi = (b.last + b.sp.Size() - 1) / 2
+	} else {
+		b.lo, b.hi = b.last/3, b.last
+	}
+	if b.lo >= b.hi {
+		b.lo, b.hi = 0, b.sp.Size()-1
+	}
+}

@@ -1,0 +1,125 @@
+// Command atf-experiments regenerates the paper's evaluation artifacts
+// (DESIGN.md §4, experiments E1–E9) on the simulated devices and prints
+// one table per experiment. EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	atf-experiments                     # run everything with defaults
+//	atf-experiments -exp fig2cpu        # one experiment
+//	atf-experiments -cap 128 -markdown  # bigger ranges, markdown output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atf/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups")
+	cap := flag.Int64("cap", 64, "XgemmDirect integer range cap")
+	sizeCaps := flag.String("sizecaps", "16,64,256",
+		"comma-separated range caps for the E4 size census (1024 reproduces the paper's 2^10 setting; allow a few minutes)")
+	atfEvals := flag.Uint64("atf-evals", 400, "ATF annealing evaluations per tuning run")
+	otEvals := flag.Int("ot-evals", 10000, "OpenTuner baseline evaluations (paper: 10000)")
+	devOptEvals := flag.Int("devopt-evals", 120, "CLTune device-optimization evaluations at 256x256")
+	seed := flag.Int64("seed", 1, "random seed")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	flag.Parse()
+
+	opts := harness.Options{
+		Seed:           *seed,
+		RangeCap:       *cap,
+		ATFEvals:       *atfEvals,
+		OpenTunerEvals: *otEvals,
+		DevOptEvals:    *devOptEvals,
+	}
+
+	emit := func(t *harness.Table) {
+		if *markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "atf-experiments:", err)
+		os.Exit(1)
+	}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig2cpu") {
+		r, err := harness.Fig2("Xeon", opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(harness.Fig2Table(r, "E1 (Fig. 2 left, CPU)"))
+	}
+	if want("fig2gpu") {
+		r, err := harness.Fig2("K20m", opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(harness.Fig2Table(r, "E2 (Fig. 2 right, GPU)"))
+	}
+	if want("spacegen") {
+		r, err := harness.SpaceGen(32, 0, 0)
+		if err != nil {
+			fail(err)
+		}
+		emit(harness.SpaceGenTable(r))
+	}
+	if want("sizes") {
+		var rs []*harness.SizesResult
+		for _, s := range strings.Split(*sizeCaps, ",") {
+			var c int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &c); err != nil {
+				fail(fmt.Errorf("bad -sizecaps entry %q", s))
+			}
+			r, err := harness.Sizes(c, 0)
+			if err != nil {
+				fail(err)
+			}
+			rs = append(rs, r)
+		}
+		emit(harness.SizesTable(rs))
+	}
+	if want("relaxed") {
+		for _, dev := range []string{"Xeon", "K20m"} {
+			rs, err := harness.Relaxed(dev, opts)
+			if err != nil {
+				fail(err)
+			}
+			emit(harness.RelaxedTable(rs))
+		}
+	}
+	if want("otvalid") {
+		rs, err := harness.Validity(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(harness.ValidityTable(rs))
+	}
+	if want("defaults") {
+		for _, dev := range []string{"Xeon", "K20m"} {
+			rs, err := harness.Defaults(dev, opts)
+			if err != nil {
+				fail(err)
+			}
+			emit(harness.DefaultsTable(rs))
+		}
+	}
+	if want("groups") {
+		// 4 groups of 3 chained parameters over [1,512]: large enough to
+		// time, small enough that the cross product stays within uint64.
+		r, err := harness.Groups(4, 512, 0)
+		if err != nil {
+			fail(err)
+		}
+		emit(harness.GroupsTable(r))
+	}
+}

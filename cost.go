@@ -1,0 +1,311 @@
+package atf
+
+import (
+	"fmt"
+	"time"
+
+	"atf/internal/core"
+	"atf/internal/cuda"
+	"atf/internal/generic"
+	"atf/internal/opencl"
+)
+
+// KernelArg describes one kernel argument for the pre-implemented OpenCL
+// and CUDA cost functions (paper, Section II Step 2).
+type KernelArg struct {
+	kind     argKind
+	intVal   int64
+	floatVal float64
+	isFloat  bool
+	data     []float32
+	n        int
+}
+
+type argKind uint8
+
+const (
+	argScalar argKind = iota
+	argRandomScalar
+	argBuffer
+	argRandomBuffer
+)
+
+// Scalar passes a concrete scalar (int, int32, int64, float32, float64) —
+// atf::scalar(a).
+func Scalar(v any) KernelArg {
+	switch x := v.(type) {
+	case int:
+		return KernelArg{kind: argScalar, intVal: int64(x)}
+	case int32:
+		return KernelArg{kind: argScalar, intVal: int64(x)}
+	case int64:
+		return KernelArg{kind: argScalar, intVal: x}
+	case float32:
+		return KernelArg{kind: argScalar, floatVal: float64(x), isFloat: true}
+	case float64:
+		return KernelArg{kind: argScalar, floatVal: x, isFloat: true}
+	default:
+		panic(fmt.Sprintf("atf: unsupported scalar argument type %T", v))
+	}
+}
+
+// RandomScalar passes a random float scalar — atf::scalar<float>().
+func RandomScalar() KernelArg { return KernelArg{kind: argRandomScalar} }
+
+// Buffer passes concrete data — atf::buffer(vec).
+func Buffer(data []float32) KernelArg {
+	return KernelArg{kind: argBuffer, data: data, n: len(data)}
+}
+
+// RandomBuffer passes an n-element buffer of random floats —
+// atf::buffer<float>(N); random data is ATF's default tuning input.
+func RandomBuffer(n int) KernelArg { return KernelArg{kind: argRandomBuffer, n: n} }
+
+// SizeFn computes an NDRange dimension vector from a configuration. ATF
+// lets global and local sizes be arbitrary arithmetic expressions over
+// tuning parameters (paper, Section III) — in Go, arbitrary functions.
+type SizeFn func(c *Config) []int64
+
+// OpenCL is ATF's pre-implemented OpenCL cost function (atf::cf::ocl): it
+// selects the device by platform and device *name*, uploads the kernel
+// inputs once, and, per configuration, substitutes the tuning-parameter
+// values into the kernel source via the preprocessor, builds, launches
+// with the configured global/local sizes, and returns the (simulated)
+// runtime measured through the profiling API.
+type OpenCL struct {
+	Platform string
+	Device   string
+	Source   string
+	Kernel   string
+	Args     []KernelArg
+	// GlobalSize and LocalSize are arithmetic expressions over the
+	// configuration (1-D or 2-D).
+	GlobalSize SizeFn
+	LocalSize  SizeFn
+	// Seed controls the random input data (0 = fixed default).
+	Seed int64
+}
+
+// CostFunction initializes the cost function: device lookup, buffer
+// allocation and one-time upload. The returned function is then called
+// once per configuration during exploration.
+func (o *OpenCL) CostFunction() (CostFunction, error) {
+	if o.GlobalSize == nil || o.LocalSize == nil {
+		return nil, fmt.Errorf("atf: OpenCL cost function needs GlobalSize and LocalSize")
+	}
+	dev, err := opencl.FindDevice(o.Platform, o.Device)
+	if err != nil {
+		return nil, err
+	}
+	ctx := opencl.NewContext(dev)
+	queue := opencl.NewQueue(ctx)
+	seed := o.Seed
+	if seed == 0 {
+		seed = 0xa7f
+	}
+
+	// Upload inputs once — "to avoid the usually time-intensive
+	// host-to-device transfers, we upload data only once during cost
+	// function's initialization" (Section II).
+	bound := make([]any, len(o.Args))
+	for i, a := range o.Args {
+		switch a.kind {
+		case argScalar:
+			if a.isFloat {
+				bound[i] = float32(a.floatVal)
+			} else {
+				bound[i] = int32(a.intVal)
+			}
+		case argRandomScalar:
+			buf := ctx.CreateBuffer(1)
+			buf.FillRandom(seed + int64(i))
+			bound[i] = buf.Read()[0]
+		case argBuffer:
+			buf := ctx.CreateBuffer(a.n)
+			buf.Write(a.data)
+			bound[i] = buf
+		case argRandomBuffer:
+			buf := ctx.CreateBuffer(a.n)
+			buf.FillRandom(seed + int64(i))
+			bound[i] = buf
+		}
+	}
+
+	return CostFunc(func(cfg *Config) (Cost, error) {
+		prog := ctx.CreateProgram(o.Source)
+		if err := prog.Build(cfg.Defines()); err != nil {
+			return nil, err
+		}
+		k, err := prog.CreateKernel(o.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		if err := k.SetArgs(bound...); err != nil {
+			return nil, err
+		}
+		ev, err := queue.EnqueueNDRange(k, o.GlobalSize(cfg), o.LocalSize(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return core.SingleCost(ev.DurationNs()), nil
+	}), nil
+}
+
+// Verify executes one configuration functionally (all work-groups, not
+// the sampled profiling subset) and passes the resulting buffer contents —
+// one slice per buffer-typed argument, in argument order — to check. This
+// is the optional error checking the paper mentions for ATF's OpenCL cost
+// function; tuning itself never pays for it.
+func (o *OpenCL) Verify(cfg *Config, check func(buffers [][]float32) error) error {
+	if o.GlobalSize == nil || o.LocalSize == nil {
+		return fmt.Errorf("atf: OpenCL verification needs GlobalSize and LocalSize")
+	}
+	dev, err := opencl.FindDevice(o.Platform, o.Device)
+	if err != nil {
+		return err
+	}
+	ctx := opencl.NewContext(dev)
+	queue := opencl.NewQueue(ctx)
+	queue.Functional = true
+	seed := o.Seed
+	if seed == 0 {
+		seed = 0xa7f
+	}
+
+	bound := make([]any, len(o.Args))
+	var buffers []*opencl.Buffer
+	for i, a := range o.Args {
+		switch a.kind {
+		case argScalar:
+			if a.isFloat {
+				bound[i] = float32(a.floatVal)
+			} else {
+				bound[i] = int32(a.intVal)
+			}
+		case argRandomScalar:
+			buf := ctx.CreateBuffer(1)
+			buf.FillRandom(seed + int64(i))
+			bound[i] = buf.Read()[0]
+		case argBuffer:
+			buf := ctx.CreateBuffer(a.n)
+			buf.Write(a.data)
+			bound[i] = buf
+			buffers = append(buffers, buf)
+		case argRandomBuffer:
+			buf := ctx.CreateBuffer(a.n)
+			buf.FillRandom(seed + int64(i))
+			bound[i] = buf
+			buffers = append(buffers, buf)
+		}
+	}
+
+	prog := ctx.CreateProgram(o.Source)
+	if err := prog.Build(cfg.Defines()); err != nil {
+		return err
+	}
+	k, err := prog.CreateKernel(o.Kernel)
+	if err != nil {
+		return err
+	}
+	if err := k.SetArgs(bound...); err != nil {
+		return err
+	}
+	if _, err := queue.EnqueueNDRange(k, o.GlobalSize(cfg), o.LocalSize(cfg)); err != nil {
+		return err
+	}
+	out := make([][]float32, len(buffers))
+	for i, b := range buffers {
+		out[i] = b.Read()
+	}
+	return check(out)
+}
+
+// CUDA is ATF's pre-implemented CUDA cost function, used "analogously to
+// the OpenCL cost function, with the only difference that platform's name
+// is omitted, because CUDA targets NVIDIA devices only" (Section II). The
+// launch geometry is grid×block.
+type CUDA struct {
+	Device string
+	Source string
+	Kernel string
+	Args   []KernelArg
+	// GridDim and BlockDim are expressions over the configuration (number
+	// of blocks and threads per block, 1-D).
+	GridDim  func(c *Config) int64
+	BlockDim func(c *Config) int64
+	Seed     int64
+}
+
+// CostFunction initializes the CUDA cost function (NVRTC-style runtime
+// compilation per configuration).
+func (u *CUDA) CostFunction() (CostFunction, error) {
+	if u.GridDim == nil || u.BlockDim == nil {
+		return nil, fmt.Errorf("atf: CUDA cost function needs GridDim and BlockDim")
+	}
+	dev, err := cuda.FindDevice(u.Device)
+	if err != nil {
+		return nil, err
+	}
+	ctx := cuda.NewContext(dev)
+	seed := u.Seed
+	if seed == 0 {
+		seed = 0xc0da
+	}
+	bound := make([]any, len(u.Args))
+	for i, a := range u.Args {
+		switch a.kind {
+		case argScalar:
+			if a.isFloat {
+				bound[i] = float32(a.floatVal)
+			} else {
+				bound[i] = int32(a.intVal)
+			}
+		case argRandomScalar:
+			buf := ctx.Malloc(1)
+			buf.FillRandom(seed + int64(i))
+			bound[i] = buf.Read()[0]
+		case argBuffer:
+			buf := ctx.Malloc(a.n)
+			buf.Write(a.data)
+			bound[i] = buf
+		case argRandomBuffer:
+			buf := ctx.Malloc(a.n)
+			buf.FillRandom(seed + int64(i))
+			bound[i] = buf
+		}
+	}
+	return CostFunc(func(cfg *Config) (Cost, error) {
+		mod, err := ctx.CompileModule(u.Source, cfg.Defines())
+		if err != nil {
+			return nil, err
+		}
+		res, err := ctx.Launch(mod, u.Kernel, u.GridDim(cfg), u.BlockDim(cfg), bound...)
+		if err != nil {
+			return nil, err
+		}
+		return core.SingleCost(res.DurationNs()), nil
+	}), nil
+}
+
+// Generic is ATF's generic cost function for programs in arbitrary
+// languages: a source path, compile and run scripts, and optionally a log
+// file from which (possibly multi-objective, comma-separated) costs are
+// read; without a log file the run script's wall time is the cost.
+type Generic struct {
+	SourcePath    string
+	CompileScript string
+	RunScript     string
+	LogFile       string
+	Timeout       time.Duration
+}
+
+// CostFunction builds the script-driven cost function.
+func (g *Generic) CostFunction() CostFunction {
+	return &generic.CostFunction{
+		SourcePath:    g.SourcePath,
+		CompileScript: g.CompileScript,
+		RunScript:     g.RunScript,
+		LogFile:       g.LogFile,
+		Timeout:       g.Timeout,
+	}
+}

@@ -1,0 +1,86 @@
+package atf_test
+
+import (
+	"fmt"
+
+	"atf"
+)
+
+// ExampleTuner_Tune tunes a two-parameter space with an interdependency
+// (B must divide A) against a synthetic cost function, using exhaustive
+// search — the paper's three-step workflow in its smallest form.
+func ExampleTuner_Tune() {
+	a := atf.TP("A", atf.Interval(1, 8))
+	b := atf.TP("B", atf.Interval(1, 8), atf.Divides(atf.Ref("A")))
+
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		// Prefer large A split into chunks of exactly B=2.
+		return atf.Cost{float64(8-c.Int("A")) + float64(c.Int("B")-2)*float64(c.Int("B")-2)}, nil
+	})
+
+	result, err := atf.Tuner{}.Tune(cf, a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best A=%d B=%d cost=%v\n",
+		result.Best.Int("A"), result.Best.Int("B"), result.BestCost.Primary())
+	// Output: best A=8 B=2 cost=0
+}
+
+// ExampleDivides shows constraint aliases referencing earlier parameters:
+// LS must divide N/WPT, the saxpy dependency from the paper's Listing 2.
+func ExampleDivides() {
+	const n = 16
+	wpt := atf.TP("WPT", atf.Interval(1, n), atf.Divides(n))
+	ls := atf.TP("LS", atf.Interval(1, n),
+		atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+
+	space, err := atf.GenerateSpace(1, wpt, ls)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("valid configurations: %d of %s raw\n",
+		space.Size(), space.RawSize())
+	// Output: valid configurations: 15 of 256 raw
+}
+
+// ExampleGeneratedInterval reproduces the paper's generator-function
+// example: a range of the first ten powers of two.
+func ExampleGeneratedInterval() {
+	r := atf.GeneratedInterval(1, 10, 1, func(i int64) atf.Value {
+		return atf.Int(1 << uint(i))
+	})
+	fmt.Println(r.Len(), r.At(0), r.At(9))
+	// Output: 10 2 1024
+}
+
+// ExampleTuner_TuneGroups demonstrates Section V parameter groups: two
+// independent dependency chains whose sub-spaces generate in parallel and
+// combine as an implicit cross product.
+func ExampleTuner_TuneGroups() {
+	tp1 := atf.TP("tp1", atf.Set(1, 2))
+	tp2 := atf.TP("tp2", atf.Set(1, 2), atf.Divides(atf.Ref("tp1")))
+	tp3 := atf.TP("tp3", atf.Set(1, 2))
+	tp4 := atf.TP("tp4", atf.Set(1, 2), atf.Divides(atf.Ref("tp3")))
+
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		sum := c.Int("tp1") + c.Int("tp2") + c.Int("tp3") + c.Int("tp4")
+		return atf.Cost{float64(sum)}, nil
+	})
+	result, err := atf.Tuner{}.TuneGroups(cf, atf.G(tp1, tp2), atf.G(tp3, tp4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("space=%d best=%v\n", result.SpaceSize, result.BestCost.Primary())
+	// Output: space=9 best=4
+}
+
+// ExampleCost_Less shows the lexicographic multi-objective order: equal
+// runtimes are broken by the second objective (e.g. energy).
+func ExampleCost_Less() {
+	fast := atf.Cost{10.0, 900.0}
+	slow := atf.Cost{12.0, 100.0}
+	tied := atf.Cost{10.0, 350.0}
+	fmt.Println(fast.Less(slow), tied.Less(fast))
+	// Output: true true
+}

@@ -1,0 +1,114 @@
+// Custom search technique: extend ATF by implementing the four-method
+// search_technique interface of the paper's Section IV — here a
+// coordinate-descent walker that repeatedly re-optimizes one tuning
+// parameter at a time while holding the others fixed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"atf"
+	"atf/internal/clblast"
+)
+
+// coordinateDescent is a user-defined search technique. It satisfies
+// atf.Technique:
+//
+//	Initialize(space, seed) — called once before exploration;
+//	Finalize()              — called once afterwards;
+//	GetNextConfig()         — returns the next configuration to try;
+//	ReportCost(cost)        — receives that configuration's cost.
+type coordinateDescent struct {
+	sp      *atf.Space
+	rng     *rand.Rand
+	current uint64  // index of the best configuration so far
+	cost    float64 // its cost
+	stride  uint64  // current probe distance in index space
+	pending uint64
+	started bool
+}
+
+func (cd *coordinateDescent) Initialize(sp *atf.Space, seed int64) {
+	cd.sp = sp
+	cd.rng = rand.New(rand.NewSource(seed))
+	cd.stride = sp.Size() / 4
+	if cd.stride == 0 {
+		cd.stride = 1
+	}
+	cd.cost = math.Inf(1)
+	cd.started = false
+}
+
+func (cd *coordinateDescent) Finalize() {}
+
+func (cd *coordinateDescent) GetNextConfig() *atf.Config {
+	if !cd.started {
+		cd.pending = cd.sp.RandomIndex(cd.rng)
+	} else if cd.rng.Intn(2) == 0 {
+		cd.pending = (cd.current + cd.stride) % cd.sp.Size()
+	} else {
+		cd.pending = (cd.current + cd.sp.Size() - cd.stride%cd.sp.Size()) % cd.sp.Size()
+	}
+	return cd.sp.At(cd.pending)
+}
+
+func (cd *coordinateDescent) ReportCost(cost atf.Cost) {
+	c := cost.Primary()
+	if !cd.started || c < cd.cost {
+		cd.started = true
+		cd.current, cd.cost = cd.pending, c
+		return
+	}
+	// No improvement at this stride: narrow the probe distance; once it
+	// bottoms out, restart it to escape local basins.
+	cd.stride /= 2
+	if cd.stride == 0 {
+		cd.stride = cd.sp.Size() / 4
+		if cd.stride == 0 {
+			cd.stride = 1
+		}
+	}
+}
+
+func main() {
+	const n = 1 << 20
+	cf, err := (&atf.OpenCL{
+		Platform: "NVIDIA", Device: "K20c",
+		Source: clblast.SaxpySource, Kernel: "saxpy",
+		Args: []atf.KernelArg{
+			atf.Scalar(int32(n)), atf.RandomScalar(),
+			atf.RandomBuffer(n), atf.RandomBuffer(n),
+		},
+		GlobalSize: func(c *atf.Config) []int64 { return []int64{n / c.Int("WPT")} },
+		LocalSize:  func(c *atf.Config) []int64 { return []int64{c.Int("LS")} },
+	}).CostFunction()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wpt := atf.TP("WPT", atf.Interval(1, n), atf.Divides(n))
+	ls := atf.TP("LS", atf.Interval(1, n),
+		atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+
+	for _, run := range []struct {
+		name string
+		tech atf.Technique
+	}{
+		{"coordinate descent (custom)", &coordinateDescent{}},
+		{"simulated annealing (built-in)", atf.SimulatedAnnealing()},
+	} {
+		res, err := atf.Tuner{
+			Technique:  run.tech,
+			Abort:      atf.Evaluations(250),
+			CacheCosts: true,
+		}.Tune(cf, wpt, ls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s best %s -> %.3f ms\n",
+			run.name, res.Best, res.BestCost.Primary()/1e6)
+	}
+}

@@ -1,0 +1,73 @@
+// GEMM: tune CLBlast's XgemmDirect kernel (10 parameters, 17
+// interdependencies) for one of the paper's deep-learning input sizes and
+// compare the tuned configuration against the kernel's built-in defaults —
+// a miniature of the paper's Section VI evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"atf"
+	"atf/internal/clblast"
+	"atf/internal/opencl"
+)
+
+func main() {
+	device := flag.String("device", "K20m", "simulated device (K20m, K20c, Xeon)")
+	is := flag.Int("is", 4, "Caffe input size 1-4")
+	evals := flag.Uint64("evals", 400, "annealing evaluation budget")
+	flag.Parse()
+
+	shapes := clblast.CaffeInputSizes()
+	if *is < 1 || *is > len(shapes) {
+		log.Fatalf("input size must be 1..%d", len(shapes))
+	}
+	shape := shapes[*is-1]
+
+	dev, err := opencl.FindDevice("", *device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval := clblast.NewGemmEvaluator(dev, shape, 1)
+
+	// The full constrained space: no artificial range limits and no
+	// global-size divisibility constraints — CLBlast pads the global size
+	// arithmetically, which ATF can express (paper, Section III).
+	params := clblast.XgemmDirectParams(clblast.SpaceOptions{
+		MaxWorkGroupSize: int64(dev.Desc.MaxWorkGroupSize),
+		LocalMemBytes:    int64(dev.Desc.LocalMemBytes),
+	})
+
+	fmt.Printf("tuning XgemmDirect for %s on %s\n", shape, dev.Name())
+	start := time.Now()
+	res, err := atf.Tuner{
+		Technique:  atf.SimulatedAnnealing(),
+		Abort:      atf.Evaluations(*evals),
+		CacheCosts: true,
+	}.Tune(eval.CostFunction(), params...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("space: %d valid configurations (raw %s), generated+tuned in %v\n",
+		res.SpaceSize, res.RawSpaceSize, time.Since(start).Round(time.Millisecond))
+
+	defNs, err := eval.Eval(clblast.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel defaults: %.3f ms (simulated)\n", defNs/1e6)
+	fmt.Printf("ATF best:        %.3f ms  -> %.2fx speedup\n",
+		res.BestCost.Primary()/1e6, defNs/res.BestCost.Primary())
+	fmt.Printf("best config:     %s\n", res.Best)
+
+	// Optional correctness check of the winner (ATF's OpenCL cost
+	// function "can support error checking for the computed results").
+	maxErr, err := eval.Verify(res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verification:    max |error| vs naive GEMM = %g\n", maxErr)
+}

@@ -1,0 +1,72 @@
+// Generic cost function: auto-tune a program in an arbitrary language via
+// user-provided compile and run scripts and a cost log file (paper,
+// Section II Step 2). Here the "program" is a shell script computing a
+// synthetic cost, standing in for any external toolchain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"atf"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "atf-generic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	logFile := filepath.Join(dir, "cost.log")
+
+	// The compile script receives the tuning parameters both as
+	// ATF_TP_<NAME> variables and as -D flags in ATF_DEFINES — exactly
+	// what a real build script would forward to its compiler.
+	compile := filepath.Join(dir, "compile.sh")
+	if err := os.WriteFile(compile, []byte(`#!/bin/sh
+# A real script would run: $CC $ATF_DEFINES -o prog "$ATF_SOURCE"
+[ -n "$ATF_DEFINES" ] || exit 1
+exit 0
+`), 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// The run script writes "runtime,memory" to the log file: two
+	// objectives, comma-separated, minimized lexicographically. The
+	// synthetic optimum is BLOCK=24, UNROLL as large as possible.
+	run := filepath.Join(dir, "run.sh")
+	if err := os.WriteFile(run, []byte(`#!/bin/sh
+b=$ATF_TP_BLOCK
+u=$ATF_TP_UNROLL
+d=$((b - 24)); [ $d -lt 0 ] && d=$((-d))
+runtime=$((d * 10 + 100 / u))
+memory=$((b * u))
+echo "$runtime,$memory" > "$ATF_LOG"
+`), 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	cf := (&atf.Generic{
+		SourcePath:    filepath.Join(dir, "prog.c"),
+		CompileScript: compile,
+		RunScript:     run,
+		LogFile:       logFile,
+	}).CostFunction()
+
+	// BLOCK ∈ [8, 64] stepping by 8; UNROLL must divide BLOCK.
+	block := atf.TP("BLOCK", atf.SteppedInterval(8, 64, 8))
+	unroll := atf.TP("UNROLL", atf.Interval(1, 16), atf.Divides(atf.Ref("BLOCK")))
+
+	res, err := atf.Tuner{}.Tune(cf, block, unroll) // exhaustive: small space
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("space:  %d valid configurations\n", res.SpaceSize)
+	fmt.Printf("best:   BLOCK=%d UNROLL=%d\n",
+		res.Best.Int("BLOCK"), res.Best.Int("UNROLL"))
+	fmt.Printf("cost:   runtime=%v, memory=%v (lexicographic)\n",
+		res.BestCost[0], res.BestCost[1])
+}

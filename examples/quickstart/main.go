@@ -1,0 +1,64 @@
+// Quickstart: the paper's Listing 2, transliterated — auto-tune the saxpy
+// kernel's WPT (work-per-thread) and LS (local size) for a fixed input
+// size on the (simulated) Tesla K20c using the pre-implemented OpenCL cost
+// function and simulated annealing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"atf"
+	"atf/internal/clblast"
+)
+
+func main() {
+	const n = 1 << 22 // fixed, user-defined input size N
+
+	// Step 1: describe the search space (Listing 2, lines 6-13).
+	// WPT ∈ [1, N] must divide N so every work-item gets an equal chunk;
+	// LS ∈ [1, N] must divide the global size N/WPT (OpenCL requires it).
+	wpt := atf.TP("WPT", atf.Interval(1, n), atf.Divides(n))
+	ls := atf.TP("LS", atf.Interval(1, n),
+		atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+
+	// Step 2: the pre-implemented OpenCL cost function (lines 15-24).
+	// Device chosen by platform and device *name*; random input data is
+	// uploaded once; global and local size are arbitrary arithmetic
+	// expressions over the tuning parameters.
+	cf, err := (&atf.OpenCL{
+		Platform: "NVIDIA", Device: "Tesla K20c",
+		Source: clblast.SaxpySource, Kernel: "saxpy",
+		Args: []atf.KernelArg{
+			atf.Scalar(int32(n)), // N
+			atf.RandomScalar(),   // a
+			atf.RandomBuffer(n),  // x
+			atf.RandomBuffer(n),  // y
+		},
+		GlobalSize: func(c *atf.Config) []int64 { return []int64{n / c.Int("WPT")} },
+		LocalSize:  func(c *atf.Config) []int64 { return []int64{c.Int("LS")} },
+	}).CostFunction()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: explore with simulated annealing until the time budget or
+	// the evaluation budget runs out (lines 26-28; the paper uses 10
+	// minutes — a simulated device needs far less).
+	result, err := atf.Tuner{
+		Technique:  atf.SimulatedAnnealing(),
+		Abort:      atf.AbortOr(atf.Duration(15*time.Second), atf.Evaluations(500)),
+		CacheCosts: true,
+	}.Tune(cf, wpt, ls)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("search space: %d valid of %s raw configurations\n",
+		result.SpaceSize, result.RawSpaceSize)
+	fmt.Printf("evaluated:    %d configurations\n", result.Evaluations)
+	fmt.Printf("best:         WPT=%d LS=%d  (%.3f ms simulated)\n",
+		result.Best.Int("WPT"), result.Best.Int("LS"),
+		result.BestCost.Primary()/1e6)
+}

@@ -1,0 +1,279 @@
+package atf_test
+
+import (
+	"testing"
+	"time"
+
+	"atf"
+	"atf/internal/clblast"
+)
+
+// TestFacadeWrappers exercises the thin public wrappers that forward to
+// internal/core, so a drifting signature or a mis-wired alias cannot slip
+// through unnoticed.
+func TestFacadeWrappers(t *testing.T) {
+	// Ranges.
+	if atf.Interval(1, 5).Len() != 5 {
+		t.Error("Interval")
+	}
+	if atf.SteppedInterval(0, 10, 5).Len() != 3 {
+		t.Error("SteppedInterval")
+	}
+	if atf.FloatInterval(0, 1, 0.5).Len() != 3 {
+		t.Error("FloatInterval")
+	}
+	if atf.Set(1, 2, 4).Len() != 3 {
+		t.Error("Set")
+	}
+	if atf.Bools().Len() != 2 {
+		t.Error("Bools")
+	}
+
+	// Values.
+	if atf.Int(3).Int() != 3 || atf.Float(1.5).Float() != 1.5 ||
+		!atf.Bool(true).Bool() || atf.Str("simd").Str() != "simd" {
+		t.Error("value constructors")
+	}
+
+	// Constraints over a 1-D space.
+	n8 := atf.TP("X", atf.Interval(1, 8),
+		atf.And(atf.GreaterThan(1), atf.LessThan(8), atf.Unequal(5)))
+	sp, err := atf.GenerateSpace(1, n8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 5 { // 2,3,4,6,7
+		t.Errorf("constraint combination: size = %d, want 5", sp.Size())
+	}
+
+	or := atf.TP("Y", atf.Interval(1, 10), atf.Or(atf.Equal(2), atf.Equal(9)))
+	sp2, err := atf.GenerateSpace(1, or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Size() != 2 {
+		t.Errorf("Or: size = %d, want 2", sp2.Size())
+	}
+
+	not := atf.TP("Z", atf.Interval(1, 4), atf.Not(atf.Equal(3)))
+	sp3, err := atf.GenerateSpace(1, not)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp3.Size() != 3 {
+		t.Errorf("Not: size = %d, want 3", sp3.Size())
+	}
+
+	where := atf.TP("W", atf.Interval(1, 9),
+		atf.Where(func(v atf.Value) bool { return v.Int()%3 == 0 }))
+	sp4, err := atf.GenerateSpace(1, where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp4.Size() != 3 {
+		t.Errorf("Where: size = %d, want 3", sp4.Size())
+	}
+
+	multiple := atf.TP("M", atf.Interval(1, 12), atf.IsMultipleOf(4))
+	sp5, err := atf.GenerateSpace(1, multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp5.Size() != 3 {
+		t.Errorf("IsMultipleOf: size = %d, want 3", sp5.Size())
+	}
+
+	gte := atf.TP("G", atf.Interval(1, 5), atf.GreaterThan(3))
+	sp6, err := atf.GenerateGroupedSpace(1, atf.G(gte))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp6.Size() != 2 {
+		t.Errorf("GenerateGroupedSpace: size = %d, want 2", sp6.Size())
+	}
+}
+
+func TestFacadeAbortConditionsAndOrders(t *testing.T) {
+	x := atf.TP("X", atf.Interval(1, 100))
+	calls := 0
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		calls++
+		return atf.Cost{float64(c.Int("X")), 1}, nil
+	})
+
+	// Fraction.
+	res, err := atf.Tuner{Abort: atf.Fraction(0.1)}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 10 {
+		t.Errorf("Fraction: evals = %d, want 10", res.Evaluations)
+	}
+
+	// CostBelow stops as soon as the exhaustive walker hits X=1 (first).
+	res, err = atf.Tuner{Abort: atf.CostBelow(1)}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 1 {
+		t.Errorf("CostBelow: evals = %d, want 1", res.Evaluations)
+	}
+
+	// Speedup conditions wired through (exercise, not re-proven here —
+	// the semantics are tested in internal/core).
+	res, err = atf.Tuner{
+		Technique: atf.RandomSearch(),
+		Abort: atf.AbortOr(
+			atf.SpeedupEvaluations(1.01, 30),
+			atf.Evaluations(500),
+			atf.AbortAnd(atf.Duration(time.Hour), atf.Evaluations(1000)),
+		),
+	}.Tune(cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations == 0 || res.Evaluations > 500 {
+		t.Errorf("combined abort misbehaved: %d evals", res.Evaluations)
+	}
+
+	_ = atf.SpeedupDuration(1.1, time.Second) // constructor wiring
+
+	// Orders.
+	if !atf.LexOrder()(atf.Cost{1, 9}, atf.Cost{1, 10}) {
+		t.Error("LexOrder")
+	}
+	if !atf.WeightedSum(0, 1)(atf.Cost{5, 1}, atf.Cost{1, 5}) {
+		t.Error("WeightedSum")
+	}
+}
+
+func TestFacadeTechniques(t *testing.T) {
+	x := atf.TP("X", atf.Interval(1, 64))
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		d := float64(c.Int("X") - 40)
+		return atf.Cost{d * d}, nil
+	})
+	for _, tech := range []atf.Technique{
+		atf.Exhaustive(),
+		atf.SimulatedAnnealing(),
+		atf.SimulatedAnnealingT(2, 0.99),
+		atf.OpenTunerSearch(),
+		atf.RandomSearch(),
+		atf.LocalSearch(4),
+	} {
+		res, err := atf.Tuner{Technique: tech, Abort: atf.Evaluations(64), Seed: 7}.Tune(cf, x)
+		if err != nil {
+			t.Fatalf("%T: %v", tech, err)
+		}
+		if res.Best == nil {
+			t.Fatalf("%T found nothing", tech)
+		}
+	}
+}
+
+func TestFacadeTuneConvenience(t *testing.T) {
+	x := atf.TP("X", atf.Interval(1, 10))
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		return atf.Cost{float64(c.Int("X"))}, nil
+	})
+	res, err := atf.Tune(atf.Exhaustive(), nil, cf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Int("X") != 1 {
+		t.Fatalf("best = %v", res.Best)
+	}
+}
+
+func TestScalarArgVariants(t *testing.T) {
+	// All supported scalar argument types construct; unsupported panics.
+	atf.Scalar(int(1))
+	atf.Scalar(int32(1))
+	atf.Scalar(int64(1))
+	atf.Scalar(float32(1))
+	atf.Scalar(float64(1))
+	atf.Buffer([]float32{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsupported scalar type must panic")
+		}
+	}()
+	atf.Scalar("nope")
+}
+
+func TestOpenCLCostFunctionValidation(t *testing.T) {
+	_, err := (&atf.OpenCL{Platform: "NVIDIA", Device: "K20m"}).CostFunction()
+	if err == nil {
+		t.Fatal("missing sizes must error")
+	}
+	_, err = (&atf.OpenCL{
+		Platform: "AMD", Device: "Fiji",
+		GlobalSize: func(*atf.Config) []int64 { return []int64{1} },
+		LocalSize:  func(*atf.Config) []int64 { return []int64{1} },
+	}).CostFunction()
+	if err == nil {
+		t.Fatal("unknown device must error")
+	}
+	_, err = (&atf.CUDA{Device: "K20m"}).CostFunction()
+	if err == nil {
+		t.Fatal("missing grid/block must error")
+	}
+	_, err = (&atf.CUDA{
+		Device:   "DoesNotExist",
+		GridDim:  func(*atf.Config) int64 { return 1 },
+		BlockDim: func(*atf.Config) int64 { return 1 },
+	}).CostFunction()
+	if err == nil {
+		t.Fatal("unknown CUDA device must error")
+	}
+}
+
+func TestOpenCLVerify(t *testing.T) {
+	// Verify runs the winning configuration functionally and hands the
+	// buffers to the user's check — the optional error checking of the
+	// paper's OpenCL cost function.
+	const n = 256
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = 1
+	}
+	o := &atf.OpenCL{
+		Platform: "NVIDIA", Device: "K20m",
+		Source: clblast.SaxpySource, Kernel: "saxpy",
+		Args: []atf.KernelArg{
+			atf.Scalar(int32(n)), atf.Scalar(float32(2)),
+			atf.Buffer(x), atf.Buffer(y),
+		},
+		GlobalSize: func(c *atf.Config) []int64 { return []int64{n / c.Int("WPT")} },
+		LocalSize:  func(c *atf.Config) []int64 { return []int64{c.Int("LS")} },
+	}
+	cfg := atf.TP("WPT", atf.Set(4))
+	ls := atf.TP("LS", atf.Set(8))
+	sp, err := atf.GenerateSpace(1, cfg, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := false
+	err = o.Verify(sp.At(0), func(buffers [][]float32) error {
+		checked = true
+		if len(buffers) != 2 {
+			t.Fatalf("expected x and y buffers, got %d", len(buffers))
+		}
+		got := buffers[1] // y after saxpy
+		for i := range got {
+			want := 2*float32(i) + 1
+			if got[i] != want {
+				t.Fatalf("y[%d] = %v, want %v", i, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("check callback never ran")
+	}
+}

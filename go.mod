@@ -1,0 +1,3 @@
+module atf
+
+go 1.22

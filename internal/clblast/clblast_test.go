@@ -1,0 +1,357 @@
+package clblast
+
+import (
+	"math/rand"
+	"testing"
+
+	"atf/internal/core"
+	"atf/internal/opencl"
+)
+
+func k20m(t testing.TB) *opencl.Device {
+	t.Helper()
+	d, err := opencl.FindDevice("NVIDIA", "K20m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func xeon(t testing.TB) *opencl.Device {
+	t.Helper()
+	d, err := opencl.FindDevice("Intel", "Xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func cfgFromInts(vals map[string]int64) *core.Config {
+	m := make(map[string]core.Value, len(vals))
+	for k, v := range vals {
+		if k == "PADA" || k == "PADB" {
+			m[k] = core.Bool(v != 0)
+		} else {
+			m[k] = core.Int(v)
+		}
+	}
+	return core.ConfigFromMap(XgemmDirectNames, m)
+}
+
+func TestCaffeInputSizes(t *testing.T) {
+	iss := CaffeInputSizes()
+	if len(iss) != 4 {
+		t.Fatal("four input sizes expected")
+	}
+	if iss[1].M != 20 || iss[1].K != 25 || iss[1].N != 576 {
+		t.Fatalf("IS2 wrong: %+v", iss[1])
+	}
+	if iss[3].String() == "" {
+		t.Error("shapes should render")
+	}
+}
+
+func TestSaxpySpaceMatchesListing2(t *testing.T) {
+	const n = 64
+	sp, err := core.GenerateFlat(SaxpyParams(n), core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.ForEach(func(_ uint64, cfg *core.Config) bool {
+		if n%cfg.Int("WPT") != 0 {
+			t.Fatalf("WPT=%d does not divide N", cfg.Int("WPT"))
+		}
+		if (n/cfg.Int("WPT"))%cfg.Int("LS") != 0 {
+			t.Fatalf("LS does not divide global size: %v", cfg)
+		}
+		return true
+	})
+	if sp.Size() == 0 {
+		t.Fatal("saxpy space empty")
+	}
+}
+
+func TestSaxpyEvaluator(t *testing.T) {
+	e := NewSaxpyEvaluator(k20m(t), 1<<14, 1)
+	cfg := core.ConfigFromMap([]string{"WPT", "LS"},
+		map[string]core.Value{"WPT": core.Int(4), "LS": core.Int(64)})
+	ns, err := e.Eval(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+	// The cost-function adapter returns the same value.
+	c, err := e.CostFunction().Cost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Primary() <= 0 {
+		t.Fatal("cost adapter broken")
+	}
+}
+
+func TestXgemmSpaceAllValid(t *testing.T) {
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 16})
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() == 0 {
+		t.Fatal("space empty at cap 16")
+	}
+	checked := 0
+	sp.ForEach(func(_ uint64, cfg *core.Config) bool {
+		wgd, kwid := cfg.Int("WGD"), cfg.Int("KWID")
+		mc, nc := cfg.Int("MDIMCD"), cfg.Int("NDIMCD")
+		ma, nb := cfg.Int("MDIMAD"), cfg.Int("NDIMBD")
+		threads := mc * nc
+		if wgd%kwid != 0 || wgd%mc != 0 || wgd%nc != 0 || wgd%ma != 0 || wgd%nb != 0 {
+			t.Fatalf("divisibility violated: %v", cfg)
+		}
+		if threads%ma != 0 || wgd%(threads/ma) != 0 {
+			t.Fatalf("A-loader constraints violated: %v", cfg)
+		}
+		if threads%nb != 0 || wgd%(threads/nb) != 0 {
+			t.Fatalf("B-loader constraints violated: %v", cfg)
+		}
+		if threads > 1024 {
+			t.Fatalf("work-group too large: %v", cfg)
+		}
+		if (wgd/mc)%cfg.Int("VWMD") != 0 || (wgd/ma)%cfg.Int("VWMD") != 0 {
+			t.Fatalf("VWMD constraints violated: %v", cfg)
+		}
+		if (wgd/nc)%cfg.Int("VWND") != 0 || (wgd/nb)%cfg.Int("VWND") != 0 {
+			t.Fatalf("VWND constraints violated: %v", cfg)
+		}
+		checked++
+		return true
+	})
+	if uint64(checked) != sp.Size() {
+		t.Fatal("not all configs checked")
+	}
+}
+
+func TestXgemmRawVsConstrainedSizes(t *testing.T) {
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 16})
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := sp.RawSize()
+	// 16^6 * 4 * 4 * 2 * 2 = 16777216 * 64.
+	if raw.String() != "1073741824" {
+		t.Fatalf("raw size = %s", raw)
+	}
+	if sp.Size() >= raw.Uint64()/100 {
+		t.Fatalf("constrained space (%d) should be a tiny fraction of raw (%s)",
+			sp.Size(), raw)
+	}
+}
+
+func TestDefaultConfigIsValid(t *testing.T) {
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 64})
+	if !ValidateConfig(DefaultConfig(), params) {
+		t.Fatal("the kernel defaults must satisfy all constraints")
+	}
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sp.IndexOf(DefaultConfig()); !ok {
+		t.Fatal("defaults must be a member of the full space")
+	}
+}
+
+func TestRestrictedSpaceEmptyOnDeepLearningSizes(t *testing.T) {
+	// The paper's central CLTune failure: WGD ∈ {8,16,32} constrained to
+	// divide M and N leaves no valid configuration for any Caffe size.
+	for _, shape := range CaffeInputSizes() {
+		params := RestrictedParams(shape, 1024, 48<<10)
+		sp, err := core.GenerateFlat(params, core.GenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Size() != 0 {
+			t.Fatalf("%s: restricted CLTune space should be empty, got %d",
+				shape.Name, sp.Size())
+		}
+	}
+}
+
+func TestRestrictedSpaceNonEmptyAt256(t *testing.T) {
+	// ... while at CLTune's average size 256×256 the space exists, which
+	// is where CLBlast's device-optimized values come from.
+	shape := GemmShape{Name: "avg", M: 256, N: 256, K: 256}
+	params := RestrictedParams(shape, 1024, 48<<10)
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() == 0 {
+		t.Fatal("restricted space at 256x256 must not be empty")
+	}
+}
+
+func TestGlobalLocalSizePadding(t *testing.T) {
+	cfg := cfgFromInts(map[string]int64{
+		"WGD": 16, "KWID": 2, "MDIMCD": 8, "NDIMCD": 8,
+		"MDIMAD": 8, "NDIMBD": 8, "VWMD": 1, "VWND": 1, "PADA": 1, "PADB": 1,
+	})
+	shape := GemmShape{M: 20, N: 500, K: 25}
+	global, local := GlobalLocalSize(cfg, shape)
+	// ceil(20/16)=2 tiles × 8 threads; ceil(500/16)=32 tiles × 8 threads.
+	if global != [2]int64{16, 256} {
+		t.Fatalf("global = %v", global)
+	}
+	if local != [2]int64{8, 8} {
+		t.Fatalf("local = %v", local)
+	}
+	// Padded global is always a multiple of local — the CLBlast trick.
+	if global[0]%local[0] != 0 || global[1]%local[1] != 0 {
+		t.Fatal("global must be a multiple of local")
+	}
+}
+
+// verifyConfig checks functional correctness of one configuration.
+func verifyConfig(t *testing.T, shape GemmShape, cfg *core.Config) {
+	t.Helper()
+	e := NewGemmEvaluator(k20m(t), shape, 7)
+	maxErr, err := e.Verify(cfg)
+	if err != nil {
+		t.Fatalf("%v on %s: %v", cfg, shape, err)
+	}
+	if maxErr > 1e-3 {
+		t.Fatalf("%v on %s: max error %v", cfg, shape, maxErr)
+	}
+}
+
+func TestXgemmDirectCorrectDefaults(t *testing.T) {
+	verifyConfig(t, GemmShape{M: 20, N: 48, K: 25}, DefaultConfig())
+}
+
+func TestXgemmDirectCorrectOnBoundary(t *testing.T) {
+	// M and N not multiples of WGD: boundary checks must mask the
+	// out-of-range rows/columns.
+	cfg := cfgFromInts(map[string]int64{
+		"WGD": 16, "KWID": 2, "MDIMCD": 8, "NDIMCD": 8,
+		"MDIMAD": 8, "NDIMBD": 8, "VWMD": 2, "VWND": 2, "PADA": 1, "PADB": 0,
+	})
+	verifyConfig(t, GemmShape{M: 19, N: 21, K: 13}, cfg)
+}
+
+func TestXgemmDirectCorrectKLessThanWGD(t *testing.T) {
+	// IS1/IS3 have K=1 — far below any tile size; zero-padding the tiles
+	// must keep results exact.
+	cfg := cfgFromInts(map[string]int64{
+		"WGD": 8, "KWID": 1, "MDIMCD": 4, "NDIMCD": 4,
+		"MDIMAD": 4, "NDIMBD": 4, "VWMD": 1, "VWND": 1, "PADA": 0, "PADB": 0,
+	})
+	verifyConfig(t, GemmShape{M: 20, N: 24, K: 1}, cfg)
+}
+
+func TestXgemmDirectCorrectRandomConfigs(t *testing.T) {
+	// Property-style: sample valid configurations from the generated
+	// space and verify each functionally on a small shape.
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 16})
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	shape := GemmShape{M: 18, N: 22, K: 9}
+	for i := 0; i < 6; i++ {
+		cfg := sp.Random(rng)
+		verifyConfig(t, shape, cfg)
+	}
+}
+
+func TestXgemmDirectCorrectUnevenLoaders(t *testing.T) {
+	// Asymmetric loader layouts (MDIMAD != MDIMCD) stress the cooperative
+	// load index math.
+	cfg := cfgFromInts(map[string]int64{
+		"WGD": 16, "KWID": 4, "MDIMCD": 8, "NDIMCD": 4,
+		"MDIMAD": 16, "NDIMBD": 2, "VWMD": 1, "VWND": 2, "PADA": 1, "PADB": 1,
+	})
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 16})
+	if !ValidateConfig(cfg, params) {
+		t.Fatal("test config should be valid")
+	}
+	verifyConfig(t, GemmShape{M: 20, N: 20, K: 20}, cfg)
+}
+
+func TestGemmEvalInfeasibleConfigErrors(t *testing.T) {
+	// MDIMCD*NDIMCD = 2048 exceeds the K20m's 1024 work-group limit; the
+	// evaluator must surface a launch error (infinite cost for tuners).
+	cfg := cfgFromInts(map[string]int64{
+		"WGD": 64, "KWID": 1, "MDIMCD": 64, "NDIMCD": 32,
+		"MDIMAD": 64, "NDIMBD": 64, "VWMD": 1, "VWND": 1, "PADA": 0, "PADB": 0,
+	})
+	e := NewGemmEvaluator(k20m(t), GemmShape{M: 64, N: 64, K: 64}, 1)
+	if _, err := e.Eval(cfg); err == nil {
+		t.Fatal("oversized work-group must fail")
+	}
+}
+
+func TestGemmEvalDeviceSensitivity(t *testing.T) {
+	// The same configuration must get *different* simulated times on CPU
+	// and GPU — otherwise per-device tuning is meaningless.
+	cfg := DefaultConfig()
+	shape := GemmShape{M: 64, N: 64, K: 32}
+	g, err := NewGemmEvaluator(k20m(t), shape, 1).Eval(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewGemmEvaluator(xeon(t), shape, 1).Eval(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == c {
+		t.Fatal("CPU and GPU estimates should differ")
+	}
+}
+
+func TestGemmEvalParameterSensitivity(t *testing.T) {
+	// Different configurations must produce different costs — the tuning
+	// surface cannot be flat.
+	shape := GemmShape{Name: "IS4", M: 10, K: 64, N: 500}
+	e := NewGemmEvaluator(k20m(t), shape, 1)
+	a, err := e.Eval(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := cfgFromInts(map[string]int64{
+		"WGD": 32, "KWID": 2, "MDIMCD": 16, "NDIMCD": 16,
+		"MDIMAD": 16, "NDIMBD": 16, "VWMD": 1, "VWND": 1, "PADA": 1, "PADB": 1,
+	})
+	b, err := e.Eval(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("flat cost surface")
+	}
+}
+
+func TestRestrictedRangesMatchCLBlast(t *testing.T) {
+	r := RestrictedRanges()
+	wgd := r["WGD"]
+	if wgd.Len() != 3 || wgd.At(0).Int() != 8 || wgd.At(2).Int() != 32 {
+		t.Fatalf("WGD restriction should be {8,16,32}: %v", wgd)
+	}
+	if len(r) != 10 {
+		t.Fatal("all ten parameters need ranges")
+	}
+}
+
+func TestValidateConfigRejectsInvalid(t *testing.T) {
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 64})
+	bad := cfgFromInts(map[string]int64{
+		"WGD": 8, "KWID": 3, "MDIMCD": 8, "NDIMCD": 8, // 3 does not divide 8
+		"MDIMAD": 8, "NDIMBD": 8, "VWMD": 1, "VWND": 1, "PADA": 0, "PADB": 0,
+	})
+	if ValidateConfig(bad, params) {
+		t.Fatal("KWID=3 with WGD=8 must be invalid")
+	}
+}

@@ -1,0 +1,199 @@
+package clblast
+
+import (
+	"fmt"
+	"math"
+
+	"atf/internal/core"
+	"atf/internal/opencl"
+)
+
+// GemmEvaluator measures (simulated) XgemmDirect runtimes for tuning
+// configurations on one device. Following ATF's OpenCL cost function, the
+// input buffers are created and uploaded once at initialization — random
+// data, never downloaded during tuning — and each evaluation rebuilds the
+// kernel with the configuration's preprocessor definitions and enqueues it
+// with CLBlast's padded global size.
+type GemmEvaluator struct {
+	Shape GemmShape
+	ctx   *opencl.Context
+	queue *opencl.Queue
+	a, b  *opencl.Buffer
+	cbuf  *opencl.Buffer
+	alpha float32
+	beta  float32
+}
+
+// NewGemmEvaluator prepares buffers on the device for the given shape.
+func NewGemmEvaluator(dev *opencl.Device, shape GemmShape, seed int64) *GemmEvaluator {
+	ctx := opencl.NewContext(dev)
+	e := &GemmEvaluator{
+		Shape: shape,
+		ctx:   ctx,
+		queue: opencl.NewQueue(ctx),
+		a:     ctx.CreateBuffer(int(shape.M * shape.K)),
+		b:     ctx.CreateBuffer(int(shape.K * shape.N)),
+		cbuf:  ctx.CreateBuffer(int(shape.M * shape.N)),
+		alpha: 1,
+		beta:  0,
+	}
+	e.a.FillRandom(seed)
+	e.b.FillRandom(seed + 1)
+	e.cbuf.FillRandom(seed + 2)
+	return e
+}
+
+// Eval returns the simulated kernel runtime in nanoseconds for one
+// configuration; launch-infeasible configurations (work-group too large,
+// local memory overflow) return an error, which the tuner treats as
+// infinite cost.
+func (e *GemmEvaluator) Eval(cfg *core.Config) (float64, error) {
+	ev, err := e.launch(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return ev.DurationNs(), nil
+}
+
+// CostFunction adapts the evaluator to the tuning loop.
+func (e *GemmEvaluator) CostFunction() core.CostFunction {
+	return core.CostFunc(func(cfg *core.Config) (core.Cost, error) {
+		t, err := e.Eval(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.SingleCost(t), nil
+	})
+}
+
+func (e *GemmEvaluator) launch(cfg *core.Config) (*opencl.Event, error) {
+	prog := e.ctx.CreateProgram(XgemmDirectSource)
+	if err := prog.Build(cfg.Defines()); err != nil {
+		return nil, err
+	}
+	k, err := prog.CreateKernel("XgemmDirect")
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetArgs(int32(e.Shape.M), int32(e.Shape.N), int32(e.Shape.K),
+		e.alpha, e.beta, e.a, e.b, e.cbuf); err != nil {
+		return nil, err
+	}
+	global, local := GlobalLocalSize(cfg, e.Shape)
+	return e.queue.EnqueueNDRange(k, global[:], local[:])
+}
+
+// Verify executes a configuration functionally (all work-groups) and
+// checks the result against the naive reference, returning the maximum
+// absolute error. Tuning never calls this — it is the optional error
+// checking ATF's OpenCL cost function supports.
+func (e *GemmEvaluator) Verify(cfg *core.Config) (float64, error) {
+	e.queue.Functional = true
+	defer func() { e.queue.Functional = false }()
+
+	// Reset C deterministically so beta-scaling is reproducible.
+	cHost := make([]float32, e.Shape.M*e.Shape.N)
+	e.cbuf.Write(cHost)
+
+	if _, err := e.launch(cfg); err != nil {
+		return 0, err
+	}
+	got := e.cbuf.Read()
+	want := ReferenceGemm(e.Shape, e.a.Read(), e.b.Read(), cHost, e.alpha, e.beta)
+	var maxErr float64
+	for i := range want {
+		d := math.Abs(float64(got[i] - want[i]))
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr, nil
+}
+
+// ReferenceGemm computes C = alpha*A*B + beta*C naively on the host.
+func ReferenceGemm(shape GemmShape, a, b, c []float32, alpha, beta float32) []float32 {
+	out := make([]float32, shape.M*shape.N)
+	for m := int64(0); m < shape.M; m++ {
+		for n := int64(0); n < shape.N; n++ {
+			var acc float32
+			for k := int64(0); k < shape.K; k++ {
+				acc += a[m*shape.K+k] * b[k*shape.N+n]
+			}
+			out[m*shape.N+n] = alpha*acc + beta*c[m*shape.N+n]
+		}
+	}
+	return out
+}
+
+// SaxpyEvaluator is the analogous evaluator for the Listing 1 saxpy
+// kernel with its two tuning parameters WPT and LS.
+type SaxpyEvaluator struct {
+	N     int64
+	ctx   *opencl.Context
+	queue *opencl.Queue
+	x, y  *opencl.Buffer
+	a     float32
+}
+
+// NewSaxpyEvaluator prepares N-element buffers with random data.
+func NewSaxpyEvaluator(dev *opencl.Device, n, seed int64) *SaxpyEvaluator {
+	ctx := opencl.NewContext(dev)
+	e := &SaxpyEvaluator{
+		N:     n,
+		ctx:   ctx,
+		queue: opencl.NewQueue(ctx),
+		x:     ctx.CreateBuffer(int(n)),
+		y:     ctx.CreateBuffer(int(n)),
+		a:     2.5,
+	}
+	e.x.FillRandom(seed)
+	e.y.FillRandom(seed + 1)
+	return e
+}
+
+// Eval returns the simulated saxpy runtime for a (WPT, LS) configuration.
+func (e *SaxpyEvaluator) Eval(cfg *core.Config) (float64, error) {
+	wpt := cfg.Int("WPT")
+	ls := cfg.Int("LS")
+	prog := e.ctx.CreateProgram(SaxpySource)
+	if err := prog.Build(cfg.Defines()); err != nil {
+		return 0, err
+	}
+	k, err := prog.CreateKernel("saxpy")
+	if err != nil {
+		return 0, err
+	}
+	if err := k.SetArgs(int32(e.N), e.a, e.x, e.y); err != nil {
+		return 0, err
+	}
+	ev, err := e.queue.EnqueueNDRange(k, []int64{e.N / wpt}, []int64{ls})
+	if err != nil {
+		return 0, err
+	}
+	return ev.DurationNs(), nil
+}
+
+// CostFunction adapts the evaluator to the tuning loop.
+func (e *SaxpyEvaluator) CostFunction() core.CostFunction {
+	return core.CostFunc(func(cfg *core.Config) (core.Cost, error) {
+		t, err := e.Eval(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.SingleCost(t), nil
+	})
+}
+
+// SaxpyParams builds the Listing 2 tuning space: WPT ∈ [1,N] dividing N,
+// and LS ∈ [1,N] dividing the global size N/WPT.
+func SaxpyParams(n int64) []*core.Param {
+	wpt := core.NewParam("WPT", core.NewInterval(1, n), core.Divides(n))
+	ls := core.NewParam("LS", core.NewInterval(1, n),
+		core.Divides(func(c *core.Config) int64 { return n / c.Int("WPT") }))
+	return []*core.Param{wpt, ls}
+}
+
+// String renders an evaluator description for logs.
+func (e *GemmEvaluator) String() string {
+	return fmt.Sprintf("XgemmDirect %s on %s", e.Shape, e.ctx.Device().Name())
+}

@@ -1,0 +1,56 @@
+package clblast
+
+import (
+	"testing"
+
+	"atf/internal/core"
+)
+
+func TestDivisorHintsPreserveXgemmSpace(t *testing.T) {
+	plain := XgemmDirectParams(SpaceOptions{RangeCap: 24})
+	hinted := XgemmDirectParams(SpaceOptions{RangeCap: 24, DivisorHints: true})
+	sp1, err := core.GenerateFlat(plain, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := core.GenerateFlat(hinted, core.GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp1.Size() != sp2.Size() {
+		t.Fatalf("hinted space size %d != plain %d", sp2.Size(), sp1.Size())
+	}
+	for i := uint64(0); i < sp1.Size(); i += 97 { // spot-check stride
+		if !sp1.At(i).Equal(sp2.At(i)) {
+			t.Fatalf("config %d differs: %v vs %v", i, sp1.At(i), sp2.At(i))
+		}
+	}
+	if sp2.Checks() >= sp1.Checks() {
+		t.Fatalf("hints should reduce constraint checks: %d vs %d",
+			sp2.Checks(), sp1.Checks())
+	}
+}
+
+func TestDivisorHintsCutChecksAtScale(t *testing.T) {
+	// The hint's payoff grows with the range cap: the five hinted levels
+	// scan d(WGD) ≈ 8 candidates instead of 64 per valid prefix.
+	plain := XgemmDirectParams(SpaceOptions{RangeCap: 64})
+	hinted := XgemmDirectParams(SpaceOptions{RangeCap: 64, DivisorHints: true})
+	n1, c1, err := core.CountGroup(core.G(plain...), core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, c2, err := core.CountGroup(core.G(hinted...), core.GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("counts differ: %d vs %d", n1, n2)
+	}
+	// The five hinted levels drop from ~64 scanned candidates per valid
+	// prefix to d(WGD) ≈ 8; globally the cut is bounded by the share of
+	// checks at the un-hintable set-valued levels (VWMD/VWND/PADA/PADB).
+	if float64(c2) >= 0.75*float64(c1) {
+		t.Fatalf("hints at cap 64 should cut checks by >25%%: %d vs %d", c2, c1)
+	}
+}

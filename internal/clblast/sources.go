@@ -1,0 +1,131 @@
+// Package clblast provides the paper's evaluation workloads: the saxpy
+// kernel of Listing 1 and the XgemmDirect kernel of Section VI, both as
+// genuine OpenCL-C source tuned via preprocessor definitions, together with
+// their tuning-parameter spaces (10 parameters, 17 interdependencies for
+// XgemmDirect), CLBlast's host-side global/local size arithmetic, the
+// kernel default configurations, and the Caffe input sizes IS1–IS4.
+package clblast
+
+// SaxpySource is the simplified saxpy kernel from CLBlast (paper,
+// Listing 1): each work-item computes WPT elements of y = a*x + y with a
+// cyclic distribution, so adjacent work-items access adjacent elements.
+const SaxpySource = `
+__kernel void saxpy(const int N, const float a,
+                    __global float* x, __global float* y) {
+  for (int w = 0; w < WPT; w++) {
+    const int id = w * get_global_size(0) + get_global_id(0);
+    y[id] = a * x[id] + y[id];
+  }
+}
+`
+
+// XgemmDirectSource is a faithful re-creation of CLBlast's direct GEMM
+// kernel (the variant for small matrices, no pre-transposition) in the
+// oclc subset. It computes C = alpha*A*B + beta*C for row-major A (M×K),
+// B (K×N), C (M×N), and exercises all ten tuning parameters:
+//
+//	WGD              tile size computed per work-group (WGD×WGD of C)
+//	MDIMCD, NDIMCD   compute thread grid (local size = MDIMCD×NDIMCD)
+//	MDIMAD, NDIMBD   cooperative-load thread layouts for the A and B tiles
+//	KWID             k-loop unroll factor (#pragma unroll KWID)
+//	VWMD, VWND       vector widths in the M and N directions
+//	PADA, PADB       local-memory padding to de-conflict banks
+//
+// Boundary checks make the kernel correct when WGD does not divide M or N;
+// CLBlast exploits this by padding the global size up to a multiple of the
+// local size — the arithmetic that CLTune cannot express and that lets ATF
+// drop the two global-size divisibility constraints (paper, §VI-A).
+const XgemmDirectSource = `
+__kernel void XgemmDirect(const int M, const int N, const int K,
+                          const float alpha, const float beta,
+                          __global float* agm, __global float* bgm,
+                          __global float* cgm) {
+  __local float alm[WGD][WGD + PADA];
+  __local float blm[WGD][WGD + PADB];
+
+  const int tidm = get_local_id(0);
+  const int tidn = get_local_id(1);
+  const int mwg = get_group_id(0) * WGD;
+  const int nwg = get_group_id(1) * WGD;
+
+  // Per-thread accumulator registers.
+  float cpd[WGD/MDIMCD][WGD/NDIMCD];
+  for (int mi = 0; mi < WGD/MDIMCD; mi++) {
+    for (int ni = 0; ni < WGD/NDIMCD; ni++) {
+      cpd[mi][ni] = 0.0f;
+    }
+  }
+
+  // Flat thread id re-shaped for the cooperative tile loads.
+  const int ltid = tidn * MDIMCD + tidm;
+  const int lta0 = ltid % MDIMAD;
+  const int lta1 = ltid / MDIMAD;
+  const int ltb0 = ltid % NDIMBD;
+  const int ltb1 = ltid / NDIMBD;
+
+  for (int kwg = 0; kwg < K; kwg += WGD) {
+
+    // Load the A tile (WGD rows x WGD k-columns), MDIMAD-major layout.
+    #pragma unroll
+    for (int mia = 0; mia < WGD/MDIMAD; mia++) {
+      for (int kia = 0; kia < WGD/(MDIMCD*NDIMCD/MDIMAD); kia++) {
+        const int mg = mia * MDIMAD + lta0;
+        const int kg = kia * (MDIMCD*NDIMCD/MDIMAD) + lta1;
+        const int idm = mwg + mg;
+        const int idk = kwg + kg;
+        alm[kg][mg] = (idm < M && idk < K) ? agm[idm*K + idk] : 0.0f;
+      }
+    }
+
+    // Load the B tile (WGD k-rows x WGD columns), NDIMBD-major layout.
+    #pragma unroll
+    for (int nib = 0; nib < WGD/NDIMBD; nib++) {
+      for (int kib = 0; kib < WGD/(MDIMCD*NDIMCD/NDIMBD); kib++) {
+        const int ng = nib * NDIMBD + ltb0;
+        const int kg = kib * (MDIMCD*NDIMCD/NDIMBD) + ltb1;
+        const int idn = nwg + ng;
+        const int idk = kwg + kg;
+        blm[kg][ng] = (idn < N && idk < K) ? bgm[idk*N + idn] : 0.0f;
+      }
+    }
+
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    // Multiply the tiles, KWID k-steps per unrolled bundle, vector-width
+    // blocked register updates.
+    for (int kwi = 0; kwi < WGD; kwi += KWID) {
+      #pragma unroll KWID
+      for (int kit = 0; kit < KWID; kit++) {
+        const int kg = kwi + kit;
+        for (int mi = 0; mi < WGD/MDIMCD; mi += VWMD) {
+          #pragma unroll VWMD
+          for (int mv = 0; mv < VWMD; mv++) {
+            const int mg = (mi + mv) * MDIMCD + tidm;
+            const float avec = alm[kg][mg];
+            for (int ni = 0; ni < WGD/NDIMCD; ni += VWND) {
+              #pragma unroll VWND
+              for (int nv = 0; nv < VWND; nv++) {
+                const int ng = (ni + nv) * NDIMCD + tidn;
+                cpd[mi + mv][ni + nv] = fma(avec, blm[kg][ng], cpd[mi + mv][ni + nv]);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+
+  // Store the result tile with boundary checks.
+  for (int mi = 0; mi < WGD/MDIMCD; mi++) {
+    for (int ni = 0; ni < WGD/NDIMCD; ni++) {
+      const int idm = mwg + mi * MDIMCD + tidm;
+      const int idn = nwg + ni * NDIMCD + tidn;
+      if (idm < M && idn < N) {
+        cgm[idm*N + idn] = alpha * cpd[mi][ni] + beta * cgm[idm*N + idn];
+      }
+    }
+  }
+}
+`

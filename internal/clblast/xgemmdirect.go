@@ -1,0 +1,279 @@
+package clblast
+
+import (
+	"fmt"
+
+	"atf/internal/core"
+)
+
+// GemmShape is one GEMM problem: C(M×N) = A(M×K) · B(K×N).
+type GemmShape struct {
+	M, N, K int64
+	Name    string
+}
+
+func (s GemmShape) String() string {
+	if s.Name != "" {
+		return fmt.Sprintf("%s (%dx%d · %dx%d)", s.Name, s.M, s.K, s.K, s.N)
+	}
+	return fmt.Sprintf("%dx%d · %dx%d", s.M, s.K, s.K, s.N)
+}
+
+// CaffeInputSizes are the four matrix input-size pairs from the paper's
+// evaluation (Section VI), "heavily used in Caffe, e.g., in Caffe's sample
+// siamese, and thus of great importance in the context of deep learning":
+//
+//	IS 1: 20×1   ·  1×576     IS 2: 20×25 · 25×576
+//	IS 3: 50×1   ·  1×64      IS 4: 10×64 · 64×500
+func CaffeInputSizes() []GemmShape {
+	return []GemmShape{
+		{Name: "IS1", M: 20, K: 1, N: 576},
+		{Name: "IS2", M: 20, K: 25, N: 576},
+		{Name: "IS3", M: 50, K: 1, N: 64},
+		{Name: "IS4", M: 10, K: 64, N: 500},
+	}
+}
+
+// XgemmDirectNames lists the kernel's ten tuning parameters in the
+// declaration order used throughout this package.
+var XgemmDirectNames = []string{
+	"WGD", "KWID", "MDIMCD", "NDIMCD", "MDIMAD", "NDIMBD",
+	"VWMD", "VWND", "PADA", "PADB",
+}
+
+// SpaceOptions configures the XgemmDirect tuning space.
+type SpaceOptions struct {
+	// RangeCap bounds the integer parameter ranges {1..RangeCap}. The
+	// paper uses {1..N} for N×N inputs; for the rectangular deep-learning
+	// shapes the experiments use a cap of 64 (all tile-like parameters
+	// beyond the largest useful tile are redundant), and 1024 for the
+	// routine's maximal supported size 2^10×2^10.
+	RangeCap int64
+	// GlobalSizeConstraints adds the two constraints a CLTune program
+	// must impose — WGD divides M and WGD divides N — because CLTune
+	// cannot express CLBlast's padded global size. ATF refrains from them
+	// (paper §VI-A); setting this true reproduces the constrained variant
+	// of experiment E5.
+	GlobalSizeConstraints bool
+	// Shape supplies M and N for the global-size constraints.
+	Shape GemmShape
+	// MaxWorkGroupSize and LocalMemBytes are device limits embedded as
+	// constraints (defaults: 1024 and 48 KiB, the K20m's).
+	MaxWorkGroupSize int64
+	LocalMemBytes    int64
+	// DivisorHints enables the divisor-hinted range iteration (a beyond-
+	// paper optimization, see core.Param.WithDivisorHint): the five
+	// WGD-divisibility-constrained parameters enumerate divisors of WGD
+	// directly instead of scanning {1..cap}. The generated space is
+	// identical; the divides-constrained levels iterate ~8x fewer
+	// candidates (the overall win is bounded by the set-valued levels,
+	// which are already small).
+	DivisorHints bool
+}
+
+func (o *SpaceOptions) defaults() {
+	if o.RangeCap == 0 {
+		o.RangeCap = 64
+	}
+	if o.MaxWorkGroupSize == 0 {
+		o.MaxWorkGroupSize = 1024
+	}
+	if o.LocalMemBytes == 0 {
+		o.LocalMemBytes = 48 << 10
+	}
+}
+
+// XgemmDirectParams builds the kernel's tuning space: 6 integer parameters
+// with range {1..cap}, the two vector widths {1,2,4,8}, the two boolean
+// paddings, and the kernel's interdependencies (17 constraints in total,
+// counting the two optional global-size constraints — exactly the paper's
+// tally for XgemmDirect).
+//
+// Constraint inventory (names in comments match the kernel source):
+//
+//  1. KWID divides WGD                      (k-loop bundling exact)
+//  2. MDIMCD divides WGD                    (compute rows per thread exact)
+//  3. NDIMCD divides WGD                    (compute cols per thread exact)
+//  4. MDIMAD divides WGD                    (A-tile loader rows exact)
+//  5. NDIMBD divides WGD                    (B-tile loader cols exact)
+//  6. MDIMAD divides MDIMCD*NDIMCD          (A loader layout fits threads)
+//  7. (MDIMCD*NDIMCD)/MDIMAD divides WGD    (A-tile k-loop exact)
+//  8. NDIMBD divides MDIMCD*NDIMCD          (B loader layout fits threads)
+//  9. (MDIMCD*NDIMCD)/NDIMBD divides WGD    (B-tile k-loop exact)
+//  10. MDIMCD*NDIMCD <= max work-group size  (device limit)
+//  11. VWMD divides WGD/MDIMCD               (M-vector blocking exact)
+//  12. VWMD divides WGD/MDIMAD               (vectorized A loads possible)
+//  13. VWND divides WGD/NDIMCD               (N-vector blocking exact)
+//  14. VWND divides WGD/NDIMBD               (vectorized B loads possible)
+//  15. local tiles fit local memory          (with PADA/PADB padding)
+//  16. WGD divides M                         (optional, CLTune-style)
+//  17. WGD divides N                         (optional, CLTune-style)
+func XgemmDirectParams(opts SpaceOptions) []*core.Param {
+	opts.defaults()
+	cap := opts.RangeCap
+	intRange := func() core.Range { return core.NewInterval(1, cap) }
+
+	wgdConstraints := []core.Constraint{}
+	if opts.GlobalSizeConstraints {
+		wgdConstraints = append(wgdConstraints,
+			core.Divides(opts.Shape.M), // 16
+			core.Divides(opts.Shape.N), // 17
+		)
+	}
+	wgd := core.NewParam("WGD", intRange(), wgdConstraints...)
+
+	kwid := core.NewParam("KWID", intRange(),
+		core.Divides(core.Ref("WGD"))) // 1
+
+	mdimcd := core.NewParam("MDIMCD", intRange(),
+		core.Divides(core.Ref("WGD"))) // 2
+
+	ndimcd := core.NewParam("NDIMCD", intRange(), core.And(
+		core.Divides(core.Ref("WGD")), // 3
+		func(v core.Value, c *core.Config) bool { // 10
+			return c.Int("MDIMCD")*v.Int() <= opts.MaxWorkGroupSize
+		},
+	))
+
+	mdimad := core.NewParam("MDIMAD", intRange(), core.And(
+		core.Divides(core.Ref("WGD")), // 4
+		func(v core.Value, c *core.Config) bool {
+			threads := c.Int("MDIMCD") * c.Int("NDIMCD")
+			if threads%v.Int() != 0 { // 6
+				return false
+			}
+			return c.Int("WGD")%(threads/v.Int()) == 0 // 7
+		},
+	))
+
+	ndimbd := core.NewParam("NDIMBD", intRange(), core.And(
+		core.Divides(core.Ref("WGD")), // 5
+		func(v core.Value, c *core.Config) bool {
+			threads := c.Int("MDIMCD") * c.Int("NDIMCD")
+			if threads%v.Int() != 0 { // 8
+				return false
+			}
+			return c.Int("WGD")%(threads/v.Int()) == 0 // 9
+		},
+	))
+
+	vwmd := core.NewParam("VWMD", core.NewSet(1, 2, 4, 8), core.And(
+		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("MDIMCD") }), // 11
+		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("MDIMAD") }), // 12
+	))
+
+	vwnd := core.NewParam("VWND", core.NewSet(1, 2, 4, 8), core.And(
+		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("NDIMCD") }), // 13
+		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("NDIMBD") }), // 14
+	))
+
+	pada := core.NewParam("PADA", core.BoolRange())
+	padb := core.NewParam("PADB", core.BoolRange(), // 15
+		func(v core.Value, c *core.Config) bool {
+			wgdV := c.Int("WGD")
+			padaV := c.Value("PADA").Int()
+			bytes := 4 * wgdV * ((wgdV + padaV) + (wgdV + v.Int()))
+			return bytes <= opts.LocalMemBytes
+		})
+
+	if opts.DivisorHints {
+		wgdRef := core.Ref("WGD")
+		kwid.WithDivisorHint(wgdRef)
+		mdimcd.WithDivisorHint(wgdRef)
+		ndimcd.WithDivisorHint(wgdRef)
+		mdimad.WithDivisorHint(wgdRef)
+		ndimbd.WithDivisorHint(wgdRef)
+	}
+
+	return []*core.Param{wgd, kwid, mdimcd, ndimcd, mdimad, ndimbd, vwmd, vwnd, pada, padb}
+}
+
+// DefaultConfig returns XgemmDirect's compiled-in default parameter values
+// (paper §VI-B: "the default parameter values are small, e.g., WGD=8 and
+// KWID=1, causing a high parallelization"). These are the values the
+// kernel falls back to when no device-specific tuning result exists.
+func DefaultConfig() *core.Config {
+	return core.ConfigFromMap(XgemmDirectNames, map[string]core.Value{
+		"WGD":    core.Int(8),
+		"KWID":   core.Int(1),
+		"MDIMCD": core.Int(8),
+		"NDIMCD": core.Int(8),
+		"MDIMAD": core.Int(8),
+		"NDIMBD": core.Int(8),
+		"VWMD":   core.Int(1),
+		"VWND":   core.Int(1),
+		"PADA":   core.Bool(true),
+		"PADB":   core.Bool(true),
+	})
+}
+
+// RestrictedRanges reproduces CLBlast's CLTune tuner setup: the parameter
+// ranges are artificially limited ("apparently because of CLTune's
+// time-intensive process of search space generation", §VI-A), e.g. the
+// tile size WGD to {8,16,32}.
+func RestrictedRanges() map[string]core.Range {
+	return map[string]core.Range{
+		"WGD":    core.NewSet(8, 16, 32),
+		"KWID":   core.NewSet(2, 8, 16),
+		"MDIMCD": core.NewSet(8, 16, 32),
+		"NDIMCD": core.NewSet(8, 16, 32),
+		"MDIMAD": core.NewSet(8, 16, 32),
+		"NDIMBD": core.NewSet(8, 16, 32),
+		"VWMD":   core.NewSet(1, 2, 4, 8),
+		"VWND":   core.NewSet(1, 2, 4, 8),
+		"PADA":   core.BoolRange(),
+		"PADB":   core.BoolRange(),
+	}
+}
+
+// RestrictedParams builds the CLTune-program tuning space: restricted
+// ranges plus all 17 constraints including the global-size divisibility
+// pair (a CLTune program cannot express CLBlast's padded global size, so
+// it must constrain WGD to divide the result matrix's rows and columns —
+// the very constraints that empty the space on the deep-learning sizes).
+func RestrictedParams(shape GemmShape, maxWG, localMem int64) []*core.Param {
+	full := XgemmDirectParams(SpaceOptions{
+		GlobalSizeConstraints: true,
+		Shape:                 shape,
+		MaxWorkGroupSize:      maxWG,
+		LocalMemBytes:         localMem,
+	})
+	ranges := RestrictedRanges()
+	out := make([]*core.Param, len(full))
+	for i, p := range full {
+		out[i] = core.NewParam(p.Name, ranges[p.Name])
+		out[i].Constraint = p.Constraint
+	}
+	return out
+}
+
+// GlobalLocalSize computes CLBlast's host-side launch geometry for a
+// configuration: the local size is the compute-thread grid
+// (MDIMCD×NDIMCD), and the global size is *padded up* so that each
+// work-group covers a WGD×WGD tile of C — an arithmetic expression over
+// tuning parameters and constants that CLTune cannot express (§III).
+func GlobalLocalSize(cfg *core.Config, shape GemmShape) (global, local [2]int64) {
+	wgd := cfg.Int("WGD")
+	mdimcd := cfg.Int("MDIMCD")
+	ndimcd := cfg.Int("NDIMCD")
+	tilesM := (shape.M + wgd - 1) / wgd
+	tilesN := (shape.N + wgd - 1) / wgd
+	global = [2]int64{tilesM * mdimcd, tilesN * ndimcd}
+	local = [2]int64{mdimcd, ndimcd}
+	return global, local
+}
+
+// ValidateConfig replays the full constraint chain over a complete
+// configuration (used by the OpenTuner raw-space baseline's penalty check
+// and by tests).
+func ValidateConfig(cfg *core.Config, params []*core.Param) bool {
+	partial := core.NewConfig(XgemmDirectNames)
+	for i, p := range params {
+		v := cfg.At(i)
+		if !p.Accepts(v, partial) {
+			return false
+		}
+		partial.SetAt(i, v)
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package cltune
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"atf/internal/core"
+)
+
+// saxpyTuner builds the Listing 3 CLTune program: full ranges [0,n) for
+// both parameters, constraints as vector-based boolean functions.
+func saxpyTuner(n uint64) *Tuner {
+	t := NewTuner()
+	rangeN := make([]uint64, n)
+	for i := range rangeN {
+		rangeN[i] = uint64(i) + 1
+	}
+	t.AddParameter("WPT", rangeN)
+	t.AddParameter("LS", rangeN)
+	t.AddConstraint(func(v []uint64) bool { return n%v[0] == 0 }, []string{"WPT"})
+	t.AddConstraint(func(v []uint64) bool { return (n/v[0])%v[1] == 0 }, []string{"WPT", "LS"})
+	return t
+}
+
+func TestGenerateThenFilterMatchesATF(t *testing.T) {
+	// The CLTune baseline must find exactly the same valid set as ATF's
+	// constrained generation — only far more expensively.
+	const n = 24
+	ct := saxpyTuner(n)
+	if err := ct.GenerateSpace(); err != nil {
+		t.Fatal(err)
+	}
+	params := []*core.Param{
+		core.NewParam("WPT", core.NewInterval(1, n), core.Divides(n)),
+		core.NewParam("LS", core.NewInterval(1, n),
+			core.Divides(func(c *core.Config) int64 { return n / c.Int("WPT") })),
+	}
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(ct.SpaceSize()) != sp.Size() {
+		t.Fatalf("CLTune found %d configs, ATF %d", ct.SpaceSize(), sp.Size())
+	}
+	// CLTune enumerated the entire raw product.
+	if ct.RawVisited() != n*n {
+		t.Fatalf("raw visited = %d, want %d", ct.RawVisited(), n*n)
+	}
+	// ATF's generation visited far fewer candidates.
+	if sp.Checks() >= ct.RawVisited() {
+		t.Fatalf("ATF checks (%d) should be below CLTune's product size (%d)",
+			sp.Checks(), ct.RawVisited())
+	}
+}
+
+func TestGenerationBudgetExhaustion(t *testing.T) {
+	// The programmatic "aborted after 3 hours": a budget smaller than the
+	// raw product makes generation fail — CLTune cannot deliver a space.
+	ct := saxpyTuner(1000) // raw product 10^6
+	ct.GenerationBudget = 10000
+	err := ct.GenerateSpace()
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+}
+
+func TestTuneFindsGoodConfig(t *testing.T) {
+	const n = 64
+	ct := saxpyTuner(n)
+	if err := ct.GenerateSpace(); err != nil {
+		t.Fatal(err)
+	}
+	cost := func(c Config) float64 {
+		// Prefer WPT=8, LS=4.
+		return math.Abs(float64(c["WPT"])-8)*10 + math.Abs(float64(c["LS"])-4)
+	}
+	res, err := ct.Tune(cost, 1.0, 4.0, 1) // full fraction: sees everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["WPT"] != 8 {
+		t.Fatalf("best = %v", res.Best)
+	}
+	if res.Evaluations != ct.SpaceSize() {
+		t.Fatalf("fraction 1.0 must evaluate the whole space: %d of %d",
+			res.Evaluations, ct.SpaceSize())
+	}
+}
+
+func TestTuneAnnealingFraction(t *testing.T) {
+	const n = 256
+	ct := saxpyTuner(n)
+	if err := ct.GenerateSpace(); err != nil {
+		t.Fatal(err)
+	}
+	cost := func(c Config) float64 { return float64(c["WPT"]) + float64(c["LS"]) }
+	res, err := ct.Tune(cost, 0.25, 4.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > ct.SpaceSize()/2 {
+		t.Fatalf("fraction 0.25 evaluated too much: %d of %d",
+			res.Evaluations, ct.SpaceSize())
+	}
+	if res.BestCost > 64 {
+		t.Fatalf("annealing result poor: %v", res.BestCost)
+	}
+}
+
+func TestTuneOnEmptySpaceFails(t *testing.T) {
+	// The deep-learning situation: constraints empty the space entirely.
+	ct := NewTuner()
+	ct.AddParameter("WGD", []uint64{8, 16, 32})
+	ct.AddConstraint(func(v []uint64) bool { return 20%v[0] == 0 }, []string{"WGD"})
+	if err := ct.GenerateSpace(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.SpaceSize() != 0 {
+		t.Fatalf("space should be empty, got %d", ct.SpaceSize())
+	}
+	if _, err := ct.Tune(func(Config) float64 { return 1 }, 1, 4, 1); err == nil {
+		t.Fatal("tuning an empty space must fail")
+	}
+}
+
+func TestTuneSkipsFailedConfigs(t *testing.T) {
+	ct := saxpyTuner(16)
+	if err := ct.GenerateSpace(); err != nil {
+		t.Fatal(err)
+	}
+	cost := func(c Config) float64 {
+		if c["LS"] != 1 {
+			return math.Inf(1)
+		}
+		return float64(c["WPT"])
+	}
+	res, err := ct.Tune(cost, 1.0, 4.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["LS"] != 1 {
+		t.Fatalf("infinite-cost configs must not win: %v", res.Best)
+	}
+}
+
+func TestGenerationTimeRecorded(t *testing.T) {
+	ct := saxpyTuner(64)
+	if err := ct.GenerateSpace(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.GenerationTime() <= 0 {
+		t.Fatal("generation time not recorded")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+)
+
+// State is the exploration progress snapshot that abort conditions inspect
+// after every evaluated configuration.
+type State struct {
+	Start       time.Time
+	Now         time.Time
+	Evaluations uint64 // configurations tested so far
+	Valid       uint64 // configurations with finite cost
+	SpaceSize   uint64
+	Best        Cost    // best cost so far (nil until a valid config is seen)
+	BestConfig  *Config // configuration achieving Best
+	// improvements records every time the best cost dropped: when it
+	// happened and the new primary cost. Speedup-based abort conditions
+	// (paper, conditions 5 and 6) derive their windows from it.
+	improvements []improvement
+}
+
+type improvement struct {
+	at   time.Time
+	eval uint64
+	cost float64
+}
+
+// bestPrimaryBefore returns the best primary cost achieved strictly before
+// time t, or +inf-ish (false) if no improvement happened before t.
+func (st *State) bestPrimaryBefore(t time.Time) (float64, bool) {
+	best, ok := 0.0, false
+	for _, im := range st.improvements {
+		if im.at.After(t) {
+			break
+		}
+		best, ok = im.cost, true
+	}
+	return best, ok
+}
+
+// bestPrimaryBeforeEval returns the best primary cost achieved strictly
+// before evaluation number e.
+func (st *State) bestPrimaryBeforeEval(e uint64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, im := range st.improvements {
+		if im.eval >= e {
+			break
+		}
+		best, ok = im.cost, true
+	}
+	return best, ok
+}
+
+// AbortCondition decides when exploration stops (paper, Section II Step 3:
+// six pre-implemented conditions, combinable with && and ||).
+type AbortCondition interface {
+	Abort(st *State) bool
+}
+
+// AbortFunc adapts a function to AbortCondition.
+type AbortFunc func(st *State) bool
+
+// Abort implements AbortCondition.
+func (f AbortFunc) Abort(st *State) bool { return f(st) }
+
+// Duration stops exploration after the given wall-clock interval
+// (atf::cond::duration<D>(t)).
+func Duration(d time.Duration) AbortCondition {
+	return AbortFunc(func(st *State) bool { return st.Now.Sub(st.Start) >= d })
+}
+
+// Evaluations stops after n tested configurations
+// (atf::cond::evaluations(n)).
+func Evaluations(n uint64) AbortCondition {
+	return AbortFunc(func(st *State) bool { return st.Evaluations >= n })
+}
+
+// ValidEvaluations stops after n configurations with finite cost; an
+// addition beyond the paper's six, useful with penalty-based baselines.
+func ValidEvaluations(n uint64) AbortCondition {
+	return AbortFunc(func(st *State) bool { return st.Valid >= n })
+}
+
+// Fraction stops after f*S tested configurations, f in [0,1], S the search
+// space size (atf::cond::fraction(f)).
+func Fraction(f float64) AbortCondition {
+	return AbortFunc(func(st *State) bool {
+		return float64(st.Evaluations) >= f*float64(st.SpaceSize)
+	})
+}
+
+// CostBelow stops once a configuration with cost <= c has been found
+// (atf::cond::cost(c)); the comparison uses the primary objective.
+func CostBelow(c float64) AbortCondition {
+	return AbortFunc(func(st *State) bool {
+		return st.Best != nil && st.Best.Primary() <= c
+	})
+}
+
+// SpeedupDuration stops when within the last time interval d the best cost
+// could not be lowered by a factor >= s (atf::cond::speedup<D>(s,t)).
+// It never fires before one full interval has elapsed.
+func SpeedupDuration(s float64, d time.Duration) AbortCondition {
+	return AbortFunc(func(st *State) bool {
+		if st.Now.Sub(st.Start) < d || st.Best == nil {
+			return false
+		}
+		prev, ok := st.bestPrimaryBefore(st.Now.Add(-d))
+		if !ok {
+			return false // first improvement is younger than the window
+		}
+		return prev/st.Best.Primary() < s
+	})
+}
+
+// SpeedupEvaluations stops when within the last n tested configurations the
+// best cost could not be lowered by a factor >= s (atf::cond::speedup(s,n)).
+func SpeedupEvaluations(s float64, n uint64) AbortCondition {
+	return AbortFunc(func(st *State) bool {
+		if st.Evaluations < n || st.Best == nil {
+			return false
+		}
+		prev, ok := st.bestPrimaryBeforeEval(st.Evaluations - n)
+		if !ok {
+			return false
+		}
+		return prev/st.Best.Primary() < s
+	})
+}
+
+// AbortAnd combines conditions conjunctively (ATF's && on abort
+// conditions): exploration stops only when all conditions hold.
+func AbortAnd(cs ...AbortCondition) AbortCondition {
+	return AbortFunc(func(st *State) bool {
+		for _, c := range cs {
+			if !c.Abort(st) {
+				return false
+			}
+		}
+		return len(cs) > 0
+	})
+}
+
+// AbortOr combines conditions disjunctively (ATF's ||): exploration stops
+// when any condition holds.
+func AbortOr(cs ...AbortCondition) AbortCondition {
+	return AbortFunc(func(st *State) bool {
+		for _, c := range cs {
+			if c.Abort(st) {
+				return true
+			}
+		}
+		return false
+	})
+}

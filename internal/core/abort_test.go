@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDurationCondition(t *testing.T) {
+	start := time.Unix(0, 0)
+	st := &State{Start: start, Now: start.Add(5 * time.Second)}
+	if Duration(10 * time.Second).Abort(st) {
+		t.Error("should not fire before the interval")
+	}
+	st.Now = start.Add(10 * time.Second)
+	if !Duration(10 * time.Second).Abort(st) {
+		t.Error("should fire at the interval")
+	}
+}
+
+func TestEvaluationsCondition(t *testing.T) {
+	st := &State{Evaluations: 99}
+	if Evaluations(100).Abort(st) {
+		t.Error("99 < 100")
+	}
+	st.Evaluations = 100
+	if !Evaluations(100).Abort(st) {
+		t.Error("should fire at 100")
+	}
+}
+
+func TestValidEvaluationsCondition(t *testing.T) {
+	st := &State{Evaluations: 500, Valid: 9}
+	if ValidEvaluations(10).Abort(st) {
+		t.Error("9 valid < 10")
+	}
+	st.Valid = 10
+	if !ValidEvaluations(10).Abort(st) {
+		t.Error("should fire at 10 valid")
+	}
+}
+
+func TestFractionCondition(t *testing.T) {
+	st := &State{SpaceSize: 1000, Evaluations: 249}
+	if Fraction(0.25).Abort(st) {
+		t.Error("249 < 250")
+	}
+	st.Evaluations = 250
+	if !Fraction(0.25).Abort(st) {
+		t.Error("should fire at f*S")
+	}
+}
+
+func TestCostBelowCondition(t *testing.T) {
+	st := &State{}
+	if CostBelow(5).Abort(st) {
+		t.Error("no best yet")
+	}
+	st.Best = SingleCost(6)
+	if CostBelow(5).Abort(st) {
+		t.Error("6 > 5")
+	}
+	st.Best = SingleCost(5)
+	if !CostBelow(5).Abort(st) {
+		t.Error("should fire at cost <= c")
+	}
+}
+
+func TestSpeedupDurationCondition(t *testing.T) {
+	start := time.Unix(1000, 0)
+	cond := SpeedupDuration(1.5, 10*time.Second)
+	st := &State{Start: start}
+
+	// Improvement to 100 at t=1s, then to 80 at t=12s.
+	st.improvements = []improvement{
+		{at: start.Add(1 * time.Second), eval: 1, cost: 100},
+		{at: start.Add(12 * time.Second), eval: 50, cost: 80},
+	}
+	st.Best = SingleCost(80)
+
+	st.Now = start.Add(5 * time.Second)
+	if cond.Abort(st) {
+		t.Error("must not fire before one full window")
+	}
+
+	// At t=13s the window [3s,13s] starts from cost 100 (best before 3s);
+	// 100/80 = 1.25 < 1.5 → no sufficient speedup → abort.
+	st.Now = start.Add(13 * time.Second)
+	if !cond.Abort(st) {
+		t.Error("should fire: speedup 1.25 < 1.5")
+	}
+
+	// With a weaker requirement (1.2) the same window shows enough speedup.
+	if SpeedupDuration(1.2, 10*time.Second).Abort(st) {
+		t.Error("should not fire: speedup 1.25 >= 1.2")
+	}
+}
+
+func TestSpeedupEvaluationsCondition(t *testing.T) {
+	cond := SpeedupEvaluations(2.0, 100)
+	st := &State{Evaluations: 50, Best: SingleCost(10)}
+	st.improvements = []improvement{{eval: 1, cost: 100}}
+	if cond.Abort(st) {
+		t.Error("must not fire before n evaluations")
+	}
+	// 150 evals; best before eval 50 was 100; now 10 → speedup 10 ≥ 2.
+	st.Evaluations = 150
+	if cond.Abort(st) {
+		t.Error("speedup 10 >= 2, keep going")
+	}
+	// No recent improvement: best before window is already 10.
+	st.improvements = []improvement{{eval: 1, cost: 10}}
+	if !cond.Abort(st) {
+		t.Error("should fire when the window shows no speedup")
+	}
+}
+
+func TestAbortCombinators(t *testing.T) {
+	st := &State{Evaluations: 100, Valid: 100}
+	yes := Evaluations(50)
+	no := Evaluations(200)
+	if !AbortOr(no, yes).Abort(st) {
+		t.Error("Or should fire when one fires")
+	}
+	if AbortOr(no, no).Abort(st) {
+		t.Error("Or should not fire when none fires")
+	}
+	if AbortAnd(yes, no).Abort(st) {
+		t.Error("And should not fire unless all fire")
+	}
+	if !AbortAnd(yes, yes).Abort(st) {
+		t.Error("And should fire when all fire")
+	}
+	if AbortAnd().Abort(st) {
+		t.Error("empty And never fires")
+	}
+	if AbortOr().Abort(st) {
+		t.Error("empty Or never fires")
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is an assignment of values to named tuning parameters — one point
+// of the search space. During generation it doubles as the partial
+// configuration visible to constraints: a constraint on the d-th parameter
+// may read the values of parameters 0..d-1 (paper, Section II: "we use the
+// tuning parameter WPT in the constraint of the tuning parameter LS").
+//
+// Config is backed by a dense slice indexed by parameter position plus a
+// shared name index, so constraint evaluation does not allocate.
+type Config struct {
+	names  *nameIndex
+	vals   []Value
+	filled int // how many leading parameters are set (generation order)
+}
+
+// nameIndex maps parameter names to their position. It is shared by all
+// configurations of a space.
+type nameIndex struct {
+	byName map[string]int
+	names  []string
+}
+
+func newNameIndex(names []string) *nameIndex {
+	ni := &nameIndex{byName: make(map[string]int, len(names)), names: append([]string(nil), names...)}
+	for i, n := range names {
+		if _, dup := ni.byName[n]; dup {
+			panic(fmt.Sprintf("core: duplicate tuning parameter name %q", n))
+		}
+		ni.byName[n] = i
+	}
+	return ni
+}
+
+// NewConfig creates an empty configuration over the given parameter names.
+func NewConfig(names []string) *Config {
+	ni := newNameIndex(names)
+	return &Config{names: ni, vals: make([]Value, len(names))}
+}
+
+// ConfigFromMap builds a complete configuration from a name→value map; the
+// parameter order follows names. Missing names panic — configurations are
+// produced by the framework, so a hole indicates a programming error.
+func ConfigFromMap(names []string, m map[string]Value) *Config {
+	c := NewConfig(names)
+	for i, n := range names {
+		v, ok := m[n]
+		if !ok {
+			panic(fmt.Sprintf("core: configuration missing parameter %q", n))
+		}
+		c.vals[i] = v
+	}
+	c.filled = len(names)
+	return c
+}
+
+// Names returns the parameter names in declaration order.
+func (c *Config) Names() []string { return c.names.names }
+
+// Len returns the number of parameters.
+func (c *Config) Len() int { return len(c.vals) }
+
+// Filled returns how many leading parameters have been assigned. Complete
+// configurations have Filled() == Len().
+func (c *Config) Filled() int { return c.filled }
+
+// set assigns the value at position i; generation fills positions in order.
+func (c *Config) set(i int, v Value) {
+	c.vals[i] = v
+	if i+1 > c.filled {
+		c.filled = i + 1
+	} else if i+1 < c.filled {
+		c.filled = i + 1
+	}
+}
+
+// SetAt assigns the value at position i (declaration order). Positions
+// must be filled in order; it exists for space-less tuners — such as the
+// OpenTuner raw-space baseline — that construct configurations directly
+// instead of drawing them from a generated Space.
+func (c *Config) SetAt(i int, v Value) { c.set(i, v) }
+
+// Value returns the value of the named parameter. Reading a parameter that
+// is not yet assigned (e.g. a constraint referencing a *later* parameter)
+// panics with a descriptive message, matching ATF's rule that constraints
+// may only reference previously declared parameters.
+func (c *Config) Value(name string) Value {
+	i, ok := c.names.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown tuning parameter %q", name))
+	}
+	if i >= c.filled {
+		panic(fmt.Sprintf("core: constraint references parameter %q before it is assigned; constraints may only use previously declared parameters of the same group", name))
+	}
+	return c.vals[i]
+}
+
+// Has reports whether the named parameter exists and is assigned.
+func (c *Config) Has(name string) bool {
+	i, ok := c.names.byName[name]
+	return ok && i < c.filled
+}
+
+// Int returns the named parameter's value as int64.
+func (c *Config) Int(name string) int64 { return c.Value(name).Int() }
+
+// Float returns the named parameter's value as float64.
+func (c *Config) Float(name string) float64 { return c.Value(name).Float() }
+
+// Bool returns the named parameter's value as bool.
+func (c *Config) Bool(name string) bool { return c.Value(name).Bool() }
+
+// Str returns the named parameter's value as string.
+func (c *Config) Str(name string) string { return c.Value(name).Str() }
+
+// At returns the value at position i (declaration order).
+func (c *Config) At(i int) Value { return c.vals[i] }
+
+// Clone returns an independent copy of the configuration.
+func (c *Config) Clone() *Config {
+	vals := append([]Value(nil), c.vals...)
+	return &Config{names: c.names, vals: vals, filled: c.filled}
+}
+
+// Map returns the configuration as a name→value map (allocates; intended
+// for reporting, not hot paths).
+func (c *Config) Map() map[string]Value {
+	m := make(map[string]Value, c.filled)
+	for i := 0; i < c.filled; i++ {
+		m[c.names.names[i]] = c.vals[i]
+	}
+	return m
+}
+
+// Defines renders the configuration as textual macro definitions, the form
+// in which ATF's OpenCL cost function substitutes parameter values into
+// kernel source via the preprocessor.
+func (c *Config) Defines() map[string]string {
+	m := make(map[string]string, c.filled)
+	for i := 0; i < c.filled; i++ {
+		v := c.vals[i]
+		s := v.String()
+		if v.Kind() == KindBool {
+			// OpenCL C has no bool literals in macros; use 0/1.
+			s = "0"
+			if v.Bool() {
+				s = "1"
+			}
+		}
+		m[c.names.names[i]] = s
+	}
+	return m
+}
+
+// String renders the configuration deterministically (sorted by name).
+func (c *Config) String() string {
+	keys := append([]string(nil), c.names.names[:c.filled]...)
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, c.Value(k))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports whether two complete configurations assign identical values.
+func (c *Config) Equal(o *Config) bool {
+	if c.Len() != o.Len() || c.filled != o.filled {
+		return false
+	}
+	for i := 0; i < c.filled; i++ {
+		if c.names.names[i] != o.names.names[i] || !c.vals[i].Equal(o.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a deterministic string key for caching cost evaluations.
+func (c *Config) Key() string {
+	var b strings.Builder
+	for i := 0; i < c.filled; i++ {
+		b.WriteString(c.vals[i].String())
+		b.WriteByte('|')
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigBasics(t *testing.T) {
+	c := NewConfig([]string{"WPT", "LS"})
+	if c.Len() != 2 || c.Filled() != 0 {
+		t.Fatal("fresh config should be empty")
+	}
+	c.set(0, Int(4))
+	if c.Filled() != 1 || c.Int("WPT") != 4 {
+		t.Fatal("set/Int broken")
+	}
+	c.set(1, Int(64))
+	if c.Filled() != 2 || c.Int("LS") != 64 {
+		t.Fatal("second set broken")
+	}
+	if got := c.Names(); got[0] != "WPT" || got[1] != "LS" {
+		t.Error("Names order wrong")
+	}
+}
+
+func TestConfigFromMap(t *testing.T) {
+	c := ConfigFromMap([]string{"A", "B"}, map[string]Value{"A": Int(1), "B": Bool(true)})
+	if c.Int("A") != 1 || !c.Bool("B") {
+		t.Fatal("map construction broken")
+	}
+	if c.Filled() != 2 {
+		t.Fatal("should be complete")
+	}
+}
+
+func TestConfigFromMapMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing parameter")
+		}
+	}()
+	ConfigFromMap([]string{"A", "B"}, map[string]Value{"A": Int(1)})
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate name")
+		}
+	}()
+	NewConfig([]string{"X", "X"})
+}
+
+func TestConfigForwardReferencePanics(t *testing.T) {
+	// A constraint reading a later (unassigned) parameter must fail loudly —
+	// ATF constraints may only use previously declared parameters.
+	c := NewConfig([]string{"A", "B"})
+	c.set(0, Int(1))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for forward reference")
+		}
+		if !strings.Contains(r.(string), "previously declared") {
+			t.Fatalf("panic message should explain the rule, got %v", r)
+		}
+	}()
+	c.Value("B")
+}
+
+func TestConfigUnknownNamePanics(t *testing.T) {
+	c := NewConfig([]string{"A"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown name")
+		}
+	}()
+	c.Value("nope")
+}
+
+func TestConfigHas(t *testing.T) {
+	c := NewConfig([]string{"A", "B"})
+	c.set(0, Int(1))
+	if !c.Has("A") || c.Has("B") || c.Has("C") {
+		t.Error("Has broken")
+	}
+}
+
+func TestConfigTypedAccessors(t *testing.T) {
+	c := ConfigFromMap([]string{"I", "F", "B", "S"}, map[string]Value{
+		"I": Int(3), "F": Float(1.5), "B": Bool(true), "S": Str("fast"),
+	})
+	if c.Int("I") != 3 || c.Float("F") != 1.5 || !c.Bool("B") || c.Str("S") != "fast" {
+		t.Error("typed accessors broken")
+	}
+	if c.At(0).Int() != 3 {
+		t.Error("positional access broken")
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	c := ConfigFromMap([]string{"A"}, map[string]Value{"A": Int(1)})
+	d := c.Clone()
+	d.set(0, Int(2))
+	if c.Int("A") != 1 {
+		t.Error("clone must not share storage")
+	}
+	if d.Int("A") != 2 {
+		t.Error("clone mutation lost")
+	}
+}
+
+func TestConfigMapAndDefines(t *testing.T) {
+	c := ConfigFromMap([]string{"WPT", "PAD"}, map[string]Value{"WPT": Int(8), "PAD": Bool(true)})
+	m := c.Map()
+	if len(m) != 2 || m["WPT"].Int() != 8 {
+		t.Error("Map broken")
+	}
+	d := c.Defines()
+	if d["WPT"] != "8" {
+		t.Errorf("WPT define = %q", d["WPT"])
+	}
+	if d["PAD"] != "1" {
+		t.Errorf("bool define should be 0/1, got %q", d["PAD"])
+	}
+	c2 := ConfigFromMap([]string{"PAD"}, map[string]Value{"PAD": Bool(false)})
+	if c2.Defines()["PAD"] != "0" {
+		t.Error("false should define as 0")
+	}
+}
+
+func TestConfigStringDeterministic(t *testing.T) {
+	c := ConfigFromMap([]string{"B", "A"}, map[string]Value{"B": Int(2), "A": Int(1)})
+	if c.String() != "{A=1, B=2}" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestConfigEqualAndKey(t *testing.T) {
+	mk := func(a, b int64) *Config {
+		return ConfigFromMap([]string{"A", "B"}, map[string]Value{"A": Int(a), "B": Int(b)})
+	}
+	if !mk(1, 2).Equal(mk(1, 2)) {
+		t.Error("identical configs must be equal")
+	}
+	if mk(1, 2).Equal(mk(1, 3)) {
+		t.Error("different configs must not be equal")
+	}
+	if mk(1, 2).Key() == mk(1, 3).Key() {
+		t.Error("keys must differ")
+	}
+	if mk(1, 2).Key() != mk(1, 2).Key() {
+		t.Error("keys must be deterministic")
+	}
+	// Different lengths.
+	c1 := ConfigFromMap([]string{"A"}, map[string]Value{"A": Int(1)})
+	if c1.Equal(mk(1, 2)) {
+		t.Error("configs of different arity must not be equal")
+	}
+}
+
+func TestConfigKeyUnambiguous(t *testing.T) {
+	// "1","12" vs "11","2" — the separator must keep keys distinct.
+	a := ConfigFromMap([]string{"A", "B"}, map[string]Value{"A": Int(1), "B": Int(12)})
+	b := ConfigFromMap([]string{"A", "B"}, map[string]Value{"A": Int(11), "B": Int(2)})
+	if a.Key() == b.Key() {
+		t.Error("key collision")
+	}
+}

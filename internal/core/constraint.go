@@ -1,0 +1,163 @@
+package core
+
+import "fmt"
+
+// Constraint filters a tuning parameter's range: it receives a candidate
+// value for the parameter plus the partial configuration of all previously
+// declared parameters, and returns false to reject the value (paper,
+// Section II, Step 1). Rejection happens during range iteration, before the
+// Cartesian product is formed — the core of ATF's fast space generation.
+type Constraint func(v Value, c *Config) bool
+
+// Expr is an arithmetic expression over previously declared tuning
+// parameters and constants, evaluated against a partial configuration.
+// ATF constraint aliases such as atf::divides(N/WPT) take such expressions.
+type Expr func(c *Config) int64
+
+// ExprOf converts a constant or expression-like Go value into an Expr.
+// Accepted: Expr, func(*Config) int64, and any integer type.
+func ExprOf(x any) Expr {
+	switch e := x.(type) {
+	case Expr:
+		return e
+	case func(c *Config) int64:
+		return e
+	case int:
+		v := int64(e)
+		return func(*Config) int64 { return v }
+	case int32:
+		v := int64(e)
+		return func(*Config) int64 { return v }
+	case int64:
+		return func(*Config) int64 { return e }
+	case uint:
+		v := int64(e)
+		return func(*Config) int64 { return v }
+	case uint64:
+		v := int64(e)
+		return func(*Config) int64 { return v }
+	default:
+		panic(fmt.Sprintf("core: cannot use %T as constraint expression", x))
+	}
+}
+
+// Lit returns an Expr producing the constant v.
+func Lit(v int64) Expr { return func(*Config) int64 { return v } }
+
+// Ref returns an Expr producing the current value of the named (previously
+// declared) integer parameter.
+func Ref(name string) Expr { return func(c *Config) int64 { return c.Int(name) } }
+
+// The six constraint aliases the paper lists (Section II): divides,
+// is_multiple_of, less_than, greater_than, equal, unequal. Each takes a
+// constant or an expression over earlier parameters.
+
+// Divides accepts values v for which v divides expr(c) evenly. A value of
+// zero never divides anything (avoids division by zero).
+func Divides(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool {
+		d := v.Int()
+		if d == 0 {
+			return false
+		}
+		return e(c)%d == 0
+	}
+}
+
+// IsMultipleOf accepts values v that are an integer multiple of expr(c).
+func IsMultipleOf(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool {
+		m := e(c)
+		if m == 0 {
+			return false
+		}
+		return v.Int()%m == 0
+	}
+}
+
+// LessThan accepts values strictly below expr(c).
+func LessThan(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool { return v.Int() < e(c) }
+}
+
+// GreaterThan accepts values strictly above expr(c).
+func GreaterThan(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool { return v.Int() > e(c) }
+}
+
+// LessEqual accepts values less than or equal to expr(c). Not one of the six
+// paper aliases but trivially added, as the paper invites ("further aliases
+// can be easily added").
+func LessEqual(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool { return v.Int() <= e(c) }
+}
+
+// GreaterEqual accepts values greater than or equal to expr(c).
+func GreaterEqual(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool { return v.Int() >= e(c) }
+}
+
+// Equal accepts values equal to expr(c).
+func Equal(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool { return v.Int() == e(c) }
+}
+
+// Unequal accepts values different from expr(c).
+func Unequal(x any) Constraint {
+	e := ExprOf(x)
+	return func(v Value, c *Config) bool { return v.Int() != e(c) }
+}
+
+// And combines constraints conjunctively, mirroring ATF's && operator on
+// constraints. A nil element is treated as always-true.
+func And(cs ...Constraint) Constraint {
+	return func(v Value, c *Config) bool {
+		for _, ct := range cs {
+			if ct != nil && !ct(v, c) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines constraints disjunctively, mirroring ATF's || operator.
+// With no non-nil constraints Or accepts everything.
+func Or(cs ...Constraint) Constraint {
+	return func(v Value, c *Config) bool {
+		any := false
+		for _, ct := range cs {
+			if ct == nil {
+				continue
+			}
+			any = true
+			if ct(v, c) {
+				return true
+			}
+		}
+		return !any
+	}
+}
+
+// Not negates a constraint.
+func Not(ct Constraint) Constraint {
+	return func(v Value, c *Config) bool { return !ct(v, c) }
+}
+
+// Pred adapts a plain predicate over the candidate value (ignoring earlier
+// parameters) into a Constraint.
+func Pred(f func(v Value) bool) Constraint {
+	return func(v Value, _ *Config) bool { return f(v) }
+}
+
+// IntPred adapts a predicate over int64 candidate values.
+func IntPred(f func(v int64) bool) Constraint {
+	return func(v Value, _ *Config) bool { return f(v.Int()) }
+}

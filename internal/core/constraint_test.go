@@ -1,0 +1,178 @@
+package core
+
+import "testing"
+
+// ctx builds a partial configuration with the given assignments, in order.
+func ctx(names []string, vals ...Value) *Config {
+	c := NewConfig(names)
+	for i, v := range vals {
+		c.set(i, v)
+	}
+	return c
+}
+
+func TestDivides(t *testing.T) {
+	// The paper's saxpy example: WPT must divide N.
+	const N = 12
+	ct := Divides(N)
+	empty := ctx(nil)
+	for _, v := range []int64{1, 2, 3, 4, 6, 12} {
+		if !ct(Int(v), empty) {
+			t.Errorf("%d should divide %d", v, N)
+		}
+	}
+	for _, v := range []int64{5, 7, 8, 9, 10, 11, 13} {
+		if ct(Int(v), empty) {
+			t.Errorf("%d should not divide %d", v, N)
+		}
+	}
+	if ct(Int(0), empty) {
+		t.Error("zero never divides")
+	}
+}
+
+func TestDividesExpr(t *testing.T) {
+	// LS must divide N/WPT (Listing 2, line 12).
+	const N = 24
+	names := []string{"WPT", "LS"}
+	ct := Divides(func(c *Config) int64 { return N / c.Int("WPT") })
+	c := ctx(names, Int(4)) // N/WPT = 6
+	for _, v := range []int64{1, 2, 3, 6} {
+		if !ct(Int(v), c) {
+			t.Errorf("LS=%d should divide 6", v)
+		}
+	}
+	if ct(Int(4), c) || ct(Int(5), c) {
+		t.Error("4 and 5 do not divide 6")
+	}
+}
+
+func TestIsMultipleOf(t *testing.T) {
+	ct := IsMultipleOf(4)
+	empty := ctx(nil)
+	if !ct(Int(8), empty) || !ct(Int(4), empty) || !ct(Int(0), empty) {
+		t.Error("multiples of 4 rejected")
+	}
+	if ct(Int(6), empty) {
+		t.Error("6 is not a multiple of 4")
+	}
+	zero := IsMultipleOf(0)
+	if zero(Int(5), empty) {
+		t.Error("nothing is a multiple of 0")
+	}
+}
+
+func TestComparisonAliases(t *testing.T) {
+	empty := ctx(nil)
+	if !LessThan(5)(Int(4), empty) || LessThan(5)(Int(5), empty) {
+		t.Error("LessThan broken")
+	}
+	if !GreaterThan(5)(Int(6), empty) || GreaterThan(5)(Int(5), empty) {
+		t.Error("GreaterThan broken")
+	}
+	if !LessEqual(5)(Int(5), empty) || LessEqual(5)(Int(6), empty) {
+		t.Error("LessEqual broken")
+	}
+	if !GreaterEqual(5)(Int(5), empty) || GreaterEqual(5)(Int(4), empty) {
+		t.Error("GreaterEqual broken")
+	}
+	if !Equal(5)(Int(5), empty) || Equal(5)(Int(4), empty) {
+		t.Error("Equal broken")
+	}
+	if !Unequal(5)(Int(4), empty) || Unequal(5)(Int(5), empty) {
+		t.Error("Unequal broken")
+	}
+}
+
+func TestExprOf(t *testing.T) {
+	empty := ctx(nil)
+	if ExprOf(7)(empty) != 7 {
+		t.Error("int literal expr")
+	}
+	if ExprOf(int32(7))(empty) != 7 || ExprOf(int64(7))(empty) != 7 {
+		t.Error("sized literal expr")
+	}
+	if ExprOf(uint(7))(empty) != 7 || ExprOf(uint64(7))(empty) != 7 {
+		t.Error("unsigned literal expr")
+	}
+	if ExprOf(Lit(9))(empty) != 9 {
+		t.Error("Expr passthrough")
+	}
+	f := func(c *Config) int64 { return 3 }
+	if ExprOf(f)(empty) != 3 {
+		t.Error("func expr")
+	}
+}
+
+func TestExprOfUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExprOf("nope")
+}
+
+func TestRefAndLit(t *testing.T) {
+	c := ctx([]string{"WGD"}, Int(32))
+	if Ref("WGD")(c) != 32 {
+		t.Error("Ref broken")
+	}
+	if Lit(5)(c) != 5 {
+		t.Error("Lit broken")
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	empty := ctx(nil)
+	even := IntPred(func(v int64) bool { return v%2 == 0 })
+	big := IntPred(func(v int64) bool { return v > 10 })
+
+	and := And(even, big)
+	if !and(Int(12), empty) || and(Int(12+1), empty) || and(Int(2), empty) {
+		t.Error("And broken")
+	}
+	// nil elements are always-true.
+	if !And(nil, even)(Int(2), empty) {
+		t.Error("And with nil broken")
+	}
+
+	or := Or(even, big)
+	if !or(Int(2), empty) || !or(Int(11), empty) || or(Int(7), empty) {
+		t.Error("Or broken")
+	}
+	if !Or()(Int(7), empty) {
+		t.Error("empty Or should accept")
+	}
+	if !Or(nil)(Int(7), empty) {
+		t.Error("Or of nils should accept")
+	}
+
+	if Not(even)(Int(2), empty) || !Not(even)(Int(3), empty) {
+		t.Error("Not broken")
+	}
+}
+
+func TestPredAdapters(t *testing.T) {
+	empty := ctx(nil)
+	p := Pred(func(v Value) bool { return v.Kind() == KindInt })
+	if !p(Int(1), empty) || p(Str("x"), empty) {
+		t.Error("Pred broken")
+	}
+	ip := IntPred(func(v int64) bool { return v == 3 })
+	if !ip(Int(3), empty) || ip(Int(4), empty) {
+		t.Error("IntPred broken")
+	}
+}
+
+func TestDividesOnBooleanParam(t *testing.T) {
+	// Boolean parameters promote to 0/1 in integral constraints, as in C++.
+	empty := ctx(nil)
+	ct := Divides(6)
+	if !ct(Bool(true), empty) {
+		t.Error("true (1) divides 6")
+	}
+	if ct(Bool(false), empty) {
+		t.Error("false (0) never divides")
+	}
+}

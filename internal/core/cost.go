@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Cost is the tuning objective value of one configuration. A single element
+// is the common case (e.g. kernel runtime in nanoseconds); multiple
+// elements enable ATF's multi-objective tuning, compared lexicographically
+// by default (paper, Section II Step 2: "minimizing first runtime and then
+// energy consumption"). Lower is better.
+type Cost []float64
+
+// SingleCost wraps a scalar objective.
+func SingleCost(v float64) Cost { return Cost{v} }
+
+// Less compares costs lexicographically: c < o if the first differing
+// component of c is smaller. A shorter cost vector that is a prefix of the
+// other is considered smaller (fewer objectives, all equal so far).
+func (c Cost) Less(o Cost) bool {
+	n := len(c)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c[i] != o[i] {
+			return c[i] < o[i]
+		}
+	}
+	return len(c) < len(o)
+}
+
+// Primary returns the first objective (what single-objective search
+// techniques such as simulated annealing feed into their acceptance rule).
+// An empty cost is +Inf.
+func (c Cost) Primary() float64 {
+	if len(c) == 0 {
+		return math.Inf(1)
+	}
+	return c[0]
+}
+
+// IsInf reports whether the cost marks an invalid/failed configuration.
+func (c Cost) IsInf() bool {
+	return len(c) == 0 || math.IsInf(c[0], 1)
+}
+
+// Clone returns an independent copy.
+func (c Cost) Clone() Cost { return append(Cost(nil), c...) }
+
+// String renders the cost vector.
+func (c Cost) String() string {
+	if len(c) == 1 {
+		return fmt.Sprintf("%g", c[0])
+	}
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// InfCost marks an invalid configuration (e.g. a kernel that fails to
+// launch, or a penalized constraint violation in the OpenTuner baseline).
+func InfCost() Cost { return Cost{math.Inf(1)} }
+
+// CostOrder compares two costs; the default is lexicographic Cost.Less.
+// Users may supply their own order for multi-objective tuning ("or,
+// alternatively, a user-defined order", Section II Step 2).
+type CostOrder func(a, b Cost) bool
+
+// LexLess is the default lexicographic order.
+func LexLess(a, b Cost) bool { return a.Less(b) }
+
+// WeightedSumOrder builds an order comparing weighted sums of the
+// objectives — a common alternative to lexicographic multi-objective
+// comparison.
+func WeightedSumOrder(weights ...float64) CostOrder {
+	return func(a, b Cost) bool {
+		var sa, sb float64
+		for i, w := range weights {
+			if i < len(a) {
+				sa += w * a[i]
+			}
+			if i < len(b) {
+				sb += w * b[i]
+			}
+		}
+		return sa < sb
+	}
+}
+
+// CostFunction evaluates one configuration (paper, Section II Step 2). An
+// error marks the configuration invalid; exploration records it with
+// infinite cost and keeps going.
+type CostFunction interface {
+	Cost(cfg *Config) (Cost, error)
+}
+
+// CostFunc adapts a plain function to the CostFunction interface.
+type CostFunc func(cfg *Config) (Cost, error)
+
+// Cost implements CostFunction.
+func (f CostFunc) Cost(cfg *Config) (Cost, error) { return f(cfg) }
+
+// ScalarCostFunc adapts a single-objective function with no error path.
+func ScalarCostFunc(f func(cfg *Config) float64) CostFunction {
+	return CostFunc(func(cfg *Config) (Cost, error) { return SingleCost(f(cfg)), nil })
+}

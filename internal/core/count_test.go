@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountGroupMatchesGenerate(t *testing.T) {
+	params := saxpyParams(96)
+	sp, err := GenerateFlat(params, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, checks, err := CountGroup(G(params...), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sp.Size() {
+		t.Fatalf("count %d != generated size %d", n, sp.Size())
+	}
+	if checks != sp.Checks() {
+		t.Fatalf("count checks %d != generation checks %d", checks, sp.Checks())
+	}
+}
+
+func TestCountGroupParallelConsistent(t *testing.T) {
+	params := saxpyParams(120)
+	n1, _, err := CountGroup(G(params...), GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, _, err := CountGroup(G(params...), GenOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n8 {
+		t.Fatalf("worker counts disagree: %d vs %d", n1, n8)
+	}
+}
+
+func TestCountSpaceCrossProduct(t *testing.T) {
+	groups := []*Group{
+		G(NewParam("a", NewInterval(1, 7))),
+		G(NewParam("b", NewInterval(1, 5)),
+			NewParam("c", NewInterval(1, 10), Divides(Ref("b")))),
+	}
+	count, _, err := CountSpace(groups, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := GenerateSpace(groups, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != sp.Size() {
+		t.Fatalf("CountSpace %d != generated %d", count, sp.Size())
+	}
+}
+
+func TestCountSpaceEmptyGroupShortCircuits(t *testing.T) {
+	groups := []*Group{
+		G(NewParam("a", NewInterval(1, 5))),
+		G(NewParam("b", NewSet(3, 5, 7), Divides(8))), // empty
+	}
+	count, _, err := CountSpace(groups, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("count = %d, want 0", count)
+	}
+}
+
+func TestCountGroupCrossGroupReferenceFails(t *testing.T) {
+	g := G(NewParam("b", NewSet(1, 2), Divides(Ref("nowhere"))))
+	if _, _, err := CountGroup(g, GenOptions{}); err == nil {
+		t.Fatal("expected error for unresolvable reference")
+	}
+}
+
+func TestQuickCountEqualsGenerate(t *testing.T) {
+	f := func(na, nb uint8) bool {
+		a := int64(na%20) + 1
+		b := int64(nb%20) + 1
+		params := []*Param{
+			NewParam("a", NewInterval(1, a)),
+			NewParam("b", NewInterval(1, b), Divides(Ref("a"))),
+		}
+		sp, err := GenerateFlat(params, GenOptions{})
+		if err != nil {
+			return false
+		}
+		n, _, err := CountGroup(G(params...), GenOptions{})
+		return err == nil && n == sp.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

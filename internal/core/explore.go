@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Technique is the paper's generic search-technique interface (Section IV):
+//
+//	class search_technique {
+//	    void          initialize(search_space sp);
+//	    void          finalize();
+//	    configuration get_next_config();
+//	    void          report_cost(size_t cost);
+//	}
+//
+// Exploration repeatedly takes a configuration via GetNextConfig, evaluates
+// it with the cost function, and reports the cost back via ReportCost until
+// the abort condition fires. New techniques are added by implementing this
+// interface.
+type Technique interface {
+	// Initialize is called once before exploration with the generated
+	// search space and a seed for deterministic randomness.
+	Initialize(sp *Space, seed int64)
+	// Finalize is called once after exploration.
+	Finalize()
+	// GetNextConfig returns the next configuration to evaluate.
+	GetNextConfig() *Config
+	// ReportCost reports the cost of the most recently returned
+	// configuration back to the technique.
+	ReportCost(cost Cost)
+}
+
+// Evaluation records one tested configuration.
+type Evaluation struct {
+	Index  uint64 // evaluation sequence number (0-based)
+	Config *Config
+	Cost   Cost
+	Err    error
+	At     time.Duration // elapsed since exploration start
+}
+
+// Result is the outcome of one tuning run.
+type Result struct {
+	Best        *Config
+	BestCost    Cost
+	Evaluations uint64
+	Valid       uint64
+	Elapsed     time.Duration
+	// History holds every evaluation in order when ExploreOptions.Record
+	// is set; otherwise only improvements are retained.
+	History []Evaluation
+	// Improvements lists the evaluations at which the best cost dropped.
+	Improvements []Evaluation
+}
+
+// ExploreOptions tunes the exploration loop.
+type ExploreOptions struct {
+	// Seed makes the run deterministic; 0 selects a fixed default seed
+	// (determinism by default keeps experiments reproducible).
+	Seed int64
+	// Record retains the full evaluation history in the result.
+	Record bool
+	// CacheCosts memoizes cost evaluations by configuration, so search
+	// techniques revisiting configurations do not pay the cost function
+	// twice. Cached hits still count as evaluations, as in ATF.
+	CacheCosts bool
+	// Order overrides the lexicographic cost order.
+	Order CostOrder
+	// Now substitutes the wall clock (tests inject virtual time).
+	Now func() time.Time
+	// OnEvaluation, when set, observes every evaluation.
+	OnEvaluation func(ev Evaluation)
+}
+
+// Explore runs the paper's exploration loop (Section II Step 3): it asks
+// the technique for configurations, scores them with the cost function, and
+// stops when the abort condition fires. A nil abort defaults to
+// evaluations(S) with S the search-space size, exactly as in ATF.
+func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, opts ExploreOptions) (*Result, error) {
+	if sp == nil || sp.Size() == 0 {
+		return nil, fmt.Errorf("core: cannot explore an empty search space")
+	}
+	if tech == nil {
+		return nil, fmt.Errorf("core: no search technique")
+	}
+	if cf == nil {
+		return nil, fmt.Errorf("core: no cost function")
+	}
+	if abort == nil {
+		abort = Evaluations(sp.Size())
+	}
+	order := opts.Order
+	if order == nil {
+		order = LexLess
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x5eed_a7f1
+	}
+
+	tech.Initialize(sp, seed)
+	defer tech.Finalize()
+
+	var cache map[string]Cost
+	if opts.CacheCosts {
+		cache = make(map[string]Cost)
+	}
+
+	st := &State{Start: now(), SpaceSize: sp.Size()}
+	res := &Result{}
+	for {
+		st.Now = now()
+		if abort.Abort(st) {
+			break
+		}
+		cfg := tech.GetNextConfig()
+		if cfg == nil {
+			break // technique exhausted (e.g. exhaustive search done)
+		}
+
+		var cost Cost
+		var err error
+		if cache != nil {
+			if c, ok := cache[cfg.Key()]; ok {
+				cost = c
+			} else {
+				cost, err = cf.Cost(cfg)
+				if err != nil {
+					cost = InfCost()
+				}
+				cache[cfg.Key()] = cost
+			}
+		} else {
+			cost, err = cf.Cost(cfg)
+			if err != nil {
+				cost = InfCost()
+			}
+		}
+
+		st.Evaluations++
+		if !cost.IsInf() {
+			st.Valid++
+		}
+		elapsed := now().Sub(st.Start)
+		ev := Evaluation{Index: st.Evaluations - 1, Config: cfg, Cost: cost, Err: err, At: elapsed}
+		if opts.Record {
+			res.History = append(res.History, ev)
+		}
+		if opts.OnEvaluation != nil {
+			opts.OnEvaluation(ev)
+		}
+
+		if !cost.IsInf() && (st.Best == nil || order(cost, st.Best)) {
+			st.Best = cost.Clone()
+			st.BestConfig = cfg.Clone()
+			st.improvements = append(st.improvements, improvement{at: now(), eval: st.Evaluations, cost: cost.Primary()})
+			res.Improvements = append(res.Improvements, ev)
+		}
+
+		tech.ReportCost(cost)
+	}
+
+	res.Best = st.BestConfig
+	res.BestCost = st.Best
+	res.Evaluations = st.Evaluations
+	res.Valid = st.Valid
+	res.Elapsed = now().Sub(st.Start)
+	return res, nil
+}

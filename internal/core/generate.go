@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// GenOptions controls search-space generation.
+type GenOptions struct {
+	// Workers is the number of goroutines used for parallel generation.
+	// 0 means runtime.NumCPU(). 1 forces sequential generation (the
+	// baseline of ablation experiment E9).
+	Workers int
+}
+
+// GenerateGroup builds the sub-space trie for one parameter group by
+// iterating the parameters' raw ranges in declaration order and applying
+// each parameter's constraint against the partial configuration (paper,
+// Section II Step 1). Invalid values are pruned immediately, so the
+// Cartesian product of raw ranges — which for XgemmDirect exceeds 10^19 —
+// is never formed.
+func GenerateGroup(g *Group, opts GenOptions) (*Tree, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	t := &Tree{params: g.Params, names: g.Names()}
+	var checks atomic.Uint64
+
+	rootRange := g.Params[0].Range
+	n := rootRange.Len()
+	if workers > n {
+		workers = n
+	}
+
+	// Each worker owns a contiguous chunk of the first parameter's raw
+	// range and builds the subtrees for its chunk independently; chunk
+	// results are concatenated in range order so the trie (and therefore
+	// configuration indices) is identical regardless of worker count.
+	type chunkResult struct {
+		roots []*node
+		err   error
+	}
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					results[w].err = fmt.Errorf("core: generating group %v: %v", t.names, r)
+				}
+			}()
+			cfg := NewConfig(t.names)
+			var local uint64
+			roots := buildLevel(g.Params, 0, lo, hi, cfg, &local)
+			checks.Add(local)
+			results[w].roots = roots
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		t.roots = append(t.roots, r.roots...)
+	}
+	t.total = sumCounts(t.roots)
+	t.checks = checks.Load()
+	return t, nil
+}
+
+// buildLevel constructs trie nodes for parameter depth d, restricted to raw
+// range indices [lo, hi) (the full range for all depths except a
+// parallelized root). cfg carries the partial configuration; checks counts
+// constraint evaluations.
+func buildLevel(params []*Param, d, lo, hi int, cfg *Config, checks *uint64) []*node {
+	p := params[d]
+	last := d == len(params)-1
+
+	emit := func(out []*node, v Value) []*node {
+		*checks++
+		if !p.Accepts(v, cfg) {
+			return out
+		}
+		if last {
+			return append(out, &node{val: v, count: 1})
+		}
+		cfg.set(d, v)
+		children := buildLevel(params, d+1, 0, params[d+1].Range.Len(), cfg, checks)
+		if len(children) == 0 {
+			return out // dead prefix: no valid completion exists
+		}
+		return append(out, &node{val: v, children: children, count: sumCounts(children)})
+	}
+
+	var out []*node
+	// Divisor-hinted fast path: enumerate only candidate divisors. Only
+	// applicable to the full range (root chunks iterate by index).
+	if lo == 0 && hi == p.Range.Len() {
+		if vals, ok := hintedValues(p, cfg); ok {
+			for _, v := range vals {
+				out = emit(out, Int(v))
+			}
+			return out
+		}
+	}
+	for i := lo; i < hi; i++ {
+		out = emit(out, p.Range.At(i))
+	}
+	return out
+}
+
+// GenerateSpace generates the full search space from parameter groups. The
+// groups are generated concurrently ("one thread per dependent parameter
+// group", Section V) and, within a group, the first parameter's range is
+// split across workers. The resulting Space is the cross product of the
+// group sub-spaces; the product is represented implicitly and never
+// materialized.
+func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no tuning parameters")
+	}
+	// Validate global name uniqueness up front for a good error message.
+	seen := make(map[string]bool)
+	var names []string
+	var params []*Param
+	for _, g := range groups {
+		for _, p := range g.Params {
+			if seen[p.Name] {
+				return nil, fmt.Errorf("core: duplicate tuning parameter %q", p.Name)
+			}
+			seen[p.Name] = true
+			names = append(names, p.Name)
+			params = append(params, p)
+		}
+	}
+
+	trees := make([]*Tree, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *Group) {
+			defer wg.Done()
+			trees[i], errs[i] = GenerateGroup(g, opts)
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Space{trees: trees, names: names, params: params}
+	size := uint64(1)
+	for _, t := range trees {
+		if t.total == 0 {
+			size = 0
+			break
+		}
+		if size > 0 && t.total > ^uint64(0)/size {
+			return nil, fmt.Errorf("core: search space size overflows uint64")
+		}
+		size *= t.total
+	}
+	s.size = size
+	return s, nil
+}
+
+// GenerateFlat is a convenience wrapper generating a space from an ungrouped
+// parameter list as a single group — always correct, sequentially chained.
+func GenerateFlat(params []*Param, opts GenOptions) (*Space, error) {
+	return GenerateSpace([]*Group{G(params...)}, opts)
+}

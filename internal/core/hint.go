@@ -1,0 +1,70 @@
+package core
+
+import "sort"
+
+// Divisor-hinted iteration is an optimization beyond the HPCC'17 paper
+// (later ATF work optimizes range iteration similarly): when a parameter
+// carries a DivisorOf hint, space generation enumerates only the divisors
+// of the hint expression's value instead of scanning the parameter's whole
+// raw range. The parameter's constraint remains the source of truth — every
+// candidate the hint produces is still checked — so a hinted space is
+// provably identical to the unhinted one as long as the hint is *sound*
+// (every accepted value divides the hint's value), which holds by
+// construction when the constraint includes Divides(expr).
+//
+// The payoff: a divides-constrained level costs O(valid-prefixes × d(m))
+// instead of O(valid-prefixes × |range|), where d(m) is the divisor count
+// (d(m) ≈ a handful for m ≤ 1024 versus ranges of hundreds of values).
+
+// WithDivisorHint attaches a divisor hint to the parameter and returns it.
+// The hint must correspond to a Divides(expr) conjunct of the parameter's
+// constraint; Hinted ranges must be plain integer intervals with step 1
+// and no generator (anything else silently ignores the hint).
+func (p *Param) WithDivisorHint(x any) *Param {
+	p.DivisorOf = ExprOf(x)
+	return p
+}
+
+// hintApplicable reports whether the hint can drive iteration of r.
+func hintApplicable(p *Param) (*IntervalRange, bool) {
+	if p.DivisorOf == nil {
+		return nil, false
+	}
+	ir, ok := p.Range.(*IntervalRange)
+	if !ok || ir.Step != 1 || ir.Gen != nil {
+		return nil, false
+	}
+	return ir, true
+}
+
+// divisorsInRange returns the divisors of m within [lo, hi], ascending.
+// m <= 0 yields nothing (a Divides constraint rejects everything then).
+func divisorsInRange(m, lo, hi int64) []int64 {
+	if m <= 0 {
+		return nil
+	}
+	var ds []int64
+	for d := int64(1); d*d <= m; d++ {
+		if m%d != 0 {
+			continue
+		}
+		if d >= lo && d <= hi {
+			ds = append(ds, d)
+		}
+		if q := m / d; q != d && q >= lo && q <= hi {
+			ds = append(ds, q)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
+// hintedValues enumerates the candidate values for parameter p given the
+// partial configuration, or nil if the hint is inapplicable.
+func hintedValues(p *Param, cfg *Config) ([]int64, bool) {
+	ir, ok := hintApplicable(p)
+	if !ok {
+		return nil, false
+	}
+	return divisorsInRange(p.DivisorOf(cfg), ir.Begin, ir.End), true
+}

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// Param is one tuning parameter: a unique name, a raw range of candidate
+// values, and an optional constraint that filters the range against the
+// values of previously declared parameters (paper, Section II, Step 1:
+// "tp(name, range, constraint)").
+type Param struct {
+	Name       string
+	Range      Range
+	Constraint Constraint // nil means unconstrained
+	// DivisorOf is an optional iteration hint (see WithDivisorHint):
+	// generation may enumerate only divisors of this expression's value.
+	// It never widens the space — the Constraint is always re-checked.
+	DivisorOf Expr
+}
+
+// NewParam constructs a tuning parameter. It panics on an empty name or nil
+// range; parameters are declared at setup time.
+func NewParam(name string, r Range, cs ...Constraint) *Param {
+	if name == "" {
+		panic("core: tuning parameter needs a name")
+	}
+	if r == nil {
+		panic(fmt.Sprintf("core: tuning parameter %q needs a range", name))
+	}
+	p := &Param{Name: name, Range: r}
+	switch len(cs) {
+	case 0:
+	case 1:
+		p.Constraint = cs[0]
+	default:
+		p.Constraint = And(cs...)
+	}
+	return p
+}
+
+// Accepts reports whether value v passes the parameter's constraint in the
+// context of partial configuration c.
+func (p *Param) Accepts(v Value, c *Config) bool {
+	return p.Constraint == nil || p.Constraint(v, c)
+}
+
+// Group is an ordered list of interdependent tuning parameters (paper,
+// Section V): constraints of a parameter may reference only parameters that
+// appear *earlier in the same group*. Independent groups let ATF generate
+// the search space in parallel and keep the full space as a cross product
+// of per-group sub-spaces that is never materialized.
+type Group struct {
+	Params []*Param
+}
+
+// G groups parameters, mirroring ATF's grouping function G(...).
+func G(params ...*Param) *Group {
+	if len(params) == 0 {
+		panic("core: empty parameter group")
+	}
+	return &Group{Params: params}
+}
+
+// Names returns the parameter names of the group in declaration order.
+func (g *Group) Names() []string {
+	ns := make([]string, len(g.Params))
+	for i, p := range g.Params {
+		ns[i] = p.Name
+	}
+	return ns
+}
+
+// AutoGroup partitions a flat parameter list heuristically: an
+// unconstrained parameter starts a fresh group; a constrained parameter
+// joins the group of the parameter declared immediately before it. This
+// reproduces the paper's Figure 1 grouping for the common declaration order
+// (tp1, tp2=f(tp1), tp3, tp4=f(tp3) → groups {tp1,tp2}, {tp3,tp4}).
+//
+// ATF "cannot automatically determine dependencies between parameters"
+// (Section V), and neither does this package introspect closures. AutoGroup
+// is therefore only a convenience for chain-shaped dependencies; if a
+// constraint reaches across the produced groups, space generation fails
+// with a descriptive error and the caller must group explicitly (or use a
+// single group, which is always correct but generates sequentially).
+func AutoGroup(params []*Param) []*Group {
+	var groups []*Group
+	for _, p := range params {
+		if p.Constraint == nil || len(groups) == 0 {
+			groups = append(groups, G(p))
+			continue
+		}
+		last := groups[len(groups)-1]
+		last.Params = append(last.Params, p)
+	}
+	return groups
+}
+
+// FlattenGroups returns all parameters of the given groups in order.
+func FlattenGroups(groups []*Group) []*Param {
+	var ps []*Param
+	for _, g := range groups {
+		ps = append(ps, g.Params...)
+	}
+	return ps
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Range describes the raw (unconstrained) values a tuning parameter may
+// take: either an interval with an optional step size and generator
+// function, or an explicit set (Section II, Step 1 of the paper).
+//
+// Ranges are indexable so that generation can iterate them without
+// materializing, and so smart iteration (see SmartIterator) can skip raw
+// values cheaply.
+type Range interface {
+	// Len returns the number of raw values in the range.
+	Len() int
+	// At returns the i-th raw value, 0 <= i < Len().
+	At(i int) Value
+	// Kind returns the kind of the values produced by the range.
+	Kind() Kind
+	// String renders a short human-readable description.
+	String() string
+}
+
+// Generator maps an interval index to a domain-specific value, mirroring
+// ATF's optional generator argument of atf::interval (e.g. powers of two).
+// When a Generator is set the range's value kind is determined by the
+// generator's output.
+type Generator func(i int64) Value
+
+// IntervalRange is the integer interval [Begin, End] with a step size and
+// an optional generator, exactly as in atf::interval<T>(begin, end,
+// step_size, generator).
+type IntervalRange struct {
+	Begin, End int64
+	Step       int64
+	Gen        Generator
+	genKind    Kind
+}
+
+// NewInterval builds an integer interval [begin, end] with step 1.
+func NewInterval(begin, end int64) *IntervalRange {
+	return NewSteppedInterval(begin, end, 1)
+}
+
+// NewSteppedInterval builds an integer interval [begin, end] with the given
+// step. It panics on a non-positive step or an empty interval, since ranges
+// are constructed at setup time.
+func NewSteppedInterval(begin, end, step int64) *IntervalRange {
+	if step <= 0 {
+		panic(fmt.Sprintf("core: interval step must be positive, got %d", step))
+	}
+	if end < begin {
+		panic(fmt.Sprintf("core: empty interval [%d,%d]", begin, end))
+	}
+	return &IntervalRange{Begin: begin, End: end, Step: step}
+}
+
+// NewGeneratedInterval builds an interval whose i-th element is gen(i) for
+// i from begin to end (inclusive, stepped). The range kind follows the
+// generator's output kind, sampled once at construction.
+func NewGeneratedInterval(begin, end, step int64, gen Generator) *IntervalRange {
+	r := NewSteppedInterval(begin, end, step)
+	r.Gen = gen
+	r.genKind = gen(begin).Kind()
+	return r
+}
+
+// Len returns the number of raw values.
+func (r *IntervalRange) Len() int {
+	return int((r.End-r.Begin)/r.Step) + 1
+}
+
+// At returns the i-th raw value.
+func (r *IntervalRange) At(i int) Value {
+	x := r.Begin + int64(i)*r.Step
+	if r.Gen != nil {
+		return r.Gen(x)
+	}
+	return Int(x)
+}
+
+// Kind returns the kind of the produced values.
+func (r *IntervalRange) Kind() Kind {
+	if r.Gen != nil {
+		return r.genKind
+	}
+	return KindInt
+}
+
+// String renders the interval.
+func (r *IntervalRange) String() string {
+	if r.Step == 1 && r.Gen == nil {
+		return fmt.Sprintf("[%d,%d]", r.Begin, r.End)
+	}
+	g := ""
+	if r.Gen != nil {
+		g = ",gen"
+	}
+	return fmt.Sprintf("[%d,%d,step=%d%s]", r.Begin, r.End, r.Step, g)
+}
+
+// FloatIntervalRange is a floating-point interval [Begin, End] with step,
+// for ATF's support of float-typed tuning parameters.
+type FloatIntervalRange struct {
+	Begin, End, Step float64
+	n                int
+}
+
+// NewFloatInterval builds a float interval. The number of raw values is
+// floor((end-begin)/step)+1.
+func NewFloatInterval(begin, end, step float64) *FloatIntervalRange {
+	if step <= 0 {
+		panic("core: float interval step must be positive")
+	}
+	if end < begin {
+		panic("core: empty float interval")
+	}
+	n := int((end-begin)/step) + 1
+	return &FloatIntervalRange{Begin: begin, End: end, Step: step, n: n}
+}
+
+// Len returns the number of raw values.
+func (r *FloatIntervalRange) Len() int { return r.n }
+
+// At returns the i-th raw value.
+func (r *FloatIntervalRange) At(i int) Value { return Float(r.Begin + float64(i)*r.Step) }
+
+// Kind returns KindFloat.
+func (r *FloatIntervalRange) Kind() Kind { return KindFloat }
+
+// String renders the interval.
+func (r *FloatIntervalRange) String() string {
+	return fmt.Sprintf("[%g,%g,step=%g]", r.Begin, r.End, r.Step)
+}
+
+// SetRange is an explicit list of values, mirroring atf::set(v1, ..., vn).
+// Sets may mix only values of one kind; construction panics otherwise.
+type SetRange struct {
+	vals []Value
+	kind Kind
+}
+
+// NewSet builds a set range from fundamental Go values.
+func NewSet(vals ...any) *SetRange {
+	if len(vals) == 0 {
+		panic("core: empty set range")
+	}
+	vs := make([]Value, len(vals))
+	for i, v := range vals {
+		vs[i] = ValueOf(v)
+	}
+	k := vs[0].Kind()
+	for _, v := range vs[1:] {
+		if v.Kind() != k {
+			panic("core: mixed-kind set range")
+		}
+	}
+	return &SetRange{vals: vs, kind: k}
+}
+
+// NewValueSet builds a set range from already-tagged Values.
+func NewValueSet(vals ...Value) *SetRange {
+	anys := make([]any, len(vals))
+	for i, v := range vals {
+		anys[i] = v
+	}
+	return NewSet(anys...)
+}
+
+// Len returns the number of values in the set.
+func (r *SetRange) Len() int { return len(r.vals) }
+
+// At returns the i-th value.
+func (r *SetRange) At(i int) Value { return r.vals[i] }
+
+// Kind returns the common kind of the set's values.
+func (r *SetRange) Kind() Kind { return r.kind }
+
+// String renders the set.
+func (r *SetRange) String() string {
+	s := "{"
+	for i, v := range r.vals {
+		if i > 0 {
+			s += ","
+		}
+		s += v.String()
+	}
+	return s + "}"
+}
+
+// Sorted returns a copy of the set with values in ascending order; useful
+// for deterministic neighbourhoods in search techniques.
+func (r *SetRange) Sorted() *SetRange {
+	vs := append([]Value(nil), r.vals...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	return &SetRange{vals: vs, kind: r.kind}
+}
+
+// BoolRange returns the canonical {false,true} set used by PADA/PADB-style
+// boolean tuning parameters.
+func BoolRange() *SetRange { return NewSet(false, true) }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	r := NewInterval(1, 10)
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if r.At(i).Int() != int64(i+1) {
+			t.Errorf("At(%d) = %v, want %d", i, r.At(i), i+1)
+		}
+	}
+	if r.Kind() != KindInt {
+		t.Error("interval kind should be int")
+	}
+	if r.String() != "[1,10]" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestIntervalSingleton(t *testing.T) {
+	r := NewInterval(7, 7)
+	if r.Len() != 1 || r.At(0).Int() != 7 {
+		t.Error("singleton interval broken")
+	}
+}
+
+func TestSteppedInterval(t *testing.T) {
+	r := NewSteppedInterval(2, 11, 3) // 2,5,8,11
+	want := []int64{2, 5, 8, 11}
+	if r.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		if r.At(i).Int() != w {
+			t.Errorf("At(%d) = %v, want %d", i, r.At(i), w)
+		}
+	}
+	// Step that does not land exactly on End.
+	r2 := NewSteppedInterval(1, 10, 4) // 1,5,9
+	if r2.Len() != 3 || r2.At(2).Int() != 9 {
+		t.Error("stepped interval with inexact end broken")
+	}
+}
+
+func TestIntervalPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero step", func() { NewSteppedInterval(1, 10, 0) })
+	mustPanic("negative step", func() { NewSteppedInterval(1, 10, -1) })
+	mustPanic("empty", func() { NewInterval(5, 4) })
+}
+
+func TestGeneratedInterval(t *testing.T) {
+	// The paper's example: the first ten powers of 2.
+	r := NewGeneratedInterval(1, 10, 1, func(i int64) Value { return Int(1 << uint(i)) })
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		want := int64(1) << uint(i+1)
+		if r.At(i).Int() != want {
+			t.Errorf("At(%d) = %v, want %d", i, r.At(i), want)
+		}
+	}
+}
+
+func TestGeneratedIntervalChangesKind(t *testing.T) {
+	// Generator output type T' determines the range kind (paper, Section II).
+	r := NewGeneratedInterval(0, 4, 1, func(i int64) Value { return Float(float64(i) / 4) })
+	if r.Kind() != KindFloat {
+		t.Errorf("kind = %v, want float", r.Kind())
+	}
+	if r.At(2).Float() != 0.5 {
+		t.Errorf("At(2) = %v", r.At(2))
+	}
+	if r.String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestFloatInterval(t *testing.T) {
+	r := NewFloatInterval(0, 1, 0.25) // 0, .25, .5, .75, 1
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	if r.At(0).Float() != 0 || r.At(4).Float() != 1 {
+		t.Error("endpoints wrong")
+	}
+	if r.Kind() != KindFloat {
+		t.Error("kind should be float")
+	}
+	if r.String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestFloatIntervalPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero step", func() { NewFloatInterval(0, 1, 0) })
+	mustPanic("empty", func() { NewFloatInterval(1, 0, 0.5) })
+}
+
+func TestSetRange(t *testing.T) {
+	r := NewSet(1, 2, 4, 8)
+	if r.Len() != 4 || r.At(2).Int() != 4 {
+		t.Error("int set broken")
+	}
+	if r.Kind() != KindInt {
+		t.Error("kind should be int")
+	}
+	if r.String() != "{1,2,4,8}" {
+		t.Errorf("String = %q", r.String())
+	}
+	b := BoolRange()
+	if b.Len() != 2 || b.At(0).Bool() || !b.At(1).Bool() {
+		t.Error("bool range broken")
+	}
+	e := NewSet("scalar", "vector", "tensor") // enum-style parameter
+	if e.Kind() != KindString || e.At(1).Str() != "vector" {
+		t.Error("enum set broken")
+	}
+}
+
+func TestSetPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty set", func() { NewSet() })
+	mustPanic("mixed kinds", func() { NewSet(1, "two") })
+}
+
+func TestSetSorted(t *testing.T) {
+	r := NewSet(8, 1, 4, 2).Sorted()
+	for i := 0; i < r.Len()-1; i++ {
+		if !r.At(i).Less(r.At(i + 1)) {
+			t.Fatalf("not sorted at %d: %v %v", i, r.At(i), r.At(i+1))
+		}
+	}
+	// Original untouched.
+	orig := NewSet(8, 1)
+	_ = orig.Sorted()
+	if orig.At(0).Int() != 8 {
+		t.Error("Sorted must not mutate the receiver")
+	}
+}
+
+func TestNewValueSet(t *testing.T) {
+	r := NewValueSet(Int(3), Int(1))
+	if r.Len() != 2 || r.At(0).Int() != 3 {
+		t.Error("NewValueSet broken")
+	}
+}
+
+func TestIntervalLenMatchesIteration(t *testing.T) {
+	f := func(begin int16, span uint8, step uint8) bool {
+		b := int64(begin)
+		s := int64(step%7) + 1
+		e := b + int64(span)
+		r := NewSteppedInterval(b, e, s)
+		// Count values <= End reachable from Begin by Step.
+		n := 0
+		for x := b; x <= e; x += s {
+			n++
+		}
+		if r.Len() != n {
+			return false
+		}
+		// All values within bounds and correctly stepped.
+		for i := 0; i < r.Len(); i++ {
+			v := r.At(i).Int()
+			if v < b || v > e || (v-b)%s != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

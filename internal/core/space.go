@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+	"math/rand"
+)
+
+// Space is the generated search space: the cross product of per-group
+// sub-space tries. Configurations are addressable by a dense index in
+// [0, Size()), which is what ATF's simulated-annealing neighbourhood and
+// its OpenTuner adapter (single index parameter TP ∈ [1,S], Section IV-C)
+// operate on.
+type Space struct {
+	trees  []*Tree
+	names  []string
+	params []*Param
+	size   uint64
+}
+
+// Size returns the number of valid configurations.
+func (s *Space) Size() uint64 { return s.size }
+
+// Names returns all parameter names in declaration order.
+func (s *Space) Names() []string { return s.names }
+
+// Params returns all parameters in declaration order.
+func (s *Space) Params() []*Param { return s.params }
+
+// Groups returns the per-group sub-space trees.
+func (s *Space) Groups() []*Tree { return s.trees }
+
+// Checks returns the total number of constraint evaluations generation
+// performed across all groups (experiment E3 instrumentation).
+func (s *Space) Checks() uint64 {
+	var c uint64
+	for _, t := range s.trees {
+		c += t.checks
+	}
+	return c
+}
+
+// NodeCount returns the total number of trie nodes across groups; with the
+// per-config value count it quantifies the trie's memory advantage over a
+// materialized configuration list (DESIGN.md §6 ablation).
+func (s *Space) NodeCount() int {
+	n := 0
+	for _, t := range s.trees {
+		n += t.nodeCount()
+	}
+	return n
+}
+
+// RawSize returns the size of the *unconstrained* Cartesian product of all
+// raw parameter ranges. For XgemmDirect at 2^10×2^10 this exceeds 10^19
+// (paper §VI-A), hence the big.Int.
+func (s *Space) RawSize() *big.Int {
+	total := big.NewInt(1)
+	for _, p := range s.params {
+		total.Mul(total, big.NewInt(int64(p.Range.Len())))
+	}
+	return total
+}
+
+// At returns the configuration with the given index. Indices decompose in
+// mixed radix over the group sub-space sizes (first group varies slowest),
+// then each group trie resolves its sub-index in O(depth · branching).
+func (s *Space) At(idx uint64) *Config {
+	if idx >= s.size {
+		panic(fmt.Sprintf("core: configuration index %d out of range (size %d)", idx, s.size))
+	}
+	cfg := NewConfig(s.names)
+	offset := len(s.names)
+	for i := len(s.trees) - 1; i >= 0; i-- {
+		t := s.trees[i]
+		sub := idx % t.total
+		idx /= t.total
+		offset -= len(t.params)
+		t.fill(sub, cfg, offset)
+	}
+	cfg.filled = len(s.names)
+	return cfg
+}
+
+// IndexOf returns the index of a complete configuration and whether the
+// configuration is a member of the space.
+func (s *Space) IndexOf(cfg *Config) (uint64, bool) {
+	if cfg.Len() != len(s.names) {
+		return 0, false
+	}
+	var idx uint64
+	offset := 0
+	for _, t := range s.trees {
+		sub, ok := t.indexOf(cfg, offset)
+		if !ok {
+			return 0, false
+		}
+		idx = idx*t.total + sub
+		offset += len(t.params)
+	}
+	return idx, true
+}
+
+// Random returns a uniformly random configuration.
+func (s *Space) Random(rng *rand.Rand) *Config {
+	return s.At(s.RandomIndex(rng))
+}
+
+// RandomIndex returns a uniformly random configuration index.
+func (s *Space) RandomIndex(rng *rand.Rand) uint64 {
+	if s.size == 0 {
+		panic("core: sampling from empty search space")
+	}
+	if s.size <= uint64(1)<<62 {
+		return uint64(rng.Int63n(int64(s.size)))
+	}
+	// Rejection sampling for astronomically large spaces.
+	for {
+		v := rng.Uint64()
+		if v < s.size {
+			return v
+		}
+	}
+}
+
+// Neighbor returns a configuration index near idx: a step whose magnitude
+// is scale-free (each power-of-two length scale equally likely, up to the
+// space size), in either direction, wrapping at the space boundary.
+// Index-space locality approximates parameter-space locality because the
+// trie orders configurations lexicographically by parameter value — nearby
+// indices share long parameter prefixes — while the occasional long jump
+// lets annealing escape basins of attraction.
+func (s *Space) Neighbor(idx uint64, rng *rand.Rand) uint64 {
+	if s.size <= 1 {
+		return idx
+	}
+	maxExp := bits.Len64(s.size - 1) // number of length scales available
+	e := rng.Intn(maxExp)
+	step := uint64(1)<<e + uint64(rng.Int63n(int64(uint64(1)<<e)))
+	step %= s.size
+	if step == 0 {
+		step = 1
+	}
+	if rng.Intn(2) == 0 {
+		return (idx + step) % s.size
+	}
+	return (idx + s.size - step) % s.size
+}
+
+// ForEach calls fn for every configuration in index order, stopping early
+// if fn returns false. The passed configuration is reused across calls;
+// clone it to retain.
+func (s *Space) ForEach(fn func(idx uint64, cfg *Config) bool) {
+	cfg := NewConfig(s.names)
+	for idx := uint64(0); idx < s.size; idx++ {
+		s.fillAt(idx, cfg)
+		if !fn(idx, cfg) {
+			return
+		}
+	}
+}
+
+// fillAt decodes idx into an existing configuration, avoiding allocation.
+func (s *Space) fillAt(idx uint64, cfg *Config) {
+	offset := len(s.names)
+	for i := len(s.trees) - 1; i >= 0; i-- {
+		t := s.trees[i]
+		sub := idx % t.total
+		idx /= t.total
+		offset -= len(t.params)
+		t.fill(sub, cfg, offset)
+	}
+	cfg.filled = len(s.names)
+}

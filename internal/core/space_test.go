@@ -1,0 +1,506 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates the valid configurations of a single group by
+// filtering the full Cartesian product — the CLTune strategy — to serve as
+// ground truth for the trie-based generator.
+func bruteForce(params []*Param) []*Config {
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	var out []*Config
+	cfg := NewConfig(names)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(params) {
+			out = append(out, cfg.Clone())
+			return
+		}
+		p := params[d]
+		for i := 0; i < p.Range.Len(); i++ {
+			v := p.Range.At(i)
+			if !p.Accepts(v, cfg) {
+				continue
+			}
+			cfg.set(d, v)
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// saxpyParams builds the paper's saxpy space: WPT divides N, LS divides
+// N/WPT.
+func saxpyParams(n int64) []*Param {
+	wpt := NewParam("WPT", NewInterval(1, n), Divides(n))
+	ls := NewParam("LS", NewInterval(1, n),
+		Divides(func(c *Config) int64 { return n / c.Int("WPT") }))
+	return []*Param{wpt, ls}
+}
+
+func TestGenerateMatchesBruteForce(t *testing.T) {
+	params := saxpyParams(24)
+	sp, err := GenerateFlat(params, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(params)
+	if sp.Size() != uint64(len(want)) {
+		t.Fatalf("size = %d, want %d", sp.Size(), len(want))
+	}
+	for i, w := range want {
+		got := sp.At(uint64(i))
+		if !got.Equal(w) {
+			t.Fatalf("config %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestGenerateAllConfigsSatisfyConstraints(t *testing.T) {
+	const n = 36
+	params := saxpyParams(n)
+	sp, err := GenerateFlat(params, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.ForEach(func(_ uint64, cfg *Config) bool {
+		wpt, ls := cfg.Int("WPT"), cfg.Int("LS")
+		if n%wpt != 0 {
+			t.Fatalf("WPT=%d does not divide %d", wpt, n)
+		}
+		if (n/wpt)%ls != 0 {
+			t.Fatalf("LS=%d does not divide %d", ls, n/wpt)
+		}
+		return true
+	})
+}
+
+func TestParallelEqualsSequential(t *testing.T) {
+	params := saxpyParams(60)
+	seq, err := GenerateFlat(params, GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GenerateFlat(params, GenOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Size() != par.Size() {
+		t.Fatalf("sizes differ: %d vs %d", seq.Size(), par.Size())
+	}
+	for i := uint64(0); i < seq.Size(); i++ {
+		if !seq.At(i).Equal(par.At(i)) {
+			t.Fatalf("config %d differs: %v vs %v", i, seq.At(i), par.At(i))
+		}
+	}
+	if seq.Checks() != par.Checks() {
+		t.Errorf("constraint-check counts differ: %d vs %d", seq.Checks(), par.Checks())
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(48), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < sp.Size(); i++ {
+		cfg := sp.At(i)
+		j, ok := sp.IndexOf(cfg)
+		if !ok || j != i {
+			t.Fatalf("roundtrip failed: At(%d) -> IndexOf = (%d,%v)", i, j, ok)
+		}
+	}
+}
+
+func TestIndexOfRejectsForeignConfig(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(12), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WPT=5 does not divide 12, so this config is not in the space.
+	bad := ConfigFromMap([]string{"WPT", "LS"}, map[string]Value{"WPT": Int(5), "LS": Int(1)})
+	if _, ok := sp.IndexOf(bad); ok {
+		t.Error("invalid config should not be found")
+	}
+	// Wrong arity.
+	short := ConfigFromMap([]string{"WPT"}, map[string]Value{"WPT": Int(1)})
+	if _, ok := sp.IndexOf(short); ok {
+		t.Error("wrong-arity config should not be found")
+	}
+}
+
+func TestConfigsAreUnique(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(36), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	sp.ForEach(func(_ uint64, cfg *Config) bool {
+		k := cfg.Key()
+		if seen[k] {
+			t.Fatalf("duplicate configuration %v", cfg)
+		}
+		seen[k] = true
+		return true
+	})
+	if uint64(len(seen)) != sp.Size() {
+		t.Fatalf("unique count %d != size %d", len(seen), sp.Size())
+	}
+}
+
+func TestGroupedSpaceIsCrossProduct(t *testing.T) {
+	// Figure 1 of the paper: {tp1, tp2 | tp2 divides tp1} × {tp3, tp4 | ...}.
+	g1 := G(
+		NewParam("tp1", NewSet(1, 2)),
+		NewParam("tp2", NewSet(1, 2), Divides(Ref("tp1"))),
+	)
+	g2 := G(
+		NewParam("tp3", NewSet(1, 2)),
+		NewParam("tp4", NewSet(1, 2), Divides(Ref("tp3"))),
+	)
+	sp, err := GenerateSpace([]*Group{g1, g2}, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per group: (1,1), (2,1), (2,2) → 3 configs; cross product = 9.
+	if sp.Size() != 9 {
+		t.Fatalf("size = %d, want 9", sp.Size())
+	}
+	// Every combination must satisfy both groups' constraints.
+	sp.ForEach(func(_ uint64, cfg *Config) bool {
+		if cfg.Int("tp1")%cfg.Int("tp2") != 0 {
+			t.Fatalf("group 1 constraint violated: %v", cfg)
+		}
+		if cfg.Int("tp3")%cfg.Int("tp4") != 0 {
+			t.Fatalf("group 2 constraint violated: %v", cfg)
+		}
+		return true
+	})
+	// Grouped result must equal the single-group (flat) result as a set.
+	flat, err := GenerateFlat(FlattenGroups([]*Group{g1, g2}), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Size() != sp.Size() {
+		t.Fatalf("flat size %d != grouped size %d", flat.Size(), sp.Size())
+	}
+	seen := make(map[string]bool)
+	sp.ForEach(func(_ uint64, cfg *Config) bool { seen[cfg.String()] = true; return true })
+	flat.ForEach(func(_ uint64, cfg *Config) bool {
+		if !seen[cfg.String()] {
+			t.Fatalf("flat config %v missing from grouped space", cfg)
+		}
+		return true
+	})
+}
+
+func TestGroupedIndexRoundTrip(t *testing.T) {
+	g1 := G(NewParam("a", NewInterval(1, 5)))
+	g2 := G(NewParam("b", NewInterval(1, 3)), NewParam("c", NewInterval(1, 4), Divides(Ref("b"))))
+	sp, err := GenerateSpace([]*Group{g1, g2}, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < sp.Size(); i++ {
+		j, ok := sp.IndexOf(sp.At(i))
+		if !ok || j != i {
+			t.Fatalf("grouped roundtrip failed at %d -> (%d,%v)", i, j, ok)
+		}
+	}
+}
+
+func TestCrossGroupReferenceFails(t *testing.T) {
+	// tp2 in its own group referencing tp1 from another group must produce
+	// a descriptive error, not a hang or silent wrong space.
+	g1 := G(NewParam("tp1", NewSet(1, 2)))
+	g2 := G(NewParam("tp2", NewSet(1, 2), Divides(Ref("tp1"))))
+	_, err := GenerateSpace([]*Group{g1, g2}, GenOptions{})
+	if err == nil {
+		t.Fatal("expected error for cross-group constraint reference")
+	}
+}
+
+func TestDuplicateParamAcrossGroupsFails(t *testing.T) {
+	g1 := G(NewParam("x", NewSet(1)))
+	g2 := G(NewParam("x", NewSet(2)))
+	if _, err := GenerateSpace([]*Group{g1, g2}, GenOptions{}); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	// Constraint rejecting everything → size 0 (the CLBlast deep-learning
+	// situation from §VI-A where WGD's restricted range empties the space).
+	p := NewParam("x", NewSet(3, 5, 7), Divides(8))
+	sp, err := GenerateFlat([]*Param{p}, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 0 {
+		t.Fatalf("size = %d, want 0", sp.Size())
+	}
+}
+
+func TestDeadPrefixPruning(t *testing.T) {
+	// a=2 admits no valid b, so the a=2 subtree must be pruned entirely.
+	a := NewParam("a", NewSet(1, 2))
+	b := NewParam("b", NewSet(3, 5), Divides(func(c *Config) int64 {
+		if c.Int("a") == 2 {
+			return 1 // 3 and 5 do not divide 1
+		}
+		return 15
+	}))
+	sp, err := GenerateFlat([]*Param{a, b}, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 2 { // (1,3), (1,5)
+		t.Fatalf("size = %d, want 2", sp.Size())
+	}
+	sp.ForEach(func(_ uint64, cfg *Config) bool {
+		if cfg.Int("a") == 2 {
+			t.Fatal("dead prefix a=2 not pruned")
+		}
+		return true
+	})
+}
+
+func TestRawSize(t *testing.T) {
+	params := []*Param{
+		NewParam("a", NewInterval(1, 1000)),
+		NewParam("b", NewInterval(1, 1000)),
+		NewParam("c", NewSet(1, 2, 4, 8)),
+	}
+	sp, err := GenerateFlat(params, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.RawSize().String() != "4000000" {
+		t.Fatalf("raw size = %s, want 4000000", sp.RawSize())
+	}
+}
+
+func TestRandomIsMember(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(64), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		cfg := sp.Random(rng)
+		if _, ok := sp.IndexOf(cfg); !ok {
+			t.Fatalf("random config %v not a member", cfg)
+		}
+	}
+}
+
+func TestRandomCoversSpace(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(16), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	hits := make(map[uint64]int)
+	for i := 0; i < 4000; i++ {
+		hits[sp.RandomIndex(rng)]++
+	}
+	if uint64(len(hits)) != sp.Size() {
+		t.Fatalf("uniform sampling should hit all %d configs, hit %d", sp.Size(), len(hits))
+	}
+}
+
+func TestNeighborStaysInSpace(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(48), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	idx := sp.RandomIndex(rng)
+	for i := 0; i < 1000; i++ {
+		idx = sp.Neighbor(idx, rng)
+		if idx >= sp.Size() {
+			t.Fatalf("neighbor index %d out of range", idx)
+		}
+	}
+}
+
+func TestNeighborOnSingletonSpace(t *testing.T) {
+	sp, err := GenerateFlat([]*Param{NewParam("only", NewSet(1))}, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if sp.Neighbor(0, rng) != 0 {
+		t.Error("singleton space neighbor must be itself")
+	}
+}
+
+func TestNeighborMoves(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(48), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	moved := 0
+	for i := 0; i < 100; i++ {
+		if sp.Neighbor(5, rng) != 5 {
+			moved++
+		}
+	}
+	if moved < 90 {
+		t.Errorf("neighbor should almost always move, moved %d/100", moved)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	sp, err := GenerateFlat(saxpyParams(12), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sp.At(sp.Size())
+}
+
+func TestAutoGroupChains(t *testing.T) {
+	p1 := NewParam("tp1", NewSet(1, 2))
+	p2 := NewParam("tp2", NewSet(1, 2), Divides(Ref("tp1")))
+	p3 := NewParam("tp3", NewSet(1, 2))
+	p4 := NewParam("tp4", NewSet(1, 2), Divides(Ref("tp3")))
+	groups := AutoGroup([]*Param{p1, p2, p3, p4})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if len(groups[0].Params) != 2 || groups[0].Params[0].Name != "tp1" {
+		t.Error("group 1 wrong")
+	}
+	if len(groups[1].Params) != 2 || groups[1].Params[0].Name != "tp3" {
+		t.Error("group 2 wrong")
+	}
+	sp, err := GenerateSpace(groups, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 9 {
+		t.Fatalf("size = %d, want 9", sp.Size())
+	}
+}
+
+func TestGenerateRejectsNoParams(t *testing.T) {
+	if _, err := GenerateSpace(nil, GenOptions{}); err == nil {
+		t.Fatal("expected error for empty group list")
+	}
+}
+
+func TestGroupPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	G()
+}
+
+func TestSpaceChecksAccounting(t *testing.T) {
+	// For an unconstrained 2-param space of 3×4 the generator performs
+	// 3 (root) + 3*4 (children) = 15 constraint checks.
+	sp, err := GenerateFlat([]*Param{
+		NewParam("a", NewInterval(1, 3)),
+		NewParam("b", NewInterval(1, 4)),
+	}, GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Checks() != 15 {
+		t.Errorf("checks = %d, want 15", sp.Checks())
+	}
+	if sp.Size() != 12 {
+		t.Errorf("size = %d, want 12", sp.Size())
+	}
+}
+
+func TestNodeCountSharing(t *testing.T) {
+	// 3×4 unconstrained: 3 roots + 12 leaves = 15 nodes, versus 24 values
+	// in a materialized list — prefix sharing is the trie's advantage.
+	sp, err := GenerateFlat([]*Param{
+		NewParam("a", NewInterval(1, 3)),
+		NewParam("b", NewInterval(1, 4)),
+	}, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NodeCount() != 15 {
+		t.Errorf("node count = %d, want 15", sp.NodeCount())
+	}
+}
+
+// Property: for arbitrary small constrained spaces, trie generation equals
+// brute-force generate-then-filter in size and membership.
+func TestQuickGenerateEquivalence(t *testing.T) {
+	f := func(na, nb uint8, div uint8) bool {
+		a := int64(na%12) + 1
+		b := int64(nb%12) + 1
+		d := int64(div%6) + 1
+		params := []*Param{
+			NewParam("a", NewInterval(1, a)),
+			NewParam("b", NewInterval(1, b), Divides(func(c *Config) int64 {
+				return c.Int("a") * d
+			})),
+		}
+		sp, err := GenerateFlat(params, GenOptions{})
+		if err != nil {
+			return false
+		}
+		want := bruteForce(params)
+		if sp.Size() != uint64(len(want)) {
+			return false
+		}
+		for i, w := range want {
+			if !sp.At(uint64(i)).Equal(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: index roundtrip holds on arbitrary grouped spaces.
+func TestQuickGroupedRoundTrip(t *testing.T) {
+	f := func(na, nb, nc uint8) bool {
+		a := int64(na%6) + 1
+		b := int64(nb%6) + 1
+		c := int64(nc%6) + 1
+		groups := []*Group{
+			G(NewParam("a", NewInterval(1, a))),
+			G(NewParam("b", NewInterval(1, b)),
+				NewParam("c", NewInterval(1, c), Divides(Ref("b")))),
+		}
+		sp, err := GenerateSpace(groups, GenOptions{})
+		if err != nil || sp.Size() == 0 {
+			return err == nil
+		}
+		for i := uint64(0); i < sp.Size(); i++ {
+			j, ok := sp.IndexOf(sp.At(i))
+			if !ok || j != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import "math/rand"
+
+// The search space of one parameter group is stored as a trie ("tree of
+// valid partial configurations"): level d of the trie holds the accepted
+// values of the group's d-th parameter given the prefix encoded by the path
+// from the root. Sharing prefixes keeps spaces with ~10^7 configurations in
+// memory, and per-node leaf counts give O(depth · branching) lookup of the
+// i-th configuration, uniform random sampling, and index-based
+// neighbourhoods for annealing-style techniques.
+
+// node is one trie vertex: a parameter value plus the subtrees of valid
+// continuations. count caches the number of complete configurations below.
+type node struct {
+	val      Value
+	children []*node // nil for leaf-level nodes
+	count    uint64
+}
+
+// Tree is the generated sub-space of one parameter group.
+type Tree struct {
+	params []*Param
+	names  []string
+	roots  []*node
+	total  uint64
+	// checks counts constraint evaluations performed during generation;
+	// reported by the space-generation experiments (E3).
+	checks uint64
+}
+
+// Params returns the group's parameters in declaration order.
+func (t *Tree) Params() []*Param { return t.params }
+
+// Size returns the number of valid configurations in this group sub-space.
+func (t *Tree) Size() uint64 { return t.total }
+
+// Checks returns how many constraint evaluations generation performed.
+func (t *Tree) Checks() uint64 { return t.checks }
+
+// Depth returns the number of parameters in the group.
+func (t *Tree) Depth() int { return len(t.params) }
+
+// fill writes the configuration with in-group index idx into cfg at the
+// given parameter offset. idx must be < t.total.
+func (t *Tree) fill(idx uint64, cfg *Config, offset int) {
+	if idx >= t.total {
+		panic("core: tree index out of range")
+	}
+	level := t.roots
+	for d := 0; d < len(t.params); d++ {
+		for _, n := range level {
+			if idx < n.count {
+				cfg.set(offset+d, n.val)
+				level = n.children
+				break
+			}
+			idx -= n.count
+		}
+	}
+}
+
+// indexOf returns the in-group index of the configuration stored in cfg at
+// the given offset, and whether the configuration is present in the tree.
+func (t *Tree) indexOf(cfg *Config, offset int) (uint64, bool) {
+	var idx uint64
+	level := t.roots
+	for d := 0; d < len(t.params); d++ {
+		want := cfg.At(offset + d)
+		found := false
+		for _, n := range level {
+			if n.val.Equal(want) {
+				level = n.children
+				found = true
+				break
+			}
+			idx += n.count
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return idx, true
+}
+
+// nodeCount returns the total number of trie nodes; used by the memory
+// ablation bench comparing trie storage with a materialized list.
+func (t *Tree) nodeCount() int {
+	var walk func(ns []*node) int
+	walk = func(ns []*node) int {
+		c := len(ns)
+		for _, n := range ns {
+			c += walk(n.children)
+		}
+		return c
+	}
+	return walk(t.roots)
+}
+
+// sampleLeaf picks a uniformly random configuration index in the group.
+func (t *Tree) sampleLeaf(rng *rand.Rand) uint64 {
+	if t.total == 0 {
+		panic("core: sampling from empty tree")
+	}
+	return uint64(rng.Int63n(int64(t.total)))
+}
+
+// sumCounts recomputes a node list's aggregate leaf count.
+func sumCounts(ns []*node) uint64 {
+	var s uint64
+	for _, n := range ns {
+		s += n.count
+	}
+	return s
+}

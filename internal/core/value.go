@@ -1,0 +1,213 @@
+// Package core implements the heart of the ATF reproduction: tuning
+// parameters with constrained ranges, parameter groups, the search-space
+// trie with O(depth) index lookup, parallel constrained space generation,
+// and the generic exploration loop.
+//
+// The design follows Rasch, Haidl, Gorlatch: "ATF: A Generic Auto-Tuning
+// Framework" (HPCC 2017 / HPDC 2018). The decisive difference from
+// generate-then-filter tuners (CLTune) is that constraints are applied while
+// iterating parameter ranges parameter-by-parameter, so invalid combinations
+// are pruned before the Cartesian product is ever formed.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the fundamental value types a tuning parameter may take.
+// The paper allows "arbitrary fundamental types (e.g., bool, integer, or
+// float)" plus enum types; strings stand in for enums here.
+type Kind uint8
+
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindBool
+	KindString
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a small tagged union holding one tuning-parameter value. A tagged
+// union (rather than interface{}) keeps search-space generation allocation-
+// free on the hot path; spaces with 10^7 configurations are routine here.
+type Value struct {
+	kind Kind
+	i    int64 // ints; bools as 0/1
+	f    float64
+	s    string
+}
+
+// Int returns a Value of kind int.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a Value of kind float.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Bool returns a Value of kind bool.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Str returns a Value of kind string (ATF's enum parameters).
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// ValueOf converts a Go value of a fundamental type into a Value.
+// It panics for unsupported types; ranges are built at setup time where a
+// loud failure is preferable to a silently corrupt search space.
+func ValueOf(v any) Value {
+	switch x := v.(type) {
+	case Value:
+		return x
+	case int:
+		return Int(int64(x))
+	case int8:
+		return Int(int64(x))
+	case int16:
+		return Int(int64(x))
+	case int32:
+		return Int(int64(x))
+	case int64:
+		return Int(x)
+	case uint:
+		return Int(int64(x))
+	case uint8:
+		return Int(int64(x))
+	case uint16:
+		return Int(int64(x))
+	case uint32:
+		return Int(int64(x))
+	case uint64:
+		return Int(int64(x))
+	case float32:
+		return Float(float64(x))
+	case float64:
+		return Float(x)
+	case bool:
+		return Bool(x)
+	case string:
+		return Str(x)
+	default:
+		panic(fmt.Sprintf("core: unsupported tuning value type %T", v))
+	}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the integer payload. It panics if the value is not an int or
+// bool (bools convert to 0/1, mirroring C++ integral promotion used by ATF
+// constraints over boolean parameters).
+func (v Value) Int() int64 {
+	if v.kind != KindInt && v.kind != KindBool {
+		panic("core: Value.Int on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the value as float64, converting ints and bools.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindBool:
+		return float64(v.i)
+	default:
+		panic("core: Value.Float on " + v.kind.String())
+	}
+}
+
+// Bool returns the boolean payload; ints map to v != 0.
+func (v Value) Bool() bool {
+	if v.kind != KindBool && v.kind != KindInt {
+		panic("core: Value.Bool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Str returns the string payload.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("core: Value.Str on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Equal reports whether two values are identical in kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	default:
+		return v.i == o.i
+	}
+}
+
+// Less orders values of the same kind; mixed numeric kinds compare as
+// floats. It is used by deterministic tie-breaking and by tests.
+func (v Value) Less(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindFloat:
+			return v.f < o.f
+		case KindString:
+			return v.s < o.s
+		default:
+			return v.i < o.i
+		}
+	}
+	return v.Float() < o.Float()
+}
+
+// String renders the value for logs and reports.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// IsFinite reports whether a float value is finite; non-float values are
+// always finite.
+func (v Value) IsFinite() bool {
+	if v.kind != KindFloat {
+		return true
+	}
+	return !math.IsInf(v.f, 0) && !math.IsNaN(v.f)
+}

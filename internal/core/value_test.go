@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Str("wavefront"), KindString, "wavefront"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueOfConversions(t *testing.T) {
+	if ValueOf(5).Int() != 5 {
+		t.Error("int conversion failed")
+	}
+	if ValueOf(int8(3)).Int() != 3 || ValueOf(int16(3)).Int() != 3 ||
+		ValueOf(int32(3)).Int() != 3 || ValueOf(int64(3)).Int() != 3 {
+		t.Error("sized int conversion failed")
+	}
+	if ValueOf(uint(9)).Int() != 9 || ValueOf(uint8(9)).Int() != 9 ||
+		ValueOf(uint16(9)).Int() != 9 || ValueOf(uint32(9)).Int() != 9 ||
+		ValueOf(uint64(9)).Int() != 9 {
+		t.Error("unsigned conversion failed")
+	}
+	if ValueOf(float32(1.5)).Float() != 1.5 || ValueOf(2.25).Float() != 2.25 {
+		t.Error("float conversion failed")
+	}
+	if !ValueOf(true).Bool() || ValueOf(false).Bool() {
+		t.Error("bool conversion failed")
+	}
+	if ValueOf("simd").Str() != "simd" {
+		t.Error("string conversion failed")
+	}
+	// Idempotent on Value.
+	v := Int(11)
+	if !ValueOf(v).Equal(v) {
+		t.Error("ValueOf(Value) should be identity")
+	}
+}
+
+func TestValueOfUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported type")
+		}
+	}()
+	ValueOf(struct{}{})
+}
+
+func TestValueIntOnBool(t *testing.T) {
+	if Bool(true).Int() != 1 || Bool(false).Int() != 0 {
+		t.Error("bool should promote to 0/1 for integral constraints")
+	}
+}
+
+func TestValueFloatPromotion(t *testing.T) {
+	if Int(3).Float() != 3.0 {
+		t.Error("int should convert to float")
+	}
+	if Bool(true).Float() != 1.0 {
+		t.Error("bool should convert to float")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on float", func() { Float(1).Int() })
+	mustPanic("Int on string", func() { Str("x").Int() })
+	mustPanic("Float on string", func() { Str("x").Float() })
+	mustPanic("Bool on float", func() { Float(1).Bool() })
+	mustPanic("Str on int", func() { Int(1).Str() })
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(4).Equal(Int(4)) || Int(4).Equal(Int(5)) {
+		t.Error("int equality broken")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Error("cross-kind values must not be equal")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Error("int(1) must differ from bool(true)")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Error("string equality broken")
+	}
+	if !Float(0.5).Equal(Float(0.5)) {
+		t.Error("float equality broken")
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	if !Int(1).Less(Int(2)) || Int(2).Less(Int(1)) {
+		t.Error("int ordering broken")
+	}
+	if !Str("a").Less(Str("b")) {
+		t.Error("string ordering broken")
+	}
+	if !Int(1).Less(Float(1.5)) {
+		t.Error("mixed numeric ordering should compare as floats")
+	}
+	if !Bool(false).Less(Bool(true)) {
+		t.Error("bool ordering broken")
+	}
+}
+
+func TestValueLessIrreflexive(t *testing.T) {
+	f := func(a int64) bool { return !Int(a).Less(Int(a)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueLessTrichotomy(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		less, greater, eq := va.Less(vb), vb.Less(va), va.Equal(vb)
+		n := 0
+		for _, x := range []bool{less, greater, eq} {
+			if x {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueIsFinite(t *testing.T) {
+	if !Int(1).IsFinite() || !Str("x").IsFinite() || !Bool(true).IsFinite() {
+		t.Error("non-float values are always finite")
+	}
+	if !Float(1.0).IsFinite() {
+		t.Error("1.0 is finite")
+	}
+	if Float(math.Inf(1)).IsFinite() || Float(math.NaN()).IsFinite() {
+		t.Error("inf/NaN must not be finite")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindFloat.String() != "float" ||
+		KindBool.String() != "bool" || KindString.String() != "string" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,118 @@
+// Package cuda is a thin CUDA/NVRTC-flavoured facade over the same
+// simulated machinery as package opencl. ATF's CUDA cost function "is used
+// analogously to the ATF's OpenCL cost function, with the only difference
+// that platform's name is omitted, because CUDA targets NVIDIA devices
+// only" (paper, Section II) — this package reproduces exactly that shape:
+// device selection by name within the NVIDIA catalog, runtime compilation
+// with -D definitions (NVRTC), and launches described as grid×block.
+package cuda
+
+import (
+	"fmt"
+	"strings"
+
+	"atf/internal/opencl"
+	"atf/internal/perfmodel"
+)
+
+// Device is a CUDA-capable (NVIDIA) simulated device.
+type Device struct {
+	inner *opencl.Device
+}
+
+// FindDevice selects an NVIDIA device by name substring.
+func FindDevice(name string) (*Device, error) {
+	d, err := opencl.FindDevice("NVIDIA", name)
+	if err != nil {
+		return nil, fmt.Errorf("cuda: no NVIDIA device matching %q", name)
+	}
+	return &Device{inner: d}, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.inner.Name() }
+
+// Desc exposes the device description.
+func (d *Device) Desc() *perfmodel.Device { return d.inner.Desc }
+
+// Context owns device memory.
+type Context struct {
+	ctx   *opencl.Context
+	queue *opencl.Queue
+}
+
+// NewContext creates a CUDA context on the device.
+func NewContext(d *Device) *Context {
+	ctx := opencl.NewContext(d.inner)
+	return &Context{ctx: ctx, queue: opencl.NewQueue(ctx)}
+}
+
+// Buffer is device memory (cudaMalloc analogue).
+type Buffer = opencl.Buffer
+
+// Malloc allocates an n-element float32 buffer.
+func (c *Context) Malloc(n int) *Buffer { return c.ctx.CreateBuffer(n) }
+
+// Module is an NVRTC-compiled module.
+type Module struct {
+	prog *opencl.Program
+}
+
+// CompileModule performs runtime compilation of CUDA-C-like source with
+// macro definitions (the NVRTC path ATF uses). The oclc subset accepts the
+// OpenCL spellings of the work-item builtins; kernels shared between the
+// two facades simply use those.
+func (c *Context) CompileModule(source string, defines map[string]string) (*Module, error) {
+	p := c.ctx.CreateProgram(source)
+	if err := p.Build(defines); err != nil {
+		return nil, fmt.Errorf("cuda: nvrtc: %s", strings.TrimPrefix(err.Error(), "opencl: "))
+	}
+	return &Module{prog: p}, nil
+}
+
+// LaunchResult carries the profiling outcome of one launch.
+type LaunchResult struct {
+	Event *opencl.Event
+}
+
+// DurationNs returns the simulated kernel time (cudaEventElapsedTime
+// analogue, in nanoseconds).
+func (r *LaunchResult) DurationNs() float64 { return r.Event.DurationNs() }
+
+// Launch runs kernel `name` with gridDim×blockDim (1-D) and the given
+// arguments. CUDA's grid is specified in blocks; the OpenCL global size is
+// therefore grid*block.
+func (c *Context) Launch(m *Module, name string, gridDim, blockDim int64, args ...any) (*LaunchResult, error) {
+	k, err := m.prog.CreateKernel(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetArgs(args...); err != nil {
+		return nil, err
+	}
+	ev, err := c.queue.EnqueueNDRange(k, []int64{gridDim * blockDim}, []int64{blockDim})
+	if err != nil {
+		return nil, err
+	}
+	return &LaunchResult{Event: ev}, nil
+}
+
+// Launch2D runs a 2-D grid of 2-D blocks.
+func (c *Context) Launch2D(m *Module, name string, gridX, gridY, blockX, blockY int64, args ...any) (*LaunchResult, error) {
+	k, err := m.prog.CreateKernel(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetArgs(args...); err != nil {
+		return nil, err
+	}
+	ev, err := c.queue.EnqueueNDRange(k,
+		[]int64{gridX * blockX, gridY * blockY}, []int64{blockX, blockY})
+	if err != nil {
+		return nil, err
+	}
+	return &LaunchResult{Event: ev}, nil
+}
+
+// SetFunctional switches full (correctness) execution on or off.
+func (c *Context) SetFunctional(v bool) { c.queue.Functional = v }

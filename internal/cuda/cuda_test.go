@@ -1,0 +1,113 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+)
+
+const addKernel = `
+__kernel void add(const float v, __global float* data) {
+  data[get_global_id(0)] = data[get_global_id(0)] + v;
+}`
+
+func TestFindDeviceNVIDIAOnly(t *testing.T) {
+	d, err := FindDevice("K20m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "Tesla K20m" {
+		t.Fatalf("found %q", d.Name())
+	}
+	if d.Desc() == nil {
+		t.Fatal("device description missing")
+	}
+	if _, err := FindDevice("Xeon"); err == nil {
+		t.Fatal("CUDA must not find Intel CPUs")
+	}
+}
+
+func TestCompileAndLaunch(t *testing.T) {
+	d, _ := FindDevice("K20c")
+	ctx := NewContext(d)
+	mod, err := ctx.CompileModule(addKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := ctx.Malloc(64)
+	res, err := ctx.Launch(mod, "add", 2, 32, float32(5), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurationNs() <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+func TestFunctionalLaunchComputes(t *testing.T) {
+	d, _ := FindDevice("K20m")
+	ctx := NewContext(d)
+	ctx.SetFunctional(true)
+	mod, err := ctx.CompileModule(addKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := ctx.Malloc(64)
+	if _, err := ctx.Launch(mod, "add", 2, 32, float32(5), buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf.Read() {
+		if v != 5 {
+			t.Fatalf("element %d = %v, want 5", i, v)
+		}
+	}
+}
+
+func TestLaunch2D(t *testing.T) {
+	d, _ := FindDevice("K20m")
+	ctx := NewContext(d)
+	ctx.SetFunctional(true)
+	src := `
+__kernel void fill(__global float* data, const int w) {
+  data[get_global_id(1)*w + get_global_id(0)] = 1.0f;
+}`
+	mod, err := ctx.CompileModule(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := ctx.Malloc(64)
+	if _, err := ctx.Launch2D(mod, "fill", 2, 2, 4, 4, buf, int32(8)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf.Read() {
+		if v != 1 {
+			t.Fatalf("element %d untouched", i)
+		}
+	}
+}
+
+func TestNVRTCErrorPrefix(t *testing.T) {
+	d, _ := FindDevice("K20m")
+	ctx := NewContext(d)
+	_, err := ctx.CompileModule("__kernel void broken( {", nil)
+	if err == nil || !strings.Contains(err.Error(), "nvrtc") {
+		t.Fatalf("want nvrtc-flavoured error, got %v", err)
+	}
+}
+
+func TestDefinesReachKernel(t *testing.T) {
+	d, _ := FindDevice("K20m")
+	ctx := NewContext(d)
+	ctx.SetFunctional(true)
+	src := `__kernel void k(__global float* o) { o[get_global_id(0)] = TP; }`
+	mod, err := ctx.CompileModule(src, map[string]string{"TP": "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := ctx.Malloc(4)
+	if _, err := ctx.Launch(mod, "k", 1, 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Read()[0] != 7 {
+		t.Fatal("define lost")
+	}
+}

@@ -1,0 +1,67 @@
+// Package energy models device power draw so that ATF's multi-objective
+// tuning — "minimizing first runtime and then energy consumption" (paper,
+// Section II Step 2) — has a second objective to measure. The paper reads
+// energy from hardware counters; this model derives it from the simulated
+// execution's utilization, which preserves the property that matters for
+// tuning: runtime and energy do not rank configurations identically (a
+// slightly slower configuration that keeps fewer compute units busy can
+// cost less energy).
+package energy
+
+import (
+	"atf/internal/perfmodel"
+)
+
+// Model estimates energy for kernel launches on one device.
+type Model struct {
+	Dev *perfmodel.Device
+	// IdleWatts is the baseline board/package power.
+	IdleWatts float64
+	// ActiveWattsPerCU is the additional draw of one busy compute unit.
+	ActiveWattsPerCU float64
+	// MemoryWatts is the additional draw at full memory-bandwidth use.
+	MemoryWatts float64
+}
+
+// NewModel returns a power model with parameters in the right regime for
+// the device class (Xeon TDP 2×95 W; K20m board power 225 W).
+func NewModel(dev *perfmodel.Device) *Model {
+	m := &Model{Dev: dev}
+	if dev.Type == perfmodel.CPU {
+		m.IdleWatts = 60
+		m.ActiveWattsPerCU = 4 // ~190 W all-core
+		m.MemoryWatts = 20
+	} else {
+		m.IdleWatts = 45
+		m.ActiveWattsPerCU = 11 // ~190 W all-SMX
+		m.MemoryWatts = 35
+	}
+	return m
+}
+
+// EstimateMicrojoules converts a timing estimate into energy. Busy compute
+// units follow the launch's concurrency; memory power follows the
+// memory-vs-compute balance of the kernel.
+func (m *Model) EstimateMicrojoules(est *perfmodel.Estimate) float64 {
+	busyCUs := float64(est.ConcurrentWGs)
+	maxWGsPerCU := float64(m.Dev.MaxWGsPerCU)
+	if maxWGsPerCU > 0 {
+		busyCUs /= maxWGsPerCU
+	}
+	if busyCUs > float64(m.Dev.ComputeUnits) {
+		busyCUs = float64(m.Dev.ComputeUnits)
+	}
+	if busyCUs < 1 {
+		busyCUs = 1
+	}
+
+	memFrac := 0.0
+	if est.ComputeNsPerWG+est.MemoryNsPerWG > 0 {
+		memFrac = est.MemoryNsPerWG / (est.ComputeNsPerWG + est.MemoryNsPerWG)
+	}
+
+	watts := m.IdleWatts + m.ActiveWattsPerCU*busyCUs + m.MemoryWatts*memFrac
+	seconds := est.TimeNs * 1e-9
+	joules := watts * seconds
+	return joules * 1e6
+}

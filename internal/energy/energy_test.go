@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"testing"
+
+	"atf/internal/perfmodel"
+)
+
+func est(timeNs float64, concurrent int64, computeNs, memNs float64) *perfmodel.Estimate {
+	return &perfmodel.Estimate{
+		TimeNs:         timeNs,
+		ConcurrentWGs:  concurrent,
+		ComputeNsPerWG: computeNs,
+		MemoryNsPerWG:  memNs,
+	}
+}
+
+func TestModelsDifferPerDeviceClass(t *testing.T) {
+	cpu := NewModel(perfmodel.XeonE5_2640v2x2())
+	gpu := NewModel(perfmodel.TeslaK20m())
+	if cpu.ActiveWattsPerCU == gpu.ActiveWattsPerCU {
+		t.Fatal("device classes should have distinct power profiles")
+	}
+}
+
+func TestEnergyScalesWithTime(t *testing.T) {
+	m := NewModel(perfmodel.TeslaK20m())
+	fast := m.EstimateMicrojoules(est(1e6, 13, 100, 100))
+	slow := m.EstimateMicrojoules(est(2e6, 13, 100, 100))
+	if slow <= fast {
+		t.Fatalf("longer run must cost more energy: %v vs %v", slow, fast)
+	}
+	// Linear in time at fixed power.
+	if slow/fast < 1.9 || slow/fast > 2.1 {
+		t.Fatalf("expected ~2x energy, got %v", slow/fast)
+	}
+}
+
+func TestEnergyScalesWithBusyUnits(t *testing.T) {
+	m := NewModel(perfmodel.TeslaK20m())
+	narrow := m.EstimateMicrojoules(est(1e6, 16, 100, 0)) // 1 CU (16 WGs/CU)
+	wide := m.EstimateMicrojoules(est(1e6, 13*16, 100, 0))
+	if wide <= narrow {
+		t.Fatalf("more busy CUs must draw more power: %v vs %v", wide, narrow)
+	}
+}
+
+func TestRuntimeEnergyCanDisagree(t *testing.T) {
+	// The reason multi-objective tuning is interesting: a slower, narrower
+	// launch can use less energy than a faster, wider one.
+	m := NewModel(perfmodel.TeslaK20m())
+	fastWide := est(1.0e6, 13*16, 100, 0)
+	slowNarrow := est(1.3e6, 16, 100, 0)
+	eFast := m.EstimateMicrojoules(fastWide)
+	eSlow := m.EstimateMicrojoules(slowNarrow)
+	if fastWide.TimeNs >= slowNarrow.TimeNs {
+		t.Fatal("setup broken")
+	}
+	if eSlow >= eFast {
+		t.Fatalf("slower-narrow should be cheaper in energy: %v vs %v", eSlow, eFast)
+	}
+}
+
+func TestMemoryBoundKernelsDrawMemoryPower(t *testing.T) {
+	m := NewModel(perfmodel.XeonE5_2640v2x2())
+	compute := m.EstimateMicrojoules(est(1e6, 32, 100, 0))
+	memory := m.EstimateMicrojoules(est(1e6, 32, 0, 100))
+	if memory <= compute {
+		t.Fatalf("memory-bound run should draw more: %v vs %v", memory, compute)
+	}
+}
+
+func TestBusyUnitsClamped(t *testing.T) {
+	m := NewModel(perfmodel.TeslaK20m())
+	// Absurd concurrency must clamp at the device's unit count.
+	capped := m.EstimateMicrojoules(est(1e6, 1<<20, 100, 0))
+	full := m.EstimateMicrojoules(est(1e6, 13*16, 100, 0))
+	if capped != full {
+		t.Fatalf("busy units must clamp: %v vs %v", capped, full)
+	}
+}

@@ -1,0 +1,132 @@
+// Package generic implements ATF's generic cost function for auto-tuning
+// programs "written in an arbitrary programming language, using an
+// arbitrary objective" (paper, Section II Step 2): the user provides a
+// source file, a compile script and a run script; tuning-parameter values
+// are passed to the scripts, and the cost is either read from a log file
+// the program writes (comma-separated values for multi-objective tuning)
+// or, if no log file is configured, measured as the program's runtime.
+package generic
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"atf/internal/core"
+)
+
+// CostFunction runs external compile/run scripts per configuration.
+type CostFunction struct {
+	// SourcePath is the path to the program's source file, exported to
+	// the scripts as ATF_SOURCE.
+	SourcePath string
+	// CompileScript and RunScript are executable script paths. The
+	// configuration is passed as environment variables ATF_TP_<NAME>
+	// and, for the compile script, as -DNAME=VALUE pairs in ATF_DEFINES.
+	CompileScript string
+	RunScript     string
+	// LogFile, when set, is read after the run script finishes; the
+	// program writes its cost(s) there, comma-separated. When empty, the
+	// run script's wall-clock time in nanoseconds is the cost.
+	LogFile string
+	// Timeout bounds each script execution (default 1 minute).
+	Timeout time.Duration
+}
+
+// Cost implements core.CostFunction.
+func (g *CostFunction) Cost(cfg *core.Config) (core.Cost, error) {
+	timeout := g.Timeout
+	if timeout == 0 {
+		timeout = time.Minute
+	}
+	env := g.environment(cfg)
+
+	if g.CompileScript != "" {
+		if err := runScript(g.CompileScript, env, timeout); err != nil {
+			return nil, fmt.Errorf("generic: compile failed: %w", err)
+		}
+	}
+	if g.RunScript == "" {
+		return nil, fmt.Errorf("generic: no run script configured")
+	}
+	start := time.Now()
+	if err := runScript(g.RunScript, env, timeout); err != nil {
+		return nil, fmt.Errorf("generic: run failed: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	if g.LogFile == "" {
+		return core.SingleCost(float64(elapsed.Nanoseconds())), nil
+	}
+	return ParseCostLog(g.LogFile)
+}
+
+// environment renders the configuration for the scripts.
+func (g *CostFunction) environment(cfg *core.Config) []string {
+	env := os.Environ()
+	if g.SourcePath != "" {
+		env = append(env, "ATF_SOURCE="+g.SourcePath)
+	}
+	var defines []string
+	for name, val := range cfg.Defines() {
+		env = append(env, "ATF_TP_"+name+"="+val)
+		defines = append(defines, "-D"+name+"="+val)
+	}
+	env = append(env, "ATF_DEFINES="+strings.Join(defines, " "))
+	if g.LogFile != "" {
+		env = append(env, "ATF_LOG="+g.LogFile)
+	}
+	return env
+}
+
+func runScript(path string, env []string, timeout time.Duration) error {
+	cmd := exec.Command(path)
+	cmd.Env = env
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("script %s timed out after %v", path, timeout)
+	}
+}
+
+// ParseCostLog reads comma-separated costs from a log file — the
+// multi-objective format of ATF's generic cost function. The last
+// non-empty line wins, so programs may append per run.
+func ParseCostLog(path string) (core.Cost, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("generic: reading cost log: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var last string
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.TrimSpace(lines[i]) != "" {
+			last = strings.TrimSpace(lines[i])
+			break
+		}
+	}
+	if last == "" {
+		return nil, fmt.Errorf("generic: cost log %s is empty", path)
+	}
+	parts := strings.Split(last, ",")
+	cost := make(core.Cost, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("generic: bad cost value %q in %s", p, path)
+		}
+		cost = append(cost, v)
+	}
+	return cost, nil
+}

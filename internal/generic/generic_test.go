@@ -1,0 +1,168 @@
+package generic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"atf/internal/core"
+)
+
+func writeScript(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte("#!/bin/sh\n"+body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func cfg(vals map[string]core.Value) *core.Config {
+	names := make([]string, 0, len(vals))
+	for k := range vals {
+		names = append(names, k)
+	}
+	return core.ConfigFromMap(names, vals)
+}
+
+func TestParseCostLogSingle(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "log")
+	os.WriteFile(p, []byte("42.5\n"), 0o644)
+	c, err := ParseCostLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 1 || c[0] != 42.5 {
+		t.Fatalf("cost = %v", c)
+	}
+}
+
+func TestParseCostLogMultiObjective(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "log")
+	os.WriteFile(p, []byte("12.5, 900\n"), 0o644)
+	c, err := ParseCostLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0] != 12.5 || c[1] != 900 {
+		t.Fatalf("cost = %v", c)
+	}
+}
+
+func TestParseCostLogLastLineWins(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "log")
+	os.WriteFile(p, []byte("1\n2\n3\n\n"), 0o644)
+	c, err := ParseCostLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 3 {
+		t.Fatalf("cost = %v, want last line", c)
+	}
+}
+
+func TestParseCostLogErrors(t *testing.T) {
+	if _, err := ParseCostLog("/nonexistent/log"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	os.WriteFile(empty, []byte("  \n"), 0o644)
+	if _, err := ParseCostLog(empty); err == nil {
+		t.Fatal("empty log must error")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("not-a-number\n"), 0o644)
+	if _, err := ParseCostLog(bad); err == nil {
+		t.Fatal("garbage log must error")
+	}
+}
+
+func TestEnvironmentPassesParameters(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "seen")
+	run := writeScript(t, dir, "run.sh", `echo "$ATF_TP_WPT|$ATF_DEFINES|$ATF_SOURCE" > `+out+"\n")
+	g := &CostFunction{SourcePath: "/src/kernel.cl", RunScript: run}
+	_, err := g.Cost(cfg(map[string]core.Value{"WPT": core.Int(8)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	s := string(data)
+	if !strings.Contains(s, "8|") || !strings.Contains(s, "-DWPT=8") ||
+		!strings.Contains(s, "/src/kernel.cl") {
+		t.Fatalf("environment incomplete: %q", s)
+	}
+}
+
+func TestWallClockCost(t *testing.T) {
+	dir := t.TempDir()
+	run := writeScript(t, dir, "run.sh", "exit 0\n")
+	g := &CostFunction{RunScript: run}
+	c, err := g.Cost(cfg(map[string]core.Value{"X": core.Int(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 1 || c[0] <= 0 {
+		t.Fatalf("wall-clock cost = %v", c)
+	}
+}
+
+func TestCompileFailure(t *testing.T) {
+	dir := t.TempDir()
+	compile := writeScript(t, dir, "c.sh", "exit 3\n")
+	run := writeScript(t, dir, "r.sh", "exit 0\n")
+	g := &CostFunction{CompileScript: compile, RunScript: run}
+	if _, err := g.Cost(cfg(map[string]core.Value{"X": core.Int(1)})); err == nil {
+		t.Fatal("compile failure must surface")
+	}
+}
+
+func TestRunFailure(t *testing.T) {
+	dir := t.TempDir()
+	run := writeScript(t, dir, "r.sh", "exit 1\n")
+	g := &CostFunction{RunScript: run}
+	if _, err := g.Cost(cfg(map[string]core.Value{"X": core.Int(1)})); err == nil {
+		t.Fatal("run failure must surface")
+	}
+}
+
+func TestMissingRunScript(t *testing.T) {
+	g := &CostFunction{}
+	if _, err := g.Cost(cfg(map[string]core.Value{"X": core.Int(1)})); err == nil {
+		t.Fatal("missing run script must error")
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	dir := t.TempDir()
+	run := writeScript(t, dir, "r.sh", "sleep 10\n")
+	g := &CostFunction{RunScript: run, Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := g.Cost(cfg(map[string]core.Value{"X": core.Int(1)}))
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not take effect")
+	}
+}
+
+func TestLogFileCost(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "cost.log")
+	run := writeScript(t, dir, "r.sh", `echo "$((ATF_TP_X * 10)),7" > "$ATF_LOG"`+"\n")
+	g := &CostFunction{RunScript: run, LogFile: log}
+	c, err := g.Cost(cfg(map[string]core.Value{"X": core.Int(3)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0] != 30 || c[1] != 7 {
+		t.Fatalf("cost = %v", c)
+	}
+}

@@ -1,0 +1,159 @@
+package oclc
+
+import "math"
+
+// builtinFn implements one OpenCL-C builtin.
+type builtinFn func(w *wiCtx, x *Call, args []rval) (rval, error)
+
+// builtins maps the supported OpenCL-C builtin functions. Work-item
+// functions read the execution context; math builtins count as special or
+// FMA operations for the performance model.
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		"get_global_id":   wiQuery(func(w *wiCtx, d int) int64 { return w.gid[d] }),
+		"get_local_id":    wiQuery(func(w *wiCtx, d int) int64 { return w.lid[d] }),
+		"get_group_id":    wiQuery(func(w *wiCtx, d int) int64 { return w.wg.grp[d] }),
+		"get_global_size": wiQuery(func(w *wiCtx, d int) int64 { return w.wg.launch.Global[d] }),
+		"get_local_size":  wiQuery(func(w *wiCtx, d int) int64 { return w.wg.launch.Local[d] }),
+		"get_num_groups": wiQuery(func(w *wiCtx, d int) int64 {
+			return w.wg.launch.Global[d] / w.wg.launch.Local[d]
+		}),
+		"get_work_dim": func(w *wiCtx, x *Call, args []rval) (rval, error) {
+			return intVal(int64(w.wg.launch.Dims())), nil
+		},
+
+		"barrier": func(w *wiCtx, x *Call, args []rval) (rval, error) {
+			w.ctr.Barriers++
+			w.wg.barrier.await()
+			return rval{}, nil
+		},
+		"mem_fence":          noop,
+		"work_group_barrier": barrierAlias,
+		"sub_group_barrier":  noop,
+		"prefetch":           noop,
+		"wait_group_events":  noop,
+		"async_work_group_copy": func(w *wiCtx, x *Call, args []rval) (rval, error) {
+			return rval{}, errf(x.Pos, "async_work_group_copy not supported; use explicit loops")
+		},
+
+		"fma": fmaBuiltin,
+		"mad": fmaBuiltin,
+
+		"min":   minMax(true),
+		"max":   minMax(false),
+		"clamp": clampBuiltin,
+		"abs": func(w *wiCtx, x *Call, args []rval) (rval, error) {
+			if len(args) != 1 {
+				return rval{}, errf(x.Pos, "abs expects 1 argument")
+			}
+			w.ctr.IntOps++
+			v := args[0].asInt()
+			if v < 0 {
+				v = -v
+			}
+			return intVal(v), nil
+		},
+		"fabs":  mathUnary(math.Abs),
+		"sqrt":  mathUnary(math.Sqrt),
+		"rsqrt": mathUnary(func(v float64) float64 { return 1 / math.Sqrt(v) }),
+		"exp":   mathUnary(math.Exp),
+		"log":   mathUnary(math.Log),
+		"sin":   mathUnary(math.Sin),
+		"cos":   mathUnary(math.Cos),
+		"tanh":  mathUnary(math.Tanh),
+		"floor": mathUnary(math.Floor),
+		"ceil":  mathUnary(math.Ceil),
+		"round": mathUnary(math.Round),
+		"pow": func(w *wiCtx, x *Call, args []rval) (rval, error) {
+			if len(args) != 2 {
+				return rval{}, errf(x.Pos, "pow expects 2 arguments")
+			}
+			w.ctr.SpecialOps++
+			return floatVal(math.Pow(args[0].asFloat(), args[1].asFloat())), nil
+		},
+		"fmod": func(w *wiCtx, x *Call, args []rval) (rval, error) {
+			if len(args) != 2 {
+				return rval{}, errf(x.Pos, "fmod expects 2 arguments")
+			}
+			w.ctr.SpecialOps++
+			return floatVal(math.Mod(args[0].asFloat(), args[1].asFloat())), nil
+		},
+	}
+}
+
+var noop = func(w *wiCtx, x *Call, args []rval) (rval, error) { return rval{}, nil }
+
+var barrierAlias = func(w *wiCtx, x *Call, args []rval) (rval, error) {
+	w.ctr.Barriers++
+	w.wg.barrier.await()
+	return rval{}, nil
+}
+
+// wiQuery builds a work-item query builtin taking a dimension argument.
+func wiQuery(get func(w *wiCtx, d int) int64) builtinFn {
+	return func(w *wiCtx, x *Call, args []rval) (rval, error) {
+		d := 0
+		if len(args) >= 1 {
+			d = int(args[0].asInt())
+		}
+		if d < 0 || d > 2 {
+			return rval{}, errf(x.Pos, "work-item dimension %d out of range", d)
+		}
+		return intVal(get(w, d)), nil
+	}
+}
+
+func fmaBuiltin(w *wiCtx, x *Call, args []rval) (rval, error) {
+	if len(args) != 3 {
+		return rval{}, errf(x.Pos, "%s expects 3 arguments", x.Name)
+	}
+	w.ctr.FMAs++
+	return floatVal(args[0].asFloat()*args[1].asFloat() + args[2].asFloat()), nil
+}
+
+func minMax(isMin bool) builtinFn {
+	return func(w *wiCtx, x *Call, args []rval) (rval, error) {
+		if len(args) != 2 {
+			return rval{}, errf(x.Pos, "%s expects 2 arguments", x.Name)
+		}
+		a, b := args[0], args[1]
+		if a.k == KFloat || b.k == KFloat {
+			w.ctr.FloatOps++
+			if isMin == (a.asFloat() < b.asFloat()) {
+				return floatVal(a.asFloat()), nil
+			}
+			return floatVal(b.asFloat()), nil
+		}
+		w.ctr.IntOps++
+		if isMin == (a.asInt() < b.asInt()) {
+			return intVal(a.asInt()), nil
+		}
+		return intVal(b.asInt()), nil
+	}
+}
+
+func clampBuiltin(w *wiCtx, x *Call, args []rval) (rval, error) {
+	if len(args) != 3 {
+		return rval{}, errf(x.Pos, "clamp expects 3 arguments")
+	}
+	w.ctr.FloatOps += 2
+	v, lo, hi := args[0].asFloat(), args[1].asFloat(), args[2].asFloat()
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	if args[0].k == KFloat || args[1].k == KFloat {
+		return floatVal(v), nil
+	}
+	return intVal(int64(v)), nil
+}
+
+// IsBuiltin reports whether name is a recognized builtin (tests).
+func IsBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}

@@ -1,0 +1,532 @@
+package oclc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// run1D compiles and launches a kernel over a 1-D NDRange.
+func run1D(t *testing.T, src string, defines map[string]string, args []Arg,
+	global, local int64, opts ExecOptions) *ExecResult {
+	t.Helper()
+	prog, err := Compile(src, defines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	for n, f := range prog.Funcs {
+		if f.Kernel {
+			name = n
+		}
+	}
+	res, err := prog.Launch(name, args, NDRange1D(global, local), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const saxpyKernel = `
+__kernel void saxpy(const int N, const float a,
+                    __global float* x, __global float* y) {
+  for (int w = 0; w < WPT; w++) {
+    const int id = w * get_global_size(0) + get_global_id(0);
+    y[id] = a * x[id] + y[id];
+  }
+}`
+
+func TestSaxpyFunctional(t *testing.T) {
+	const n = 32
+	x := NewGlobalMemory(1, KFloat, 4, n)
+	y := NewGlobalMemory(2, KFloat, 4, n)
+	for i := 0; i < n; i++ {
+		x.Data[i] = float64(i)
+		y.Data[i] = float64(2 * i)
+	}
+	const a, wpt, ls = 3.0, 4, 2
+	run1D(t, saxpyKernel, map[string]string{"WPT": "4"},
+		[]Arg{IntArg(n), FloatArg(a), BufArg(x), BufArg(y)},
+		n/wpt, ls, ExecOptions{})
+	for i := 0; i < n; i++ {
+		want := a*float64(i) + float64(2*i)
+		if y.Data[i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data[i], want)
+		}
+	}
+}
+
+func TestSaxpyCountsOps(t *testing.T) {
+	const n = 16
+	x := NewGlobalMemory(1, KFloat, 4, n)
+	y := NewGlobalMemory(2, KFloat, 4, n)
+	res := run1D(t, saxpyKernel, map[string]string{"WPT": "2"},
+		[]Arg{IntArg(n), FloatArg(1), BufArg(x), BufArg(y)},
+		n/2, 4, ExecOptions{})
+	// Each of the 8 WIs runs WPT=2 iterations: 2 loads of x, 2 of y,
+	// 2 stores of y.
+	if res.Counters.GlobalLoads != 8*2*2 {
+		t.Errorf("global loads = %d, want 32", res.Counters.GlobalLoads)
+	}
+	if res.Counters.GlobalStores != 8*2 {
+		t.Errorf("global stores = %d, want 16", res.Counters.GlobalStores)
+	}
+	if res.Counters.FloatOps == 0 {
+		t.Error("float ops not counted")
+	}
+	if res.Counters.LoopIters != 8*2 {
+		t.Errorf("loop iters = %d, want 16", res.Counters.LoopIters)
+	}
+	if res.WIsExecuted != 8 {
+		t.Errorf("WIs = %d, want 8", res.WIsExecuted)
+	}
+}
+
+func TestWorkItemBuiltins(t *testing.T) {
+	src := `
+__kernel void ids(__global int* out) {
+  const int g = get_global_id(0);
+  out[g] = get_local_id(0) + 100*get_group_id(0)
+         + 10000*get_local_size(0) + 1000000*get_num_groups(0);
+}`
+	out := NewGlobalMemory(1, KInt, 4, 12)
+	run1D(t, src, nil, []Arg{BufArg(out)}, 12, 3, ExecOptions{})
+	// WI 7: local id 1, group 2, local size 3, num groups 4.
+	want := float64(1 + 100*2 + 10000*3 + 1000000*4)
+	if out.Data[7] != want {
+		t.Fatalf("out[7] = %v, want %v", out.Data[7], want)
+	}
+}
+
+func TestLocalMemoryAndBarrier(t *testing.T) {
+	// Reverse within each work-group through local memory — wrong without
+	// a correctly shared tile and working barrier.
+	src := `
+__kernel void reverse(__global float* data) {
+  __local float tile[LS];
+  const int l = get_local_id(0);
+  const int base = get_group_id(0) * LS;
+  tile[l] = data[base + l];
+  barrier(0);
+  data[base + l] = tile[LS - 1 - l];
+}`
+	const n, ls = 16, 4
+	data := NewGlobalMemory(1, KFloat, 4, n)
+	for i := 0; i < n; i++ {
+		data.Data[i] = float64(i)
+	}
+	run1D(t, src, map[string]string{"LS": "4"},
+		[]Arg{BufArg(data)}, n, ls, ExecOptions{})
+	for g := 0; g < n/ls; g++ {
+		for l := 0; l < ls; l++ {
+			want := float64(g*ls + (ls - 1 - l))
+			if data.Data[g*ls+l] != want {
+				t.Fatalf("data[%d] = %v, want %v", g*ls+l, data.Data[g*ls+l], want)
+			}
+		}
+	}
+}
+
+func Test2DKernelAndArrays(t *testing.T) {
+	// Tiny matrix transpose with a 2-D local tile.
+	src := `
+__kernel void transpose(const int n, __global float* in, __global float* out) {
+  __local float tile[T][T];
+  const int gx = get_global_id(0);
+  const int gy = get_global_id(1);
+  tile[get_local_id(1)][get_local_id(0)] = in[gy*n + gx];
+  barrier(0);
+  const int tx = get_group_id(1)*T + get_local_id(0);
+  const int ty = get_group_id(0)*T + get_local_id(1);
+  out[ty*n + tx] = tile[get_local_id(0)][get_local_id(1)];
+}`
+	const n, tile = 8, 2
+	in := NewGlobalMemory(1, KFloat, 4, n*n)
+	out := NewGlobalMemory(2, KFloat, 4, n*n)
+	for i := 0; i < n*n; i++ {
+		in.Data[i] = float64(i)
+	}
+	prog, err := Compile(src, map[string]string{"T": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = prog.Launch("transpose", []Arg{IntArg(n), BufArg(in), BufArg(out)},
+		NDRange2D(n, n, tile, tile), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if out.Data[c*n+r] != in.Data[r*n+c] {
+				t.Fatalf("transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestHelperFunctionCall(t *testing.T) {
+	src := `
+inline float axpy(const float a, const float x, const float y) {
+  return a * x + y;
+}
+__kernel void k(__global float* out) {
+  out[get_global_id(0)] = axpy(2.0f, 3.0f, 4.0f);
+}`
+	out := NewGlobalMemory(1, KFloat, 4, 4)
+	res := run1D(t, src, nil, []Arg{BufArg(out)}, 4, 2, ExecOptions{})
+	if out.Data[0] != 10 {
+		t.Fatalf("out[0] = %v, want 10", out.Data[0])
+	}
+	if res.Counters.Calls != 4 {
+		t.Errorf("calls = %d, want 4", res.Counters.Calls)
+	}
+}
+
+func TestIntegerSemantics(t *testing.T) {
+	src := `
+__kernel void k(__global int* out) {
+  out[0] = 7 / 2;        // 3, integer division
+  out[1] = 7 % 3;        // 1
+  out[2] = 1 << 4;       // 16
+  out[3] = -9 / 2;       // -4 (C truncation)
+  out[4] = (int)(2.9f);  // 2
+  out[5] = 5 > 3;        // 1
+  out[6] = 10;
+  out[6] += 4;           // 14
+  out[7] = 0x10 | 1;     // 17
+}`
+	out := NewGlobalMemory(1, KInt, 4, 8)
+	run1D(t, src, nil, []Arg{BufArg(out)}, 1, 1, ExecOptions{})
+	want := []float64{3, 1, 16, -4, 2, 1, 14, 17}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	src := `
+__kernel void k(__global float* out) {
+  out[0] = 7.0f / 2.0f;          // 3.5
+  out[1] = fma(2.0f, 3.0f, 1.0f); // 7
+  out[2] = mad(2.0f, 3.0f, 1.0f); // 7
+  out[3] = min(2.5f, 1.5f);
+  out[4] = max(2, 7);
+  out[5] = sqrt(16.0f);
+  out[6] = fabs(-2.5f);
+  out[7] = clamp(5.0f, 0.0f, 2.0f);
+  out[8] = 7 / 2.0f;             // 3.5, promotion
+}`
+	out := NewGlobalMemory(1, KFloat, 4, 9)
+	res := run1D(t, src, nil, []Arg{BufArg(out)}, 1, 1, ExecOptions{})
+	want := []float64{3.5, 7, 7, 1.5, 7, 4, 2.5, 2, 3.5}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+	if res.Counters.FMAs != 2 {
+		t.Errorf("FMAs = %d, want 2", res.Counters.FMAs)
+	}
+	if res.Counters.SpecialOps < 2 {
+		t.Errorf("special ops = %d, want >= 2 (sqrt, fabs)", res.Counters.SpecialOps)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+__kernel void k(__global int* out) {
+  int acc = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 3) { continue; }
+    if (i == 7) { break; }
+    acc += i;
+  }
+  int j = 0;
+  while (j < 4) { j++; }
+  out[0] = acc;       // 0+1+2+4+5+6 = 18
+  out[1] = j;         // 4
+  out[2] = (acc > 10) ? 1 : 2;
+  int m = 5;
+  m--; --m; m++; ++m; // back to 5
+  out[3] = m;
+}`
+	out := NewGlobalMemory(1, KInt, 4, 4)
+	run1D(t, src, nil, []Arg{BufArg(out)}, 1, 1, ExecOptions{})
+	want := []float64{18, 4, 1, 5}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestPragmaUnrollCountsSeparately(t *testing.T) {
+	src := `
+__kernel void k(__global float* out) {
+  float acc = 0.0f;
+  #pragma unroll 4
+  for (int i = 0; i < 8; i++) { acc += 1.0f; }
+  for (int i = 0; i < 8; i++) { acc += 1.0f; }
+  out[0] = acc;
+}`
+	out := NewGlobalMemory(1, KFloat, 4, 1)
+	res := run1D(t, src, nil, []Arg{BufArg(out)}, 1, 1, ExecOptions{})
+	if out.Data[0] != 16 {
+		t.Fatalf("acc = %v", out.Data[0])
+	}
+	if res.Counters.UnrolledIters != 8 || res.Counters.LoopIters != 8 {
+		t.Fatalf("unrolled/plain = %d/%d, want 8/8",
+			res.Counters.UnrolledIters, res.Counters.LoopIters)
+	}
+}
+
+func TestPrivateArrays(t *testing.T) {
+	src := `
+__kernel void k(__global float* out) {
+  float acc[4];
+  for (int i = 0; i < 4; i++) { acc[i] = (float)i; }
+  float s = 0.0f;
+  for (int i = 0; i < 4; i++) { s += acc[i]; }
+  out[get_global_id(0)] = s;
+}`
+	out := NewGlobalMemory(1, KFloat, 4, 2)
+	res := run1D(t, src, nil, []Arg{BufArg(out)}, 2, 1, ExecOptions{})
+	if out.Data[0] != 6 || out.Data[1] != 6 {
+		t.Fatalf("out = %v", out.Data)
+	}
+	if res.Counters.PrivateAccess == 0 {
+		t.Error("private array traffic not counted")
+	}
+	if res.Counters.GlobalStores != 2 {
+		t.Errorf("global stores = %d, want 2", res.Counters.GlobalStores)
+	}
+}
+
+func TestOutOfBoundsError(t *testing.T) {
+	src := `__kernel void k(__global float* out) { out[99] = 1.0f; }`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KFloat, 4, 4)
+	_, err = prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	src := `__kernel void k(__global int* out, const int z) { out[0] = 4 / z; }`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	_, err = prog.Launch("k", []Arg{BufArg(out), IntArg(0)}, NDRange1D(1, 1), ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("expected division-by-zero error, got %v", err)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	prog, err := Compile(`__kernel void k(__global float* o) { o[0]=1.0f; }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KFloat, 4, 1)
+	// Local does not divide global → CL_INVALID_WORK_GROUP_SIZE analogue.
+	_, err = prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(10, 3), ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "does not divide") {
+		t.Fatalf("expected NDRange validation error, got %v", err)
+	}
+	// Wrong argument count.
+	_, err = prog.Launch("k", nil, NDRange1D(4, 2), ExecOptions{})
+	if err == nil {
+		t.Fatal("expected argument-count error")
+	}
+	// Unknown kernel.
+	_, err = prog.Launch("nope", []Arg{BufArg(out)}, NDRange1D(4, 2), ExecOptions{})
+	if err == nil {
+		t.Fatal("expected unknown-kernel error")
+	}
+}
+
+func TestSampledExecution(t *testing.T) {
+	const n = 64
+	x := NewGlobalMemory(1, KFloat, 4, n)
+	y := NewGlobalMemory(2, KFloat, 4, n)
+	res := run1D(t, saxpyKernel, map[string]string{"WPT": "1"},
+		[]Arg{IntArg(n), FloatArg(1), BufArg(x), BufArg(y)},
+		n, 8, ExecOptions{SampleGroups: 2})
+	if res.GroupsExecuted != 2 {
+		t.Fatalf("groups executed = %d, want 2", res.GroupsExecuted)
+	}
+	if res.WIsExecuted != 16 {
+		t.Fatalf("WIs executed = %d, want 16", res.WIsExecuted)
+	}
+}
+
+func TestAccessLogRecordsCoalescableAddresses(t *testing.T) {
+	const n = 32
+	x := NewGlobalMemory(1, KFloat, 4, n)
+	y := NewGlobalMemory(2, KFloat, 4, n)
+	res := run1D(t, saxpyKernel, map[string]string{"WPT": "1"},
+		[]Arg{IntArg(n), FloatArg(1), BufArg(x), BufArg(y)},
+		n, 8, ExecOptions{SampleGroups: 1, RecordAccesses: true})
+	if res.Log == nil {
+		t.Fatal("no access log")
+	}
+	// saxpy has 3 access sites: x[id] load, y[id] load, y[id] store.
+	sites := res.Log.Sites()
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(sites))
+	}
+	// Adjacent work-items touch adjacent 4-byte addresses (unit stride).
+	for site, byWI := range sites {
+		if byWI[1][0]-byWI[0][0] != 4 {
+			t.Errorf("site %d: stride = %d bytes, want 4", site, byWI[1][0]-byWI[0][0])
+		}
+	}
+	// Store/load flags survive in the raw per-WI trace.
+	stores := 0
+	for _, a := range res.Log.WIAccesses(0) {
+		if a.Store {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Errorf("WI 0 should have exactly 1 store, got %d", stores)
+	}
+}
+
+func TestBarrierDivergenceFlagged(t *testing.T) {
+	// Half the work-items skip the barrier: undefined behaviour that the
+	// simulator must survive and flag rather than deadlock.
+	src := `
+__kernel void k(__global float* out) {
+  if (get_local_id(0) < 2) { barrier(0); }
+  out[get_global_id(0)] = 1.0f;
+}`
+	out := NewGlobalMemory(1, KFloat, 4, 4)
+	res := run1D(t, src, nil, []Arg{BufArg(out)}, 4, 4, ExecOptions{})
+	if !res.Divergent {
+		t.Fatal("divergent barrier not flagged")
+	}
+}
+
+func TestEnumStyleDefines(t *testing.T) {
+	// String-valued tuning parameters arrive as numeric macro values via
+	// the enum mapping; the kernel sees plain integers.
+	src := `
+__kernel void k(__global int* out) {
+  out[0] = STRATEGY;
+}`
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	run1D(t, src, map[string]string{"STRATEGY": "2"}, []Arg{BufArg(out)}, 1, 1, ExecOptions{})
+	if out.Data[0] != 2 {
+		t.Fatalf("enum define lost: %v", out.Data[0])
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		`__kernel void k( { }`,                    // bad params
+		`__kernel void k() { int x = ; }`,         // bad init
+		`__kernel void k() { y = 1; }`,            // undeclared
+		`__kernel void k() { int x; int x; }`,     // redeclaration
+		`__kernel void k() { float a[2][2][2]; }`, // 3-D array
+		`__kernel void k() { 1 = 2; }`,            // bad assignment target
+		`__kernel void k() { if (1) { return; }`,  // unterminated
+		`void k() { unknown_fn(1); }`,             // undefined call is a runtime-free parse pass...
+	}
+	for i, src := range cases {
+		_, err := Parse(src)
+		if i == len(cases)-1 {
+			// Calls resolve at runtime (like real linkers); parse succeeds.
+			if err != nil {
+				t.Errorf("case %d should parse, got %v", i, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("case %d should fail to parse: %q", i, src)
+		}
+	}
+}
+
+func TestUndefinedFunctionRuntimeError(t *testing.T) {
+	prog, err := Parse(`__kernel void k(__global float* o) { o[0] = zap(1.0f); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewGlobalMemory(1, KFloat, 4, 1)
+	_, err = prog.Launch("k", []Arg{BufArg(o)}, NDRange1D(1, 1), ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Fatalf("want undefined-function error, got %v", err)
+	}
+}
+
+func TestNonKernelLaunchRejected(t *testing.T) {
+	prog, err := Parse(`void helper() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Launch("helper", nil, NDRange1D(1, 1), ExecOptions{}); err == nil {
+		t.Fatal("launching a non-kernel function must fail")
+	}
+}
+
+func TestMemoryHelpers(t *testing.T) {
+	m := NewGlobalMemory(1, KFloat, 4, 3)
+	m.SetFloat32s([]float32{1, 2, 3})
+	got := m.Float32s()
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatal("float32 roundtrip broken")
+	}
+	if m.Len() != 3 {
+		t.Fatal("Len broken")
+	}
+}
+
+func TestCountersAddAndTotal(t *testing.T) {
+	a := Counters{IntOps: 1, FloatOps: 2, FMAs: 3, GlobalLoads: 4}
+	b := Counters{IntOps: 10, Barriers: 5}
+	a.Add(&b)
+	if a.IntOps != 11 || a.Barriers != 5 {
+		t.Fatal("Add broken")
+	}
+	if a.Total() == 0 {
+		t.Fatal("Total broken")
+	}
+}
+
+func TestMathBuiltinValues(t *testing.T) {
+	src := `
+__kernel void k(__global float* out) {
+  out[0] = exp(0.0f);
+  out[1] = log(1.0f);
+  out[2] = pow(2.0f, 10.0f);
+  out[3] = floor(2.7f);
+  out[4] = ceil(2.1f);
+  out[5] = rsqrt(4.0f);
+}`
+	out := NewGlobalMemory(1, KFloat, 4, 6)
+	run1D(t, src, nil, []Arg{BufArg(out)}, 1, 1, ExecOptions{})
+	want := []float64{1, 0, 1024, 2, 3, 0.5}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-9 {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	if !IsBuiltin("get_global_id") || !IsBuiltin("fma") {
+		t.Error("expected builtins missing")
+	}
+	if IsBuiltin("frobnicate") {
+		t.Error("unexpected builtin")
+	}
+}

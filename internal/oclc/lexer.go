@@ -1,0 +1,182 @@
+package oclc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lex tokenizes preprocessed OpenCL-C source. "#pragma unroll N" survives
+// preprocessing as a dedicated token so the parser can attach the unroll
+// hint to the following loop.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		pos := Pos{Line: line, Col: col}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '#':
+			// Only #pragma survives preprocessing.
+			j := i
+			for j < len(src) && src[j] != '\n' {
+				j++
+			}
+			text := src[i:j]
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && fields[0] == "#pragma" && fields[1] == "unroll" {
+				n := int64(-1) // bare "#pragma unroll" = full unroll
+				if len(fields) >= 3 {
+					v, err := strconv.ParseInt(strings.Trim(fields[2], "()"), 10, 64)
+					if err != nil {
+						return nil, errf(pos, "bad unroll factor %q", fields[2])
+					}
+					n = v
+				}
+				toks = append(toks, Token{Kind: TokPragma, Text: text, Int: n, Pos: pos})
+			}
+			// Other pragmas are hints we do not model; skip silently.
+			adv(j - i)
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[i:j], Pos: pos})
+			adv(j - i)
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			tok, n, err := lexNumber(src[i:], pos)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			adv(n)
+		default:
+			op, n := lexPunct(src[i:])
+			if n == 0 {
+				return nil, errf(pos, "unexpected character %q", string(c))
+			}
+			toks = append(toks, Token{Kind: TokPunct, Text: op, Pos: pos})
+			adv(n)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: Pos{Line: line, Col: col}})
+	return toks, nil
+}
+
+// lexNumber scans an integer or floating literal with C suffixes.
+func lexNumber(s string, pos Pos) (Token, int, error) {
+	j := 0
+	isFloat := false
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		j = 2
+		for j < len(s) && isHexDigit(s[j]) {
+			j++
+		}
+		text := s[:j]
+		n := j
+		for n < len(s) && isIntSuffix(s[n]) {
+			n++
+		}
+		v, err := strconv.ParseInt(text[2:], 16, 64)
+		if err != nil {
+			return Token{}, 0, errf(pos, "bad hex literal %q", text)
+		}
+		return Token{Kind: TokIntLit, Text: text, Int: v, Pos: pos}, n, nil
+	}
+	for j < len(s) && (s[j] >= '0' && s[j] <= '9') {
+		j++
+	}
+	if j < len(s) && s[j] == '.' {
+		isFloat = true
+		j++
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+	}
+	if j < len(s) && (s[j] == 'e' || s[j] == 'E') {
+		k := j + 1
+		if k < len(s) && (s[k] == '+' || s[k] == '-') {
+			k++
+		}
+		if k < len(s) && s[k] >= '0' && s[k] <= '9' {
+			isFloat = true
+			j = k
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+		}
+	}
+	text := s[:j]
+	n := j
+	if isFloat {
+		for n < len(s) && (s[n] == 'f' || s[n] == 'F') {
+			n++
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, 0, errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Text: text, Flt: v, Pos: pos}, n, nil
+	}
+	if n < len(s) && (s[n] == 'f' || s[n] == 'F') {
+		// "1f" style float literal.
+		v, _ := strconv.ParseFloat(text, 64)
+		return Token{Kind: TokFloatLit, Text: text, Flt: v, Pos: pos}, n + 1, nil
+	}
+	for n < len(s) && isIntSuffix(s[n]) {
+		n++
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, 0, errf(pos, "bad int literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Text: text, Int: v, Pos: pos}, n, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isIntSuffix(c byte) bool {
+	return c == 'u' || c == 'U' || c == 'l' || c == 'L'
+}
+
+// punct3/punct2 list multi-character operators, longest first.
+var punct3 = []string{"<<=", ">>="}
+var punct2 = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+func lexPunct(s string) (string, int) {
+	for _, p := range punct3 {
+		if strings.HasPrefix(s, p) {
+			return p, 3
+		}
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(s, p) {
+			return p, 2
+		}
+	}
+	switch s[0] {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~',
+		'(', ')', '[', ']', '{', '}', ',', ';', '?', ':', '.':
+		return string(s[0]), 1
+	}
+	return "", 0
+}

@@ -1,0 +1,667 @@
+package oclc
+
+// Parse compiles preprocessed source into a Program. Variable references
+// are resolved to frame slots during parsing, so the interpreter never
+// performs name lookups on the hot path.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Funcs: make(map[string]*Function), Source: src}
+	for !p.at(TokEOF) {
+		fn, err := p.parseFunction()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Funcs[fn.Name]; dup {
+			return nil, errf(Pos{}, "duplicate function %q", fn.Name)
+		}
+		prog.Funcs[fn.Name] = fn
+	}
+	return prog, nil
+}
+
+// Compile preprocesses and parses in one step — the shape of a real
+// clBuildProgram call with -D options.
+func Compile(source string, defines map[string]string) (*Program, error) {
+	pp, err := Preprocess(source, defines)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(pp)
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+
+	// current function being parsed
+	fn     *Function
+	scopes []map[string]int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos+1] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	t := p.cur()
+	return t.Kind == TokIdent && t.Text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return errf(p.cur().Pos, "expected %q, found %s", s, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+// --- scopes -----------------------------------------------------------
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, map[string]int{}) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) declare(name string, pos Pos) (int, error) {
+	top := p.scopes[len(p.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, errf(pos, "redeclaration of %q", name)
+	}
+	slot := p.fn.NumSlots
+	p.fn.NumSlots++
+	top[name] = slot
+	return slot, nil
+}
+
+func (p *parser) lookup(name string) (int, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// --- types ------------------------------------------------------------
+
+var typeNames = map[string]ValKind{
+	"void": KVoid, "bool": KBool,
+	"char": KInt, "uchar": KInt, "short": KInt, "ushort": KInt,
+	"int": KInt, "uint": KInt, "long": KInt, "ulong": KInt, "size_t": KInt,
+	"float": KFloat, "double": KFloat, "half": KFloat,
+	"real": KFloat, // CLBlast's precision-switch typedef
+}
+
+var qualifiers = map[string]bool{
+	"const": true, "restrict": true, "volatile": true, "inline": true,
+	"static": true, "unsigned": true, "signed": true,
+}
+
+// tryType attempts to parse "[qualifiers] [addrspace] base [*]" and
+// reports whether a type was present.
+func (p *parser) tryType() (Type, bool) {
+	start := p.pos
+	ty := Type{Space: SpacePrivate}
+	seenBase := false
+	for p.at(TokIdent) {
+		t := p.cur().Text
+		switch {
+		case t == "__global" || t == "global":
+			ty.Space = SpaceGlobal
+			p.next()
+		case t == "__local" || t == "local":
+			ty.Space = SpaceLocal
+			p.next()
+		case t == "__private" || t == "private" || t == "__constant" || t == "constant":
+			p.next()
+		case qualifiers[t]:
+			if t == "unsigned" || t == "signed" {
+				ty.Kind = KInt
+				seenBase = true
+			}
+			p.next()
+		default:
+			if k, ok := typeNames[t]; ok {
+				ty.Kind = k
+				seenBase = true
+				p.next()
+			} else {
+				if !seenBase {
+					p.pos = start
+					return Type{}, false
+				}
+				goto done
+			}
+		}
+	}
+done:
+	if !seenBase {
+		p.pos = start
+		return Type{}, false
+	}
+	for p.atPunct("*") {
+		ty.Ptr = true
+		p.next()
+	}
+	return ty, true
+}
+
+// --- functions --------------------------------------------------------
+
+func (p *parser) parseFunction() (*Function, error) {
+	fn := &Function{}
+	for p.atIdent("__kernel") || p.atIdent("kernel") {
+		fn.Kernel = true
+		p.next()
+	}
+	ret, ok := p.tryType()
+	if !ok {
+		return nil, errf(p.cur().Pos, "expected function return type, found %s", p.cur())
+	}
+	fn.Ret = ret
+	if !p.at(TokIdent) {
+		return nil, errf(p.cur().Pos, "expected function name, found %s", p.cur())
+	}
+	fn.Name = p.next().Text
+
+	p.fn = fn
+	p.scopes = nil
+	p.pushScope()
+	defer func() { p.fn = nil; p.scopes = nil }()
+
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		ty, ok := p.tryType()
+		if !ok {
+			return nil, errf(p.cur().Pos, "expected parameter type, found %s", p.cur())
+		}
+		if ty.Kind == KVoid && !ty.Ptr {
+			break // f(void)
+		}
+		if !p.at(TokIdent) {
+			return nil, errf(p.cur().Pos, "expected parameter name, found %s", p.cur())
+		}
+		nameTok := p.next()
+		slot, err := p.declare(nameTok.Text, nameTok.Pos)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, FuncParam{Name: nameTok.Text, Type: ty, Slot: slot})
+		if p.atPunct(",") {
+			p.next()
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// --- statements -------------------------------------------------------
+
+func (p *parser) parseBlock() (*Block, error) {
+	pos := p.cur().Pos
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	defer p.popScope()
+	blk := &Block{Pos: pos}
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, errf(pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokPragma:
+		p.next()
+		// Attach to the following for-loop.
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if f, ok := s.(*For); ok {
+			f.Unroll = t.Int
+		}
+		return s, nil
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case p.atPunct(";"):
+		p.next()
+		return &Block{Pos: t.Pos}, nil
+	case p.atIdent("if"):
+		return p.parseIf()
+	case p.atIdent("for"):
+		return p.parseFor()
+	case p.atIdent("while"):
+		return p.parseWhile()
+	case p.atIdent("return"):
+		p.next()
+		r := &Return{Pos: t.Pos}
+		if !p.atPunct(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		return r, p.expectPunct(";")
+	case p.atIdent("break"):
+		p.next()
+		return &BreakStmt{Pos: t.Pos}, p.expectPunct(";")
+	case p.atIdent("continue"):
+		p.next()
+		return &ContinueStmt{Pos: t.Pos}, p.expectPunct(";")
+	}
+	// Declaration?
+	if ds, ok, err := p.tryDecl(); err != nil {
+		return nil, err
+	} else if ok {
+		return ds, nil
+	}
+	// Expression statement.
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, X: x}, p.expectPunct(";")
+}
+
+// tryDecl parses "type name [dims] [= init] (, name ...)* ;" if present.
+func (p *parser) tryDecl() (Stmt, bool, error) {
+	start := p.pos
+	pos := p.cur().Pos
+	ty, ok := p.tryType()
+	if !ok {
+		return nil, false, nil
+	}
+	if !p.at(TokIdent) {
+		p.pos = start
+		return nil, false, nil
+	}
+	ds := &DeclStmt{Pos: pos}
+	for {
+		nameTok := p.next()
+		d := &VarDecl{Pos: nameTok.Pos, Name: nameTok.Text, Type: ty}
+		for p.atPunct("[") {
+			p.next()
+			dim, err := p.parseExpr()
+			if err != nil {
+				return nil, false, err
+			}
+			d.Dims = append(d.Dims, dim)
+			if err := p.expectPunct("]"); err != nil {
+				return nil, false, err
+			}
+		}
+		if len(d.Dims) > 2 {
+			return nil, false, errf(d.Pos, "arrays of more than 2 dimensions not supported")
+		}
+		if p.atPunct("=") {
+			p.next()
+			init, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, false, err
+			}
+			d.Init = init
+		}
+		slot, err := p.declare(d.Name, d.Pos)
+		if err != nil {
+			return nil, false, err
+		}
+		d.Slot = slot
+		ds.Decls = append(ds.Decls, d)
+		if p.atPunct(",") {
+			p.next()
+			if !p.at(TokIdent) {
+				return nil, false, errf(p.cur().Pos, "expected declarator after ','")
+			}
+			continue
+		}
+		break
+	}
+	return ds, true, p.expectPunct(";")
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &If{Pos: pos, Cond: cond, Then: then}
+	if p.atIdent("else") {
+		p.next()
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.next().Pos // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	defer p.popScope()
+	st := &For{Pos: pos}
+	if !p.atPunct(";") {
+		if ds, ok, err := p.tryDecl(); err != nil {
+			return nil, err
+		} else if ok {
+			st.Init = ds
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{Pos: pos, X: x}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.atPunct(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	pos := p.next().Pos // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+// --- expressions ------------------------------------------------------
+
+// parseExpr parses a full expression including comma-free assignment.
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct && assignOps[t.Text] {
+		switch lhs.(type) {
+		case *VarRef, *Index:
+		default:
+			return nil, errf(t.Pos, "invalid assignment target")
+		}
+		p.next()
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: t.Pos, Op: t.Text, Target: lhs, Value: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return c, nil
+	}
+	pos := p.next().Pos
+	t, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Pos: pos, C: c, T: t, F: f}, nil
+}
+
+// binary operator precedence, C-like (higher binds tighter).
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: t.Pos, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "+":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "+" {
+				return x, nil
+			}
+			return &Unary{Pos: t.Pos, Op: t.Text, X: x}, nil
+		case "++", "--":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Pos: t.Pos, Op: t.Text, X: x}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			save := p.pos
+			p.next()
+			if ty, ok := p.tryType(); ok && p.atPunct(")") {
+				p.next()
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{Pos: t.Pos, To: ty, X: x}, nil
+			}
+			p.pos = save
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.atPunct("["):
+			idx := &Index{Pos: t.Pos, Base: x, Site: p.fn.siteCount}
+			p.fn.siteCount++
+			for p.atPunct("[") {
+				p.next()
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				idx.Idx = append(idx.Idx, e)
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+			}
+			if len(idx.Idx) > 2 {
+				return nil, errf(t.Pos, "more than 2 subscripts not supported")
+			}
+			x = idx
+		case p.atPunct("++"), p.atPunct("--"):
+			p.next()
+			x = &Unary{Pos: t.Pos, Op: t.Text, X: x, Postfix: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{Pos: t.Pos, V: t.Flt}, nil
+	case TokIdent:
+		switch t.Text {
+		case "true":
+			p.next()
+			return &IntLit{Pos: t.Pos, V: 1}, nil
+		case "false":
+			p.next()
+			return &IntLit{Pos: t.Pos, V: 0}, nil
+		}
+		p.next()
+		if p.atPunct("(") {
+			p.next()
+			call := &Call{Pos: t.Pos, Name: t.Text}
+			for !p.atPunct(")") {
+				arg, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.atPunct(",") {
+					p.next()
+				}
+			}
+			p.next() // )
+			return call, nil
+		}
+		slot, ok := p.lookup(t.Text)
+		if !ok {
+			return nil, errf(t.Pos, "undeclared identifier %q (tuning parameter not substituted?)", t.Text)
+		}
+		return &VarRef{Pos: t.Pos, Name: t.Text, Slot: slot}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expectPunct(")")
+		}
+	}
+	return nil, errf(t.Pos, "unexpected token %s", t)
+}

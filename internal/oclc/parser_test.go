@@ -1,0 +1,220 @@
+package oclc
+
+import "testing"
+
+// evalInt runs a one-work-item kernel that stores the expression into
+// out[0] and returns the value.
+func evalInt(t *testing.T, expr string) int64 {
+	t.Helper()
+	src := "__kernel void k(__global int* out) { out[0] = " + expr + "; }"
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	return int64(out.Data[0])
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"20 - 8 / 4", 18},
+		{"20 % 7 * 2", 12}, // (20%7)*2
+		{"1 << 2 + 1", 8},  // shift binds looser than +
+		{"7 & 3 | 8", 11},  // (& before |)
+		{"6 ^ 3 & 2", 4},   // & before ^
+		{"1 | 2 == 2", 1},  // == before |: 1 | 1
+		{"2 < 3 == 1", 1},  // relational before equality
+		{"1 + 2 < 2 + 3", 1},
+		{"0 || 2 && 0", 0}, // && before ||
+		{"1 || 0 && 0", 1},
+		{"-3 * 2", -6},
+		{"- (3 + 1)", -4},
+		{"!0 + 1", 2},
+		{"~0 & 7", 7},
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"1 ? 2 : 0 ? 3 : 4", 2}, // right-assoc ternary
+		{"8 >> 1 >> 1", 2},       // left-assoc shifts
+		{"100 - 10 - 5", 85},     // left-assoc minus
+	}
+	for _, c := range cases {
+		if got := evalInt(t, c.expr); got != c.want {
+			t.Errorf("%q = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestAssignmentOperators(t *testing.T) {
+	src := `
+__kernel void k(__global int* out) {
+  int x = 10;
+  x += 5; out[0] = x;   // 15
+  x -= 3; out[1] = x;   // 12
+  x *= 2; out[2] = x;   // 24
+  x /= 5; out[3] = x;   // 4
+  x %= 3; out[4] = x;   // 1
+  x <<= 4; out[5] = x;  // 16
+  x >>= 2; out[6] = x;  // 4
+  x |= 3; out[7] = x;   // 7
+  x &= 6; out[8] = x;   // 6
+  x ^= 5; out[9] = x;   // 3
+}`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 10)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{15, 12, 24, 4, 1, 16, 4, 7, 6, 3}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestDeclarationLists(t *testing.T) {
+	src := `
+__kernel void k(__global int* out) {
+  int a = 1, b = 2, c;
+  c = a + b;
+  out[0] = c;
+}`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 3 {
+		t.Fatalf("out[0] = %v", out.Data[0])
+	}
+}
+
+func TestScopingAndShadowing(t *testing.T) {
+	src := `
+__kernel void k(__global int* out) {
+  int x = 1;
+  {
+    int x = 2;
+    out[0] = x;
+  }
+  out[1] = x;
+  for (int x = 9; x < 10; x++) { out[2] = x; }
+  out[3] = x;
+}`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 4)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 1, 9, 1}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestCastExpressions(t *testing.T) {
+	src := `
+__kernel void k(__global float* out) {
+  out[0] = (float)7 / (float)2;   // 3.5
+  out[1] = (int)3.9f;             // 3
+  out[2] = (float)((int)(5.5f));  // 5
+  const size_t big = 12;
+  out[3] = (float)big / 8;        // 1.5
+}`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KFloat, 4, 4)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3.5, 3, 5, 1.5}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestVoidParamFunction(t *testing.T) {
+	src := `
+int answer(void) { return 42; }
+__kernel void k(__global int* out) { out[0] = answer(); }`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 42 {
+		t.Fatalf("out[0] = %v", out.Data[0])
+	}
+}
+
+func TestRecursionWorksToDepth(t *testing.T) {
+	// The interpreter allocates a fresh frame per call, so plain
+	// recursion should simply work (OpenCL C forbids it, but the
+	// interpreter need not crash).
+	src := `
+int fib(const int n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+__kernel void k(__global int* out) { out[0] = fib(10); }`
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 55 {
+		t.Fatalf("fib(10) = %v", out.Data[0])
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	src := `
+void f() { }
+void f() { }`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("duplicate function must be rejected")
+	}
+}
+
+func TestArgumentCountMismatch(t *testing.T) {
+	src := `
+int add(const int a, const int b) { return a + b; }
+__kernel void k(__global int* out) { out[0] = add(1); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(out)}, NDRange1D(1, 1), ExecOptions{}); err == nil {
+		t.Fatal("arity mismatch must fail at call time")
+	}
+}

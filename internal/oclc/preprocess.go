@@ -1,0 +1,197 @@
+package oclc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Preprocess performs the macro pass ATF's OpenCL cost function relies on:
+// it injects the tuning-parameter definitions (the equivalent of -D
+// compiler options built from a configuration), honours #define/#undef
+// directives in the source, strips comments, keeps "#pragma unroll N"
+// lines as tokens for the parser, and substitutes object-like macros
+// recursively (with a depth limit guarding against cycles).
+//
+// Only object-like macros are supported — that is exactly the form in
+// which tuning parameters enter kernels ("#define WPT 8"). Function-like
+// macros are rejected with a clear error.
+func Preprocess(source string, defines map[string]string) (string, error) {
+	// Standard OpenCL-C macros available to every kernel.
+	macros := map[string]string{
+		"CLK_LOCAL_MEM_FENCE":  "1",
+		"CLK_GLOBAL_MEM_FENCE": "2",
+	}
+	for k, v := range defines {
+		macros[k] = v
+	}
+
+	stripped := stripComments(source)
+	var out strings.Builder
+	for lineNo, line := range strings.Split(stripped, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "#define"):
+			rest := strings.TrimSpace(trimmed[len("#define"):])
+			name, body := splitMacro(rest)
+			if name == "" {
+				return "", errf(Pos{Line: lineNo + 1}, "malformed #define %q", trimmed)
+			}
+			if strings.Contains(name, "(") {
+				return "", errf(Pos{Line: lineNo + 1}, "function-like macro %q not supported", name)
+			}
+			// Injected tuning parameters win over in-source defaults, the
+			// same precedence -D options have over #define in OpenCL.
+			if _, injected := defines[name]; !injected {
+				macros[name] = body
+			}
+			out.WriteByte('\n')
+		case strings.HasPrefix(trimmed, "#undef"):
+			name := strings.TrimSpace(trimmed[len("#undef"):])
+			delete(macros, name)
+			out.WriteByte('\n')
+		case strings.HasPrefix(trimmed, "#ifndef"), strings.HasPrefix(trimmed, "#ifdef"),
+			strings.HasPrefix(trimmed, "#endif"), strings.HasPrefix(trimmed, "#else"):
+			// Conditional compilation is not needed by the kernels here;
+			// guard-style usage is tolerated by ignoring the directives.
+			out.WriteByte('\n')
+		case strings.HasPrefix(trimmed, "#pragma"):
+			expanded, err := expandMacros(trimmed, macros, lineNo+1)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(expanded)
+			out.WriteByte('\n')
+		case strings.HasPrefix(trimmed, "#"):
+			return "", errf(Pos{Line: lineNo + 1}, "unsupported directive %q", trimmed)
+		default:
+			expanded, err := expandMacros(line, macros, lineNo+1)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(expanded)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String(), nil
+}
+
+// splitMacro separates "NAME body..." into name and body.
+func splitMacro(s string) (name, body string) {
+	i := 0
+	for i < len(s) && (isIdentChar(s[i]) || s[i] == '(') {
+		i++
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// expandMacros substitutes whole-identifier occurrences of macros,
+// re-scanning the result up to a fixed depth (C preprocessor behaviour,
+// minus self-reference suppression — a cycle is reported as an error).
+func expandMacros(line string, macros map[string]string, lineNo int) (string, error) {
+	const maxDepth = 32
+	cur := line
+	for depth := 0; ; depth++ {
+		next, changed := expandOnce(cur, macros)
+		if !changed {
+			return next, nil
+		}
+		if depth >= maxDepth {
+			return "", errf(Pos{Line: lineNo}, "macro expansion exceeds depth %d (cycle?) in %q", maxDepth, line)
+		}
+		cur = next
+	}
+}
+
+// expandOnce performs a single left-to-right substitution pass.
+func expandOnce(line string, macros map[string]string) (string, bool) {
+	var out strings.Builder
+	changed := false
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if !isIdentStart(c) {
+			out.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && isIdentChar(line[j]) {
+			j++
+		}
+		word := line[i:j]
+		if body, ok := macros[word]; ok {
+			// Parenthesize bodies with operators so "N/WPT" with
+			// WPT := a+b expands to N/(a+b), matching how ATF quotes
+			// numeric values (tuning values are plain literals, so the
+			// parentheses are inert in the common case).
+			if needsParens(body) {
+				out.WriteString("(" + body + ")")
+			} else {
+				out.WriteString(body)
+			}
+			changed = true
+		} else {
+			out.WriteString(word)
+		}
+		i = j
+	}
+	return out.String(), changed
+}
+
+// needsParens reports whether a macro body contains top-level operators.
+func needsParens(body string) bool {
+	return strings.ContainsAny(body, "+-*/%<>&|^ ")
+}
+
+// stripComments removes /* */ and // comments, preserving newlines so
+// source positions stay meaningful.
+func stripComments(s string) string {
+	var out strings.Builder
+	i := 0
+	for i < len(s) {
+		switch {
+		case i+1 < len(s) && s[i] == '/' && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case i+1 < len(s) && s[i] == '/' && s[i+1] == '*':
+			i += 2
+			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				if s[i] == '\n' {
+					out.WriteByte('\n')
+				}
+				i++
+			}
+			i += 2
+		default:
+			out.WriteByte(s[i])
+			i++
+		}
+	}
+	return out.String()
+}
+
+// BuildDefines renders tuning-parameter values as macro bodies, sorted for
+// deterministic builds; exposed for the opencl package's program build
+// options and for tests.
+func BuildDefines(vals map[string]string) string {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "-D %s=%s ", k, vals[k])
+	}
+	return strings.TrimSpace(b.String())
+}

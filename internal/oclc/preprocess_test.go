@@ -1,0 +1,220 @@
+package oclc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPreprocessInjectedDefines(t *testing.T) {
+	src := "int f() { return WPT * 2; }"
+	out, err := Preprocess(src, map[string]string{"WPT": "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "8 * 2") {
+		t.Fatalf("WPT not substituted: %q", out)
+	}
+}
+
+func TestPreprocessSourceDefine(t *testing.T) {
+	src := "#define TILE 16\nint f() { return TILE; }"
+	out, err := Preprocess(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "return 16;") {
+		t.Fatalf("in-source define not applied: %q", out)
+	}
+}
+
+func TestPreprocessInjectedBeatsSource(t *testing.T) {
+	// -D semantics: the tuner's value overrides the kernel's default.
+	src := "#define WPT 1\nint f() { return WPT; }"
+	out, err := Preprocess(src, map[string]string{"WPT": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "return 4;") {
+		t.Fatalf("injected define must win: %q", out)
+	}
+}
+
+func TestPreprocessUndef(t *testing.T) {
+	src := "#define A 1\n#undef A\nint f() { return A; }"
+	out, err := Preprocess(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "return A;") {
+		t.Fatalf("undef ignored: %q", out)
+	}
+}
+
+func TestPreprocessWholeWordOnly(t *testing.T) {
+	src := "int f() { int WPTX = 3; return WPTX; }"
+	out, err := Preprocess(src, map[string]string{"WPT": "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "8X") {
+		t.Fatalf("substitution must match whole identifiers: %q", out)
+	}
+}
+
+func TestPreprocessExpressionBodyParenthesized(t *testing.T) {
+	src := "int f() { return 12/HALF; }"
+	out, err := Preprocess(src, map[string]string{"HALF": "1+1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "12/(1+1)") {
+		t.Fatalf("operator-containing bodies must be parenthesized: %q", out)
+	}
+}
+
+func TestPreprocessRecursiveExpansion(t *testing.T) {
+	src := "#define A B\n#define B 7\nint f() { return A; }"
+	out, err := Preprocess(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "return 7;") {
+		t.Fatalf("recursive expansion failed: %q", out)
+	}
+}
+
+func TestPreprocessCycleDetected(t *testing.T) {
+	src := "#define A B\n#define B A\nint f() { return A; }"
+	if _, err := Preprocess(src, nil); err == nil {
+		t.Fatal("macro cycle should error")
+	}
+}
+
+func TestPreprocessFunctionLikeMacroRejected(t *testing.T) {
+	src := "#define SQ(x) ((x)*(x))\nint f() { return SQ(2); }"
+	if _, err := Preprocess(src, nil); err == nil {
+		t.Fatal("function-like macros should be rejected clearly")
+	}
+}
+
+func TestPreprocessComments(t *testing.T) {
+	src := "// line comment WPT\nint f() { /* block\nWPT */ return 1; }"
+	out, err := Preprocess(src, map[string]string{"WPT": "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "9") {
+		t.Fatalf("comments must not be substituted: %q", out)
+	}
+}
+
+func TestPreprocessKeepsPragma(t *testing.T) {
+	src := "#pragma unroll KWID\nint f() { return 0; }"
+	out, err := Preprocess(src, map[string]string{"KWID": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#pragma unroll 4") {
+		t.Fatalf("pragma must survive with substitution: %q", out)
+	}
+}
+
+func TestPreprocessIgnoresGuards(t *testing.T) {
+	src := "#ifndef GUARD\n#define GUARD\nint f() { return 1; }\n#endif"
+	out, err := Preprocess(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int f()") {
+		t.Fatalf("guard-style conditionals should pass content through: %q", out)
+	}
+}
+
+func TestPreprocessUnknownDirectiveErrors(t *testing.T) {
+	if _, err := Preprocess("#include <foo.h>\n", nil); err == nil {
+		t.Fatal("unsupported directive should error")
+	}
+}
+
+func TestBuildDefinesDeterministic(t *testing.T) {
+	d := BuildDefines(map[string]string{"B": "2", "A": "1"})
+	if d != "-D A=1 -D B=2" {
+		t.Fatalf("defines = %q", d)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int x = 42 + 3.5f; x <<= 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.String())
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "int(42)") || !strings.Contains(joined, "float(3.5)") {
+		t.Fatalf("literals mis-lexed: %s", joined)
+	}
+	if !strings.Contains(joined, "<<=") {
+		t.Fatalf("3-char operator mis-lexed: %s", joined)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+		i    int64
+		f    float64
+	}{
+		{"123", TokIntLit, 123, 0},
+		{"0x1F", TokIntLit, 31, 0},
+		{"42u", TokIntLit, 42, 0},
+		{"7UL", TokIntLit, 7, 0},
+		{"1.5", TokFloatLit, 0, 1.5},
+		{"1.5f", TokFloatLit, 0, 1.5},
+		{"2e3", TokFloatLit, 0, 2000},
+		{"1.25e-2", TokFloatLit, 0, 0.0125},
+		{".5", TokFloatLit, 0, 0.5},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		tok := toks[0]
+		if tok.Kind != c.kind || tok.Int != c.i || tok.Flt != c.f {
+			t.Errorf("%q lexed as %v", c.src, tok)
+		}
+		if toks[1].Kind != TokEOF {
+			t.Errorf("%q left trailing tokens: %v", c.src, toks[1])
+		}
+	}
+}
+
+func TestLexPragmaUnroll(t *testing.T) {
+	toks, err := Lex("#pragma unroll 8\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokPragma || toks[0].Int != 8 {
+		t.Fatalf("pragma token = %v", toks[0])
+	}
+}
+
+func TestLexUnknownCharErrors(t *testing.T) {
+	if _, err := Lex("int x = @;"); err == nil {
+		t.Fatal("@ should fail to lex")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("positions wrong: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}

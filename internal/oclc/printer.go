@@ -1,0 +1,241 @@
+package oclc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the parsed program back to OpenCL-C-like source. Round-
+// tripping the AST is the cheapest way to see exactly what the kernel
+// looks like *after* tuning-parameter substitution — the analogue of
+// inspecting a real implementation's build log — and the printer output
+// re-parses to an equivalent program (tested).
+func (p *Program) Dump() string {
+	var b strings.Builder
+	// Deterministic order: kernels last, helpers first, both sorted.
+	var names []string
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		if !p.Funcs[n].Kernel {
+			printFunc(&b, p.Funcs[n])
+		}
+	}
+	for _, n := range names {
+		if p.Funcs[n].Kernel {
+			printFunc(&b, p.Funcs[n])
+		}
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func printFunc(b *strings.Builder, f *Function) {
+	if f.Kernel {
+		b.WriteString("__kernel ")
+	}
+	fmt.Fprintf(b, "%s %s(", typeString(f.Ret), f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", typeString(p.Type), p.Name)
+	}
+	b.WriteString(") ")
+	printStmt(b, f.Body, 0)
+	b.WriteString("\n")
+}
+
+func typeString(t Type) string {
+	base := ""
+	switch t.Kind {
+	case KVoid:
+		base = "void"
+	case KInt:
+		base = "int"
+	case KFloat:
+		base = "float"
+	case KBool:
+		base = "bool"
+	default:
+		base = "?"
+	}
+	prefix := ""
+	switch t.Space {
+	case SpaceGlobal:
+		prefix = "__global "
+	case SpaceLocal:
+		prefix = "__local "
+	}
+	if t.Ptr {
+		return prefix + base + "*"
+	}
+	return prefix + base
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *Block:
+		b.WriteString("{\n")
+		for _, sub := range st.Stmts {
+			indent(b, depth+1)
+			printStmt(b, sub, depth+1)
+			b.WriteString("\n")
+		}
+		indent(b, depth)
+		b.WriteString("}")
+	case *DeclStmt:
+		for i, d := range st.Decls {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(b, "%s %s", typeString(d.Type), d.Name)
+			for _, dim := range d.Dims {
+				b.WriteString("[")
+				printExpr(b, dim)
+				b.WriteString("]")
+			}
+			if d.Init != nil {
+				b.WriteString(" = ")
+				printExpr(b, d.Init)
+			}
+			b.WriteString(";")
+		}
+	case *ExprStmt:
+		printExpr(b, st.X)
+		b.WriteString(";")
+	case *If:
+		b.WriteString("if (")
+		printExpr(b, st.Cond)
+		b.WriteString(") ")
+		printStmt(b, st.Then, depth)
+		if st.Else != nil {
+			b.WriteString(" else ")
+			printStmt(b, st.Else, depth)
+		}
+	case *For:
+		if st.Unroll != 0 {
+			if st.Unroll > 0 {
+				fmt.Fprintf(b, "#pragma unroll %d\n", st.Unroll)
+			} else {
+				b.WriteString("#pragma unroll\n")
+			}
+			indent(b, depth)
+		}
+		b.WriteString("for (")
+		if st.Init != nil {
+			printStmt(b, st.Init, depth)
+		} else {
+			b.WriteString(";")
+		}
+		b.WriteString(" ")
+		if st.Cond != nil {
+			printExpr(b, st.Cond)
+		}
+		b.WriteString("; ")
+		if st.Post != nil {
+			printExpr(b, st.Post)
+		}
+		b.WriteString(") ")
+		printStmt(b, st.Body, depth)
+	case *While:
+		b.WriteString("while (")
+		printExpr(b, st.Cond)
+		b.WriteString(") ")
+		printStmt(b, st.Body, depth)
+	case *Return:
+		b.WriteString("return")
+		if st.X != nil {
+			b.WriteString(" ")
+			printExpr(b, st.X)
+		}
+		b.WriteString(";")
+	case *BreakStmt:
+		b.WriteString("break;")
+	case *ContinueStmt:
+		b.WriteString("continue;")
+	default:
+		fmt.Fprintf(b, "/* ? %T */", s)
+	}
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.V)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.V)
+		if !strings.ContainsAny(s, ".e") {
+			s += ".0"
+		}
+		fmt.Fprintf(b, "%sf", s)
+	case *VarRef:
+		b.WriteString(x.Name)
+	case *Unary:
+		if x.Postfix {
+			printExpr(b, x.X)
+			b.WriteString(x.Op)
+		} else {
+			b.WriteString(x.Op)
+			b.WriteString("(")
+			printExpr(b, x.X)
+			b.WriteString(")")
+		}
+	case *Binary:
+		b.WriteString("(")
+		printExpr(b, x.L)
+		fmt.Fprintf(b, " %s ", x.Op)
+		printExpr(b, x.R)
+		b.WriteString(")")
+	case *Assign:
+		printExpr(b, x.Target)
+		fmt.Fprintf(b, " %s ", x.Op)
+		printExpr(b, x.Value)
+	case *Cond:
+		b.WriteString("(")
+		printExpr(b, x.C)
+		b.WriteString(" ? ")
+		printExpr(b, x.T)
+		b.WriteString(" : ")
+		printExpr(b, x.F)
+		b.WriteString(")")
+	case *Call:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteString(")")
+	case *Index:
+		printExpr(b, x.Base)
+		for _, idx := range x.Idx {
+			b.WriteString("[")
+			printExpr(b, idx)
+			b.WriteString("]")
+		}
+	case *Cast:
+		fmt.Fprintf(b, "(%s)(", typeString(x.To))
+		printExpr(b, x.X)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "/* ? %T */", e)
+	}
+}

@@ -1,0 +1,138 @@
+package oclc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpRoundTripsSaxpy(t *testing.T) {
+	prog, err := Compile(saxpyKernel, map[string]string{"WPT": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := prog.Dump()
+	if !strings.Contains(dump, "__kernel void saxpy") {
+		t.Fatalf("dump missing kernel header:\n%s", dump)
+	}
+	// Tuning parameters have been substituted: WPT is gone, "4" is in.
+	if strings.Contains(dump, "WPT") {
+		t.Fatalf("unsubstituted parameter survived:\n%s", dump)
+	}
+
+	// The dump must re-parse and behave identically.
+	prog2, err := Parse(dump)
+	if err != nil {
+		t.Fatalf("dump does not re-parse: %v\n%s", err, dump)
+	}
+	run := func(p *Program) []float64 {
+		const n = 16
+		x := NewGlobalMemory(1, KFloat, 4, n)
+		y := NewGlobalMemory(2, KFloat, 4, n)
+		for i := 0; i < n; i++ {
+			x.Data[i] = float64(i)
+			y.Data[i] = 1
+		}
+		_, err := p.Launch("saxpy",
+			[]Arg{IntArg(n), FloatArg(2), BufArg(x), BufArg(y)},
+			NDRange1D(n/4, 2), ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y.Data
+	}
+	a, b := run(prog), run(prog2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roundtrip changed semantics at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDumpRoundTripsXgemmDirect(t *testing.T) {
+	defines := map[string]string{
+		"WGD": "16", "KWID": "2", "MDIMCD": "8", "NDIMCD": "8",
+		"MDIMAD": "8", "NDIMBD": "8", "VWMD": "1", "VWND": "1",
+		"PADA": "1", "PADB": "0",
+	}
+	src := `
+__kernel void XgemmDirect(const int M, const int N, const int K,
+                          const float alpha, const float beta,
+                          __global float* agm, __global float* bgm,
+                          __global float* cgm) {
+  __local float alm[WGD][WGD + PADA];
+  float cpd[WGD/MDIMCD][WGD/NDIMCD];
+  for (int mi = 0; mi < WGD/MDIMCD; mi++) {
+    #pragma unroll KWID
+    for (int ni = 0; ni < WGD/NDIMCD; ni++) { cpd[mi][ni] = 0.0f; }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  cgm[0] = alpha * cpd[0][0] + beta;
+  alm[0][0] = (M < N && K > 0) ? 1.0f : 0.0f;
+}`
+	prog, err := Compile(src, defines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := prog.Dump()
+	if !strings.Contains(dump, "#pragma unroll 2") {
+		t.Fatalf("unroll hint lost:\n%s", dump)
+	}
+	if _, err := Parse(dump); err != nil {
+		t.Fatalf("dump does not re-parse: %v\n%s", err, dump)
+	}
+}
+
+func TestDumpHelperFunctionOrder(t *testing.T) {
+	src := `
+float helper(const float x) { return x * 2.0f; }
+__kernel void k(__global float* o) { o[0] = helper(1.0f); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := prog.Dump()
+	hi := strings.Index(dump, "float helper")
+	ki := strings.Index(dump, "__kernel void k")
+	if hi < 0 || ki < 0 || hi > ki {
+		t.Fatalf("helpers must print before kernels:\n%s", dump)
+	}
+}
+
+func TestDumpControlFlow(t *testing.T) {
+	src := `
+__kernel void k(__global int* o) {
+  int acc = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 3) { continue; } else { acc += i; }
+    if (i == 7) { break; }
+  }
+  while (acc > 100) { acc--; }
+  o[0] = acc;
+  return;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := prog.Dump()
+	for _, frag := range []string{"for (", "while (", "continue;", "break;", "return;", "else"} {
+		if !strings.Contains(dump, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, dump)
+		}
+	}
+	prog2, err := Parse(dump)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, dump)
+	}
+	o1 := NewGlobalMemory(1, KInt, 4, 1)
+	o2 := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(o1)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog2.Launch("k", []Arg{BufArg(o2)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o1.Data[0] != o2.Data[0] {
+		t.Fatalf("semantics changed: %v vs %v", o1.Data[0], o2.Data[0])
+	}
+}

@@ -1,0 +1,113 @@
+package oclc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanicsOnMutations feeds the parser hundreds of randomly
+// mutated kernels. Malformed input must produce an error (or, for benign
+// mutations, a program) — never a panic and never a hang. This guards the
+// tuning loop: a bad tuning configuration can produce arbitrary source
+// after preprocessing, and the cost function must degrade to "infinite
+// cost", not crash the tuner.
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	base := saxpyKernel + `
+__kernel void extra(const int n, __global float* buf) {
+  __local float tile[8][9];
+  for (int i = 0; i < n; i += 2) {
+    tile[i % 8][i % 9] = buf[i] * 2.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  buf[0] = tile[0][0];
+}`
+	rng := rand.New(rand.NewSource(1234))
+	glyphs := []byte("{}()[];,+-*/%<>=!&|^~ .0123456789abcwxyz_#")
+
+	for i := 0; i < 500; i++ {
+		b := []byte(base)
+		// Apply 1-5 random single-byte mutations.
+		for m := 0; m < 1+rng.Intn(5); m++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0: // replace
+				b[pos] = glyphs[rng.Intn(len(glyphs))]
+			case 1: // delete
+				b = append(b[:pos], b[pos+1:]...)
+			case 2: // insert
+				b = append(b[:pos], append([]byte{glyphs[rng.Intn(len(glyphs))]}, b[pos:]...)...)
+			}
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v\nsource:\n%s", i, r, src)
+				}
+			}()
+			prog, err := Compile(src, map[string]string{"WPT": "4"})
+			if err != nil {
+				return // graceful rejection
+			}
+			// If it compiled, a tiny launch must also not panic; runtime
+			// errors are fine.
+			for name, fn := range prog.Funcs {
+				if !fn.Kernel || len(fn.Params) > 4 {
+					continue
+				}
+				args := make([]Arg, len(fn.Params))
+				for j, p := range fn.Params {
+					if p.Type.Ptr {
+						args[j] = BufArg(NewGlobalMemory(j+1, KFloat, 4, 64))
+					} else {
+						args[j] = IntArg(4)
+					}
+				}
+				_, _ = prog.Launch(name, args, NDRange1D(4, 2), ExecOptions{})
+			}
+		}()
+	}
+}
+
+// TestPreprocessorNeverPanicsOnMutations does the same for the macro pass.
+func TestPreprocessorNeverPanicsOnMutations(t *testing.T) {
+	base := "#define A 2\n#define B (A*A)\nint f() { return B + WPT; }\n#pragma unroll 4\n"
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		b := []byte(base)
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			pos := rng.Intn(len(b))
+			b[pos] = byte(32 + rng.Intn(95))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", string(b), r)
+				}
+			}()
+			_, _ = Preprocess(string(b), map[string]string{"WPT": "8"})
+		}()
+	}
+}
+
+// TestDeepNestingNoStackBlowout guards the recursive-descent parser
+// against pathological nesting depth.
+func TestDeepNestingNoStackBlowout(t *testing.T) {
+	depth := 2000
+	src := "__kernel void k(__global int* o) { o[0] = " +
+		strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + "; }"
+	// Either parse successfully or error out; goroutine stacks grow, so
+	// this should simply work.
+	prog, err := Compile(src, nil)
+	if err != nil {
+		return
+	}
+	o := NewGlobalMemory(1, KInt, 4, 1)
+	if _, err := prog.Launch("k", []Arg{BufArg(o)}, NDRange1D(1, 1), ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Data[0] != 1 {
+		t.Fatal("deep nesting evaluated wrong")
+	}
+}

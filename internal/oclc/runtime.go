@@ -1,0 +1,204 @@
+package oclc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// rval is a runtime value: an int/float/bool scalar or a pointer into a
+// Memory. Kept small and passed by value so expression evaluation does not
+// allocate.
+type rval struct {
+	k    ValKind
+	i    int64
+	f    float64
+	mem  *Memory
+	off  int64 // element offset for pointers
+	dim1 int64 // second-dimension extent for 2-D arrays (0 = 1-D)
+}
+
+func intVal(v int64) rval     { return rval{k: KInt, i: v} }
+func floatVal(v float64) rval { return rval{k: KFloat, f: v} }
+
+// asInt coerces to int64 with C semantics (float truncation).
+func (v rval) asInt() int64 {
+	if v.k == KFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// asFloat coerces to float64.
+func (v rval) asFloat() float64 {
+	if v.k == KFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// truthy implements C truthiness.
+func (v rval) truthy() bool {
+	if v.k == KFloat {
+		return v.f != 0
+	}
+	return v.i != 0
+}
+
+// Memory is a linear buffer of elements in one address space. Elements are
+// stored as float64 cells and reinterpreted per the element kind; device
+// element size (bytes) feeds the coalescing model's address arithmetic.
+type Memory struct {
+	ID        int
+	Space     AddrSpace
+	Elem      ValKind
+	ElemBytes int
+	Data      []float64
+}
+
+// NewGlobalMemory allocates a global buffer of n elements.
+func NewGlobalMemory(id int, elem ValKind, elemBytes, n int) *Memory {
+	return &Memory{ID: id, Space: SpaceGlobal, Elem: elem, ElemBytes: elemBytes, Data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (m *Memory) Len() int { return len(m.Data) }
+
+// load reads element i.
+func (m *Memory) load(i int64) (rval, error) {
+	if i < 0 || i >= int64(len(m.Data)) {
+		return rval{}, fmt.Errorf("oclc: %s buffer %d: load index %d out of range [0,%d)", m.Space, m.ID, i, len(m.Data))
+	}
+	if m.Elem == KFloat {
+		return floatVal(m.Data[i]), nil
+	}
+	return intVal(int64(m.Data[i])), nil
+}
+
+// store writes element i.
+func (m *Memory) store(i int64, v rval) error {
+	if i < 0 || i >= int64(len(m.Data)) {
+		return fmt.Errorf("oclc: %s buffer %d: store index %d out of range [0,%d)", m.Space, m.ID, i, len(m.Data))
+	}
+	if m.Elem == KFloat {
+		m.Data[i] = v.asFloat()
+	} else {
+		m.Data[i] = float64(v.asInt())
+	}
+	return nil
+}
+
+// Float32s returns the buffer contents as float32 (device precision).
+func (m *Memory) Float32s() []float32 {
+	out := make([]float32, len(m.Data))
+	for i, v := range m.Data {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// SetFloat32s fills the buffer from float32 host data.
+func (m *Memory) SetFloat32s(xs []float32) {
+	for i, v := range xs {
+		if i >= len(m.Data) {
+			break
+		}
+		m.Data[i] = float64(v)
+	}
+}
+
+// Counters aggregates the dynamic operation mix of executed work-items.
+// The perfmodel package converts these into cycles.
+type Counters struct {
+	IntOps        int64 // integer ALU operations
+	FloatOps      int64 // floating add/mul/etc. (excluding FMA)
+	FMAs          int64 // fused multiply-adds (fma/mad builtins)
+	SpecialOps    int64 // sqrt, exp, ... (special function unit)
+	GlobalLoads   int64
+	GlobalStores  int64
+	LocalLoads    int64
+	LocalStores   int64
+	PrivateAccess int64 // register-array traffic
+	Branches      int64
+	LoopIters     int64 // loop iterations without an unroll hint
+	UnrolledIters int64 // loop iterations under #pragma unroll
+	Barriers      int64
+	Calls         int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(o *Counters) {
+	c.IntOps += o.IntOps
+	c.FloatOps += o.FloatOps
+	c.FMAs += o.FMAs
+	c.SpecialOps += o.SpecialOps
+	c.GlobalLoads += o.GlobalLoads
+	c.GlobalStores += o.GlobalStores
+	c.LocalLoads += o.LocalLoads
+	c.LocalStores += o.LocalStores
+	c.PrivateAccess += o.PrivateAccess
+	c.Branches += o.Branches
+	c.LoopIters += o.LoopIters
+	c.UnrolledIters += o.UnrolledIters
+	c.Barriers += o.Barriers
+	c.Calls += o.Calls
+}
+
+// Total returns the total dynamic operation count (a rough IPC proxy).
+func (c *Counters) Total() int64 {
+	return c.IntOps + c.FloatOps + c.FMAs + c.SpecialOps +
+		c.GlobalLoads + c.GlobalStores + c.LocalLoads + c.LocalStores +
+		c.PrivateAccess + c.Branches
+}
+
+// Access is one recorded global-memory access for coalescing analysis.
+type Access struct {
+	Site  int
+	Addr  uint64 // byte address (buffer-namespaced)
+	Store bool
+}
+
+// AccessLog collects global-memory accesses of one sampled work-group.
+// Each work-item records into its own buffer — no synchronization on the
+// access path — and consumers group by site afterwards. The perfmodel
+// groups accesses by SIMD batch and counts unique cache lines to derive
+// memory transactions.
+type AccessLog struct {
+	perWI [][]Access
+	sites map[int]map[int][]uint64 // site -> wi -> ordered addresses
+	once  sync.Once
+}
+
+// NewAccessLog returns a log with buffers for n work-items.
+func NewAccessLog(n int) *AccessLog { return &AccessLog{perWI: make([][]Access, n)} }
+
+// record appends one access to the work-item's private buffer.
+func (l *AccessLog) record(site, wi int, addr uint64, store bool) {
+	l.perWI[wi] = append(l.perWI[wi], Access{Site: site, Addr: addr, Store: store})
+}
+
+// Sites returns the accesses grouped site → work-item → ordered address
+// list; built once, after the work-group has finished.
+func (l *AccessLog) Sites() map[int]map[int][]uint64 {
+	l.once.Do(func() {
+		l.sites = make(map[int]map[int][]uint64)
+		for wi, accs := range l.perWI {
+			for _, a := range accs {
+				m := l.sites[a.Site]
+				if m == nil {
+					m = make(map[int][]uint64)
+					l.sites[a.Site] = m
+				}
+				m[wi] = append(m[wi], a.Addr)
+			}
+		}
+	})
+	return l.sites
+}
+
+// WIAccesses exposes one work-item's raw access list (tests).
+func (l *AccessLog) WIAccesses(wi int) []Access { return l.perWI[wi] }
+
+// byteAddr folds buffer identity and element offset into one address space.
+func byteAddr(m *Memory, elemOff int64) uint64 {
+	return uint64(m.ID)<<40 | uint64(elemOff*int64(m.ElemBytes))
+}

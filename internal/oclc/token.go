@@ -1,0 +1,70 @@
+// Package oclc implements an OpenCL-C subset: a macro preprocessor (the
+// mechanism by which ATF substitutes tuning-parameter values into kernel
+// source), a lexer, a recursive-descent parser, and a per-work-item tree-
+// walking interpreter with dynamic instruction and memory-access counters.
+//
+// The subset covers what real tuned kernels such as CLBlast's saxpy and
+// XgemmDirect need: integer and floating arithmetic with C semantics,
+// control flow (if/else, for, while), one- and two-dimensional __local
+// arrays, work-group barriers, the work-item builtin functions, fma/mad,
+// and "#pragma unroll" hints. It is an interpreter, not a compiler — the
+// simulated device's timing model consumes the counters it produces.
+package oclc
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokPunct  // operators and separators
+	TokPragma // #pragma unroll <n>, attached to the following loop
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64   // valid for TokIntLit and TokPragma (unroll factor)
+	Flt  float64 // valid for TokFloatLit
+	Pos  Pos
+}
+
+// Pos is a source position for error messages.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position 1-based.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokIntLit:
+		return fmt.Sprintf("int(%d)", t.Int)
+	case TokFloatLit:
+		return fmt.Sprintf("float(%g)", t.Flt)
+	case TokPragma:
+		return fmt.Sprintf("#pragma unroll %d", t.Int)
+	default:
+		return t.Text
+	}
+}
+
+// Error is a source-located compilation error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("oclc: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,262 @@
+package opencl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatformDiscoveryDeterministic(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 2 {
+		t.Fatalf("platforms = %d, want 2", len(ps))
+	}
+	if ps[0].Name != "Intel" || ps[1].Name != "NVIDIA" {
+		t.Fatalf("platform order must be deterministic: %v, %v", ps[0].Name, ps[1].Name)
+	}
+}
+
+func TestFindDeviceByName(t *testing.T) {
+	d, err := FindDevice("NVIDIA", "Tesla K20c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "Tesla K20c" {
+		t.Fatalf("found %q", d.Name())
+	}
+	// Case-insensitive substring match, as names come from humans.
+	if _, err := FindDevice("nvidia", "k20m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindDevice("Intel", "Xeon"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindDevice("AMD", "Fiji"); err == nil {
+		t.Fatal("unknown device should not be found")
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	b := ctx.CreateBuffer(4)
+	b.Write([]float32{1, 2, 3, 4})
+	got := b.Read()
+	if got[0] != 1 || got[3] != 4 {
+		t.Fatalf("roundtrip failed: %v", got)
+	}
+	if b.Len() != 4 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestBufferFillRandomDeterministic(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	a := ctx.CreateBuffer(16)
+	b := ctx.CreateBuffer(16)
+	a.FillRandom(7)
+	b.FillRandom(7)
+	av, bv := a.Read(), b.Read()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("same seed must produce same data")
+		}
+		if av[i] < -2 || av[i] > 2 {
+			t.Fatalf("value %v outside [-2,2]", av[i])
+		}
+	}
+	c := ctx.CreateBuffer(16)
+	c.FillRandom(8)
+	if c.Read()[0] == av[0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+const testKernel = `
+__kernel void scale(const float f, __global float* data) {
+  data[get_global_id(0)] = data[get_global_id(0)] * f;
+}`
+
+func TestBuildAndRunKernel(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(testKernel)
+	if err := prog.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := ctx.CreateBuffer(64)
+	buf.Write(make([]float32, 64))
+	if err := k.SetArgs(float32(2), buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(ctx)
+	ev, err := q.EnqueueNDRange(k, []int64{64}, []int64{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.DurationNs() <= 0 {
+		t.Fatal("profiling time must be positive")
+	}
+}
+
+func TestBuildErrorSurfacesPosition(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram("__kernel void broken( { }")
+	err := prog.Build(nil)
+	if err == nil || !strings.Contains(err.Error(), "build failed") {
+		t.Fatalf("want build error, got %v", err)
+	}
+}
+
+func TestBuildWithDefines(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(`
+__kernel void k(__global float* o) { o[get_global_id(0)] = VALUE; }`)
+	if err := prog.Build(map[string]string{"VALUE": "3.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.BuildOptions(), "-D VALUE=3.5") {
+		t.Fatalf("build options = %q", prog.BuildOptions())
+	}
+	k, err := prog.CreateKernel("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := ctx.CreateBuffer(4)
+	if err := k.SetArgs(buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(ctx)
+	q.Functional = true
+	if _, err := q.EnqueueNDRange(k, []int64{4}, []int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Read()[3] != 3.5 {
+		t.Fatalf("define did not reach the kernel: %v", buf.Read())
+	}
+}
+
+func TestCreateKernelErrors(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(testKernel)
+	if _, err := prog.CreateKernel("scale"); err == nil {
+		t.Fatal("kernel creation before build must fail")
+	}
+	if err := prog.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.CreateKernel("missing"); err == nil {
+		t.Fatal("unknown kernel must fail")
+	}
+}
+
+func TestSetArgsRejectsUnsupported(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(testKernel)
+	if err := prog.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	if err := k.SetArgs("a string"); err == nil {
+		t.Fatal("string args are not a thing in OpenCL")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(testKernel)
+	if err := prog.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	buf := ctx.CreateBuffer(64)
+	_ = k.SetArgs(float32(1), buf)
+	q := NewQueue(ctx)
+	// Mismatched dimensionality.
+	if _, err := q.EnqueueNDRange(k, []int64{64}, []int64{8, 8}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	// Work-group size beyond device limit (K20m: 1024).
+	if _, err := q.EnqueueNDRange(k, []int64{4096}, []int64{2048}); err == nil {
+		t.Fatal("oversized work-group must fail")
+	}
+	// Local not dividing global.
+	if _, err := q.EnqueueNDRange(k, []int64{63}, []int64{8}); err == nil {
+		t.Fatal("local must divide global")
+	}
+}
+
+func TestSampledVsFunctionalExecution(t *testing.T) {
+	d, _ := FindDevice("NVIDIA", "K20m")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(testKernel)
+	if err := prog.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	buf := ctx.CreateBuffer(128)
+	data := make([]float32, 128)
+	for i := range data {
+		data[i] = 1
+	}
+	buf.Write(data)
+	_ = k.SetArgs(float32(2), buf)
+
+	// Profiling mode executes only a sample; most elements stay 1.
+	q := NewQueue(ctx)
+	if _, err := q.EnqueueNDRange(k, []int64{128}, []int64{32}); err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for _, v := range buf.Read() {
+		if v != 1 {
+			touched++
+		}
+	}
+	if touched != 32 {
+		t.Fatalf("sampled run should touch one work-group (32), touched %d", touched)
+	}
+
+	// Functional mode executes everything.
+	buf.Write(data)
+	q.Functional = true
+	if _, err := q.EnqueueNDRange(k, []int64{128}, []int64{32}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf.Read() {
+		if v != 2 {
+			t.Fatalf("functional run missed element %d", i)
+		}
+	}
+}
+
+func TestEventExposesEstimate(t *testing.T) {
+	d, _ := FindDevice("Intel", "Xeon")
+	ctx := NewContext(d)
+	prog := ctx.CreateProgram(testKernel)
+	if err := prog.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	buf := ctx.CreateBuffer(256)
+	_ = k.SetArgs(float32(1), buf)
+	ev, err := NewQueue(ctx).EnqueueNDRange(k, []int64{256}, []int64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Estimate == nil || ev.Exec == nil {
+		t.Fatal("event should expose estimate and execution result")
+	}
+	if ev.Estimate.Waves <= 0 {
+		t.Fatal("estimate incomplete")
+	}
+}

@@ -1,0 +1,132 @@
+package opentuner
+
+import (
+	"math"
+
+	"atf/internal/core"
+)
+
+// IndexTechnique is ATF's "OpenTuner search" (paper, Section IV-C): the
+// OpenTuner engine tunes a single integer parameter TP ∈ [0, S) that
+// indexes ATF's constraint-valid search space. Because the ATF space
+// contains only valid configurations by construction, the engine never
+// wastes evaluations on constraint violations — the crucial difference
+// from running OpenTuner on the raw space (§VI-B).
+type IndexTechnique struct {
+	engine *Engine
+	sp     *core.Space
+	last   Point
+}
+
+// NewIndexTechnique returns the OpenTuner-over-index search technique.
+func NewIndexTechnique() *IndexTechnique { return &IndexTechnique{} }
+
+// Initialize implements core.Technique: it "embeds" the OpenTuner engine
+// and defines the tuning parameter TP with range [0, S).
+func (t *IndexTechnique) Initialize(sp *core.Space, seed int64) {
+	t.sp = sp
+	t.engine = NewEngine(NewDomain(sp.Size()), nil, seed)
+}
+
+// Finalize implements core.Technique (the paper destroys the Python
+// embedding here; we have nothing to tear down).
+func (t *IndexTechnique) Finalize() { t.engine = nil }
+
+// GetNextConfig takes a new prediction for TP from the engine and returns
+// the configuration with that index in the ATF space.
+func (t *IndexTechnique) GetNextConfig() *core.Config {
+	t.last = t.engine.Next()
+	idx := t.engine.domain.Decode(t.last)[0]
+	return t.sp.At(idx)
+}
+
+// ReportCost passes the configuration's cost to the OpenTuner engine.
+func (t *IndexTechnique) ReportCost(cost core.Cost) {
+	t.engine.Report(t.last, cost.Primary())
+}
+
+// RawResult is the outcome of tuning the raw, unconstrained space.
+type RawResult struct {
+	Best        *core.Config // nil if no valid configuration was found
+	BestCost    core.Cost
+	Evaluations int
+	ValidEvals  int
+}
+
+// RawTuner reproduces the paper's §VI-B OpenTuner baseline: the engine
+// tunes the *unconstrained* Cartesian product of the raw parameter ranges
+// (constraints cannot be expressed in OpenTuner), and a penalty — infinite
+// cost — is reported whenever the decoded configuration violates any
+// constraint, following the community workaround the paper cites [3].
+type RawTuner struct {
+	Params []*core.Param
+	// Validate reports whether a decoded configuration satisfies all
+	// constraints. If nil, the parameters' own constraints are replayed in
+	// declaration order.
+	Validate func(cfg *core.Config) bool
+}
+
+// Tune runs the baseline for the given number of evaluations.
+func (r *RawTuner) Tune(cf core.CostFunction, evaluations int, seed int64) (*RawResult, error) {
+	names := make([]string, len(r.Params))
+	card := make([]uint64, len(r.Params))
+	for i, p := range r.Params {
+		names[i] = p.Name
+		card[i] = uint64(p.Range.Len())
+	}
+	engine := NewEngine(NewDomain(card...), nil, seed)
+	validate := r.Validate
+	if validate == nil {
+		validate = func(cfg *core.Config) bool { return r.replayConstraints(cfg) }
+	}
+
+	res := &RawResult{}
+	var bestCost core.Cost
+	var best *core.Config
+	for i := 0; i < evaluations; i++ {
+		p := engine.Next()
+		coords := engine.domain.Decode(p)
+		cfg := core.NewConfig(names)
+		for j, p2 := range r.Params {
+			cfg.SetAt(j, p2.Range.At(int(coords[j])))
+		}
+		res.Evaluations++
+
+		if !validate(cfg) {
+			engine.Report(p, math.Inf(1)) // the penalty value of [3]
+			continue
+		}
+		cost, err := cf.Cost(cfg)
+		if err != nil {
+			engine.Report(p, math.Inf(1))
+			continue
+		}
+		res.ValidEvals++
+		engine.Report(p, cost.Primary())
+		if bestCost == nil || cost.Less(bestCost) {
+			bestCost = cost.Clone()
+			best = cfg.Clone()
+		}
+	}
+	res.Best = best
+	res.BestCost = bestCost
+	return res, nil
+}
+
+// replayConstraints checks a complete configuration against the declared
+// constraints by re-evaluating them in declaration order.
+func (r *RawTuner) replayConstraints(cfg *core.Config) bool {
+	names := make([]string, len(r.Params))
+	for i, p := range r.Params {
+		names[i] = p.Name
+	}
+	partial := core.NewConfig(names)
+	for i, p := range r.Params {
+		v := cfg.At(i)
+		if !p.Accepts(v, partial) {
+			return false
+		}
+		partial.SetAt(i, v)
+	}
+	return true
+}

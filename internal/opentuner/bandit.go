@@ -1,0 +1,92 @@
+package opentuner
+
+import "math"
+
+// AUCBandit is OpenTuner's meta-technique: a multi-armed bandit with
+// sliding-window Area-Under-the-Curve credit assignment. Each arm is a
+// SubTechnique; an arm earns credit when a point it proposed became the new
+// global best. Arm selection maximizes
+//
+//	AUC(arm) + C * sqrt(2 * log(history) / uses(arm)),
+//
+// where AUC weighs recent successes more heavily than old ones, so the
+// bandit shifts trials toward whichever technique is currently paying off.
+type AUCBandit struct {
+	// C is the exploration constant (OpenTuner default 0.05).
+	C float64
+	// Window is the sliding history length (OpenTuner default 500).
+	Window int
+
+	arms    []*armState
+	history int
+}
+
+type armState struct {
+	// outcomes is the sliding window of 0/1 results for this arm's uses.
+	outcomes []bool
+	uses     int
+}
+
+// NewAUCBandit builds a bandit over n arms with OpenTuner's defaults.
+func NewAUCBandit(n int) *AUCBandit {
+	b := &AUCBandit{C: 0.05, Window: 500}
+	b.arms = make([]*armState, n)
+	for i := range b.arms {
+		b.arms[i] = &armState{}
+	}
+	return b
+}
+
+// Select returns the arm to use next.
+func (b *AUCBandit) Select() int {
+	bestArm, bestScore := 0, math.Inf(-1)
+	for i, a := range b.arms {
+		var score float64
+		if a.uses == 0 {
+			// Unused arms are tried first, in order.
+			score = math.Inf(1) - float64(i)
+			if score > bestScore {
+				bestArm, bestScore = i, score
+			}
+			continue
+		}
+		score = a.auc() + b.C*math.Sqrt(2*math.Log(float64(b.history+1))/float64(a.uses))
+		if score > bestScore {
+			bestArm, bestScore = i, score
+		}
+	}
+	return bestArm
+}
+
+// Record registers the outcome of one use of an arm: improved indicates
+// the proposed point became the new global best.
+func (b *AUCBandit) Record(arm int, improved bool) {
+	a := b.arms[arm]
+	a.outcomes = append(a.outcomes, improved)
+	if len(a.outcomes) > b.Window {
+		a.outcomes = a.outcomes[1:]
+	}
+	a.uses++
+	b.history++
+}
+
+// auc computes the exponentially-recency-weighted area under the curve for
+// the arm's outcome window: outcome i (0-based, oldest first) contributes
+// weight i+1. An empty window scores 0.
+func (a *armState) auc() float64 {
+	if len(a.outcomes) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i, ok := range a.outcomes {
+		w := float64(i + 1)
+		den += w
+		if ok {
+			num += w
+		}
+	}
+	return num / den
+}
+
+// Uses returns how often the arm has been selected (tests, reporting).
+func (b *AUCBandit) Uses(arm int) int { return b.arms[arm].uses }

@@ -1,0 +1,95 @@
+// Package opentuner reimplements the search core of the OpenTuner framework
+// (Ansel et al., PACT 2014) as used by the ATF paper: an AUC-bandit
+// meta-technique that adaptively allocates trials among Nelder-Mead
+// simplex variants, Torczon hill climbers, greedy mutation, and random
+// search.
+//
+// ATF employs this engine in two ways, and so does this package:
+//
+//  1. As ATF's third pre-implemented search technique (paper Section IV-C):
+//     the engine tunes a single integer parameter TP ∈ [0, S) indexing
+//     ATF's constraint-valid search space — see IndexTechnique.
+//  2. As the paper's §VI-B baseline: the engine tunes the raw, unconstrained
+//     parameter space, with a penalty cost reported for configurations that
+//     violate constraints — see RawTuner.
+package opentuner
+
+// Domain describes the integer search domain the engine optimizes over.
+type Domain struct {
+	// Card holds each dimension's cardinality (number of representable
+	// values). Dimensions are integral, like OpenTuner's IntegerParameter.
+	Card []uint64
+}
+
+// Point is a position in the unit hypercube [0,1)^d; dimension i decodes to
+// the integer floor(p[i] * Card[i]). Continuous simplex arithmetic
+// (centroids, reflections) happens on Points; decoding happens only at
+// evaluation.
+type Point []float64
+
+// NewDomain builds a domain from dimension cardinalities. Every dimension
+// must have at least one value.
+func NewDomain(card ...uint64) *Domain {
+	for i, c := range card {
+		if c == 0 {
+			panic("opentuner: dimension with zero cardinality")
+		}
+		_ = i
+	}
+	cp := append([]uint64(nil), card...)
+	return &Domain{Card: cp}
+}
+
+// Dims returns the number of dimensions.
+func (d *Domain) Dims() int { return len(d.Card) }
+
+// Clamp folds a point back into [0,1) per dimension by clamping; simplex
+// operations can step outside the cube.
+func (d *Domain) Clamp(p Point) Point {
+	for i := range p {
+		if p[i] < 0 {
+			p[i] = 0
+		}
+		// Keep strictly below 1 so decoding never exceeds Card-1.
+		if p[i] >= 1 {
+			p[i] = 1 - 1e-12
+		}
+	}
+	return p
+}
+
+// Decode maps a point to integer coordinates.
+func (d *Domain) Decode(p Point) []uint64 {
+	out := make([]uint64, len(d.Card))
+	for i, c := range d.Card {
+		v := uint64(p[i] * float64(c))
+		if v >= c {
+			v = c - 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Encode maps integer coordinates to the centre of their cell in [0,1)^d.
+func (d *Domain) Encode(coords []uint64) Point {
+	p := make(Point, len(d.Card))
+	for i, c := range d.Card {
+		p[i] = (float64(coords[i]) + 0.5) / float64(c)
+	}
+	return p
+}
+
+// Clone copies a point.
+func (p Point) Clone() Point { return append(Point(nil), p...) }
+
+// key renders decoded coordinates for deduplication.
+func key(coords []uint64) string {
+	b := make([]byte, 0, len(coords)*8)
+	for _, c := range coords {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(c>>uint(s)))
+		}
+	}
+	return string(b)
+}

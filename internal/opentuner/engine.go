@@ -1,0 +1,97 @@
+package opentuner
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Engine drives the OpenTuner ensemble over a Domain: the AUC bandit picks
+// a technique, the technique proposes a point, the caller evaluates it and
+// reports the cost back. The engine tracks the global best across all
+// techniques (OpenTuner's shared results database).
+type Engine struct {
+	domain *Domain
+	techs  []SubTechnique
+	bandit *AUCBandit
+	rng    *rand.Rand
+
+	lastArm  int
+	best     Point
+	bestCost float64
+	evals    int
+}
+
+// DefaultTechniques returns the ensemble the ATF paper names (Section II:
+// "many variants of Nelder-Mead search ... and Torczon hillclimbers", plus
+// OpenTuner's standard mutation and random arms).
+func DefaultTechniques() []SubTechnique {
+	return []SubTechnique{
+		NewNelderMead("random"),
+		NewNelderMead("seeded"),
+		NewTorczon(),
+		NewGreedyMutation(true),
+		NewGreedyMutation(false),
+		NewRandomTechnique(),
+	}
+}
+
+// NewEngine builds an engine over the domain with the given techniques
+// (nil selects DefaultTechniques) and seed.
+func NewEngine(d *Domain, techs []SubTechnique, seed int64) *Engine {
+	if techs == nil {
+		techs = DefaultTechniques()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, t := range techs {
+		// Each technique gets its own stream so interleaving choices do
+		// not perturb the others' randomness.
+		t.Init(d, rand.New(rand.NewSource(rng.Int63())))
+	}
+	return &Engine{
+		domain:   d,
+		techs:    techs,
+		bandit:   NewAUCBandit(len(techs)),
+		rng:      rng,
+		bestCost: math.Inf(1),
+	}
+}
+
+// Next returns the next point to evaluate.
+func (e *Engine) Next() Point {
+	e.lastArm = e.bandit.Select()
+	p := e.techs[e.lastArm].Propose(e.best, e.bestCost)
+	return e.domain.Clamp(p)
+}
+
+// Report delivers the cost of the point most recently returned by Next.
+// Invalid (penalized) configurations should be reported as +Inf — the
+// bandit then records a non-improvement, which is precisely why OpenTuner
+// stalls on constraint-riddled spaces (paper §VI-B).
+func (e *Engine) Report(p Point, cost float64) {
+	improved := cost < e.bestCost
+	if improved {
+		e.best = p.Clone()
+		e.bestCost = cost
+	}
+	e.techs[e.lastArm].Report(p, cost)
+	e.bandit.Record(e.lastArm, improved)
+	e.evals++
+}
+
+// Best returns the best point and cost seen so far; ok is false before the
+// first finite-cost report.
+func (e *Engine) Best() (Point, float64, bool) {
+	return e.best, e.bestCost, !math.IsInf(e.bestCost, 1)
+}
+
+// Evaluations returns the number of reported evaluations.
+func (e *Engine) Evaluations() int { return e.evals }
+
+// TechniqueUse reports per-technique selection counts (name → uses).
+func (e *Engine) TechniqueUse() map[string]int {
+	m := make(map[string]int, len(e.techs))
+	for i, t := range e.techs {
+		m[t.Name()] += e.bandit.Uses(i)
+	}
+	return m
+}

@@ -1,0 +1,178 @@
+package opentuner
+
+import "math/rand"
+
+// NelderMead implements the downhill-simplex method as an ensemble
+// technique, in the request/report style OpenTuner uses: Propose emits one
+// point, Report advances the simplex state machine. The classic
+// coefficients α=1 (reflect), γ=2 (expand), ρ=0.5 (contract), σ=0.5
+// (shrink) apply.
+//
+// Variant selects how the initial simplex is placed — OpenTuner ships
+// "many variants of Nelder-Mead search" (ATF paper, Section II); the two
+// families that matter for credit assignment are random placement and
+// placement around the current best.
+type NelderMead struct {
+	// Variant: "random" places the initial simplex uniformly; "seeded"
+	// places it around the global best point (OpenTuner's
+	// RandomNelderMead vs RightNelderMead families).
+	Variant string
+
+	simplexBase
+	state    nmState
+	reflect  vertex
+	contract vertex
+	shrinkI  int
+	initI    int
+}
+
+type nmState int
+
+const (
+	nmInit nmState = iota
+	nmReflect
+	nmExpand
+	nmContract
+	nmShrink
+)
+
+// NewNelderMead builds a Nelder-Mead technique of the given variant
+// ("random" or "seeded").
+func NewNelderMead(variant string) *NelderMead { return &NelderMead{Variant: variant} }
+
+// Name implements SubTechnique.
+func (t *NelderMead) Name() string { return "NelderMead-" + t.Variant }
+
+// Init implements SubTechnique.
+func (t *NelderMead) Init(d *Domain, rng *rand.Rand) {
+	t.d, t.rng = d, rng
+	t.state = nmInit
+	t.verts = nil
+	t.initI = 0
+}
+
+// Propose implements SubTechnique.
+func (t *NelderMead) Propose(best Point, bestCost float64) Point {
+	dims := t.d.Dims()
+	switch t.state {
+	case nmInit:
+		// Build the d+1 initial vertices lazily, one proposal at a time.
+		var p Point
+		if t.Variant == "seeded" && best != nil {
+			p = best.Clone()
+			if t.initI > 0 {
+				i := (t.initI - 1) % dims
+				p[i] += (t.rng.Float64() - 0.5) * 0.2
+			}
+			p = t.d.Clamp(p)
+		} else {
+			p = t.randomPoint()
+		}
+		return p
+	case nmReflect:
+		c := t.centroidExcept(t.worst())
+		t.reflect.p = t.affine(c, t.verts[t.worst()].p, -1) // c + (c - worst)
+		return t.reflect.p
+	case nmExpand:
+		c := t.centroidExcept(t.worst())
+		return t.affine(c, t.verts[t.worst()].p, -2) // c + 2(c - worst)
+	case nmContract:
+		c := t.centroidExcept(t.worst())
+		t.contract.p = t.affine(c, t.verts[t.worst()].p, 0.5) // c + 0.5(worst - c)
+		return t.contract.p
+	case nmShrink:
+		b := t.verts[t.best()].p
+		return t.affine(b, t.verts[t.shrinkI].p, 0.5)
+	}
+	return t.randomPoint()
+}
+
+// Report implements SubTechnique.
+func (t *NelderMead) Report(p Point, cost float64) {
+	dims := t.d.Dims()
+	switch t.state {
+	case nmInit:
+		t.verts = append(t.verts, vertex{p: p.Clone(), cost: cost})
+		t.initI++
+		if len(t.verts) == dims+1 {
+			t.state = nmReflect
+		}
+	case nmReflect:
+		t.reflect.cost = cost
+		w := t.worst()
+		b := t.best()
+		secondWorst := t.secondWorstCost()
+		switch {
+		case cost < t.verts[b].cost:
+			t.state = nmExpand
+		case cost < secondWorst:
+			t.verts[w] = vertex{p: p.Clone(), cost: cost}
+			t.restart()
+		default:
+			t.state = nmContract
+		}
+	case nmExpand:
+		w := t.worst()
+		if cost < t.reflect.cost {
+			t.verts[w] = vertex{p: p.Clone(), cost: cost}
+		} else {
+			t.verts[w] = vertex{p: t.reflect.p.Clone(), cost: t.reflect.cost}
+		}
+		t.restart()
+	case nmContract:
+		w := t.worst()
+		if cost < t.verts[w].cost {
+			t.verts[w] = vertex{p: p.Clone(), cost: cost}
+			t.restart()
+		} else {
+			t.state = nmShrink
+			t.shrinkI = t.firstNonBest(0)
+		}
+	case nmShrink:
+		t.verts[t.shrinkI] = vertex{p: p.Clone(), cost: cost}
+		t.shrinkI = t.firstNonBest(t.shrinkI + 1)
+		if t.shrinkI < 0 {
+			t.restart()
+		}
+	}
+}
+
+// restart returns to reflecting, or reseeds a collapsed simplex.
+func (t *NelderMead) restart() {
+	if t.degenerate() {
+		t.verts = nil
+		t.initI = 0
+		t.state = nmInit
+		return
+	}
+	t.state = nmReflect
+}
+
+// firstNonBest returns the first vertex index >= from that is not the best
+// vertex, or -1.
+func (t *NelderMead) firstNonBest(from int) int {
+	b := t.best()
+	for i := from; i < len(t.verts); i++ {
+		if i != b {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *NelderMead) secondWorstCost() float64 {
+	w := t.worst()
+	sw := -1
+	for i, v := range t.verts {
+		if i == w {
+			continue
+		}
+		if sw < 0 || v.cost > t.verts[sw].cost {
+			sw = i
+		}
+	}
+	if sw < 0 {
+		return t.verts[w].cost
+	}
+	return t.verts[sw].cost
+}

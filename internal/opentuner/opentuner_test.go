@@ -1,0 +1,353 @@
+package opentuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"atf/internal/core"
+)
+
+func TestDomainEncodeDecode(t *testing.T) {
+	d := NewDomain(10, 4, 2)
+	if d.Dims() != 3 {
+		t.Fatal("dims wrong")
+	}
+	for _, coords := range [][]uint64{{0, 0, 0}, {9, 3, 1}, {5, 2, 0}} {
+		got := d.Decode(d.Encode(coords))
+		for i := range coords {
+			if got[i] != coords[i] {
+				t.Fatalf("roundtrip %v -> %v", coords, got)
+			}
+		}
+	}
+}
+
+func TestDomainClamp(t *testing.T) {
+	d := NewDomain(10)
+	p := d.Clamp(Point{-0.5})
+	if p[0] != 0 {
+		t.Error("negative should clamp to 0")
+	}
+	p = d.Clamp(Point{1.7})
+	if p[0] >= 1 {
+		t.Error("overflow should clamp below 1")
+	}
+	if d.Decode(Point{1 - 1e-12})[0] != 9 {
+		t.Error("top of range should decode to Card-1")
+	}
+}
+
+func TestDomainZeroCardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDomain(5, 0)
+}
+
+func TestAUCBanditPrefersWinningArm(t *testing.T) {
+	b := NewAUCBandit(3)
+	// Arm 1 improves half the time; the others never do.
+	for i := 0; i < 300; i++ {
+		arm := b.Select()
+		b.Record(arm, arm == 1 && i%2 == 0)
+	}
+	if b.Uses(1) <= b.Uses(0) || b.Uses(1) <= b.Uses(2) {
+		t.Fatalf("bandit should favour arm 1: uses = %d/%d/%d",
+			b.Uses(0), b.Uses(1), b.Uses(2))
+	}
+}
+
+func TestAUCBanditTriesAllArmsFirst(t *testing.T) {
+	b := NewAUCBandit(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		arm := b.Select()
+		seen[arm] = true
+		b.Record(arm, false)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("all arms must be tried once before exploitation, saw %v", seen)
+	}
+}
+
+func TestAUCBanditWindowForgets(t *testing.T) {
+	b := NewAUCBandit(1)
+	b.Window = 10
+	for i := 0; i < 20; i++ {
+		b.Record(0, true)
+	}
+	if b.arms[0].auc() != 1 {
+		t.Fatal("all-success window should score 1")
+	}
+	for i := 0; i < 10; i++ {
+		b.Record(0, false)
+	}
+	if b.arms[0].auc() != 0 {
+		t.Fatal("window should have forgotten old successes")
+	}
+}
+
+func TestAUCBanditRecencyWeighting(t *testing.T) {
+	recent := &armState{outcomes: []bool{false, false, true, true}}
+	old := &armState{outcomes: []bool{true, true, false, false}}
+	if recent.auc() <= old.auc() {
+		t.Fatalf("recent successes must outweigh old ones: %v vs %v",
+			recent.auc(), old.auc())
+	}
+}
+
+// sphere is a d-dimensional continuous test function with minimum at m.
+func sphere(m []float64) func(coords []uint64, card []uint64) float64 {
+	return func(coords []uint64, card []uint64) float64 {
+		var s float64
+		for i, c := range coords {
+			x := float64(c) / float64(card[i]-1)
+			d := x - m[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+func runEngine(t *testing.T, techs []SubTechnique, evals int, seed int64) float64 {
+	t.Helper()
+	card := []uint64{101, 101, 101}
+	d := NewDomain(card...)
+	f := sphere([]float64{0.3, 0.7, 0.5})
+	e := NewEngine(d, techs, seed)
+	for i := 0; i < evals; i++ {
+		p := e.Next()
+		e.Report(p, f(d.Decode(p), card))
+	}
+	_, cost, ok := e.Best()
+	if !ok {
+		t.Fatal("engine found nothing")
+	}
+	return cost
+}
+
+func TestEngineOptimizesSphere(t *testing.T) {
+	cost := runEngine(t, nil, 600, 17)
+	if cost > 0.01 {
+		t.Fatalf("ensemble should approach the sphere optimum, got %v", cost)
+	}
+}
+
+func TestEngineBeatsPureRandom(t *testing.T) {
+	// Averaged over seeds, the ensemble must beat random-only on a smooth
+	// function — the point of model-based techniques.
+	var ens, rnd float64
+	for seed := int64(1); seed <= 5; seed++ {
+		ens += runEngine(t, nil, 300, seed)
+		rnd += runEngine(t, []SubTechnique{NewRandomTechnique()}, 300, seed)
+	}
+	if ens >= rnd {
+		t.Fatalf("ensemble (%v) should beat pure random (%v)", ens, rnd)
+	}
+}
+
+func TestNelderMeadConverges1D(t *testing.T) {
+	card := []uint64{1001}
+	d := NewDomain(card...)
+	nm := NewNelderMead("random")
+	nm.Init(d, rand.New(rand.NewSource(2)))
+	f := sphere([]float64{0.42})
+	best := math.Inf(1)
+	for i := 0; i < 200; i++ {
+		p := nm.Propose(nil, math.Inf(1))
+		c := f(d.Decode(p), card)
+		if c < best {
+			best = c
+		}
+		nm.Report(p, c)
+	}
+	if best > 0.001 {
+		t.Fatalf("Nelder-Mead 1D best = %v", best)
+	}
+}
+
+func TestNelderMeadSeededVariantUsesBest(t *testing.T) {
+	d := NewDomain(1000, 1000)
+	nm := NewNelderMead("seeded")
+	nm.Init(d, rand.New(rand.NewSource(3)))
+	best := Point{0.25, 0.75}
+	p := nm.Propose(best, 1.0)
+	// First seeded proposal clones the best point exactly.
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Fatalf("seeded variant should start from the global best, got %v", p)
+	}
+}
+
+func TestTorczonConverges(t *testing.T) {
+	card := []uint64{501, 501}
+	d := NewDomain(card...)
+	tz := NewTorczon()
+	tz.Init(d, rand.New(rand.NewSource(4)))
+	f := sphere([]float64{0.6, 0.2})
+	best := math.Inf(1)
+	for i := 0; i < 400; i++ {
+		p := tz.Propose(nil, math.Inf(1))
+		c := f(d.Decode(p), card)
+		if c < best {
+			best = c
+		}
+		tz.Report(p, c)
+	}
+	if best > 0.01 {
+		t.Fatalf("Torczon best = %v", best)
+	}
+}
+
+func TestGreedyMutationStaysNearBest(t *testing.T) {
+	d := NewDomain(1000, 1000, 1000)
+	gm := NewGreedyMutation(true)
+	gm.Init(d, rand.New(rand.NewSource(5)))
+	best := Point{0.5, 0.5, 0.5}
+	far := 0
+	for i := 0; i < 200; i++ {
+		p := gm.Propose(best, 1)
+		var dist float64
+		for j := range p {
+			dd := p[j] - best[j]
+			dist += dd * dd
+		}
+		if math.Sqrt(dist) > 0.5 {
+			far++
+		}
+	}
+	if far > 20 {
+		t.Fatalf("normal mutation wandered far %d/200 times", far)
+	}
+}
+
+func TestGreedyMutationAlwaysMutates(t *testing.T) {
+	d := NewDomain(1000)
+	gm := NewGreedyMutation(false)
+	gm.Rate = 0 // even at rate 0, at least one coordinate must mutate
+	gm.Init(d, rand.New(rand.NewSource(6)))
+	best := Point{0.5}
+	same := 0
+	for i := 0; i < 50; i++ {
+		p := gm.Propose(best, 1)
+		if p[0] == 0.5 {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("mutation returned the unchanged best %d/50 times", same)
+	}
+}
+
+func TestIndexTechniqueTunesATFSpace(t *testing.T) {
+	// The Section IV-C adapter: engine over TP ∈ [0,S) of a valid-only
+	// space. Every configuration it proposes must satisfy the constraints.
+	const n = 64
+	sp, err := core.GenerateFlat([]*core.Param{
+		core.NewParam("WPT", core.NewInterval(1, n), core.Divides(n)),
+		core.NewParam("LS", core.NewInterval(1, n),
+			core.Divides(func(c *core.Config) int64 { return n / c.Int("WPT") })),
+	}, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := core.ScalarCostFunc(func(cfg *core.Config) float64 {
+		// Prefer WPT=8, LS=4.
+		return math.Abs(float64(cfg.Int("WPT"))-8)*10 + math.Abs(float64(cfg.Int("LS"))-4)
+	})
+	res, err := core.Explore(sp, NewIndexTechnique(), cf, core.Evaluations(200),
+		core.ExploreOptions{Seed: 7, OnEvaluation: func(ev core.Evaluation) {
+			wpt := ev.Config.Int("WPT")
+			if n%wpt != 0 {
+				t.Fatalf("invalid config proposed: %v", ev.Config)
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid != res.Evaluations {
+		t.Fatal("all index-space proposals must be valid")
+	}
+	if res.Best.Int("WPT") != 8 {
+		t.Fatalf("best = %v, want WPT=8", res.Best)
+	}
+}
+
+func TestRawTunerPenalizesInvalid(t *testing.T) {
+	// §VI-B: on a space where valid configurations are a tiny fraction,
+	// the raw-space baseline mostly burns evaluations on penalties.
+	const n = 97 // prime: only WPT ∈ {1, 97} divide it
+	params := []*core.Param{
+		core.NewParam("WPT", core.NewInterval(1, n), core.Divides(n)),
+		core.NewParam("LS", core.NewInterval(1, n),
+			core.Divides(func(c *core.Config) int64 { return n / c.Int("WPT") })),
+	}
+	rt := &RawTuner{Params: params}
+	cf := core.ScalarCostFunc(func(cfg *core.Config) float64 { return float64(cfg.Int("LS")) })
+	res, err := rt.Tune(cf, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 500 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+	if res.ValidEvals >= res.Evaluations/2 {
+		t.Fatalf("valid fraction suspiciously high: %d/%d", res.ValidEvals, res.Evaluations)
+	}
+	if res.Best != nil {
+		// Whatever it found must actually be valid.
+		if n%res.Best.Int("WPT") != 0 {
+			t.Fatalf("reported best is invalid: %v", res.Best)
+		}
+	}
+}
+
+func TestRawTunerFindsValidOnEasySpace(t *testing.T) {
+	// When most configurations are valid, the baseline works fine — the
+	// paper's point is about constraint-riddled spaces specifically.
+	params := []*core.Param{
+		core.NewParam("a", core.NewInterval(1, 16)),
+		core.NewParam("b", core.NewInterval(1, 16)),
+	}
+	rt := &RawTuner{Params: params}
+	cf := core.ScalarCostFunc(func(cfg *core.Config) float64 {
+		return float64(cfg.Int("a") + cfg.Int("b"))
+	})
+	res, err := rt.Tune(cf, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("unconstrained space: baseline must find something")
+	}
+	if res.ValidEvals != res.Evaluations {
+		t.Fatal("everything is valid here")
+	}
+	if res.BestCost.Primary() > 6 {
+		t.Fatalf("best cost %v too high for 300 evals on 256 configs", res.BestCost)
+	}
+}
+
+func TestEngineTechniqueUseAccounting(t *testing.T) {
+	d := NewDomain(100)
+	e := NewEngine(d, nil, 1)
+	card := []uint64{100}
+	f := sphere([]float64{0.5})
+	for i := 0; i < 60; i++ {
+		p := e.Next()
+		e.Report(p, f(d.Decode(p), card))
+	}
+	uses := e.TechniqueUse()
+	total := 0
+	for _, u := range uses {
+		total += u
+	}
+	if total != 60 {
+		t.Fatalf("use counts sum to %d, want 60", total)
+	}
+	if e.Evaluations() != 60 {
+		t.Fatal("evaluation count wrong")
+	}
+}

@@ -1,0 +1,210 @@
+package opentuner
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SubTechnique is one search technique inside the OpenTuner ensemble. The
+// engine repeatedly asks the selected technique for a point, evaluates it,
+// and reports the measured cost back to the same technique.
+type SubTechnique interface {
+	// Name identifies the technique in reports and tests.
+	Name() string
+	// Init prepares the technique for a domain; called once.
+	Init(d *Domain, rng *rand.Rand)
+	// Propose returns the next point to evaluate. best is the global best
+	// point so far (nil before any valid result) with its cost; techniques
+	// may seed themselves from it, as OpenTuner's do via the results bank.
+	Propose(best Point, bestCost float64) Point
+	// Report delivers the cost measured for a point previously proposed by
+	// this technique. Invalid/penalized configurations arrive as +Inf.
+	Report(p Point, cost float64)
+}
+
+// RandomTechnique samples uniformly — OpenTuner's PureRandom.
+type RandomTechnique struct {
+	d   *Domain
+	rng *rand.Rand
+}
+
+// NewRandomTechnique returns a uniform sampler.
+func NewRandomTechnique() *RandomTechnique { return &RandomTechnique{} }
+
+// Name implements SubTechnique.
+func (t *RandomTechnique) Name() string { return "PureRandom" }
+
+// Init implements SubTechnique.
+func (t *RandomTechnique) Init(d *Domain, rng *rand.Rand) { t.d, t.rng = d, rng }
+
+// Propose returns a uniformly random point.
+func (t *RandomTechnique) Propose(best Point, bestCost float64) Point {
+	p := make(Point, t.d.Dims())
+	for i := range p {
+		p[i] = t.rng.Float64()
+	}
+	return p
+}
+
+// Report implements SubTechnique (void: random search is memoryless).
+func (t *RandomTechnique) Report(Point, float64) {}
+
+// GreedyMutation mutates the best known point coordinate-wise —
+// OpenTuner's UniformGreedyMutation / NormalGreedyMutation pair.
+type GreedyMutation struct {
+	// Normal selects Gaussian perturbation (NormalGreedyMutation); false
+	// selects uniform resampling of mutated coordinates.
+	Normal bool
+	// Rate is the per-coordinate mutation probability (at least one
+	// coordinate always mutates). OpenTuner's default is 0.1.
+	Rate float64
+	// Sigma is the Gaussian step width for Normal mutation.
+	Sigma float64
+
+	d   *Domain
+	rng *rand.Rand
+}
+
+// NewGreedyMutation builds a mutation technique; normal selects the
+// Gaussian variant.
+func NewGreedyMutation(normal bool) *GreedyMutation {
+	return &GreedyMutation{Normal: normal, Rate: 0.1, Sigma: 0.05}
+}
+
+// Name implements SubTechnique.
+func (t *GreedyMutation) Name() string {
+	if t.Normal {
+		return "NormalGreedyMutation"
+	}
+	return "UniformGreedyMutation"
+}
+
+// Init implements SubTechnique.
+func (t *GreedyMutation) Init(d *Domain, rng *rand.Rand) { t.d, t.rng = d, rng }
+
+// Propose mutates the global best; with no best yet it samples uniformly.
+func (t *GreedyMutation) Propose(best Point, bestCost float64) Point {
+	if best == nil {
+		p := make(Point, t.d.Dims())
+		for i := range p {
+			p[i] = t.rng.Float64()
+		}
+		return p
+	}
+	p := best.Clone()
+	mutated := false
+	for i := range p {
+		if t.rng.Float64() >= t.Rate {
+			continue
+		}
+		t.mutate(p, i)
+		mutated = true
+	}
+	if !mutated {
+		t.mutate(p, t.rng.Intn(len(p)))
+	}
+	return t.d.Clamp(p)
+}
+
+func (t *GreedyMutation) mutate(p Point, i int) {
+	if t.Normal {
+		p[i] += t.rng.NormFloat64() * t.Sigma
+	} else {
+		p[i] = t.rng.Float64()
+	}
+}
+
+// Report implements SubTechnique (greedy mutation reads only the global
+// best, which the engine tracks).
+func (t *GreedyMutation) Report(Point, float64) {}
+
+// vertex pairs a simplex point with its measured cost.
+type vertex struct {
+	p    Point
+	cost float64
+}
+
+// simplexBase carries the shared state of the simplex-based techniques
+// (Nelder-Mead and Torczon): a population of d+1 vertices, a queue of
+// points awaiting evaluation, and bookkeeping to match reports to slots.
+type simplexBase struct {
+	d       *Domain
+	rng     *rand.Rand
+	verts   []vertex
+	pending []pendingEval
+}
+
+type pendingEval struct {
+	p    Point
+	slot int // index into verts to overwrite on certain states; -1 = custom
+	tag  int // technique-specific meaning
+}
+
+func (s *simplexBase) randomPoint() Point {
+	p := make(Point, s.d.Dims())
+	for i := range p {
+		p[i] = s.rng.Float64()
+	}
+	return p
+}
+
+func (s *simplexBase) worst() int {
+	w := 0
+	for i, v := range s.verts {
+		if v.cost > s.verts[w].cost {
+			w = i
+		}
+	}
+	return w
+}
+
+func (s *simplexBase) best() int {
+	b := 0
+	for i, v := range s.verts {
+		if v.cost < s.verts[b].cost {
+			b = i
+		}
+	}
+	return b
+}
+
+// centroidExcept computes the centroid of all vertices but skip.
+func (s *simplexBase) centroidExcept(skip int) Point {
+	c := make(Point, s.d.Dims())
+	n := 0
+	for i, v := range s.verts {
+		if i == skip {
+			continue
+		}
+		for j := range c {
+			c[j] += v.p[j]
+		}
+		n++
+	}
+	for j := range c {
+		c[j] /= float64(n)
+	}
+	return c
+}
+
+// affine returns a + t*(b-a) componentwise, clamped into the domain.
+func (s *simplexBase) affine(a, b Point, t float64) Point {
+	p := make(Point, len(a))
+	for i := range p {
+		p[i] = a[i] + t*(b[i]-a[i])
+	}
+	return s.d.Clamp(p)
+}
+
+// degenerate reports whether the simplex has (numerically) collapsed.
+func (s *simplexBase) degenerate() bool {
+	const eps = 1e-9
+	for i := 1; i < len(s.verts); i++ {
+		for j := range s.verts[i].p {
+			if math.Abs(s.verts[i].p[j]-s.verts[0].p[j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

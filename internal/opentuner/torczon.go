@@ -1,0 +1,165 @@
+package opentuner
+
+import "math/rand"
+
+// Torczon implements Torczon's multidirectional direct search as an
+// ensemble technique. Unlike Nelder-Mead, each iteration moves the whole
+// simplex: all non-best vertices are reflected through the best vertex; if
+// the batch improved on the best, an expanded batch (factor 2) is tried,
+// otherwise the simplex contracts toward the best vertex (factor 0.5).
+type Torczon struct {
+	simplexBase
+	state   tzState
+	batch   []vertex // candidate vertices being evaluated
+	batchI  int
+	initI   int
+	prevMin float64
+}
+
+type tzState int
+
+const (
+	tzInit tzState = iota
+	tzReflectBatch
+	tzExpandBatch
+)
+
+// NewTorczon builds a Torczon hill climber.
+func NewTorczon() *Torczon { return &Torczon{} }
+
+// Name implements SubTechnique.
+func (t *Torczon) Name() string { return "TorczonHillClimber" }
+
+// Init implements SubTechnique.
+func (t *Torczon) Init(d *Domain, rng *rand.Rand) {
+	t.d, t.rng = d, rng
+	t.state = tzInit
+	t.verts = nil
+	t.initI = 0
+}
+
+// Propose implements SubTechnique.
+func (t *Torczon) Propose(best Point, bestCost float64) Point {
+	switch t.state {
+	case tzInit:
+		return t.randomPoint()
+	case tzReflectBatch, tzExpandBatch:
+		return t.batch[t.batchI].p
+	}
+	return t.randomPoint()
+}
+
+// Report implements SubTechnique.
+func (t *Torczon) Report(p Point, cost float64) {
+	switch t.state {
+	case tzInit:
+		t.verts = append(t.verts, vertex{p: p.Clone(), cost: cost})
+		t.initI++
+		if len(t.verts) == t.d.Dims()+1 {
+			t.startReflect()
+		}
+	case tzReflectBatch:
+		t.batch[t.batchI].cost = cost
+		t.batchI++
+		if t.batchI < len(t.batch) {
+			return
+		}
+		if t.batchMin() < t.verts[t.best()].cost {
+			// Improvement: remember the reflected simplex, try expansion.
+			t.adoptBatch()
+			t.startExpand()
+			return
+		}
+		// No improvement: contract toward the best vertex in place and
+		// reflect again next round (contraction needs no evaluations under
+		// Torczon's scheme here; fresh costs arrive on the next batch).
+		t.contractInPlace()
+		t.startReflect()
+	case tzExpandBatch:
+		t.batch[t.batchI].cost = cost
+		t.batchI++
+		if t.batchI < len(t.batch) {
+			return
+		}
+		if t.batchMin() < t.prevMin {
+			t.adoptBatch()
+		}
+		t.startReflect()
+	}
+}
+
+// startReflect builds the reflected batch: every non-best vertex mirrored
+// through the best.
+func (t *Torczon) startReflect() {
+	if t.degenerate() {
+		t.verts = nil
+		t.initI = 0
+		t.state = tzInit
+		return
+	}
+	b := t.best()
+	t.batch = t.batch[:0]
+	for i, v := range t.verts {
+		if i == b {
+			continue
+		}
+		// reflected = best + (best - v)
+		t.batch = append(t.batch, vertex{p: t.affine(t.verts[b].p, v.p, -1)})
+	}
+	t.batchI = 0
+	t.state = tzReflectBatch
+}
+
+// startExpand builds the expanded batch (factor 2 from the best vertex).
+func (t *Torczon) startExpand() {
+	b := t.best()
+	t.prevMin = t.verts[t.best()].cost
+	old := make([]vertex, len(t.verts))
+	copy(old, t.verts)
+	t.batch = t.batch[:0]
+	for i, v := range old {
+		if i == b {
+			continue
+		}
+		t.batch = append(t.batch, vertex{p: t.affine(old[b].p, v.p, 2)})
+	}
+	t.batchI = 0
+	t.state = tzExpandBatch
+}
+
+// adoptBatch replaces the non-best vertices with the evaluated batch.
+func (t *Torczon) adoptBatch() {
+	b := t.best()
+	j := 0
+	for i := range t.verts {
+		if i == b {
+			continue
+		}
+		t.verts[i] = vertex{p: t.batch[j].p.Clone(), cost: t.batch[j].cost}
+		j++
+	}
+}
+
+// contractInPlace halves the simplex toward the best vertex. The
+// contracted vertices keep their stale costs until re-evaluated by the
+// next reflection batch; Torczon's convergence does not depend on them.
+func (t *Torczon) contractInPlace() {
+	b := t.best()
+	for i := range t.verts {
+		if i == b {
+			continue
+		}
+		t.verts[i].p = t.affine(t.verts[b].p, t.verts[i].p, 0.5)
+	}
+}
+
+// batchMin returns the smallest cost in the evaluated batch.
+func (t *Torczon) batchMin() float64 {
+	m := t.batch[0].cost
+	for _, v := range t.batch[1:] {
+		if v.cost < m {
+			m = v.cost
+		}
+	}
+	return m
+}

@@ -1,0 +1,141 @@
+// Package perfmodel provides the analytical device timing model behind the
+// simulated OpenCL/CUDA runtimes. It converts the oclc interpreter's
+// dynamic operation counters and sampled memory-access traces into a
+// simulated kernel runtime for a described device.
+//
+// The paper's experiments compare *orderings* (which tuner found the faster
+// configuration, by what factor); the model's job is therefore to produce a
+// cost surface whose shape responds to tuning parameters the way real
+// hardware does: GPUs reward coalesced access, wide work-groups in multiples
+// of the warp size, high occupancy and local-memory reuse; CPUs reward
+// fewer, fatter threads, unit-stride vectorizable access, and suffer from
+// per-work-group scheduling overhead. Absolute nanoseconds are synthetic.
+package perfmodel
+
+// DeviceType distinguishes the two architecture families modelled.
+type DeviceType uint8
+
+const (
+	CPU DeviceType = iota
+	GPU
+)
+
+func (t DeviceType) String() string {
+	if t == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// Device describes a simulated OpenCL device. The two catalog entries are
+// calibrated to the paper's evaluation hardware (dual Xeon E5-2640 v2 and
+// Tesla K20m; the K20c of the saxpy example is electrically a K20m).
+type Device struct {
+	Name   string
+	Vendor string
+	Type   DeviceType
+
+	ComputeUnits int     // cores (CPU) or SMX (GPU)
+	SIMDWidth    int     // vector lanes (CPU) or warp size (GPU)
+	IPC          float64 // SIMD instructions issued per cycle per CU
+	ClockGHz     float64
+
+	MemBandwidthGBs float64 // aggregate DRAM bandwidth
+	MemLatencyNs    float64 // uncontended DRAM latency
+	CacheLineBytes  int
+	L2Bytes         int
+
+	LocalMemBytes    int // per CU (__local); emulated via cache on CPU
+	MaxWorkGroupSize int
+	MaxWIsPerCU      int // resident work-items per CU (occupancy bound)
+	MaxWGsPerCU      int // resident work-groups per CU
+
+	KernelLaunchNs float64 // fixed enqueue overhead
+	WGScheduleNs   float64 // per-work-group dispatch cost (large on CPU)
+
+	// LocalAccessCycles is the cost of one __local access (shared memory
+	// on GPU, L1-ish on CPU).
+	LocalAccessCycles float64
+
+	// BarrierSwitchNs is the per-work-item cost of one work-group barrier
+	// when barriers are implemented in software (CPU OpenCL runtimes
+	// round-robin work-item fibers at every barrier). Zero selects the
+	// cheap hardware-barrier path (GPUs).
+	BarrierSwitchNs float64
+	// BarrierThrashWIs scales the superlinear part of the software
+	// barrier cost: beyond this many work-items per group the fibers'
+	// stacks overflow the core's cache and every switch gets slower.
+	// This is why GPU-style 256-work-item configurations are
+	// disproportionately bad on CPUs (paper §VI-A: the restricted ranges
+	// "comprise values that are rather optimal for the GPUs'
+	// architecture than for CPUs").
+	BarrierThrashWIs int
+}
+
+// XeonE5_2640v2x2 models the paper's dual-socket CPU: 2 × 8 cores with
+// hyper-threading presented by the OpenCL runtime as one device with 32
+// compute units at 2 GHz.
+func XeonE5_2640v2x2() *Device {
+	return &Device{
+		Name:              "Intel Xeon E5-2640 v2 (dual)",
+		Vendor:            "Intel",
+		Type:              CPU,
+		ComputeUnits:      32,
+		SIMDWidth:         8, // AVX float32 lanes
+		IPC:               2,
+		ClockGHz:          2.0,
+		MemBandwidthGBs:   102, // 2 × 51.2 GB/s sockets
+		MemLatencyNs:      80,
+		CacheLineBytes:    64,
+		L2Bytes:           20 << 20,
+		LocalMemBytes:     32 << 10,
+		MaxWorkGroupSize:  8192,
+		MaxWIsPerCU:       8192,
+		MaxWGsPerCU:       1,
+		KernelLaunchNs:    4000,
+		WGScheduleNs:      300, // thread-pool task dispatch per work-group
+		LocalAccessCycles: 1,   // __local is ordinary cached memory on CPU
+		BarrierSwitchNs:   10,  // fiber switch per work-item per barrier
+		BarrierThrashWIs:  64,
+	}
+}
+
+// TeslaK20m models the paper's GPU: 13 SMX, warp size 32, 208 GB/s GDDR5.
+func TeslaK20m() *Device {
+	return &Device{
+		Name:              "Tesla K20m",
+		Vendor:            "NVIDIA",
+		Type:              GPU,
+		ComputeUnits:      13,
+		SIMDWidth:         32,
+		IPC:               6, // 192 CUDA cores / 32 lanes
+		ClockGHz:          0.706,
+		MemBandwidthGBs:   208,
+		MemLatencyNs:      350,
+		CacheLineBytes:    128,
+		L2Bytes:           1280 << 10,
+		LocalMemBytes:     48 << 10,
+		MaxWorkGroupSize:  1024,
+		MaxWIsPerCU:       2048,
+		MaxWGsPerCU:       16,
+		KernelLaunchNs:    7000,
+		WGScheduleNs:      50,
+		LocalAccessCycles: 2,
+	}
+}
+
+// TeslaK20c is the workstation variant used in the paper's saxpy example
+// (Listing 2); performance-wise identical to the K20m.
+func TeslaK20c() *Device {
+	d := TeslaK20m()
+	d.Name = "Tesla K20c"
+	return d
+}
+
+// Catalog returns all described devices grouped by OpenCL platform name.
+func Catalog() map[string][]*Device {
+	return map[string][]*Device{
+		"NVIDIA": {TeslaK20m(), TeslaK20c()},
+		"Intel":  {XeonE5_2640v2x2()},
+	}
+}

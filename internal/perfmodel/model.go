@@ -1,0 +1,236 @@
+package perfmodel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"atf/internal/oclc"
+)
+
+// Estimate is the simulated runtime of one kernel launch, with the
+// breakdown the ablation benches inspect.
+type Estimate struct {
+	TimeNs float64
+
+	ComputeNsPerWG float64
+	MemoryNsPerWG  float64
+	Waves          int64
+	ConcurrentWGs  int64
+	Transactions   int64 // memory transactions per work-group
+	CoalesceEff    float64
+	Occupancy      float64
+}
+
+// Model evaluates launches against one device.
+type Model struct {
+	Dev *Device
+	// Jitter adds a deterministic pseudo-random perturbation of the given
+	// relative magnitude (e.g. 0.02 = ±2%), seeded by the launch
+	// signature — real measurements are noisy, and tuners must cope.
+	Jitter float64
+}
+
+// EstimateLaunch computes the simulated time of a kernel launch from the
+// sampled execution result. res must come from at least one executed
+// work-group; counters are normalized to one work-group and scaled
+// analytically to the full NDRange.
+func (m *Model) EstimateLaunch(cfg oclc.LaunchConfig, res *oclc.ExecResult, sig string) (*Estimate, error) {
+	d := m.Dev
+	wgSize := cfg.WorkGroupSize()
+	if wgSize > int64(d.MaxWorkGroupSize) {
+		return nil, fmt.Errorf("perfmodel: work-group size %d exceeds device maximum %d (CL_INVALID_WORK_GROUP_SIZE)",
+			wgSize, d.MaxWorkGroupSize)
+	}
+	if res.LocalBytes > int64(d.LocalMemBytes) {
+		return nil, fmt.Errorf("perfmodel: __local usage %d exceeds device local memory %d (CL_OUT_OF_RESOURCES)",
+			res.LocalBytes, d.LocalMemBytes)
+	}
+	if res.GroupsExecuted == 0 {
+		return nil, fmt.Errorf("perfmodel: no executed work-groups to sample")
+	}
+
+	numWGs := cfg.NumGroups()
+	scale := 1 / float64(res.GroupsExecuted)
+	c := res.Counters
+
+	// --- memory transactions and coalescing ---------------------------
+	// Both counts are per work-group (the log samples the first group).
+	trans, ideal := m.transactions(res, wgSize)
+	coalesce := 1.0
+	if trans > 0 {
+		coalesce = float64(ideal) / float64(trans)
+		if coalesce > 1 {
+			coalesce = 1
+		}
+	}
+
+	// --- compute time per work-group ----------------------------------
+	// Counters are totals over the sampled group's work-items; lockstep
+	// SIMD execution retires SIMDWidth lanes per issued instruction, IPC
+	// instructions per cycle.
+	weighted := float64(c.IntOps)*1 +
+		float64(c.FloatOps)*1 +
+		float64(c.FMAs)*1 +
+		float64(c.SpecialOps)*8 +
+		float64(c.LocalLoads+c.LocalStores)*d.LocalAccessCycles +
+		float64(c.PrivateAccess)*0.25 +
+		float64(c.Branches)*1 +
+		float64(c.LoopIters)*2 +
+		float64(c.UnrolledIters)*0.5
+	weighted *= scale
+
+	simdEff := float64(d.SIMDWidth)
+	if d.Type == CPU {
+		// Auto-vectorization only pays off on coalescable (unit-stride)
+		// access patterns; scattered patterns execute scalar.
+		simdEff = 1 + (float64(d.SIMDWidth)-1)*coalesce
+	} else {
+		// Partially filled warps still occupy full warp slots.
+		lanes := float64(wgSize)
+		batches := math.Ceil(lanes / float64(d.SIMDWidth))
+		simdEff = float64(d.SIMDWidth) * (lanes / (batches * float64(d.SIMDWidth)))
+	}
+	cycles := weighted / (simdEff * d.IPC)
+
+	batchesPerWG := math.Ceil(float64(wgSize) / float64(d.SIMDWidth))
+	barrierEvents := float64(c.Barriers) * scale / float64(wgSize) // per WG
+	var barrierNs float64
+	if d.BarrierSwitchNs > 0 {
+		// Software barriers (CPU): every work-item fiber is switched at
+		// each barrier, and beyond BarrierThrashWIs the stacks fall out
+		// of the core's cache, so the per-switch cost grows with the
+		// group size. This is what makes GPU-style large work-groups
+		// disproportionately expensive on CPUs.
+		thrash := 1 + float64(wgSize)/float64(d.BarrierThrashWIs)
+		barrierNs = barrierEvents * float64(wgSize) * d.BarrierSwitchNs * thrash
+	} else {
+		// Hardware barriers (GPU): one SIMD-batch drain per barrier.
+		cycles += barrierEvents * batchesPerWG * 20
+	}
+
+	computeNs := cycles/d.ClockGHz + barrierNs
+
+	// --- occupancy ------------------------------------------------------
+	wgPerCU := int64(d.MaxWGsPerCU)
+	if byWI := int64(d.MaxWIsPerCU) / wgSize; byWI < wgPerCU {
+		wgPerCU = byWI
+	}
+	if res.LocalBytes > 0 {
+		if byLocal := int64(d.LocalMemBytes) / res.LocalBytes; byLocal < wgPerCU {
+			wgPerCU = byLocal
+		}
+	}
+	if wgPerCU < 1 {
+		wgPerCU = 1
+	}
+	concurrent := wgPerCU * int64(d.ComputeUnits)
+	if concurrent > numWGs {
+		concurrent = numWGs
+	}
+	waves := (numWGs + concurrent - 1) / concurrent
+	occupancy := float64(concurrent) / float64(wgPerCU*int64(d.ComputeUnits))
+
+	// --- memory time per work-group -------------------------------------
+	activeCUs := float64(concurrent)
+	if activeCUs > float64(d.ComputeUnits) {
+		activeCUs = float64(d.ComputeUnits)
+	}
+	perCUBandwidth := d.MemBandwidthGBs / activeCUs // GB/s == bytes/ns
+	transPerWG := float64(trans)
+	bytesPerWG := transPerWG * float64(d.CacheLineBytes)
+	memNs := bytesPerWG / perCUBandwidth
+	// Latency of the first (non-overlapped) access per dependent chain;
+	// deep multithreading on GPUs hides most of it.
+	latencyHide := 0.9
+	if d.Type == CPU {
+		latencyHide = 0.6
+	}
+	memNs += transPerWG * d.MemLatencyNs * (1 - latencyHide) / batchesPerWG
+
+	// Compute and memory overlap; the slower stream dominates (roofline).
+	wgNs := math.Max(computeNs, memNs)
+
+	total := d.KernelLaunchNs + float64(waves)*wgNs + float64(numWGs)*d.WGScheduleNs
+
+	if m.Jitter > 0 {
+		total *= 1 + m.Jitter*signedHash(sig)
+	}
+
+	return &Estimate{
+		TimeNs:         total,
+		ComputeNsPerWG: computeNs,
+		MemoryNsPerWG:  memNs,
+		Waves:          waves,
+		ConcurrentWGs:  concurrent,
+		Transactions:   int64(transPerWG),
+		CoalesceEff:    coalesce,
+		Occupancy:      occupancy,
+	}, nil
+}
+
+// transactions derives per-work-group memory transactions from the access
+// log (which samples the first executed group): work-items execute in SIMD
+// batches; the k-th dynamic access of a site by all work-items of a batch
+// issues together, and the number of distinct cache lines touched is the
+// number of transactions. Without a log (functional runs), a neutral 50%
+// coalescing efficiency is assumed. Both return values are per work-group.
+func (m *Model) transactions(res *oclc.ExecResult, wgSize int64) (trans, ideal int64) {
+	line := int64(m.Dev.CacheLineBytes)
+	elem := int64(4)
+	totalAccesses := res.Counters.GlobalLoads + res.Counters.GlobalStores
+	perGroup := totalAccesses / max64(res.GroupsExecuted, 1)
+	// Ideal: perfectly dense unit-stride traffic.
+	ideal = ceilDiv(perGroup*elem, line)
+	if ideal == 0 {
+		ideal = 1
+	}
+	if res.Log == nil {
+		return ideal * 2, ideal // assume 50% efficiency
+	}
+
+	simd := int64(m.Dev.SIMDWidth)
+	for _, perWI := range res.Log.Sites() {
+		maxLen := 0
+		for _, as := range perWI {
+			if len(as) > maxLen {
+				maxLen = len(as)
+			}
+		}
+		batches := (wgSize + simd - 1) / simd
+		lines := make(map[uint64]struct{}, simd)
+		for b := int64(0); b < batches; b++ {
+			for k := 0; k < maxLen; k++ {
+				clear(lines)
+				for wi := b * simd; wi < (b+1)*simd && wi < wgSize; wi++ {
+					as := perWI[int(wi)]
+					if k < len(as) {
+						lines[as[k]/uint64(line)] = struct{}{}
+					}
+				}
+				trans += int64(len(lines))
+			}
+		}
+	}
+	if trans == 0 {
+		trans = ideal
+	}
+	return trans, ideal
+}
+
+// signedHash maps a string to a deterministic value in [-1, 1].
+func signedHash(s string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	return (float64(v%2000001)/1000000 - 1)
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"atf/internal/oclc"
+)
+
+// launchSaxpy compiles and sample-executes the saxpy kernel with the given
+// tuning parameters, returning the estimate on dev.
+func launchSaxpy(t *testing.T, dev *Device, n, wpt, ls int64) *Estimate {
+	t.Helper()
+	src := `
+__kernel void saxpy(const int N, const float a,
+                    __global float* x, __global float* y) {
+  for (int w = 0; w < WPT; w++) {
+    const int id = w * get_global_size(0) + get_global_id(0);
+    y[id] = a * x[id] + y[id];
+  }
+}`
+	prog, err := oclc.Compile(src, map[string]string{"WPT": itoa(wpt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := oclc.NewGlobalMemory(1, oclc.KFloat, 4, int(n))
+	y := oclc.NewGlobalMemory(2, oclc.KFloat, 4, int(n))
+	res, err := prog.Launch("saxpy",
+		[]oclc.Arg{oclc.IntArg(n), oclc.FloatArg(2), oclc.BufArg(x), oclc.BufArg(y)},
+		oclc.NDRange1D(n/wpt, ls),
+		oclc.ExecOptions{SampleGroups: 1, RecordAccesses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Dev: dev}
+	est, err := m.EstimateLaunch(oclc.NDRange1D(n/wpt, ls), res, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestDeviceCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat["NVIDIA"]) != 2 || len(cat["Intel"]) != 1 {
+		t.Fatalf("catalog unexpected: %v", cat)
+	}
+	if XeonE5_2640v2x2().Type != CPU || TeslaK20m().Type != GPU {
+		t.Fatal("device types wrong")
+	}
+	if TeslaK20c().Name == TeslaK20m().Name {
+		t.Fatal("K20c must be distinguishable")
+	}
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("type names wrong")
+	}
+}
+
+func TestEstimatePositiveAndFinite(t *testing.T) {
+	for _, dev := range []*Device{XeonE5_2640v2x2(), TeslaK20m()} {
+		est := launchSaxpy(t, dev, 1<<16, 4, 64)
+		if est.TimeNs <= 0 {
+			t.Fatalf("%s: non-positive time %v", dev.Name, est.TimeNs)
+		}
+		if est.Waves <= 0 || est.ConcurrentWGs <= 0 {
+			t.Fatalf("%s: degenerate schedule %+v", dev.Name, est)
+		}
+	}
+}
+
+func TestSaxpyCoalescedUnitStride(t *testing.T) {
+	// saxpy with the CLBlast indexing (id = w*gsize + gid) is unit-stride
+	// across work-items for every w — near-perfect coalescing.
+	est := launchSaxpy(t, TeslaK20m(), 1<<14, 4, 64)
+	if est.CoalesceEff < 0.9 {
+		t.Fatalf("coalescing efficiency = %v, want ~1", est.CoalesceEff)
+	}
+}
+
+func TestGPUPrefersWarpMultipleWorkGroups(t *testing.T) {
+	// 48 work-items per group wastes half of the second warp; 64 fills
+	// both. With equal total work the warp-aligned variant must not be
+	// slower. (Use a power-of-two N so both divide evenly.)
+	aligned := launchSaxpy(t, TeslaK20m(), 1<<14, 1, 64)
+	misaligned := launchSaxpy(t, TeslaK20m(), 1<<14, 1, 16)
+	if aligned.TimeNs > misaligned.TimeNs {
+		t.Fatalf("64-wide groups (%v ns) should beat 16-wide (%v ns) on GPU",
+			aligned.TimeNs, misaligned.TimeNs)
+	}
+}
+
+func TestCPUHatesTinyWorkGroups(t *testing.T) {
+	// On the CPU model, scheduling 4096 one-item work-groups costs far
+	// more than 64 groups of 64: per-group dispatch dominates.
+	many := launchSaxpy(t, XeonE5_2640v2x2(), 1<<12, 1, 1)
+	few := launchSaxpy(t, XeonE5_2640v2x2(), 1<<12, 64, 64)
+	if few.TimeNs >= many.TimeNs {
+		t.Fatalf("fat work-groups (%v ns) should beat tiny ones (%v ns) on CPU",
+			few.TimeNs, many.TimeNs)
+	}
+}
+
+func TestWPTReducesParallelismTradeoff(t *testing.T) {
+	// Huge WPT with one work-group leaves all but one CU idle on the GPU;
+	// moderate WPT should win at large N.
+	moderate := launchSaxpy(t, TeslaK20m(), 1<<16, 4, 128)
+	extreme := launchSaxpy(t, TeslaK20m(), 1<<16, 1<<12, 16)
+	if moderate.TimeNs >= extreme.TimeNs {
+		t.Fatalf("moderate WPT (%v ns) should beat extreme WPT (%v ns)",
+			moderate.TimeNs, extreme.TimeNs)
+	}
+}
+
+func TestWorkGroupTooLargeRejected(t *testing.T) {
+	src := `__kernel void k(__global float* o) { o[get_global_id(0)] = 1.0f; }`
+	prog, err := oclc.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oclc.NewGlobalMemory(1, oclc.KFloat, 4, 2048)
+	res, err := prog.Launch("k", []oclc.Arg{oclc.BufArg(o)},
+		oclc.NDRange1D(2048, 2048), oclc.ExecOptions{SampleGroups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Dev: TeslaK20m()} // max WG size 1024
+	if _, err := m.EstimateLaunch(oclc.NDRange1D(2048, 2048), res, ""); err == nil {
+		t.Fatal("work-group larger than device max must be rejected")
+	}
+}
+
+func TestLocalMemoryOverflowRejected(t *testing.T) {
+	src := `
+__kernel void k(__global float* o) {
+  __local float tile[BIG];
+  tile[get_local_id(0)] = 1.0f;
+  barrier(0);
+  o[get_global_id(0)] = tile[0];
+}`
+	prog, err := oclc.Compile(src, map[string]string{"BIG": "20000"}) // 80 KB
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oclc.NewGlobalMemory(1, oclc.KFloat, 4, 64)
+	res, err := prog.Launch("k", []oclc.Arg{oclc.BufArg(o)},
+		oclc.NDRange1D(64, 64), oclc.ExecOptions{SampleGroups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Dev: TeslaK20m()} // 48 KB local
+	if _, err := m.EstimateLaunch(oclc.NDRange1D(64, 64), res, ""); err == nil {
+		t.Fatal("local memory overflow must be rejected")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	src := `__kernel void k(__global float* o) { o[get_global_id(0)] = 1.0f; }`
+	prog, err := oclc.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oclc.NewGlobalMemory(1, oclc.KFloat, 4, 256)
+	res, err := prog.Launch("k", []oclc.Arg{oclc.BufArg(o)},
+		oclc.NDRange1D(256, 64), oclc.ExecOptions{SampleGroups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Dev: TeslaK20m(), Jitter: 0.02}
+	a, err := m.EstimateLaunch(oclc.NDRange1D(256, 64), res, "sig-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstimateLaunch(oclc.NDRange1D(256, 64), res, "sig-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.EstimateLaunch(oclc.NDRange1D(256, 64), res, "sig-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeNs != b.TimeNs {
+		t.Fatal("jitter must be deterministic per signature")
+	}
+	if a.TimeNs == c.TimeNs {
+		t.Fatal("different signatures should jitter differently")
+	}
+	ratio := a.TimeNs / c.TimeNs
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("jitter out of bounds: ratio %v", ratio)
+	}
+}
+
+func TestStridedAccessHurtsCoalescing(t *testing.T) {
+	// Stride-32 float accesses touch one 128-byte line per work-item —
+	// transactions explode versus unit stride.
+	strided := `
+__kernel void k(__global float* x, __global float* o) {
+  o[get_global_id(0)] = x[get_global_id(0) * 32];
+}`
+	unit := `
+__kernel void k(__global float* x, __global float* o) {
+  o[get_global_id(0)] = x[get_global_id(0)];
+}`
+	run := func(src string) *Estimate {
+		prog, err := oclc.Compile(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := oclc.NewGlobalMemory(1, oclc.KFloat, 4, 64*32)
+		o := oclc.NewGlobalMemory(2, oclc.KFloat, 4, 64)
+		res, err := prog.Launch("k", []oclc.Arg{oclc.BufArg(x), oclc.BufArg(o)},
+			oclc.NDRange1D(64, 64), oclc.ExecOptions{SampleGroups: 1, RecordAccesses: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &Model{Dev: TeslaK20m()}
+		est, err := m.EstimateLaunch(oclc.NDRange1D(64, 64), res, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	s, u := run(strided), run(unit)
+	if s.Transactions <= u.Transactions {
+		t.Fatalf("strided transactions (%d) must exceed unit-stride (%d)",
+			s.Transactions, u.Transactions)
+	}
+	if s.CoalesceEff >= u.CoalesceEff {
+		t.Fatalf("strided coalescing (%v) must be worse than unit (%v)",
+			s.CoalesceEff, u.CoalesceEff)
+	}
+}

@@ -1,0 +1,82 @@
+package search
+
+import (
+	"testing"
+
+	"atf/internal/core"
+)
+
+func TestAnnealingWarmStart(t *testing.T) {
+	sp := testSpace(t, 1000)
+	start := core.ConfigFromMap([]string{"x"}, map[string]core.Value{"x": core.Int(123)})
+	a := &Annealing{Start: start}
+	a.Initialize(sp, 42)
+	first := a.GetNextConfig()
+	if first.Int("x") != 123 {
+		t.Fatalf("warm start ignored: first proposal %v", first)
+	}
+}
+
+func TestAnnealingWarmStartForeignConfigFallsBack(t *testing.T) {
+	sp := testSpace(t, 100)
+	// x=5000 is not a member of the space; the annealer must fall back to
+	// a random (but valid) start instead of panicking.
+	start := core.ConfigFromMap([]string{"x"}, map[string]core.Value{"x": core.Int(5000)})
+	a := &Annealing{Start: start}
+	a.Initialize(sp, 42)
+	first := a.GetNextConfig()
+	if first.Int("x") < 1 || first.Int("x") > 100 {
+		t.Fatalf("fallback start invalid: %v", first)
+	}
+}
+
+func TestAnnealingRestartsEscapeTraps(t *testing.T) {
+	// A deceptive cost surface: a deep needle at x=777, flat elsewhere.
+	// The plain annealer accepts flat moves and random-walks; restarts
+	// jumping back to the best point plus random diversification must
+	// find the needle far more reliably within the same budget.
+	sp := testSpace(t, 5000)
+	needle := core.ScalarCostFunc(func(cfg *core.Config) float64 {
+		if cfg.Int("x") == 777 {
+			return 1
+		}
+		return 1000
+	})
+	hits := func(tech core.Technique) int {
+		n := 0
+		for seed := int64(1); seed <= 10; seed++ {
+			res, err := core.Explore(sp, tech, needle, core.Evaluations(1500),
+				core.ExploreOptions{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BestCost.Primary() == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	withRestarts := hits(&Annealing{RestartAfter: 20})
+	if withRestarts == 0 {
+		t.Fatal("restarting annealer never found the needle")
+	}
+}
+
+func TestAnnealingWarmStartImprovesFromKnownGood(t *testing.T) {
+	// Warm-started near the optimum, the annealer must never end up
+	// worse than the start (it reports the best *seen*, which includes
+	// the start itself).
+	sp := testSpace(t, 10000)
+	cf := valley(4242)
+	start := core.ConfigFromMap([]string{"x"}, map[string]core.Value{"x": core.Int(4200)})
+	startCost := 100.0 + 42*42
+	res, err := core.Explore(sp, &Annealing{Start: start}, cf, core.Evaluations(300),
+		core.ExploreOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost.Primary() > startCost {
+		t.Fatalf("warm-started run ended worse (%v) than its start (%v)",
+			res.BestCost.Primary(), startCost)
+	}
+}

@@ -1,0 +1,267 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"atf/internal/core"
+)
+
+// testSpace builds a 1-D space x ∈ [1,n].
+func testSpace(t testing.TB, n int64) *core.Space {
+	t.Helper()
+	sp, err := core.GenerateFlat([]*core.Param{
+		core.NewParam("x", core.NewInterval(1, n)),
+	}, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// valley is a single-objective cost with minimum at x = opt.
+func valley(opt int64) core.CostFunction {
+	return core.ScalarCostFunc(func(cfg *core.Config) float64 {
+		d := float64(cfg.Int("x") - opt)
+		return 100 + d*d
+	})
+}
+
+func TestExhaustiveCoversSpaceOnce(t *testing.T) {
+	sp := testSpace(t, 50)
+	e := NewExhaustive()
+	e.Initialize(sp, 1)
+	seen := make(map[int64]int)
+	for {
+		c := e.GetNextConfig()
+		if c == nil {
+			break
+		}
+		seen[c.Int("x")]++
+		e.ReportCost(core.SingleCost(1))
+	}
+	e.Finalize()
+	if len(seen) != 50 {
+		t.Fatalf("covered %d configs, want 50", len(seen))
+	}
+	for x, n := range seen {
+		if n != 1 {
+			t.Fatalf("x=%d visited %d times", x, n)
+		}
+	}
+}
+
+func TestExhaustiveFindsProvablyBest(t *testing.T) {
+	sp := testSpace(t, 100)
+	res, err := core.Explore(sp, NewExhaustive(), valley(73), nil, core.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Int("x") != 73 {
+		t.Fatalf("best = %v, want x=73", res.Best)
+	}
+	if res.Evaluations != 100 {
+		t.Fatalf("default abort should test the whole space, evals=%d", res.Evaluations)
+	}
+}
+
+func TestExhaustiveRestartableViaInitialize(t *testing.T) {
+	sp := testSpace(t, 5)
+	e := NewExhaustive()
+	for round := 0; round < 2; round++ {
+		e.Initialize(sp, 1)
+		n := 0
+		for e.GetNextConfig() != nil {
+			n++
+		}
+		if n != 5 {
+			t.Fatalf("round %d: %d configs", round, n)
+		}
+	}
+}
+
+func TestAnnealingConvergesOnValley(t *testing.T) {
+	sp := testSpace(t, 1000)
+	res, err := core.Explore(sp, NewAnnealing(), valley(700), core.Evaluations(800),
+		core.ExploreOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Best.Int("x")
+	if got < 650 || got > 750 {
+		t.Fatalf("annealing best x=%d, want near 700", got)
+	}
+}
+
+func TestAnnealingBeatsNothingOnAverage(t *testing.T) {
+	// Annealing must clearly beat the cost of the worst configurations on
+	// a large rugged space — a sanity bar well below "optimal".
+	sp := testSpace(t, 10000)
+	cf := core.ScalarCostFunc(func(cfg *core.Config) float64 {
+		x := float64(cfg.Int("x"))
+		return 1000 + x*0.1 + 50*math.Sin(x/13)
+	})
+	res, err := core.Explore(sp, NewAnnealing(), cf, core.Evaluations(500),
+		core.ExploreOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost.Primary() > 1400 {
+		t.Fatalf("annealing stuck at %v", res.BestCost)
+	}
+}
+
+func TestAnnealingNeverAdoptsInvalid(t *testing.T) {
+	sp := testSpace(t, 100)
+	cf := core.CostFunc(func(cfg *core.Config) (core.Cost, error) {
+		if cfg.Int("x")%2 == 0 {
+			return core.InfCost(), nil
+		}
+		return core.SingleCost(float64(cfg.Int("x"))), nil
+	})
+	res, err := core.Explore(sp, NewAnnealing(), cf, core.Evaluations(300),
+		core.ExploreOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Int("x")%2 == 0 {
+		t.Fatalf("best = %v; invalid configs must never win", res.Best)
+	}
+}
+
+func TestAnnealingAcceptsWorseMoves(t *testing.T) {
+	// With the paper's T=4 and normalized costs, mildly worse moves must
+	// sometimes be accepted — otherwise it is just hill climbing.
+	a := NewAnnealing()
+	sp := testSpace(t, 1000)
+	a.Initialize(sp, 42)
+
+	// Prime with a starting config of cost 100.
+	a.GetNextConfig()
+	a.ReportCost(core.SingleCost(100))
+
+	accepted := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		cur := a.current
+		a.GetNextConfig()
+		a.ReportCost(core.SingleCost(110)) // 10% worse
+		if a.current != cur {
+			accepted++
+			// Reset the walk's cost back to 100 for the next trial.
+			a.cost = 100
+			a.best = 100
+		}
+	}
+	// P = exp(-0.1/4) ≈ 0.975 — nearly all such moves accepted.
+	if accepted < trials/2 {
+		t.Fatalf("accepted %d/%d worse moves; annealing too greedy", accepted, trials)
+	}
+}
+
+func TestAnnealingRejectsCatastrophicMoves(t *testing.T) {
+	a := NewAnnealing()
+	sp := testSpace(t, 1000)
+	a.Initialize(sp, 42)
+	a.GetNextConfig()
+	a.ReportCost(core.SingleCost(100))
+
+	accepted := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		cur := a.current
+		a.GetNextConfig()
+		a.ReportCost(core.SingleCost(100000)) // 1000x worse
+		if a.current != cur {
+			accepted++
+			a.cost = 100
+			a.best = 100
+		}
+	}
+	if accepted > trials/10 {
+		t.Fatalf("accepted %d/%d catastrophic moves", accepted, trials)
+	}
+}
+
+func TestAnnealingCooling(t *testing.T) {
+	a := &Annealing{Temperature: 4, Cooling: 0.5}
+	sp := testSpace(t, 10)
+	a.Initialize(sp, 1)
+	a.GetNextConfig()
+	a.ReportCost(core.SingleCost(1))
+	a.GetNextConfig()
+	a.ReportCost(core.SingleCost(2))
+	if a.temp >= 4 {
+		t.Fatalf("temperature did not cool: %v", a.temp)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	sp := testSpace(t, 500)
+	draw := func(seed int64) []int64 {
+		r := NewRandom()
+		r.Initialize(sp, seed)
+		var xs []int64
+		for i := 0; i < 20; i++ {
+			xs = append(xs, r.GetNextConfig().Int("x"))
+			r.ReportCost(core.SingleCost(1))
+		}
+		return xs
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce draws")
+		}
+	}
+}
+
+func TestRandomFindsDecentResultEventually(t *testing.T) {
+	sp := testSpace(t, 1000)
+	res, err := core.Explore(sp, NewRandom(), valley(500), core.Evaluations(300),
+		core.ExploreOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Best.Int("x") - 500
+	if d < -150 || d > 150 {
+		t.Fatalf("random search unusually unlucky: x=%d", res.Best.Int("x"))
+	}
+}
+
+func TestLocalSearchClimbs(t *testing.T) {
+	sp := testSpace(t, 2000)
+	res, err := core.Explore(sp, NewLocalSearch(0), valley(1234), core.Evaluations(600),
+		core.ExploreOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Best.Int("x") - 1234
+	if d < -100 || d > 100 {
+		t.Fatalf("local search best x=%d, want near 1234", res.Best.Int("x"))
+	}
+}
+
+func TestLocalSearchRestarts(t *testing.T) {
+	// A deceptive flat cost everywhere except one point: restarts must keep
+	// sampling fresh start points instead of freezing.
+	sp := testSpace(t, 50)
+	l := NewLocalSearch(3)
+	l.Initialize(sp, 1)
+	starts := make(map[int64]bool)
+	for i := 0; i < 200; i++ {
+		c := l.GetNextConfig()
+		starts[c.Int("x")] = true
+		l.ReportCost(core.SingleCost(1)) // never improves after the first
+	}
+	if len(starts) < 10 {
+		t.Fatalf("restarts should diversify proposals, saw %d distinct", len(starts))
+	}
+}
+
+func TestTechniquesImplementInterface(t *testing.T) {
+	var _ core.Technique = NewExhaustive()
+	var _ core.Technique = NewAnnealing()
+	var _ core.Technique = NewRandom()
+	var _ core.Technique = NewLocalSearch(0)
+}

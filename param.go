@@ -1,0 +1,99 @@
+package atf
+
+import "atf/internal/core"
+
+// TP declares a tuning parameter — the paper's
+// tp(name, range, constraint) form. The optional constraints are combined
+// conjunctively; each may reference previously declared parameters of the
+// same group through the partial configuration.
+func TP(name string, r Range, constraints ...Constraint) *Param {
+	return core.NewParam(name, r, constraints...)
+}
+
+// G groups interdependent tuning parameters (paper, Section V). Groups
+// generate their sub-spaces in parallel; a constraint may only reference
+// parameters declared earlier in the same group.
+func G(params ...*Param) *Group { return core.G(params...) }
+
+// Interval is the integer interval [begin, end] with step 1 —
+// atf::interval<T>(begin, end).
+func Interval(begin, end int64) Range { return core.NewInterval(begin, end) }
+
+// SteppedInterval is [begin, end] with the given step size.
+func SteppedInterval(begin, end, step int64) Range {
+	return core.NewSteppedInterval(begin, end, step)
+}
+
+// GeneratedInterval applies a generator to each index of [begin, end],
+// e.g. the first ten powers of two:
+//
+//	atf.GeneratedInterval(1, 10, 1, func(i int64) atf.Value { return atf.Int(1 << uint(i)) })
+//
+// The range's value kind follows the generator's output (the paper's
+// "range type changes automatically to T'").
+func GeneratedInterval(begin, end, step int64, gen func(i int64) Value) Range {
+	return core.NewGeneratedInterval(begin, end, step, gen)
+}
+
+// FloatInterval is a floating-point interval [begin, end] with step.
+func FloatInterval(begin, end, step float64) Range {
+	return core.NewFloatInterval(begin, end, step)
+}
+
+// Set lists a range's elements explicitly — atf::set(v1, ..., vn). Values
+// may be integers, floats, bools, or strings (enum-style parameters).
+func Set(values ...any) Range { return core.NewSet(values...) }
+
+// Bools is the {false, true} range of a boolean tuning parameter.
+func Bools() Range { return core.BoolRange() }
+
+// Int wraps an integer as a Value.
+func Int(v int64) Value { return core.Int(v) }
+
+// Float wraps a float as a Value.
+func Float(v float64) Value { return core.Float(v) }
+
+// Bool wraps a bool as a Value.
+func Bool(v bool) Value { return core.Bool(v) }
+
+// Str wraps a string (enum constant) as a Value.
+func Str(v string) Value { return core.Str(v) }
+
+// The six constraint aliases of the paper's Section II, plus combinators.
+// Each accepts a constant (int/int64/...) or an expression over earlier
+// parameters (func(*Config) int64).
+
+// Divides accepts parameter values that divide the expression evenly.
+func Divides(x any) Constraint { return core.Divides(x) }
+
+// IsMultipleOf accepts values that are a multiple of the expression.
+func IsMultipleOf(x any) Constraint { return core.IsMultipleOf(x) }
+
+// LessThan accepts values strictly below the expression.
+func LessThan(x any) Constraint { return core.LessThan(x) }
+
+// GreaterThan accepts values strictly above the expression.
+func GreaterThan(x any) Constraint { return core.GreaterThan(x) }
+
+// Equal accepts values equal to the expression.
+func Equal(x any) Constraint { return core.Equal(x) }
+
+// Unequal accepts values different from the expression.
+func Unequal(x any) Constraint { return core.Unequal(x) }
+
+// And combines constraints conjunctively (the paper's && on constraints).
+func And(cs ...Constraint) Constraint { return core.And(cs...) }
+
+// Or combines constraints disjunctively (the paper's ||).
+func Or(cs ...Constraint) Constraint { return core.Or(cs...) }
+
+// Not negates a constraint.
+func Not(c Constraint) Constraint { return core.Not(c) }
+
+// Where adapts an arbitrary predicate over the candidate value into a
+// constraint, for conditions the aliases do not cover.
+func Where(f func(v Value) bool) Constraint { return core.Pred(f) }
+
+// Ref is the value of a previously declared integer parameter, for use in
+// constraint expressions.
+func Ref(name string) func(*Config) int64 { return core.Ref(name) }

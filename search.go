@@ -1,0 +1,79 @@
+package atf
+
+import (
+	"time"
+
+	"atf/internal/core"
+	"atf/internal/opentuner"
+	"atf/internal/search"
+)
+
+// Exhaustive returns the exhaustive search technique, which "finds the
+// provably best configuration, but probably at the cost of a long search
+// time" (paper, Section II Step 3). It is the right choice for small
+// spaces.
+func Exhaustive() Technique { return search.NewExhaustive() }
+
+// SimulatedAnnealing returns the simulated-annealing technique with the
+// paper's default temperature T=4, "effective for auto-tuning OpenCL and
+// CUDA applications if search spaces are too large to be explored
+// exhaustively".
+func SimulatedAnnealing() Technique { return search.NewAnnealing() }
+
+// SimulatedAnnealingT returns annealing with an explicit temperature and
+// cooling factor (1 = the paper's constant-temperature annealer).
+func SimulatedAnnealingT(temperature, cooling float64) Technique {
+	return &search.Annealing{Temperature: temperature, Cooling: cooling}
+}
+
+// OpenTunerSearch returns the OpenTuner ensemble technique (paper,
+// Section IV-C): an AUC-bandit meta-technique over Nelder-Mead variants,
+// Torczon hill climbers, greedy mutation and random search, applied to the
+// single index parameter TP ∈ [0, S) over ATF's valid-only search space.
+func OpenTunerSearch() Technique { return opentuner.NewIndexTechnique() }
+
+// RandomSearch samples configurations uniformly — a baseline technique.
+func RandomSearch() Technique { return search.NewRandom() }
+
+// LocalSearch is a first-improvement hill climber with random restarts —
+// the worked example of extending ATF with a user-defined technique.
+func LocalSearch(patience int) Technique { return search.NewLocalSearch(patience) }
+
+// Abort conditions (paper, Section II Step 3). Conditions combine with
+// AbortAnd / AbortOr.
+
+// Duration stops exploration after a wall-clock interval.
+func Duration(d time.Duration) AbortCondition { return core.Duration(d) }
+
+// Evaluations stops after n tested configurations.
+func Evaluations(n uint64) AbortCondition { return core.Evaluations(n) }
+
+// Fraction stops after f*S tested configurations (S = space size).
+func Fraction(f float64) AbortCondition { return core.Fraction(f) }
+
+// CostBelow stops once a configuration with cost <= c has been found.
+func CostBelow(c float64) AbortCondition { return core.CostBelow(c) }
+
+// SpeedupDuration stops when the best cost improved by less than factor s
+// within the last interval d.
+func SpeedupDuration(s float64, d time.Duration) AbortCondition {
+	return core.SpeedupDuration(s, d)
+}
+
+// SpeedupEvaluations stops when the best cost improved by less than factor
+// s within the last n evaluations.
+func SpeedupEvaluations(s float64, n uint64) AbortCondition {
+	return core.SpeedupEvaluations(s, n)
+}
+
+// AbortAnd fires only when all conditions fire.
+func AbortAnd(cs ...AbortCondition) AbortCondition { return core.AbortAnd(cs...) }
+
+// AbortOr fires when any condition fires.
+func AbortOr(cs ...AbortCondition) AbortCondition { return core.AbortOr(cs...) }
+
+// LexOrder is the default lexicographic multi-objective comparison.
+func LexOrder() CostOrder { return core.LexLess }
+
+// WeightedSum compares multi-objective costs by their weighted sums.
+func WeightedSum(weights ...float64) CostOrder { return core.WeightedSumOrder(weights...) }
