@@ -9,12 +9,15 @@ package atf_test
 // *shape* of the result is visible directly in the bench output.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"atf"
 	"atf/internal/clblast"
 	"atf/internal/core"
 	"atf/internal/harness"
+	"atf/internal/oclc"
 	"atf/internal/opencl"
 	"atf/internal/opentuner"
 	"atf/internal/search"
@@ -355,4 +358,69 @@ func BenchmarkKernelInterpreter(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExploreParallel measures the parallel exploration engine against
+// the sequential loop on a synthetic 10ms cost function (the regime parallel
+// exploration targets: evaluation dominates, merging is negligible). The
+// speedup metric is wall-clock sequential/parallel per sub-bench; 8 workers
+// must clear 2x.
+func BenchmarkExploreParallel(b *testing.B) {
+	const evals = 32
+	params := []*core.Param{core.NewParam("X", core.NewInterval(1, 1024))}
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cf := core.CostFunc(func(cfg *core.Config) (core.Cost, error) {
+		time.Sleep(10 * time.Millisecond)
+		return core.SingleCost(float64(cfg.Int("X"))), nil
+	})
+	seqStart := time.Now()
+	if _, err := core.Explore(sp, search.NewExhaustive(), cf, core.Evaluations(evals),
+		core.ExploreOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	seqTime := time.Since(seqStart)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if _, err := core.ExploreParallel(sp, search.NewExhaustive(), cf, core.Evaluations(evals),
+					core.ParallelOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(seqTime.Seconds()/time.Since(start).Seconds(), "speedup-vs-seq")
+				b.ReportMetric(float64(evals)/time.Since(start).Seconds(), "evals/s")
+			}
+		})
+	}
+}
+
+// BenchmarkOclcCompileCache measures the compiled-program cache: a cold
+// compile pays the preprocess+lex+parse pipeline, a cached one returns the
+// shared immutable Program.
+func BenchmarkOclcCompileCache(b *testing.B) {
+	defines := map[string]string{"WPT": "4", "LS": "64"}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oclc.ResetCompileCache()
+			if _, err := oclc.CompileCached(clblast.SaxpySource, defines); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		oclc.ResetCompileCache()
+		if _, err := oclc.CompileCached(clblast.SaxpySource, defines); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := oclc.CompileCached(clblast.SaxpySource, defines); err != nil {
+				b.Fatal(err)
+			}
+		}
+		oclc.ResetCompileCache()
+	})
 }

@@ -87,12 +87,28 @@ type OpenCL struct {
 }
 
 // CostFunction initializes the cost function: device lookup, buffer
-// allocation and one-time upload. The returned function is then called
-// once per configuration during exploration.
+// allocation and one-time upload. The returned cost function is then called
+// once per configuration during exploration. It implements
+// core.CloneableCostFunction: parallel exploration gives every worker its
+// own instance — an independent simulated queue and buffer set initialized
+// from the same seed — so concurrent evaluations never share device state.
 func (o *OpenCL) CostFunction() (CostFunction, error) {
 	if o.GlobalSize == nil || o.LocalSize == nil {
 		return nil, fmt.Errorf("atf: OpenCL cost function needs GlobalSize and LocalSize")
 	}
+	return o.newCostFunction()
+}
+
+// openclCostFunction is one initialized evaluator instance: a context,
+// a queue, and the uploaded kernel inputs.
+type openclCostFunction struct {
+	o     *OpenCL
+	ctx   *opencl.Context
+	queue *opencl.Queue
+	bound []any
+}
+
+func (o *OpenCL) newCostFunction() (*openclCostFunction, error) {
 	dev, err := opencl.FindDevice(o.Platform, o.Device)
 	if err != nil {
 		return nil, err
@@ -130,26 +146,35 @@ func (o *OpenCL) CostFunction() (CostFunction, error) {
 			bound[i] = buf
 		}
 	}
-
-	return CostFunc(func(cfg *Config) (Cost, error) {
-		prog := ctx.CreateProgram(o.Source)
-		if err := prog.Build(cfg.Defines()); err != nil {
-			return nil, err
-		}
-		k, err := prog.CreateKernel(o.Kernel)
-		if err != nil {
-			return nil, err
-		}
-		if err := k.SetArgs(bound...); err != nil {
-			return nil, err
-		}
-		ev, err := queue.EnqueueNDRange(k, o.GlobalSize(cfg), o.LocalSize(cfg))
-		if err != nil {
-			return nil, err
-		}
-		return core.SingleCost(ev.DurationNs()), nil
-	}), nil
+	return &openclCostFunction{o: o, ctx: ctx, queue: queue, bound: bound}, nil
 }
+
+// Cost evaluates one configuration: substitute the tuning-parameter values
+// via the preprocessor (served by the shared compiled-program cache on
+// revisits), build, launch, and read the simulated profiling time.
+func (c *openclCostFunction) Cost(cfg *Config) (Cost, error) {
+	prog := c.ctx.CreateProgram(c.o.Source)
+	if err := prog.Build(cfg.Defines()); err != nil {
+		return nil, err
+	}
+	k, err := prog.CreateKernel(c.o.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetArgs(c.bound...); err != nil {
+		return nil, err
+	}
+	ev, err := c.queue.EnqueueNDRange(k, c.o.GlobalSize(cfg), c.o.LocalSize(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return core.SingleCost(ev.DurationNs()), nil
+}
+
+// Clone builds an equivalently initialized instance for another worker.
+// Random inputs reuse the original seed, so every clone evaluates against
+// byte-identical data.
+func (c *openclCostFunction) Clone() (CostFunction, error) { return c.o.newCostFunction() }
 
 // Verify executes one configuration functionally (all work-groups, not
 // the sampled profiling subset) and passes the resulting buffer contents —
@@ -237,11 +262,23 @@ type CUDA struct {
 }
 
 // CostFunction initializes the CUDA cost function (NVRTC-style runtime
-// compilation per configuration).
+// compilation per configuration). Like the OpenCL cost function it
+// implements core.CloneableCostFunction for parallel exploration.
 func (u *CUDA) CostFunction() (CostFunction, error) {
 	if u.GridDim == nil || u.BlockDim == nil {
 		return nil, fmt.Errorf("atf: CUDA cost function needs GridDim and BlockDim")
 	}
+	return u.newCostFunction()
+}
+
+// cudaCostFunction is one initialized CUDA evaluator instance.
+type cudaCostFunction struct {
+	u     *CUDA
+	ctx   *cuda.Context
+	bound []any
+}
+
+func (u *CUDA) newCostFunction() (*cudaCostFunction, error) {
 	dev, err := cuda.FindDevice(u.Device)
 	if err != nil {
 		return nil, err
@@ -274,18 +311,24 @@ func (u *CUDA) CostFunction() (CostFunction, error) {
 			bound[i] = buf
 		}
 	}
-	return CostFunc(func(cfg *Config) (Cost, error) {
-		mod, err := ctx.CompileModule(u.Source, cfg.Defines())
-		if err != nil {
-			return nil, err
-		}
-		res, err := ctx.Launch(mod, u.Kernel, u.GridDim(cfg), u.BlockDim(cfg), bound...)
-		if err != nil {
-			return nil, err
-		}
-		return core.SingleCost(res.DurationNs()), nil
-	}), nil
+	return &cudaCostFunction{u: u, ctx: ctx, bound: bound}, nil
 }
+
+// Cost evaluates one configuration through the NVRTC-style path.
+func (c *cudaCostFunction) Cost(cfg *Config) (Cost, error) {
+	mod, err := c.ctx.CompileModule(c.u.Source, cfg.Defines())
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.ctx.Launch(mod, c.u.Kernel, c.u.GridDim(cfg), c.u.BlockDim(cfg), c.bound...)
+	if err != nil {
+		return nil, err
+	}
+	return core.SingleCost(res.DurationNs()), nil
+}
+
+// Clone builds an equivalently initialized instance for another worker.
+func (c *cudaCostFunction) Clone() (CostFunction, error) { return c.u.newCostFunction() }
 
 // Generic is ATF's generic cost function for programs in arbitrary
 // languages: a source path, compile and run scripts, and optionally a log

@@ -277,3 +277,60 @@ func TestOpenCLVerify(t *testing.T) {
 		t.Fatal("check callback never ran")
 	}
 }
+
+// TestFacadeParallelism runs the full public path — Tuner with Parallelism —
+// against the simulated OpenCL device, exercising per-worker cost-function
+// clones and the shared compiled-program cache under concurrency. The
+// exhaustive search must return the same best configuration at any
+// parallelism.
+func TestFacadeParallelism(t *testing.T) {
+	const n = 64
+	mk := func() (atf.CostFunction, error) {
+		return (&atf.OpenCL{
+			Platform: "NVIDIA", Device: "K20m",
+			Source: clblast.SaxpySource, Kernel: "saxpy",
+			Args: []atf.KernelArg{
+				atf.Scalar(int32(n)), atf.RandomScalar(),
+				atf.RandomBuffer(n), atf.RandomBuffer(n),
+			},
+			GlobalSize: func(c *atf.Config) []int64 { return []int64{n / c.Int("WPT")} },
+			LocalSize:  func(c *atf.Config) []int64 { return []int64{c.Int("LS")} },
+		}).CostFunction()
+	}
+	params := func() []*atf.Param {
+		wpt := atf.TP("WPT", atf.Interval(1, int64(n)), atf.Divides(int64(n)))
+		ls := atf.TP("LS", atf.Interval(1, int64(n)),
+			atf.Divides(func(c *atf.Config) int64 { return n / c.Int("WPT") }))
+		return []*atf.Param{wpt, ls}
+	}
+
+	cf, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := atf.Tuner{}.Tune(cf, params()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cf.(atf.CloneableCostFunction); !ok {
+		t.Fatal("OpenCL cost function must be cloneable for parallel workers")
+	}
+
+	for _, par := range []int{2, 8, atf.AutoParallelism} {
+		cf, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := atf.Tuner{Parallelism: par}.Tune(cf, params()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evaluations != seq.Evaluations || res.Valid != seq.Valid {
+			t.Fatalf("parallelism %d: counters (%d,%d) vs sequential (%d,%d)",
+				par, res.Evaluations, res.Valid, seq.Evaluations, seq.Valid)
+		}
+		if res.Best.Int("WPT") != seq.Best.Int("WPT") || res.Best.Int("LS") != seq.Best.Int("LS") {
+			t.Fatalf("parallelism %d: best %v differs from sequential %v", par, res.Best, seq.Best)
+		}
+	}
+}

@@ -76,13 +76,11 @@ func countLevel(params []*Param, d, lo, hi int, cfg *Config, checks *uint64) uin
 	}
 
 	var count uint64
-	if lo == 0 && hi == p.Range.Len() {
-		if vals, ok := hintedValues(p, cfg); ok {
-			for _, v := range vals {
-				count += visit(Int(v))
-			}
-			return count
+	if vals, ok := hintedValues(p, cfg, lo, hi); ok {
+		for _, v := range vals {
+			count += visit(Int(v))
 		}
+		return count
 	}
 	for i := lo; i < hi; i++ {
 		count += visit(p.Range.At(i))

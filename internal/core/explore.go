@@ -38,6 +38,11 @@ type Evaluation struct {
 	Cost   Cost
 	Err    error
 	At     time.Duration // elapsed since exploration start
+	// Cached marks evaluations served from the cost cache: the same
+	// configuration was already evaluated earlier in this run (only with
+	// ExploreOptions.CacheCosts). Cached evaluations carry the original
+	// cost and error of the first miss.
+	Cached bool
 }
 
 // Result is the outcome of one tuning run.
@@ -106,9 +111,16 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 	tech.Initialize(sp, seed)
 	defer tech.Finalize()
 
-	var cache map[string]Cost
+	// The cache memoizes the full (cost, error) outcome: a cached failing
+	// configuration reports the same Evaluation.Err as the first miss
+	// instead of silently dropping it.
+	type cachedEval struct {
+		cost Cost
+		err  error
+	}
+	var cache map[string]cachedEval
 	if opts.CacheCosts {
-		cache = make(map[string]Cost)
+		cache = make(map[string]cachedEval)
 	}
 
 	st := &State{Start: now(), SpaceSize: sp.Size()}
@@ -125,15 +137,16 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 
 		var cost Cost
 		var err error
+		var cached bool
 		if cache != nil {
 			if c, ok := cache[cfg.Key()]; ok {
-				cost = c
+				cost, err, cached = c.cost, c.err, true
 			} else {
 				cost, err = cf.Cost(cfg)
 				if err != nil {
 					cost = InfCost()
 				}
-				cache[cfg.Key()] = cost
+				cache[cfg.Key()] = cachedEval{cost: cost, err: err}
 			}
 		} else {
 			cost, err = cf.Cost(cfg)
@@ -147,7 +160,7 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 			st.Valid++
 		}
 		elapsed := now().Sub(st.Start)
-		ev := Evaluation{Index: st.Evaluations - 1, Config: cfg, Cost: cost, Err: err, At: elapsed}
+		ev := Evaluation{Index: st.Evaluations - 1, Config: cfg, Cost: cost, Err: err, At: elapsed, Cached: cached}
 		if opts.Record {
 			res.History = append(res.History, ev)
 		}

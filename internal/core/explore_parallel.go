@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CloneableCostFunction is a CostFunction that can produce independent
+// copies of itself for concurrent use. ExploreParallel gives each worker
+// its own clone, so cost functions owning per-run state (a simulated
+// device queue, uploaded buffers) never share it across workers. Cost
+// functions that do not implement Clone are shared by all workers and must
+// be safe for concurrent calls.
+type CloneableCostFunction interface {
+	CostFunction
+	// Clone returns an independent, equivalently initialized instance.
+	Clone() (CostFunction, error)
+}
+
+// ParallelOptions tunes ExploreParallel.
+type ParallelOptions struct {
+	ExploreOptions
+	// Workers is the number of concurrent cost evaluators: 1 runs the
+	// sequential Explore loop (bit-compatible with it), <= 0 selects
+	// runtime.NumCPU().
+	Workers int
+	// BatchSize is the number of configurations requested from the
+	// technique per round; 0 means Workers. Larger batches amortize
+	// synchronization, smaller ones shorten the speculation window of
+	// adapted stateful techniques (see Batcher).
+	BatchSize int
+}
+
+// ExploreParallel is the parallel exploration engine: it drives a worker
+// pool of cost evaluators over batches of configurations drawn from the
+// technique. Results are merged strictly in batch-index order — the same
+// discipline GenerateGroup uses for its root chunks — so Result.Best,
+// Improvements, History and the evaluation indices are identical regardless
+// of worker count for any technique whose proposals do not depend on
+// intermediate costs (exhaustive, seeded random, and every BatchTechnique
+// that treats a batch as one step). Stateful sequential techniques adapted
+// via Batcher receive speculative batches; their walks remain valid but
+// differ from their one-at-a-time runs.
+//
+// The abort condition is applied per committed evaluation, exactly as in
+// Explore: when it fires mid-batch, the remaining already-evaluated
+// configurations of that batch are discarded, never counted, recorded or
+// reported, so abort boundaries match the sequential run.
+func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, opts ParallelOptions) (*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return Explore(sp, tech, cf, abort, opts.ExploreOptions)
+	}
+	if sp == nil || sp.Size() == 0 {
+		return nil, fmt.Errorf("core: cannot explore an empty search space")
+	}
+	if tech == nil {
+		return nil, fmt.Errorf("core: no search technique")
+	}
+	if cf == nil {
+		return nil, fmt.Errorf("core: no cost function")
+	}
+	if abort == nil {
+		abort = Evaluations(sp.Size())
+	}
+	order := opts.Order
+	if order == nil {
+		order = LexLess
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x5eed_a7f1
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = workers
+	}
+
+	// One cost function per worker: clones when the cost function supports
+	// them, the shared instance otherwise.
+	cfs := make([]CostFunction, workers)
+	cfs[0] = cf
+	for i := 1; i < workers; i++ {
+		if cl, ok := cf.(CloneableCostFunction); ok {
+			c, err := cl.Clone()
+			if err != nil {
+				return nil, fmt.Errorf("core: cloning cost function for worker %d: %w", i, err)
+			}
+			cfs[i] = c
+		} else {
+			cfs[i] = cf
+		}
+	}
+
+	var cache *costCache
+	if opts.CacheCosts {
+		cache = newCostCache()
+	}
+
+	bt := AsBatch(tech)
+	bt.Initialize(sp, seed)
+	defer bt.Finalize()
+
+	type outcome struct {
+		cost Cost
+		err  error
+	}
+	evalOne := func(w int, cfg *Config) (Cost, error) {
+		if cache == nil {
+			cost, err := cfs[w].Cost(cfg)
+			if err != nil {
+				cost = InfCost()
+			}
+			return cost, err
+		}
+		return cache.getOrCompute(cfg.Key(), func() (Cost, error) {
+			cost, err := cfs[w].Cost(cfg)
+			if err != nil {
+				cost = InfCost()
+			}
+			return cost, err
+		})
+	}
+
+	type task struct {
+		cfg *Config
+		out *outcome
+		wg  *sync.WaitGroup
+	}
+	tasks := make(chan task)
+	defer close(tasks)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for t := range tasks {
+				t.out.cost, t.out.err = evalOne(w, t.cfg)
+				t.wg.Done()
+			}
+		}(w)
+	}
+
+	// committed tracks the keys of committed evaluations so the Cached flag
+	// depends only on commit order, not on which worker won a cache race.
+	var committed map[string]bool
+	if opts.CacheCosts {
+		committed = make(map[string]bool)
+	}
+
+	st := &State{Start: now(), SpaceSize: sp.Size()}
+	res := &Result{}
+	aborted := false
+	for !aborted {
+		batch := bt.GetNextBatch(batchSize)
+		if len(batch) == 0 {
+			break // technique exhausted
+		}
+
+		// Fan the batch out to the workers...
+		outcomes := make([]outcome, len(batch))
+		var wg sync.WaitGroup
+		wg.Add(len(batch))
+		for i, cfg := range batch {
+			tasks <- task{cfg: cfg, out: &outcomes[i], wg: &wg}
+		}
+		wg.Wait()
+
+		// ...and merge strictly in batch order.
+		evals := make([]Evaluation, 0, len(batch))
+		for i, cfg := range batch {
+			st.Now = now()
+			if abort.Abort(st) {
+				aborted = true
+				break
+			}
+			cost, err := outcomes[i].cost, outcomes[i].err
+			var cached bool
+			if committed != nil {
+				key := cfg.Key()
+				cached = committed[key]
+				committed[key] = true
+			}
+
+			st.Evaluations++
+			if !cost.IsInf() {
+				st.Valid++
+			}
+			ev := Evaluation{
+				Index:  st.Evaluations - 1,
+				Config: cfg,
+				Cost:   cost,
+				Err:    err,
+				At:     now().Sub(st.Start),
+				Cached: cached,
+			}
+			evals = append(evals, ev)
+			if opts.Record {
+				res.History = append(res.History, ev)
+			}
+			if opts.OnEvaluation != nil {
+				opts.OnEvaluation(ev)
+			}
+			if !cost.IsInf() && (st.Best == nil || order(cost, st.Best)) {
+				st.Best = cost.Clone()
+				st.BestConfig = cfg.Clone()
+				st.improvements = append(st.improvements, improvement{at: now(), eval: st.Evaluations, cost: cost.Primary()})
+				res.Improvements = append(res.Improvements, ev)
+			}
+		}
+		bt.ReportCosts(evals)
+	}
+
+	res.Best = st.BestConfig
+	res.BestCost = st.Best
+	res.Evaluations = st.Evaluations
+	res.Valid = st.Valid
+	res.Elapsed = now().Sub(st.Start)
+	return res, nil
+}

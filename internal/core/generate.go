@@ -108,15 +108,14 @@ func buildLevel(params []*Param, d, lo, hi int, cfg *Config, checks *uint64) []*
 	}
 
 	var out []*node
-	// Divisor-hinted fast path: enumerate only candidate divisors. Only
-	// applicable to the full range (root chunks iterate by index).
-	if lo == 0 && hi == p.Range.Len() {
-		if vals, ok := hintedValues(p, cfg); ok {
-			for _, v := range vals {
-				out = emit(out, Int(v))
-			}
-			return out
+	// Divisor-hinted fast path: enumerate only candidate divisors. On a
+	// parallelized root level each worker intersects the divisor set with
+	// its own chunk, so multi-worker generation keeps the fast path.
+	if vals, ok := hintedValues(p, cfg, lo, hi); ok {
+		for _, v := range vals {
+			out = emit(out, Int(v))
 		}
+		return out
 	}
 	for i := lo; i < hi; i++ {
 		out = emit(out, p.Range.At(i))

@@ -60,11 +60,17 @@ func divisorsInRange(m, lo, hi int64) []int64 {
 }
 
 // hintedValues enumerates the candidate values for parameter p given the
-// partial configuration, or nil if the hint is inapplicable.
-func hintedValues(p *Param, cfg *Config) ([]int64, bool) {
+// partial configuration, restricted to the raw-range index window [lo, hi)
+// — the chunk a generation worker owns. Parallelized root levels intersect
+// the hinted divisors with their chunk instead of falling back to a full
+// range scan; for a full-range window the result is the complete divisor
+// set. Returns ok=false if the hint is inapplicable.
+func hintedValues(p *Param, cfg *Config, lo, hi int) ([]int64, bool) {
 	ir, ok := hintApplicable(p)
 	if !ok {
 		return nil, false
 	}
-	return divisorsInRange(p.DivisorOf(cfg), ir.Begin, ir.End), true
+	// Step-1 interval: raw index i holds value Begin+i, so the chunk
+	// [lo, hi) covers values [Begin+lo, Begin+hi-1].
+	return divisorsInRange(p.DivisorOf(cfg), ir.Begin+int64(lo), ir.Begin+int64(hi)-1), true
 }

@@ -146,8 +146,9 @@ func TestHintNeverWidensSpace(t *testing.T) {
 }
 
 func TestHintedParallelRootStillCorrect(t *testing.T) {
-	// Root chunking bypasses the hint (indices), deeper levels use it;
-	// parallel and sequential must agree.
+	// Each root chunk intersects the hinted divisor set with its own index
+	// window, so parallel and sequential generation agree configuration-
+	// for-configuration.
 	par, err := GenerateFlat(hintedSaxpyParams(120), GenOptions{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -163,5 +164,32 @@ func TestHintedParallelRootStillCorrect(t *testing.T) {
 		if !par.At(i).Equal(seq.At(i)) {
 			t.Fatalf("config %d differs", i)
 		}
+	}
+}
+
+func TestHintedParallelRootKeepsFastPath(t *testing.T) {
+	// The divisor fast path must survive root chunking: a multi-worker run
+	// proposes exactly the same candidates as the sequential one (the
+	// chunks partition the divisor set) instead of falling back to a full
+	// range scan at the root level.
+	seq, err := GenerateFlat(hintedSaxpyParams(240), GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GenerateFlat(hintedSaxpyParams(240), GenOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Checks() != seq.Checks() {
+		t.Fatalf("parallel generation lost the hint fast path: %d checks vs %d sequential",
+			par.Checks(), seq.Checks())
+	}
+	plain, err := GenerateFlat(saxpyParams(240), GenOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Checks() >= plain.Checks()/4 {
+		t.Fatalf("hinted parallel checks %d should be <<1/4 of plain %d",
+			par.Checks(), plain.Checks())
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"atf/internal/core"
@@ -34,10 +35,18 @@ type CostFunction struct {
 	LogFile string
 	// Timeout bounds each script execution (default 1 minute).
 	Timeout time.Duration
+
+	// mu serializes evaluations: the compile/run scripts share the source
+	// path and log file, so concurrent runs would corrupt each other.
+	// Parallel exploration therefore stays correct with the generic cost
+	// function — it just gains no throughput from extra workers.
+	mu sync.Mutex
 }
 
 // Cost implements core.CostFunction.
 func (g *CostFunction) Cost(cfg *core.Config) (core.Cost, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	timeout := g.Timeout
 	if timeout == 0 {
 		timeout = time.Minute

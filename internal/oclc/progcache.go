@@ -1,0 +1,107 @@
+package oclc
+
+import (
+	"hash/maphash"
+	"strconv"
+	"sync"
+)
+
+// programCache memoizes compiled programs by (source, define set). ATF's
+// OpenCL cost function rebuilds the kernel for every configuration; search
+// techniques revisit configurations (annealing walks, cache-less random
+// search, post-tuning Verify runs), and every revisit used to pay the full
+// preprocess + lex + parse pipeline again. The cache keys on the exact
+// -D option string, so each distinct configuration is compiled once and
+// only re-interpreted afterwards. Compiled Programs are immutable after
+// parsing (Launch allocates all mutable state per call), so one cached
+// instance is safely shared by concurrent exploration workers.
+//
+// In-flight deduplication mirrors core's cost cache: concurrent requests
+// for the same key block on the first compilation instead of repeating it.
+type programCache struct {
+	mu      sync.Mutex
+	entries map[string]*progCacheEntry
+	cap     int
+
+	hits   uint64
+	misses uint64
+}
+
+type progCacheEntry struct {
+	done chan struct{}
+	prog *Program
+	err  error
+}
+
+// compileCacheCap bounds the number of retained programs. XgemmDirect's
+// reduced bench space has ~10^5 configs but tuning budgets are far smaller;
+// 4096 programs of a few kB each keep every config of a realistic run.
+const compileCacheCap = 4096
+
+var sharedProgCache = &programCache{entries: make(map[string]*progCacheEntry), cap: compileCacheCap}
+
+var progKeySeed = maphash.MakeSeed()
+
+// progCacheKey folds source identity and the canonical define string. The
+// full source is hashed rather than stored: keys would otherwise retain
+// multi-kB kernel sources per configuration.
+func progCacheKey(source string, defines map[string]string) string {
+	h := maphash.String(progKeySeed, source)
+	return strconv.FormatUint(h, 16) + "|" + BuildDefines(defines)
+}
+
+// CompileCached is Compile backed by the shared program cache. The returned
+// Program must be treated as immutable (Launch already is); callers needing
+// a private mutable Program should use Compile.
+func CompileCached(source string, defines map[string]string) (*Program, error) {
+	return sharedProgCache.compile(source, defines)
+}
+
+// CompileCacheStats reports the shared cache's hit/miss counters (tests,
+// benchmarks).
+func CompileCacheStats() (hits, misses uint64) {
+	sharedProgCache.mu.Lock()
+	defer sharedProgCache.mu.Unlock()
+	return sharedProgCache.hits, sharedProgCache.misses
+}
+
+// ResetCompileCache empties the shared cache and its counters (benchmarks
+// measuring cold compiles).
+func ResetCompileCache() {
+	sharedProgCache.mu.Lock()
+	defer sharedProgCache.mu.Unlock()
+	sharedProgCache.entries = make(map[string]*progCacheEntry)
+	sharedProgCache.hits, sharedProgCache.misses = 0, 0
+}
+
+func (c *programCache) compile(source string, defines map[string]string) (*Program, error) {
+	key := progCacheKey(source, defines)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.prog, e.err
+	}
+	c.misses++
+	if len(c.entries) >= c.cap {
+		// The cache outgrew its bound: drop a quarter of the entries
+		// (arbitrary victims — map order). Eviction never blocks waiters:
+		// evicted in-flight entries still complete for whoever holds them.
+		drop := c.cap / 4
+		for k := range c.entries {
+			if drop == 0 {
+				break
+			}
+			delete(c.entries, k)
+			drop--
+		}
+	}
+	e := &progCacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.prog, e.err = Compile(source, defines)
+	close(e.done)
+	return e.prog, e.err
+}

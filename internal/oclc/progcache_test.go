@@ -1,0 +1,122 @@
+package oclc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const cacheTestKernel = `
+__kernel void scale(__global float* x, const int n) {
+  int i = get_global_id(0);
+  if (i < n) x[i] = x[i] * FACTOR;
+}
+`
+
+func TestCompileCachedHitsOnRepeat(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	defs := map[string]string{"FACTOR": "2"}
+	p1, err := CompileCached(cacheTestKernel, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CompileCached(cacheTestKernel, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("repeat compile must return the cached *Program")
+	}
+	if hits, misses := CompileCacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestCompileCachedKeysOnDefines(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	p2, err := CompileCached(cacheTestKernel, map[string]string{"FACTOR": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := CompileCached(cacheTestKernel, map[string]string{"FACTOR": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p3 {
+		t.Fatal("distinct define sets must compile distinct programs")
+	}
+	if _, misses := CompileCacheStats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+func TestCompileCachedCachesErrors(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	const broken = `__kernel void b(__global float* x) { x[0] = ; }`
+	if _, err := CompileCached(broken, nil); err == nil {
+		t.Fatal("broken kernel must fail to compile")
+	}
+	if _, err := CompileCached(broken, nil); err == nil {
+		t.Fatal("cached entry must keep the compile error")
+	}
+	if hits, misses := CompileCacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1): errors are cached too", hits, misses)
+	}
+}
+
+func TestCompileCachedConcurrentDedup(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	const workers = 16
+	progs := make([]*Program, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := CompileCached(cacheTestKernel, map[string]string{"FACTOR": "7"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if progs[w] != progs[0] {
+			t.Fatal("concurrent requests for one key must share one Program")
+		}
+	}
+	if _, misses := CompileCacheStats(); misses != 1 {
+		t.Fatalf("misses = %d, want 1 (in-flight dedup)", misses)
+	}
+}
+
+func TestCompileCacheEvictionBounded(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	sharedProgCache.mu.Lock()
+	sharedProgCache.cap = 8
+	sharedProgCache.mu.Unlock()
+	defer func() {
+		sharedProgCache.mu.Lock()
+		sharedProgCache.cap = compileCacheCap
+		sharedProgCache.mu.Unlock()
+	}()
+	for i := 0; i < 40; i++ {
+		if _, err := CompileCached(cacheTestKernel,
+			map[string]string{"FACTOR": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sharedProgCache.mu.Lock()
+	n := len(sharedProgCache.entries)
+	sharedProgCache.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("cache holds %d entries, cap is 8", n)
+	}
+}

@@ -2,7 +2,10 @@ package oclc
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 )
 
 // rval is a runtime value: an int/float/bool scalar or a pointer into a
@@ -63,15 +66,33 @@ func NewGlobalMemory(id int, elem ValKind, elemBytes, n int) *Memory {
 // Len returns the element count.
 func (m *Memory) Len() int { return len(m.Data) }
 
+// Work-items of a group run as goroutines, and OpenCL permits them to
+// access the same global/local cell without synchronization (the result is
+// whichever write lands last — but each word is written atomically on real
+// devices). loadCell/storeCell reproduce exactly that memory model: cells
+// are accessed with word-sized atomics, so racy kernels yield an undefined
+// *value* without being undefined *behaviour* on the host — and the Go race
+// detector stays silent. Host-side accessors (Float32s, SetFloat32s, direct
+// Data access in tests) run only while no kernel executes, so they keep the
+// plain path.
+
+func (m *Memory) loadCell(i int64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(&m.Data[i]))))
+}
+
+func (m *Memory) storeCell(i int64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&m.Data[i])), math.Float64bits(v))
+}
+
 // load reads element i.
 func (m *Memory) load(i int64) (rval, error) {
 	if i < 0 || i >= int64(len(m.Data)) {
 		return rval{}, fmt.Errorf("oclc: %s buffer %d: load index %d out of range [0,%d)", m.Space, m.ID, i, len(m.Data))
 	}
 	if m.Elem == KFloat {
-		return floatVal(m.Data[i]), nil
+		return floatVal(m.loadCell(i)), nil
 	}
-	return intVal(int64(m.Data[i])), nil
+	return intVal(int64(m.loadCell(i))), nil
 }
 
 // store writes element i.
@@ -80,9 +101,9 @@ func (m *Memory) store(i int64, v rval) error {
 		return fmt.Errorf("oclc: %s buffer %d: store index %d out of range [0,%d)", m.Space, m.ID, i, len(m.Data))
 	}
 	if m.Elem == KFloat {
-		m.Data[i] = v.asFloat()
+		m.storeCell(i, v.asFloat())
 	} else {
-		m.Data[i] = float64(v.asInt())
+		m.storeCell(i, float64(v.asInt()))
 	}
 	return nil
 }

@@ -133,9 +133,14 @@ func (c *Context) CreateProgram(source string) *Program {
 // Build compiles the program with the given macro definitions — exactly
 // how ATF substitutes tuning-parameter values: "cf_saxpy replaces in
 // kernel's source code the tuning parameters' names by their corresponding
-// values ... using the OpenCL preprocessor" (Section II).
+// values ... using the OpenCL preprocessor" (Section II). Builds go through
+// oclc's shared compiled-program cache keyed by the define set, so
+// rebuilding a previously seen configuration (annealing revisits, parallel
+// exploration workers, post-tuning Verify) skips the preprocess/lex/parse
+// pipeline entirely — the behaviour of a real OpenCL driver's program
+// cache.
 func (p *Program) Build(defines map[string]string) error {
-	prog, err := oclc.Compile(p.source, defines)
+	prog, err := oclc.CompileCached(p.source, defines)
 	if err != nil {
 		return fmt.Errorf("opencl: build failed: %w", err)
 	}
