@@ -1,0 +1,26 @@
+# Developer entry points; `make check` is what CI (and PR review) runs.
+
+GO ?= go
+
+.PHONY: all build vet test race check fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages get a dedicated race pass: the parallel
+# exploration engine and the atfd session manager/journal.
+race:
+	$(GO) test -race ./internal/core/... ./internal/server/...
+
+check: vet build test race
+
+fmt:
+	gofmt -w .

@@ -28,6 +28,8 @@ func main() {
 	otEvals := flag.Int("ot-evals", 10000, "OpenTuner baseline evaluations (paper: 10000)")
 	devOptEvals := flag.Int("devopt-evals", 120, "CLTune device-optimization evaluations at 256x256")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallelism := flag.Int("parallelism", 1,
+		"concurrent cost evaluators per tuning run (1 = sequential, -1 = all CPUs)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	flag.Parse()
 
@@ -37,6 +39,7 @@ func main() {
 		ATFEvals:       *atfEvals,
 		OpenTunerEvals: *otEvals,
 		DevOptEvals:    *devOptEvals,
+		Parallelism:    *parallelism,
 	}
 
 	emit := func(t *harness.Table) {

@@ -33,6 +33,8 @@ func main() {
 	evals := flag.Uint64("evals", 400, "evaluation budget (0 = whole space)")
 	timeout := flag.Duration("timeout", 0, "wall-clock abort (0 = none)")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallelism := flag.Int("parallelism", 1,
+		"concurrent cost evaluators (1 = sequential, -1 = all CPUs)")
 	flag.Parse()
 
 	var tech atf.Technique
@@ -61,7 +63,8 @@ func main() {
 			abort = cond
 		}
 	}
-	tuner := atf.Tuner{Technique: tech, Abort: abort, Seed: *seed, CacheCosts: true}
+	tuner := atf.Tuner{Technique: tech, Abort: abort, Seed: *seed, CacheCosts: true,
+		Parallelism: *parallelism}
 
 	start := time.Now()
 	var res *atf.Result

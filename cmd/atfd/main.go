@@ -1,0 +1,78 @@
+// Command atfd is the tuning-as-a-service daemon: it runs tuning sessions
+// described by declarative JSON specs over an HTTP API and journals every
+// cost evaluation to disk, so a killed daemon restarts and resumes its
+// interrupted sessions deterministically.
+//
+// Usage:
+//
+//	atfd -addr 127.0.0.1:7521 -journal-dir ./atfd-journals
+//
+//	# create a session
+//	curl -d @saxpy.json http://127.0.0.1:7521/v1/sessions
+//	# follow its evaluation stream
+//	curl http://127.0.0.1:7521/v1/sessions/<id>/evaluations
+//	# fetch the best configuration found so far
+//	curl http://127.0.0.1:7521/v1/sessions/<id>/best
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"atf/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7521", "HTTP listen address")
+	dir := flag.String("journal-dir", "atfd-journals", "tuning journal directory")
+	flag.Parse()
+
+	m, err := server.NewManager(*dir)
+	if err != nil {
+		fail(err)
+	}
+	resumed, err := m.Resume()
+	if err != nil {
+		// Unreadable journals are reported but don't stop the daemon:
+		// the intact sessions still run.
+		fmt.Fprintln(os.Stderr, "atfd: resume:", err)
+	}
+	for _, s := range resumed {
+		fmt.Printf("atfd: resumed session %s (%d evaluations journaled)\n",
+			s.ID, s.Status().ResumedEvaluations)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: (&server.API{Manager: m}).Handler()}
+	fmt.Printf("atfd: listening on http://%s (journals in %s)\n", ln.Addr(), m.Dir())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("atfd: %v: interrupting sessions (journals stay resumable)\n", sig)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "atfd: serve:", err)
+	}
+
+	// Stop accepting requests, then interrupt the runs without writing
+	// done records — the next start resumes them from their journals.
+	srv.Close()
+	m.Shutdown()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atfd:", err)
+	os.Exit(1)
+}

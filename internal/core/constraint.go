@@ -115,6 +115,31 @@ func Unequal(x any) Constraint {
 	return func(v Value, c *Config) bool { return v.Int() != e(c) }
 }
 
+// ConstraintAliases maps the paper's alias names (snake_case, matching
+// atf::divides etc.) to their constructors. Declarative frontends — the
+// atfd JSON API and spec files — resolve constraint operators through this
+// table, so adding an alias here makes it available by name everywhere.
+var ConstraintAliases = map[string]func(x any) Constraint{
+	"divides":        Divides,
+	"is_multiple_of": IsMultipleOf,
+	"less_than":      LessThan,
+	"greater_than":   GreaterThan,
+	"less_equal":     LessEqual,
+	"greater_equal":  GreaterEqual,
+	"equal":          Equal,
+	"unequal":        Unequal,
+}
+
+// ConstraintByName resolves a constraint alias from ConstraintAliases and
+// applies it to the given constant or expression.
+func ConstraintByName(op string, x any) (Constraint, error) {
+	alias, ok := ConstraintAliases[op]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown constraint alias %q", op)
+	}
+	return alias(x), nil
+}
+
 // And combines constraints conjunctively, mirroring ATF's && operator on
 // constraints. A nil element is treated as always-true.
 func And(cs ...Constraint) Constraint {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -76,6 +77,17 @@ type ExploreOptions struct {
 	Now func() time.Time
 	// OnEvaluation, when set, observes every evaluation.
 	OnEvaluation func(ev Evaluation)
+	// Context, when set, cancels exploration early: cancellation acts like
+	// an abort condition firing between evaluations, so the partial result
+	// accumulated so far is still returned (with a nil error). Long-lived
+	// callers — the atfd session manager shutting down — check their own
+	// context to distinguish cancellation from completion.
+	Context context.Context
+}
+
+// canceled reports whether the options' context (if any) is done.
+func (o *ExploreOptions) canceled() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 // Explore runs the paper's exploration loop (Section II Step 3): it asks
@@ -127,7 +139,7 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 	res := &Result{}
 	for {
 		st.Now = now()
-		if abort.Abort(st) {
+		if opts.canceled() || abort.Abort(st) {
 			break
 		}
 		cfg := tech.GetNextConfig()

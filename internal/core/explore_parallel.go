@@ -47,7 +47,12 @@ type ParallelOptions struct {
 // The abort condition is applied per committed evaluation, exactly as in
 // Explore: when it fires mid-batch, the remaining already-evaluated
 // configurations of that batch are discarded, never counted, recorded or
-// reported, so abort boundaries match the sequential run.
+// reported, so abort boundaries match the sequential run. A canceled
+// ExploreOptions.Context stops exploration the same way — no new batch is
+// dispatched, the current batch stops committing at the cancellation
+// point, and the partial result is returned — so a daemon shutdown aborts
+// in-flight work at the next commit boundary instead of draining the
+// whole search.
 func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, opts ParallelOptions) (*Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -157,7 +162,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 	st := &State{Start: now(), SpaceSize: sp.Size()}
 	res := &Result{}
 	aborted := false
-	for !aborted {
+	for !aborted && !opts.canceled() {
 		batch := bt.GetNextBatch(batchSize)
 		if len(batch) == 0 {
 			break // technique exhausted
@@ -176,7 +181,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 		evals := make([]Evaluation, 0, len(batch))
 		for i, cfg := range batch {
 			st.Now = now()
-			if abort.Abort(st) {
+			if opts.canceled() || abort.Abort(st) {
 				aborted = true
 				break
 			}

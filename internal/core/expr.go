@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseExpr parses an integer arithmetic expression over previously
+// declared tuning parameters into an Expr. It is the textual counterpart
+// of the func(*Config) int64 expressions the constraint aliases accept,
+// used by declarative frontends (the atfd JSON API, spec files) where
+// constraints arrive as strings rather than Go closures.
+//
+// Grammar: integer literals, parameter names ([A-Za-z_][A-Za-z0-9_]*),
+// the binary operators + - * / %, unary minus, and parentheses, with the
+// usual precedence. Division and modulus by zero evaluate to 0 — the
+// surrounding constraint then rejects or accepts a degenerate candidate
+// instead of crashing space generation.
+//
+// The second return value lists the parameter names the expression
+// references, in first-appearance order, so callers can validate them
+// against the declaration order before generation starts.
+func ParseExpr(src string) (Expr, []string, error) {
+	p := &exprParser{src: src}
+	e, err := p.parseSum()
+	if err != nil {
+		return nil, nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, nil, fmt.Errorf("core: unexpected %q at offset %d in expression %q",
+			p.src[p.pos:], p.pos, src)
+	}
+	return e, p.refs, nil
+}
+
+// exprParser is a small recursive-descent parser over the expression
+// source; it records referenced parameter names as it goes.
+type exprParser struct {
+	src  string
+	pos  int
+	refs []string
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// peek returns the next non-space byte without consuming it (0 at end).
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseSum handles + and - (lowest precedence).
+func (p *exprParser) parseSum() (Expr, error) {
+	left, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			right, err := p.parseProduct()
+			if err != nil {
+				return nil, err
+			}
+			l, r := left, right
+			left = func(c *Config) int64 { return l(c) + r(c) }
+		case '-':
+			p.pos++
+			right, err := p.parseProduct()
+			if err != nil {
+				return nil, err
+			}
+			l, r := left, right
+			left = func(c *Config) int64 { return l(c) - r(c) }
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseProduct handles * / and %.
+func (p *exprParser) parseProduct() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l, r := left, right
+			left = func(c *Config) int64 { return l(c) * r(c) }
+		case '/':
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l, r := left, right
+			left = func(c *Config) int64 {
+				d := r(c)
+				if d == 0 {
+					return 0
+				}
+				return l(c) / d
+			}
+		case '%':
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l, r := left, right
+			left = func(c *Config) int64 {
+				d := r(c)
+				if d == 0 {
+					return 0
+				}
+				return l(c) % d
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseUnary handles unary minus.
+func (p *exprParser) parseUnary() (Expr, error) {
+	if p.peek() == '-' {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(c *Config) int64 { return -e(c) }, nil
+	}
+	return p.parseAtom()
+}
+
+// parseAtom handles literals, parameter references and parentheses.
+func (p *exprParser) parseAtom() (Expr, error) {
+	switch ch := p.peek(); {
+	case ch == '(':
+		p.pos++
+		e, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("core: missing ')' at offset %d in expression %q", p.pos, p.src)
+		}
+		p.pos++
+		return e, nil
+	case ch >= '0' && ch <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad integer literal %q in expression %q", p.src[start:p.pos], p.src)
+		}
+		return Lit(v), nil
+	case isIdentStart(ch):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if !contains(p.refs, name) {
+			p.refs = append(p.refs, name)
+		}
+		return Ref(name), nil
+	case ch == 0:
+		return nil, fmt.Errorf("core: unexpected end of expression %q", p.src)
+	default:
+		return nil, fmt.Errorf("core: unexpected %q at offset %d in expression %q",
+			string(ch), p.pos, p.src)
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentPart(b byte) bool { return isIdentStart(b) || (b >= '0' && b <= '9') }
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MustParseExpr is ParseExpr for expressions known valid at compile time;
+// it panics on error (tests and examples).
+func MustParseExpr(src string) Expr {
+	e, _, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+)
+
+func exprConfig(t *testing.T, names []string, vals ...int64) *Config {
+	t.Helper()
+	c := NewConfig(names)
+	for i, v := range vals {
+		c.set(i, Int(v))
+	}
+	return c
+}
+
+func TestParseExprArithmetic(t *testing.T) {
+	c := exprConfig(t, []string{"WPT", "LS"}, 4, 32)
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"4096", 4096},
+		{"WPT", 4},
+		{"4096 / WPT", 1024},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"-WPT + 10", 6},
+		{"LS % 5", 2},
+		{"LS - WPT - 1", 27},
+		{"10 / 0", 0}, // division by zero evaluates to 0
+		{"10 % 0", 0}, // so does modulus
+		{"  WPT*LS ", 128},
+		{"--3", 3},
+	}
+	for _, tc := range cases {
+		e, _, err := ParseExpr(tc.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tc.src, err)
+			continue
+		}
+		if got := e(c); got != tc.want {
+			t.Errorf("ParseExpr(%q) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseExprRefs(t *testing.T) {
+	_, refs, err := ParseExpr("N / WPT + WPT * M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 || refs[0] != "N" || refs[1] != "WPT" || refs[2] != "M" {
+		t.Errorf("refs = %v, want [N WPT M] in first-appearance order", refs)
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1 +", "(1", "1)", "1 $ 2", "9999999999999999999999"} {
+		if _, _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestConstraintByName(t *testing.T) {
+	ct, err := ConstraintByName("divides", int64(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := exprConfig(t, []string{"X"})
+	if !ct(Int(4), c) || ct(Int(5), c) {
+		t.Error("divides alias misbehaves")
+	}
+	if _, err := ConstraintByName("approximately", 1); err == nil {
+		t.Error("unknown alias: expected error")
+	}
+	// Aliases compose with parsed expressions, the declarative-frontend path.
+	e, _, err := ParseExpr("4096 / WPT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err = ConstraintByName("divides", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exprConfig(t, []string{"WPT", "LS"}, 4, 0)
+	if !ct(Int(256), cfg) || ct(Int(3), cfg) {
+		t.Error("divides(4096/WPT) misbehaves")
+	}
+}

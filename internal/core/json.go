@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JSON encodings for the types that cross the atfd wire protocol and the
+// tuning journal: Value, Config, Cost and Evaluation. The encodings are
+// chosen to be stable, snake_cased and round-trippable — a marshaled value
+// unmarshals to an identical value, including the value kind and the
+// non-finite costs that mark failed configurations.
+
+// MarshalJSON renders the value as the natural JSON literal of its kind.
+// Float values that happen to be integral gain a trailing ".0" so the kind
+// survives a round trip.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(nil, v.i, 10), nil
+	case KindFloat:
+		if math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			return json.Marshal(nonFiniteString(v.f))
+		}
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return []byte(s), nil
+	case KindBool:
+		if v.i != 0 {
+			return []byte("true"), nil
+		}
+		return []byte("false"), nil
+	case KindString:
+		return json.Marshal(v.s)
+	default:
+		return nil, fmt.Errorf("core: cannot marshal value of kind %v", v.kind)
+	}
+}
+
+// UnmarshalJSON parses a JSON literal back into a Value. Numbers without a
+// fractional part or exponent become ints, all other numbers floats —
+// inverting MarshalJSON's encoding.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	switch {
+	case s == "true":
+		*v = Bool(true)
+		return nil
+	case s == "false":
+		*v = Bool(false)
+		return nil
+	case len(s) > 0 && s[0] == '"':
+		var str string
+		if err := json.Unmarshal(data, &str); err != nil {
+			return err
+		}
+		if f, ok := parseNonFinite(str); ok {
+			*v = Float(f)
+			return nil
+		}
+		*v = Str(str)
+		return nil
+	default:
+		if !strings.ContainsAny(s, ".eE") {
+			i, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("core: bad JSON value %q: %w", s, err)
+			}
+			*v = Int(i)
+			return nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("core: bad JSON value %q: %w", s, err)
+		}
+		*v = Float(f)
+		return nil
+	}
+}
+
+// MarshalJSON renders the configuration as a JSON object in parameter
+// declaration order (the order constraints rely on), e.g.
+// {"WPT":4,"LS":32}.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i := 0; i < c.filled; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name, err := json.Marshal(c.names.names[i])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(name)
+		b.WriteByte(':')
+		val, err := c.vals[i].MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b.Write(val)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON rebuilds a configuration from its JSON object form. The
+// token stream is read in document order, so the declaration order written
+// by MarshalJSON is preserved exactly.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("core: configuration JSON must be an object, got %v", tok)
+	}
+	var names []string
+	var vals []Value
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		name, ok := keyTok.(string)
+		if !ok {
+			return fmt.Errorf("core: bad configuration key %v", keyTok)
+		}
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return err
+		}
+		var v Value
+		if err := v.UnmarshalJSON(raw); err != nil {
+			return err
+		}
+		names = append(names, name)
+		vals = append(vals, v)
+	}
+	rebuilt := NewConfig(names)
+	for i, v := range vals {
+		rebuilt.set(i, v)
+	}
+	*c = *rebuilt
+	return nil
+}
+
+// MarshalJSON renders the cost vector as a JSON array; the non-finite
+// elements that mark failed configurations are encoded as the strings
+// "+inf", "-inf" and "nan" (plain JSON has no literals for them).
+func (c Cost) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			s, err := json.Marshal(nonFiniteString(v))
+			if err != nil {
+				return nil, err
+			}
+			b.Write(s)
+			continue
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteByte(']')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON parses a cost vector, accepting the string encodings of
+// non-finite elements.
+func (c *Cost) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw == nil {
+		*c = nil
+		return nil
+	}
+	out := make(Cost, len(raw))
+	for i, r := range raw {
+		var s string
+		if err := json.Unmarshal(r, &s); err == nil {
+			f, ok := parseNonFinite(s)
+			if !ok {
+				return fmt.Errorf("core: bad cost element %q", s)
+			}
+			out[i] = f
+			continue
+		}
+		var f float64
+		if err := json.Unmarshal(r, &f); err != nil {
+			return err
+		}
+		out[i] = f
+	}
+	*c = out
+	return nil
+}
+
+func nonFiniteString(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+inf"
+	case math.IsInf(f, -1):
+		return "-inf"
+	default:
+		return "nan"
+	}
+}
+
+func parseNonFinite(s string) (float64, bool) {
+	switch s {
+	case "+inf", "inf":
+		return math.Inf(1), true
+	case "-inf":
+		return math.Inf(-1), true
+	case "nan":
+		return math.NaN(), true
+	default:
+		return 0, false
+	}
+}
+
+// evaluationJSON is Evaluation's snake_cased wire form; the error is
+// flattened to its message.
+type evaluationJSON struct {
+	Index  uint64  `json:"index"`
+	Config *Config `json:"config,omitempty"`
+	Cost   Cost    `json:"cost,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	AtNs   int64   `json:"at_ns,omitempty"`
+	Cached bool    `json:"cached,omitempty"`
+}
+
+// MarshalJSON renders the evaluation in its stable snake_cased wire form.
+func (e Evaluation) MarshalJSON() ([]byte, error) {
+	j := evaluationJSON{
+		Index:  e.Index,
+		Config: e.Config,
+		Cost:   e.Cost,
+		AtNs:   e.At.Nanoseconds(),
+		Cached: e.Cached,
+	}
+	if e.Err != nil {
+		j.Error = e.Err.Error()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses the wire form back; errors come back as opaque
+// errors.New values carrying the original message.
+func (e *Evaluation) UnmarshalJSON(data []byte) error {
+	var j evaluationJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Evaluation{
+		Index:  j.Index,
+		Config: j.Config,
+		Cost:   j.Cost,
+		At:     time.Duration(j.AtNs),
+		Cached: j.Cached,
+	}
+	if j.Error != "" {
+		e.Err = errors.New(j.Error)
+	}
+	return nil
+}

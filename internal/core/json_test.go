@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	for _, v := range []Value{
+		Int(42), Int(-7), Int(0),
+		Float(1.5), Float(2.0), Float(-0.25), // 2.0 must stay a float
+		Bool(true), Bool(false),
+		Str("simd"), Str(""),
+	} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Equal(v) || back.Kind() != v.Kind() {
+			t.Errorf("round trip %v (%v) -> %s -> %v (%v)", v, v.Kind(), data, back, back.Kind())
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := ConfigFromMap([]string{"WPT", "LS", "USE_SIMD", "ALPHA"}, map[string]Value{
+		"WPT": Int(4), "LS": Int(32), "USE_SIMD": Bool(true), "ALPHA": Float(0.5),
+	})
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"WPT":4,"LS":32,"USE_SIMD":true,"ALPHA":0.5}`
+	if string(data) != want {
+		t.Errorf("config JSON = %s, want %s (declaration order)", data, want)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(cfg) {
+		t.Errorf("round trip: %v != %v", &back, cfg)
+	}
+	if back.Key() != cfg.Key() {
+		t.Errorf("round trip changed cache key: %q != %q", back.Key(), cfg.Key())
+	}
+}
+
+func TestCostJSONRoundTrip(t *testing.T) {
+	for _, c := range []Cost{
+		SingleCost(123.25),
+		{1.5, 2.5, 3.0},
+		InfCost(),
+		{2.0, math.Inf(1)},
+	} {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back Cost
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if len(back) != len(c) {
+			t.Fatalf("round trip %v -> %s -> %v", c, data, back)
+		}
+		for i := range c {
+			same := c[i] == back[i] || (math.IsNaN(c[i]) && math.IsNaN(back[i]))
+			if !same {
+				t.Errorf("round trip %v -> %s -> %v", c, data, back)
+			}
+		}
+	}
+}
+
+func TestEvaluationJSONRoundTrip(t *testing.T) {
+	cfg := ConfigFromMap([]string{"X"}, map[string]Value{"X": Int(3)})
+	evs := []Evaluation{
+		{Index: 7, Config: cfg, Cost: SingleCost(42), At: 1500 * time.Millisecond, Cached: true},
+		{Index: 8, Config: cfg, Cost: InfCost(), Err: errors.New("kernel launch failed")},
+	}
+	for _, ev := range evs {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Evaluation
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Index != ev.Index || back.At != ev.At || back.Cached != ev.Cached {
+			t.Errorf("round trip %s lost fields: %+v", data, back)
+		}
+		if !back.Config.Equal(ev.Config) {
+			t.Errorf("round trip lost config: %s", data)
+		}
+		if (ev.Err == nil) != (back.Err == nil) {
+			t.Errorf("round trip changed error presence: %s", data)
+		}
+		if ev.Err != nil && back.Err.Error() != ev.Err.Error() {
+			t.Errorf("round trip changed error message: %q", back.Err)
+		}
+	}
+}

@@ -27,6 +27,23 @@ type Options struct {
 	// (default 120).
 	DevOptEvals int
 	Workers     int
+	// Parallelism is the number of concurrent cost evaluators per tuning
+	// run (Tuner.Parallelism semantics: 0/1 sequential, -1 = NumCPU).
+	Parallelism int
+}
+
+// explore dispatches a tuning run to the sequential or parallel engine
+// according to opts.Parallelism, so every experiment honors the CLI's
+// -parallelism flag through one seam.
+func (o Options) explore(space *core.Space, tech core.Technique, cf core.CostFunction,
+	abort core.AbortCondition, eo core.ExploreOptions) (*core.Result, error) {
+	if o.Parallelism == 0 || o.Parallelism == 1 {
+		return core.Explore(space, tech, cf, abort, eo)
+	}
+	return core.ExploreParallel(space, tech, cf, abort, core.ParallelOptions{
+		ExploreOptions: eo,
+		Workers:        o.Parallelism,
+	})
 }
 
 func (o *Options) defaults() {
@@ -117,7 +134,7 @@ func Fig2(deviceName string, opts Options) (*Fig2Result, error) {
 		// configuration every CLBlast user has) and restarts after runs
 		// of rejected moves — standard practitioner moves that the
 		// paper's 10-minute budgets subsume.
-		atfRes, err := core.Explore(space,
+		atfRes, err := opts.explore(space,
 			&search.Annealing{Start: clblast.DefaultConfig(), RestartAfter: 25},
 			eval.CostFunction(),
 			core.Evaluations(opts.ATFEvals),
@@ -142,7 +159,7 @@ func Fig2(deviceName string, opts Options) (*Fig2Result, error) {
 		}
 		if rsp.Size() > 0 {
 			// On sizes where the restricted space exists, CLTune tunes it.
-			r, err := core.Explore(rsp, search.NewAnnealing(), eval.CostFunction(),
+			r, err := opts.explore(rsp, search.NewAnnealing(), eval.CostFunction(),
 				core.Evaluations(minU64(rsp.Size(), opts.ATFEvals)),
 				core.ExploreOptions{Seed: opts.Seed, CacheCosts: true})
 			if err != nil {
@@ -206,7 +223,7 @@ func deviceOptimized(dev *opencl.Device, opts Options) (*core.Config, error) {
 		return nil, fmt.Errorf("harness: restricted space empty at 256x256?")
 	}
 	eval := clblast.NewGemmEvaluator(dev, shape, opts.Seed)
-	r, err := core.Explore(sp, search.NewAnnealing(), eval.CostFunction(),
+	r, err := opts.explore(sp, search.NewAnnealing(), eval.CostFunction(),
 		core.Evaluations(minU64(sp.Size(), uint64(opts.DevOptEvals))),
 		core.ExploreOptions{Seed: opts.Seed, CacheCosts: true})
 	if err != nil {

@@ -107,7 +107,7 @@ func Relaxed(deviceName string, opts Options) ([]*RelaxedResult, error) {
 		}
 		r.ConstrainedSize = conSpace.Size()
 		if conSpace.Size() > 0 {
-			cr, err := core.Explore(conSpace,
+			cr, err := opts.explore(conSpace,
 				&search.Annealing{Start: clblast.DefaultConfig(), RestartAfter: 25},
 				eval.CostFunction(),
 				core.Evaluations(minU64(conSpace.Size(), opts.ATFEvals)),
@@ -120,7 +120,7 @@ func Relaxed(deviceName string, opts Options) ([]*RelaxedResult, error) {
 			}
 		}
 
-		rr, err := core.Explore(relaxedSpace,
+		rr, err := opts.explore(relaxedSpace,
 			&search.Annealing{Start: clblast.DefaultConfig(), RestartAfter: 25},
 			eval.CostFunction(),
 			core.Evaluations(opts.ATFEvals),

@@ -1,0 +1,174 @@
+// Package client is the Go client for the atfd daemon's HTTP/JSON API.
+// It speaks the same wire types the server defines (atf.Spec in,
+// server.Status and server.EvalRecord out), so a tuning session created
+// from Go, from curl, or from a journal replay is indistinguishable.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"atf"
+	"atf/internal/server"
+)
+
+// Client talks to one atfd daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:7521".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at base.
+func New(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("atfd: %s %s: %s", method, path, apiErr.Error)
+		}
+		return fmt.Errorf("atfd: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Create starts a tuning session from a declarative spec.
+func (c *Client) Create(ctx context.Context, spec *atf.Spec) (server.Status, error) {
+	var st server.Status
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", spec, &st)
+	return st, err
+}
+
+// List returns the status of every session the daemon knows.
+func (c *Client) List(ctx context.Context) ([]server.Status, error) {
+	var out []server.Status
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// Status returns one session's status.
+func (c *Client) Status(ctx context.Context, id string) (server.Status, error) {
+	var st server.Status
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Best returns the session's best configuration and cost so far.
+func (c *Client) Best(ctx context.Context, id string) (server.BestResponse, error) {
+	var best server.BestResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/best", nil, &best)
+	return best, err
+}
+
+// Cancel terminates a session; it will not resume after a daemon restart.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Evaluations streams the session's committed evaluations starting at
+// index from, calling fn for each until the session reaches a terminal
+// state, fn returns false, or ctx is canceled.
+func (c *Client) Evaluations(ctx context.Context, id string, from int, fn func(server.EvalRecord) bool) error {
+	path := fmt.Sprintf("%s/v1/sessions/%s/evaluations?from=%d", c.Base, url.PathEscape(id), from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("atfd: evaluations %s: HTTP %d: %s", id, resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec server.EvalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("atfd: bad evaluation line: %w", err)
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// Wait polls until the session leaves the running state and returns its
+// final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != server.StateRunning {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

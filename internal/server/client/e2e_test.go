@@ -1,0 +1,234 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"atf"
+	"atf/internal/server"
+	"atf/internal/server/client"
+)
+
+// daemon is one atfd instance under test: a Manager plus its HTTP server
+// on a loopback port.
+type daemon struct {
+	manager *server.Manager
+	srv     *http.Server
+	base    string
+}
+
+func startDaemon(t *testing.T, dir string) *daemon {
+	t.Helper()
+	m, err := server.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: (&server.API{Manager: m}).Handler()}
+	go srv.Serve(ln)
+	return &daemon{manager: m, srv: srv, base: "http://" + ln.Addr().String()}
+}
+
+// kill is the SIGKILL-equivalent: the HTTP server dies and the manager
+// interrupts every run without writing done records, leaving the journals
+// resumable.
+func (d *daemon) kill() {
+	d.srv.Close()
+	d.manager.Shutdown()
+}
+
+const e2eSpecJSON = `{
+	"name": "e2e",
+	"parameters": [
+		{"name": "X", "range": {"interval": {"begin": 1, "end": 300}}},
+		{"name": "Y", "range": {"interval": {"begin": 1, "end": 30}}}
+	],
+	"cost": {"kind": "expr", "expr": "(X - 250) * (X - 250) + Y", "delay_ns": 1000000},
+	"technique": {"kind": "annealing"},
+	"abort": {"evaluations": 200},
+	"seed": 23,
+	"parallelism": 2
+}`
+
+func parseE2ESpec(t *testing.T) *atf.Spec {
+	t.Helper()
+	spec, err := atf.ParseSpec([]byte(e2eSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestDaemonEndToEnd drives the full tuning-as-a-service loop over real
+// HTTP: create a session, follow its NDJSON evaluation stream, kill the
+// daemon mid-run, restart it on the same journal directory, and check the
+// resumed session finishes identically to an uninterrupted control run.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	spec := parseE2ESpec(t)
+
+	// Control: the same spec run start-to-finish in its own daemon.
+	control := startDaemon(t, t.TempDir())
+	defer control.kill()
+	c0 := client.New(control.base)
+	st0, err := c0.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c0.Wait(ctx, st0.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.State != server.StateDone {
+		t.Fatalf("control run ended %s (%s)", want.State, want.Error)
+	}
+
+	// Experiment: create, watch the stream, kill mid-run.
+	dir := t.TempDir()
+	d1 := startDaemon(t, dir)
+	c1 := client.New(d1.base)
+	st1, err := c1.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != server.StateRunning {
+		t.Fatalf("created session is %s", st1.State)
+	}
+
+	// Follow the live evaluation stream until a real prefix is in; each
+	// record must arrive in index order.
+	var streamed []server.EvalRecord
+	streamCtx, cancelStream := context.WithCancel(ctx)
+	err = c1.Evaluations(streamCtx, st1.ID, 0, func(rec server.EvalRecord) bool {
+		if rec.Index != uint64(len(streamed)) {
+			t.Errorf("stream out of order: got index %d at position %d", rec.Index, len(streamed))
+		}
+		streamed = append(streamed, rec)
+		return len(streamed) < 30
+	})
+	cancelStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) < 30 {
+		t.Fatalf("streamed only %d evaluations", len(streamed))
+	}
+
+	d1.kill()
+
+	// Restart on the same journal directory; the session resumes.
+	d2 := startDaemon(t, dir)
+	defer d2.kill()
+	resumed, err := d2.manager.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d sessions, want 1", len(resumed))
+	}
+	c2 := client.New(d2.base)
+	st2, err := c2.Status(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ResumedEvaluations < len(streamed) {
+		t.Errorf("resumed %d evaluations, streamed %d before the kill",
+			st2.ResumedEvaluations, len(streamed))
+	}
+
+	// The resumed stream replays the journaled prefix byte-identically.
+	var replayed []server.EvalRecord
+	err = c2.Evaluations(ctx, st1.ID, 0, func(rec server.EvalRecord) bool {
+		replayed = append(replayed, rec)
+		return len(replayed) < len(streamed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range streamed {
+		if replayed[i].Key != rec.Key || replayed[i].Index != rec.Index {
+			t.Fatalf("replayed evaluation %d = %s, streamed %s before kill",
+				i, replayed[i].Key, rec.Key)
+		}
+	}
+
+	final, err := c2.Wait(ctx, st1.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("resumed run ended %s (%s)", final.State, final.Error)
+	}
+	if final.Divergence != "" {
+		t.Fatalf("resumed run diverged: %s", final.Divergence)
+	}
+	if final.Evaluations != want.Evaluations || final.Valid != want.Valid {
+		t.Errorf("resumed counters %d/%d, control %d/%d",
+			final.Evaluations, final.Valid, want.Evaluations, want.Valid)
+	}
+	if !final.Best.Equal(want.Best) || final.BestCost.String() != want.BestCost.String() {
+		t.Errorf("resumed best %v/%v, control %v/%v",
+			final.Best, final.BestCost, want.Best, want.BestCost)
+	}
+
+	// Best endpoint agrees with the final status.
+	best, err := c2.Best(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Best.Equal(final.Best) || best.State != server.StateDone {
+		t.Errorf("best endpoint %v/%s, status %v", best.Best, best.State, final.Best)
+	}
+
+	// Listing shows exactly the one session.
+	list, err := c2.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st1.ID {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+// TestDaemonCancelAndErrors covers the API's user-facing edges over HTTP:
+// cancel, 404s, and spec validation surfacing as 400s.
+func TestDaemonCancelAndErrors(t *testing.T) {
+	ctx := context.Background()
+	d := startDaemon(t, t.TempDir())
+	defer d.kill()
+	c := client.New(d.base)
+
+	st, err := c.Create(ctx, parseE2ESpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != server.StateCanceled {
+		t.Errorf("after cancel: %s", got.State)
+	}
+	if err := c.Cancel(ctx, st.ID); err == nil {
+		t.Error("second cancel succeeded")
+	}
+
+	if _, err := c.Status(ctx, "no-such-session"); err == nil {
+		t.Error("status of unknown session succeeded")
+	}
+
+	bad := parseE2ESpec(t)
+	bad.Cost.Kind = "quantum"
+	if _, err := c.Create(ctx, bad); err == nil {
+		t.Error("bad spec accepted over HTTP")
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"atf"
+)
+
+// API wraps a Manager with the daemon's HTTP/JSON endpoints:
+//
+//	POST   /v1/sessions                   create a session from a Spec
+//	GET    /v1/sessions                   list session statuses
+//	GET    /v1/sessions/{id}              one session's status
+//	GET    /v1/sessions/{id}/evaluations  NDJSON evaluation stream (?from=N)
+//	GET    /v1/sessions/{id}/best         best configuration and cost so far
+//	DELETE /v1/sessions/{id}              cancel the session
+//	GET    /v1/healthz                    liveness probe
+type API struct {
+	Manager *Manager
+}
+
+// Handler builds the daemon's HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", a.createSession)
+	mux.HandleFunc("GET /v1/sessions", a.listSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", a.getSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/evaluations", a.streamEvaluations)
+	mux.HandleFunc("GET /v1/sessions/{id}/best", a.getBest)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", a.cancelSession)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	spec, err := atf.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s, err := a.Manager.Create(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+func (a *API) listSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := a.Manager.List()
+	out := make([]Status, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	s, ok := a.Manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return nil, false
+	}
+	return s, true
+}
+
+func (a *API) getSession(w http.ResponseWriter, r *http.Request) {
+	if s, ok := a.session(w, r); ok {
+		writeJSON(w, http.StatusOK, s.Status())
+	}
+}
+
+// BestResponse is the body of GET /v1/sessions/{id}/best.
+type BestResponse struct {
+	State       State       `json:"state"`
+	Best        *atf.Config `json:"best,omitempty"`
+	BestCost    atf.Cost    `json:"best_cost,omitempty"`
+	Evaluations uint64      `json:"evaluations"`
+	Valid       uint64      `json:"valid"`
+}
+
+func (a *API) getBest(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	st := s.Status()
+	writeJSON(w, http.StatusOK, BestResponse{
+		State: st.State, Best: st.Best, BestCost: st.BestCost,
+		Evaluations: st.Evaluations, Valid: st.Valid,
+	})
+}
+
+func (a *API) cancelSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	if err := a.Manager.Cancel(s.ID); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// streamEvaluations serves the session's evaluations as NDJSON, one
+// EvalRecord per line, starting at ?from=N (default 0, i.e. the whole
+// journal so far), then follows the live run until it reaches a terminal
+// state or the client disconnects.
+func (a *API) streamEvaluations(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &from); err != nil || from < 0 {
+			writeError(w, http.StatusBadRequest, "bad from=%q", q)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evals, terminal, err := s.EvalsSince(r.Context(), from)
+		if err != nil {
+			return // client went away
+		}
+		for _, ev := range evals {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		from += len(evals)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+	}
+}

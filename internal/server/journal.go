@@ -1,0 +1,236 @@
+// Package server is the tuning-as-a-service subsystem behind the atfd
+// daemon: a session manager running concurrent tuning jobs on the parallel
+// exploration engine, an HTTP/JSON API over declarative specs, and a
+// durable append-only tuning journal that lets a killed daemon restart,
+// replay every already-paid cost evaluation, and resume the search
+// deterministically mid-run.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"atf"
+)
+
+// The journal is one JSONL file per session under the manager's journal
+// directory: a spec header line, one line per committed evaluation, and a
+// done line once the session reaches a terminal state. A journal without a
+// done line is an interrupted run; on daemon restart its evaluations are
+// replayed into the cost cache and the search resumes where it stopped. A
+// torn final line (the write a crash cut short) is detected and dropped —
+// everything before it is intact by construction of append-only writes.
+
+// Record is one journal line; Type selects which payload is set.
+type Record struct {
+	Type string `json:"type"` // "spec" | "eval" | "done"
+
+	// spec header fields.
+	Session       string    `json:"session,omitempty"`
+	Name          string    `json:"name,omitempty"`
+	CreatedUnixNs int64     `json:"created_unix_ns,omitempty"`
+	Spec          *atf.Spec `json:"spec,omitempty"`
+
+	Eval *EvalRecord `json:"eval,omitempty"`
+	Done *DoneRecord `json:"done,omitempty"`
+}
+
+// EvalRecord journals one committed evaluation. Key is the configuration's
+// deterministic cache key — the value replay matches on — while Config is
+// the human- and client-readable form.
+type EvalRecord struct {
+	Index  uint64      `json:"index"`
+	Key    string      `json:"key"`
+	Config *atf.Config `json:"config,omitempty"`
+	Cost   atf.Cost    `json:"cost,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Cached bool        `json:"cached,omitempty"`
+	AtNs   int64       `json:"at_ns,omitempty"`
+}
+
+// DoneRecord closes a journal: the session reached a terminal state and
+// must not be resumed.
+type DoneRecord struct {
+	State       string      `json:"state"` // "done" | "canceled" | "failed"
+	Evaluations uint64      `json:"evaluations"`
+	Valid       uint64      `json:"valid"`
+	Best        *atf.Config `json:"best,omitempty"`
+	BestCost    atf.Cost    `json:"best_cost,omitempty"`
+	Error       string      `json:"error,omitempty"`
+}
+
+// Journal is the append-only writer for one session. Every append is
+// followed by an fsync: the journal's whole point is surviving the daemon,
+// and the simulated cost evaluations dwarf the sync latency.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CreateJournal starts a new session journal with its spec header.
+func CreateJournal(path, session, name string, spec *atf.Spec, createdUnixNs int64) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: creating journal: %w", err)
+	}
+	j := &Journal{f: f}
+	if err := j.Append(Record{
+		Type: "spec", Session: session, Name: name,
+		CreatedUnixNs: createdUnixNs, Spec: spec,
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournalAppend reopens an interrupted session's journal for resume.
+func OpenJournalAppend(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: reopening journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record as a JSON line and syncs it to disk.
+func (j *Journal) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: marshaling journal record: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("server: writing journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file; further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// JournalData is a fully parsed session journal.
+type JournalData struct {
+	Path          string
+	Session       string
+	Name          string
+	CreatedUnixNs int64
+	Spec          *atf.Spec
+	Evals         []EvalRecord
+	Done          *DoneRecord
+	// Truncated marks a torn or out-of-sequence tail that was dropped
+	// (the line a kill interrupted mid-write).
+	Truncated bool
+}
+
+// ReadJournalFile parses a session journal. The spec header must parse —
+// without it the session cannot be rebuilt — while a broken tail only sets
+// Truncated: every intact evaluation before it is kept for replay.
+func ReadJournalFile(path string) (*JournalData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	d := &JournalData{Path: path}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if first {
+				return nil, fmt.Errorf("server: journal %s: bad spec header: %w", path, err)
+			}
+			d.Truncated = true
+			break
+		}
+		switch rec.Type {
+		case "spec":
+			if !first {
+				return nil, fmt.Errorf("server: journal %s: duplicate spec header", path)
+			}
+			d.Session, d.Name = rec.Session, rec.Name
+			d.CreatedUnixNs, d.Spec = rec.CreatedUnixNs, rec.Spec
+		case "eval":
+			if rec.Eval == nil || rec.Eval.Index != uint64(len(d.Evals)) {
+				// An out-of-sequence eval means the tail is damaged;
+				// everything up to here is still a valid prefix.
+				d.Truncated = true
+				return d, nil
+			}
+			d.Evals = append(d.Evals, *rec.Eval)
+		case "done":
+			d.Done = rec.Done
+			return d, nil
+		default:
+			d.Truncated = true
+			return d, nil
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: reading journal %s: %w", path, err)
+	}
+	if first {
+		return nil, fmt.Errorf("server: journal %s is empty", path)
+	}
+	if d.Spec == nil {
+		return nil, fmt.Errorf("server: journal %s has no spec header", path)
+	}
+	return d, nil
+}
+
+// ListJournals returns the journal files under dir, sorted by name.
+func ListJournals(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// sanitizeName turns a session name into a file-system- and URL-safe slug.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ', r == '_', r == '.':
+			b.WriteByte('-')
+		}
+	}
+	s := strings.Trim(b.String(), "-")
+	if s == "" {
+		s = "session"
+	}
+	if len(s) > 40 {
+		s = s[:40]
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atf"
+	"atf/internal/core"
+)
+
+func testSpec(t *testing.T) *atf.Spec {
+	t.Helper()
+	spec, err := atf.ParseSpec([]byte(`{
+		"name": "journal test",
+		"parameters": [{"name": "X", "range": {"interval": {"begin": 1, "end": 8}}}],
+		"cost": {"kind": "expr", "expr": "X"},
+		"seed": 5
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s1.jsonl")
+	spec := testSpec(t)
+
+	j, err := CreateJournal(path, "s1", "journal test", spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configOf(t, spec, 3)
+	evals := []EvalRecord{
+		{Index: 0, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{3}},
+		{Index: 1, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{3}, Cached: true},
+		{Index: 2, Key: "err", Error: "device exploded", Cost: core.InfCost()},
+	}
+	for _, ev := range evals {
+		ev := ev
+		if err := j.Append(Record{Type: "eval", Eval: &ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := &DoneRecord{State: "done", Evaluations: 3, Valid: 2, Best: cfg, BestCost: atf.Cost{3}}
+	if err := j.Append(Record{Type: "done", Done: done}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	d, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Session != "s1" || d.Name != "journal test" || d.CreatedUnixNs != 42 {
+		t.Errorf("header = %q/%q/%d", d.Session, d.Name, d.CreatedUnixNs)
+	}
+	if d.Spec == nil || d.Spec.Parameters[0].Name != "X" {
+		t.Errorf("spec did not round-trip: %+v", d.Spec)
+	}
+	if len(d.Evals) != 3 || d.Evals[1].Cached != true || d.Evals[2].Error != "device exploded" {
+		t.Errorf("evals = %+v", d.Evals)
+	}
+	if !d.Evals[2].Cost.IsInf() {
+		t.Errorf("error eval cost = %v, want inf", d.Evals[2].Cost)
+	}
+	if d.Done == nil || d.Done.State != "done" || d.Done.Valid != 2 {
+		t.Errorf("done = %+v", d.Done)
+	}
+	if d.Truncated {
+		t.Error("clean journal reported truncated")
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.jsonl")
+	spec := testSpec(t)
+	j, err := CreateJournal(path, "torn", "", spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configOf(t, spec, 2)
+	for i := 0; i < 3; i++ {
+		ev := EvalRecord{Index: uint64(i), Key: cfg.Key(), Config: cfg, Cost: atf.Cost{2}}
+		if err := j.Append(Record{Type: "eval", Eval: &ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a crash mid-write: a torn final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"eval","eval":{"ind`)
+	f.Close()
+
+	d, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Truncated {
+		t.Error("torn tail not detected")
+	}
+	if len(d.Evals) != 3 || d.Done != nil {
+		t.Errorf("intact prefix lost: %d evals, done=%v", len(d.Evals), d.Done)
+	}
+}
+
+func TestJournalOutOfSequenceTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seq.jsonl")
+	spec := testSpec(t)
+	j, err := CreateJournal(path, "seq", "", spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configOf(t, spec, 4)
+	ev := EvalRecord{Index: 0, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{4}}
+	if err := j.Append(Record{Type: "eval", Eval: &ev}); err != nil {
+		t.Fatal(err)
+	}
+	ev.Index = 7 // gap: index 1..6 never written
+	if err := j.Append(Record{Type: "eval", Eval: &ev}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	d, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Truncated || len(d.Evals) != 1 {
+		t.Errorf("truncated=%v evals=%d, want true/1", d.Truncated, len(d.Evals))
+	}
+}
+
+func TestJournalRejectsMissingSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nospec.jsonl")
+	if err := os.WriteFile(path, []byte(`{"type":"eval","eval":{"index":0,"key":"1"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournalFile(path); err == nil {
+		t.Error("journal without spec header accepted")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"GEMM on K20m":          "gemm-on-k20m",
+		"   ":                   "session",
+		"a_b.c d":               "a-b-c-d",
+		strings.Repeat("x", 80): strings.Repeat("x", 40),
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// configOf builds a one-parameter configuration for the test spec.
+func configOf(t *testing.T, spec *atf.Spec, x int64) *atf.Config {
+	t.Helper()
+	build, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := atf.GenerateSpace(0, build.Params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < space.Size(); i++ {
+		cfg := space.At(i)
+		if cfg.Int("X") == x {
+			return cfg
+		}
+	}
+	t.Fatalf("no config with X=%d", x)
+	return nil
+}

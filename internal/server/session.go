@@ -1,0 +1,520 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"atf"
+	"atf/internal/core"
+)
+
+// State is a session's lifecycle state.
+type State string
+
+const (
+	// StateRunning: exploration in progress.
+	StateRunning State = "running"
+	// StateDone: exploration finished; the journal is closed.
+	StateDone State = "done"
+	// StateCanceled: a client canceled the session; terminal.
+	StateCanceled State = "canceled"
+	// StateFailed: the run errored (bad device, empty space, journal I/O).
+	StateFailed State = "failed"
+	// StateInterrupted: the daemon shut down mid-run; the journal has no
+	// done record, so the session resumes on the next start.
+	StateInterrupted State = "interrupted"
+)
+
+// Session is one tuning job owned by the Manager.
+type Session struct {
+	ID            string
+	Name          string
+	CreatedUnixNs int64
+	Spec          *atf.Spec
+
+	cancel  context.CancelFunc
+	ctx     context.Context
+	journal *Journal
+	done    chan struct{}
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	state        State
+	evals        []EvalRecord // committed evaluations, in order
+	replayed     int          // prefix of evals loaded from the journal
+	valid        uint64
+	best         *atf.Config
+	bestCost     atf.Cost
+	spaceSize    uint64
+	rawSpaceSize string
+	runErr       error
+	divergence   error
+	userCanceled bool
+}
+
+// Status is the JSON status snapshot the API serves.
+type Status struct {
+	ID                 string      `json:"id"`
+	Name               string      `json:"name,omitempty"`
+	State              State       `json:"state"`
+	CreatedUnixNs      int64       `json:"created_unix_ns,omitempty"`
+	SpaceSize          uint64      `json:"space_size,omitempty"`
+	RawSpaceSize       string      `json:"raw_space_size,omitempty"`
+	Evaluations        uint64      `json:"evaluations"`
+	Valid              uint64      `json:"valid"`
+	Best               *atf.Config `json:"best,omitempty"`
+	BestCost           atf.Cost    `json:"best_cost,omitempty"`
+	ResumedEvaluations int         `json:"resumed_evaluations,omitempty"`
+	Divergence         string      `json:"divergence,omitempty"`
+	Error              string      `json:"error,omitempty"`
+}
+
+// Status snapshots the session under its lock.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ID:                 s.ID,
+		Name:               s.Name,
+		State:              s.state,
+		CreatedUnixNs:      s.CreatedUnixNs,
+		SpaceSize:          s.spaceSize,
+		RawSpaceSize:       s.rawSpaceSize,
+		Evaluations:        uint64(len(s.evals)),
+		Valid:              s.valid,
+		Best:               s.best,
+		BestCost:           s.bestCost,
+		ResumedEvaluations: s.replayed,
+	}
+	if s.divergence != nil {
+		st.Divergence = s.divergence.Error()
+	}
+	if s.runErr != nil {
+		st.Error = s.runErr.Error()
+	}
+	return st
+}
+
+// EvalsSince blocks until the session has committed more than `from`
+// evaluations or reached a terminal state, then returns the new suffix and
+// whether the session is terminal. A canceled ctx returns early.
+func (s *Session) EvalsSince(ctx context.Context, from int) ([]EvalRecord, bool, error) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.evals) <= from && s.state == StateRunning && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil && len(s.evals) <= from {
+		return nil, false, err
+	}
+	if from > len(s.evals) {
+		return nil, false, fmt.Errorf("server: evaluation index %d beyond %d", from, len(s.evals))
+	}
+	suffix := append([]EvalRecord(nil), s.evals[from:]...)
+	return suffix, s.state != StateRunning, nil
+}
+
+// Wait blocks until the session leaves StateRunning (tests, shutdown).
+func (s *Session) Wait() { <-s.done }
+
+// Manager owns the sessions of one daemon process and their journals.
+type Manager struct {
+	dir string
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // creation/resume order for stable listings
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager creates a session manager journaling under dir (created if
+// missing). Call Resume to restart interrupted sessions from a previous
+// process, and Shutdown before exit.
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating journal dir: %w", err)
+	}
+	return &Manager{dir: dir, sessions: make(map[string]*Session)}, nil
+}
+
+// Dir returns the journal directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Create validates the spec, opens its journal, and starts the tuning run.
+func (m *Manager) Create(spec *atf.Spec) (*Session, error) {
+	build, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	name := sanitizeName(spec.Name)
+	id := name + "-" + randomSuffix()
+	created := time.Now().UnixNano()
+	j, err := CreateJournal(m.journalPath(id), id, spec.Name, spec, created)
+	if err != nil {
+		return nil, err
+	}
+	s := m.newSession(id, spec, created, j, nil)
+	if err := m.register(s); err != nil {
+		j.Close()
+		return nil, err
+	}
+	m.start(s, build, nil)
+	return s, nil
+}
+
+// Resume scans the journal directory and restarts every session whose
+// journal lacks a done record. Already-journaled evaluations are served
+// from the journal instead of the cost function, and the search continues
+// past them deterministically (same seed, same technique walk). Returns
+// the resumed sessions.
+func (m *Manager) Resume() ([]*Session, error) {
+	paths, err := ListJournals(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var resumed []*Session
+	var errs []error
+	for _, path := range paths {
+		d, err := ReadJournalFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if d.Done != nil {
+			continue // terminal; nothing to resume
+		}
+		if d.Spec == nil {
+			errs = append(errs, fmt.Errorf("server: journal %s has no spec", path))
+			continue
+		}
+		build, err := d.Spec.Build()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: journal %s: %w", path, err))
+			continue
+		}
+		j, err := OpenJournalAppend(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		id := d.Session
+		if id == "" {
+			id = strings.TrimSuffix(filepath.Base(path), ".jsonl")
+		}
+		s := m.newSession(id, d.Spec, d.CreatedUnixNs, j, d.Evals)
+		if err := m.register(s); err != nil {
+			j.Close()
+			errs = append(errs, err)
+			continue
+		}
+		m.start(s, build, d.Evals)
+		resumed = append(resumed, s)
+	}
+	return resumed, errors.Join(errs...)
+}
+
+// Get returns a session by ID.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns all sessions in creation order.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.sessions[id])
+	}
+	return out
+}
+
+// Cancel terminates a session on a client's request: exploration stops at
+// the next commit boundary and the journal is closed with a canceled done
+// record, so the session will NOT resume on restart.
+func (m *Manager) Cancel(id string) error {
+	s, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("server: no session %q", id)
+	}
+	s.mu.Lock()
+	if s.state != StateRunning {
+		s.mu.Unlock()
+		return fmt.Errorf("server: session %q is %s", id, s.state)
+	}
+	s.userCanceled = true
+	s.mu.Unlock()
+	s.cancel()
+	s.Wait()
+	return nil
+}
+
+// Shutdown interrupts all running sessions without writing done records —
+// the SIGTERM path. Interrupted journals stay resumable; a later Manager
+// on the same directory picks the runs back up. Safe to call more than
+// once.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.order))
+	for _, id := range m.order {
+		sessions = append(sessions, m.sessions[id])
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.cancel()
+	}
+	m.wg.Wait()
+}
+
+func (m *Manager) journalPath(id string) string {
+	return filepath.Join(m.dir, id+".jsonl")
+}
+
+func (m *Manager) newSession(id string, spec *atf.Spec, created int64, j *Journal, replayed []EvalRecord) *Session {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Session{
+		ID:            id,
+		Name:          spec.Name,
+		CreatedUnixNs: created,
+		Spec:          spec,
+		ctx:           ctx,
+		cancel:        cancel,
+		journal:       j,
+		done:          make(chan struct{}),
+		state:         StateRunning,
+		evals:         append([]EvalRecord(nil), replayed...),
+		replayed:      len(replayed),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	// Rebuild the live counters from the replayed prefix.
+	for i := range s.evals {
+		rec := &s.evals[i]
+		if len(rec.Cost) > 0 && !rec.Cost.IsInf() {
+			s.valid++
+			if s.best == nil || rec.Cost.Less(s.bestCost) {
+				s.best, s.bestCost = rec.Config, rec.Cost
+			}
+		}
+	}
+	return s
+}
+
+func (m *Manager) register(s *Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("server: manager is shut down")
+	}
+	if _, dup := m.sessions[s.ID]; dup {
+		return fmt.Errorf("server: duplicate session id %q", s.ID)
+	}
+	m.sessions[s.ID] = s
+	m.order = append(m.order, s.ID)
+	return nil
+}
+
+// start launches the session's exploration goroutine.
+func (m *Manager) start(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer close(s.done)
+		m.run(s, build, replayed)
+	}()
+}
+
+// run executes one session end to end: generate the space, wrap the cost
+// function with journal replay, explore, and journal the outcome.
+func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
+	space, err := atf.GenerateSpace(build.Tuner.Workers, build.Params...)
+	if err != nil {
+		s.finish(StateFailed, nil, err)
+		return
+	}
+	s.mu.Lock()
+	s.spaceSize = space.Size()
+	s.rawSpaceSize = space.RawSize().String()
+	s.mu.Unlock()
+
+	cf := build.Cost
+	if len(replayed) > 0 {
+		cf = newReplayCostFunction(cf, replayed)
+	}
+
+	tuner := build.Tuner
+	tuner.Context = s.ctx
+	tuner.OnEvaluation = s.onEvaluation
+	res, err := tuner.Explore(space, cf)
+	if err != nil {
+		s.finish(StateFailed, nil, err)
+		return
+	}
+
+	canceled := s.ctx.Err() != nil
+	s.mu.Lock()
+	user := s.userCanceled
+	s.mu.Unlock()
+	switch {
+	case user:
+		s.finish(StateCanceled, res, nil)
+	case canceled:
+		// Daemon shutdown: leave the journal without a done record so the
+		// next process resumes the run.
+		s.finish(StateInterrupted, res, nil)
+	default:
+		s.finish(StateDone, res, nil)
+	}
+}
+
+// onEvaluation is the Tuner.OnEvaluation hook: it mirrors each committed
+// evaluation into the in-memory stream and the journal. Evaluations the
+// resumed technique re-proposes inside the replayed prefix are only
+// checked against the journal (the determinism guard), never re-journaled.
+func (s *Session) onEvaluation(ev atf.Evaluation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev.Index < uint64(s.replayed) {
+		want := s.evals[ev.Index].Key
+		if got := ev.Config.Key(); got != want && s.divergence == nil {
+			s.divergence = fmt.Errorf(
+				"resumed run diverged at evaluation %d: journal has %q, technique proposed %q",
+				ev.Index, want, got)
+		}
+		return
+	}
+	rec := EvalRecord{
+		Index:  ev.Index,
+		Key:    ev.Config.Key(),
+		Config: ev.Config,
+		Cost:   ev.Cost,
+		Cached: ev.Cached,
+		AtNs:   ev.At.Nanoseconds(),
+	}
+	if ev.Err != nil {
+		rec.Error = ev.Err.Error()
+	}
+	if err := s.journal.Append(Record{Type: "eval", Eval: &rec}); err != nil && s.runErr == nil {
+		s.runErr = err
+	}
+	s.evals = append(s.evals, rec)
+	if len(rec.Cost) > 0 && !rec.Cost.IsInf() {
+		s.valid++
+		if s.best == nil || rec.Cost.Less(s.bestCost) {
+			s.best, s.bestCost = rec.Config, rec.Cost
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// finish moves the session to a terminal (or interrupted) state, writes
+// the done record where appropriate, and closes the journal.
+func (s *Session) finish(state State, res *atf.Result, err error) {
+	s.mu.Lock()
+	s.state = state
+	if err != nil && s.runErr == nil {
+		s.runErr = err
+	}
+	if res != nil && res.Best != nil {
+		s.best, s.bestCost = res.Best, res.BestCost
+	}
+	done := &DoneRecord{
+		State:       string(state),
+		Evaluations: uint64(len(s.evals)),
+		Valid:       s.valid,
+		Best:        s.best,
+		BestCost:    s.bestCost,
+	}
+	if s.runErr != nil {
+		done.Error = s.runErr.Error()
+	}
+	writeDone := state == StateDone || state == StateCanceled || state == StateFailed
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if writeDone {
+		s.journal.Append(Record{Type: "done", Done: done})
+	}
+	s.journal.Close()
+}
+
+// replayCostFunction serves journaled evaluations from memory and
+// delegates everything past the checkpoint to the real cost function; it
+// preserves the inner function's cloneability so parallel workers keep
+// their per-worker instances.
+type replayCostFunction struct {
+	inner  core.CostFunction
+	replay map[string]replayOutcome
+}
+
+type replayOutcome struct {
+	cost core.Cost
+	err  error
+}
+
+func newReplayCostFunction(inner core.CostFunction, evals []EvalRecord) *replayCostFunction {
+	replay := make(map[string]replayOutcome, len(evals))
+	for _, rec := range evals {
+		if _, dup := replay[rec.Key]; dup {
+			continue // first outcome wins, matching the cost cache
+		}
+		out := replayOutcome{cost: rec.Cost}
+		if rec.Error != "" {
+			out.err = errors.New(rec.Error)
+		}
+		replay[rec.Key] = out
+	}
+	return &replayCostFunction{inner: inner, replay: replay}
+}
+
+// Cost implements core.CostFunction.
+func (r *replayCostFunction) Cost(cfg *core.Config) (core.Cost, error) {
+	if out, ok := r.replay[cfg.Key()]; ok {
+		return out.cost, out.err
+	}
+	return r.inner.Cost(cfg)
+}
+
+// Clone implements core.CloneableCostFunction; the replay map is read-only
+// during exploration and safely shared across workers.
+func (r *replayCostFunction) Clone() (core.CostFunction, error) {
+	cl, ok := r.inner.(core.CloneableCostFunction)
+	if !ok {
+		return r, nil
+	}
+	inner, err := cl.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &replayCostFunction{inner: inner, replay: r.replay}, nil
+}
+
+// randomSuffix is a short collision-resistant id component.
+func randomSuffix() string {
+	var b [5]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to the clock.
+		return fmt.Sprintf("%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,185 @@
+package atf_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atf"
+)
+
+// saxpySpecJSON is the paper's Listing 2 saxpy space as a declarative
+// spec: WPT divides N, LS divides N/WPT.
+const saxpySpecJSON = `{
+	"name": "saxpy-demo",
+	"parameters": [
+		{"name": "WPT", "range": {"interval": {"begin": 1, "end": 64}},
+		 "constraints": [{"op": "divides", "expr": "64"}]},
+		{"name": "LS", "range": {"interval": {"begin": 1, "end": 64}},
+		 "constraints": [{"op": "divides", "expr": "64 / WPT"}]}
+	],
+	"cost": {"kind": "expr", "expr": "(64 - WPT) * (64 - WPT) + LS"},
+	"technique": {"kind": "exhaustive"},
+	"seed": 1
+}`
+
+func TestSpecRunExhaustive(t *testing.T) {
+	spec, err := atf.ParseSpec([]byte(saxpySpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum of the quadratic toy cost: WPT=64, LS=1.
+	if res.Best.Int("WPT") != 64 || res.Best.Int("LS") != 1 {
+		t.Errorf("best = %v", res.Best)
+	}
+	if res.BestCost.Primary() != 1 {
+		t.Errorf("best cost = %v, want 1", res.BestCost)
+	}
+	if res.Evaluations != res.SpaceSize {
+		t.Errorf("exhaustive run: %d evaluations over space %d", res.Evaluations, res.SpaceSize)
+	}
+}
+
+func TestSpecTechniquesAndAbort(t *testing.T) {
+	for _, kind := range []string{"annealing", "random", "opentuner", "local"} {
+		spec, err := atf.ParseSpec([]byte(`{
+			"parameters": [{"name": "X", "range": {"interval": {"begin": 1, "end": 50}}}],
+			"cost": {"kind": "expr", "expr": "X"},
+			"technique": {"kind": "` + kind + `"},
+			"abort": {"evaluations": 30},
+			"seed": 7
+		}`))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		res, err := spec.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Evaluations != 30 {
+			t.Errorf("%s: evaluations = %d, want 30", kind, res.Evaluations)
+		}
+		if res.Best == nil {
+			t.Errorf("%s: no best found", kind)
+		}
+	}
+}
+
+func TestSpecParallelMatchesSequential(t *testing.T) {
+	run := func(parallelism int) *atf.Result {
+		t.Helper()
+		spec, err := atf.ParseSpec([]byte(saxpySpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Parallelism = parallelism
+		res, err := spec.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if !seq.Best.Equal(par.Best) || seq.BestCost.String() != par.BestCost.String() ||
+		seq.Evaluations != par.Evaluations {
+		t.Errorf("parallel spec run diverged: %v/%v vs %v/%v",
+			seq.Best, seq.BestCost, par.Best, par.BestCost)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"unknown field", `{"parameterz": []}`, "unknown field"},
+		{"no params", `{"cost": {"kind": "expr", "expr": "1"}}`, "no tuning parameters"},
+		{"no cost kind", `{"parameters": [{"name": "X", "range": {"bools": true}}]}`, "cost.kind"},
+		{"bad cost kind", `{"parameters": [{"name": "X", "range": {"bools": true}}], "cost": {"kind": "quantum"}}`, "unknown cost kind"},
+		{"bad technique", `{"parameters": [{"name": "X", "range": {"bools": true}}], "cost": {"kind": "expr", "expr": "1"}, "technique": {"kind": "psychic"}}`, "unknown technique"},
+		{"bad op", `{"parameters": [{"name": "X", "range": {"interval": {"begin": 1, "end": 4}}, "constraints": [{"op": "resembles", "expr": "2"}]}], "cost": {"kind": "expr", "expr": "X"}}`, "unknown constraint alias"},
+		{"forward ref", `{"parameters": [{"name": "X", "range": {"interval": {"begin": 1, "end": 4}}, "constraints": [{"op": "divides", "expr": "Y"}]}, {"name": "Y", "range": {"interval": {"begin": 1, "end": 4}}}], "cost": {"kind": "expr", "expr": "X"}}`, "not declared earlier"},
+		{"ambiguous range", `{"parameters": [{"name": "X", "range": {"bools": true, "interval": {"begin": 1, "end": 4}}}], "cost": {"kind": "expr", "expr": "X"}}`, "exactly one"},
+		{"cost refs unknown", `{"parameters": [{"name": "X", "range": {"bools": true}}], "cost": {"kind": "expr", "expr": "X + SECRET"}}`, "unknown parameter"},
+	}
+	for _, tc := range cases {
+		_, err := atf.ParseSpec([]byte(tc.spec))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSpecSetAndBoolRanges(t *testing.T) {
+	spec, err := atf.ParseSpec([]byte(`{
+		"parameters": [
+			{"name": "VW", "range": {"set": [1, 2, 4, 8]}},
+			{"name": "PAD", "range": {"bools": true}},
+			{"name": "MODE", "range": {"set": ["scalar", "simd"]}}
+		],
+		"cost": {"kind": "expr", "expr": "VW"},
+		"seed": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpaceSize != 16 { // 4 * 2 * 2
+		t.Errorf("space size = %d, want 16", res.SpaceSize)
+	}
+	if res.Best.Int("VW") != 1 {
+		t.Errorf("best = %v", res.Best)
+	}
+}
+
+// TestResultJSONRoundTrip is the API-stability check: a Result marshals to
+// snake_cased JSON and unmarshals back without losing the best
+// configuration, costs, counters or history.
+func TestResultJSONRoundTrip(t *testing.T) {
+	spec, err := atf.ParseSpec([]byte(saxpySpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Record = true
+	res, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"best"`, `"best_cost"`, `"evaluations"`, `"valid"`,
+		`"space_size"`, `"raw_space_size"`, `"history"`, `"improvements"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshaled result misses %s: %.200s", key, data)
+		}
+	}
+	var back atf.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Best.Equal(res.Best) || back.BestCost.String() != res.BestCost.String() {
+		t.Errorf("round trip lost best: %v/%v", back.Best, back.BestCost)
+	}
+	if back.Evaluations != res.Evaluations || back.Valid != res.Valid ||
+		back.SpaceSize != res.SpaceSize || back.RawSpaceSize != res.RawSpaceSize {
+		t.Errorf("round trip lost counters: %+v", back)
+	}
+	if len(back.History) != len(res.History) || len(back.Improvements) != len(res.Improvements) {
+		t.Errorf("round trip lost history: %d/%d", len(back.History), len(back.Improvements))
+	}
+	for i := range res.History {
+		if !back.History[i].Config.Equal(res.History[i].Config) ||
+			back.History[i].Index != res.History[i].Index {
+			t.Fatalf("history %d differs after round trip", i)
+		}
+	}
+}
