@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fmt
+.PHONY: all build vet test race doccheck check fmt
 
 all: check
 
@@ -16,11 +16,17 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages get a dedicated race pass: the parallel
-# exploration engine and the atfd session manager/journal.
+# exploration engine, the observability registry, and the atfd session
+# manager/journal.
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/server/...
 
-check: vet build test race
+# doccheck enforces usable godoc: go vet's doc diagnostics plus a package
+# comment on every package (scripts/doccheck.sh).
+doccheck: vet
+	sh scripts/doccheck.sh
+
+check: doccheck build test race
 
 fmt:
 	gofmt -w .

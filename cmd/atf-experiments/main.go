@@ -16,11 +16,12 @@ import (
 	"strings"
 
 	"atf/internal/harness"
+	"atf/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups")
+		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime")
 	cap := flag.Int64("cap", 64, "XgemmDirect integer range cap")
 	sizeCaps := flag.String("sizecaps", "16,64,256",
 		"comma-separated range caps for the E4 size census (1024 reproduces the paper's 2^10 setting; allow a few minutes)")
@@ -31,6 +32,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 1,
 		"concurrent cost evaluators per tuning run (1 = sequential, -1 = all CPUs)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	stats := flag.Bool("stats", false,
+		"print the instrumentation summary (evaluations, caches, latency histograms) after the experiments")
 	flag.Parse()
 
 	opts := harness.Options{
@@ -124,5 +127,19 @@ func main() {
 			fail(err)
 		}
 		emit(harness.GroupsTable(r))
+	}
+	if want("gentime") {
+		var rs []*harness.GenTimeResult
+		for _, kernel := range []string{"saxpy", "gemm"} {
+			r, err := harness.GenTime(kernel, *cap, 0)
+			if err != nil {
+				fail(err)
+			}
+			rs = append(rs, r)
+		}
+		emit(harness.GenTimeTable(rs))
+	}
+	if *stats {
+		obs.WriteSummary(os.Stdout, obs.Default().Snapshot())
 	}
 }

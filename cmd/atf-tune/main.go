@@ -16,6 +16,7 @@ import (
 
 	"atf"
 	"atf/internal/clblast"
+	"atf/internal/obs"
 	"atf/internal/opencl"
 )
 
@@ -35,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallelism := flag.Int("parallelism", 1,
 		"concurrent cost evaluators (1 = sequential, -1 = all CPUs)")
+	stats := flag.Bool("stats", false,
+		"print the instrumentation summary (evaluations, caches, latency histograms) after the run")
 	flag.Parse()
 
 	var tech atf.Technique
@@ -88,6 +91,10 @@ func main() {
 	fmt.Printf("tuning time:   %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("best config:   %s\n", res.Best)
 	fmt.Printf("best cost:     %.3f ms (simulated)\n", res.BestCost.Primary()/1e6)
+	if *stats {
+		fmt.Println()
+		obs.WriteSummary(os.Stdout, obs.Default().Snapshot())
+	}
 }
 
 func tuneSaxpy(tuner atf.Tuner, platform, device string, n int64) (*atf.Result, error) {

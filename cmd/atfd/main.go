@@ -13,24 +13,40 @@
 //	curl http://127.0.0.1:7521/v1/sessions/<id>/evaluations
 //	# fetch the best configuration found so far
 //	curl http://127.0.0.1:7521/v1/sessions/<id>/best
+//	# scrape process metrics / read one session's stats
+//	curl http://127.0.0.1:7521/metrics
+//	curl http://127.0.0.1:7521/v1/sessions/<id>/stats
+//
+// Observability (docs/OPERATIONS.md): /metrics serves the process-wide
+// counters and histograms in Prometheus text format, -pprof mounts the Go
+// profiler under /debug/pprof/, and -trace narrates span events (space
+// generation, exploration runs) as structured logs on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"atf/internal/obs"
 	"atf/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7521", "HTTP listen address")
 	dir := flag.String("journal-dir", "atfd-journals", "tuning journal directory")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	trace := flag.Bool("trace", false, "log structured span/trace events to stderr")
 	flag.Parse()
+
+	if *trace {
+		obs.EnableTracing(obs.NewTextTracer(os.Stderr, slog.LevelDebug))
+	}
 
 	m, err := server.NewManager(*dir)
 	if err != nil {
@@ -51,8 +67,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv := &http.Server{Handler: (&server.API{Manager: m}).Handler()}
+	srv := &http.Server{Handler: (&server.API{Manager: m, Pprof: *enablePprof}).Handler()}
 	fmt.Printf("atfd: listening on http://%s (journals in %s)\n", ln.Addr(), m.Dir())
+	if *enablePprof {
+		fmt.Printf("atfd: pprof enabled at http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

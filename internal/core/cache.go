@@ -46,9 +46,18 @@ func (c *costCache) getOrCompute(key string, eval func() (Cost, error)) (Cost, e
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+			mCostCacheHits.Inc()
+		default:
+			// In-flight dedup: another worker is evaluating this exact
+			// configuration right now; wait for its result.
+			mCostCacheInflight.Inc()
+			<-e.done
+		}
 		return e.cost, e.err
 	}
+	mCostCacheMisses.Inc()
 	e := &costCacheEntry{done: make(chan struct{})}
 	sh.m[key] = e
 	sh.mu.Unlock()

@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
+
+	"atf/internal/obs"
 )
 
 // Technique is the paper's generic search-technique interface (Section IV):
@@ -120,6 +123,7 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 		seed = 0x5eed_a7f1
 	}
 
+	span := obs.StartSpan("explore", slog.Int("workers", 1))
 	tech.Initialize(sp, seed)
 	defer tech.Finalize()
 
@@ -154,18 +158,19 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 			if c, ok := cache[cfg.Key()]; ok {
 				cost, err, cached = c.cost, c.err, true
 			} else {
-				cost, err = cf.Cost(cfg)
+				cost, err = timedCost(cf, cfg)
 				if err != nil {
 					cost = InfCost()
 				}
 				cache[cfg.Key()] = cachedEval{cost: cost, err: err}
 			}
 		} else {
-			cost, err = cf.Cost(cfg)
+			cost, err = timedCost(cf, cfg)
 			if err != nil {
 				cost = InfCost()
 			}
 		}
+		commitMetrics(cached, err)
 
 		st.Evaluations++
 		if !cost.IsInf() {
@@ -195,5 +200,31 @@ func Explore(sp *Space, tech Technique, cf CostFunction, abort AbortCondition, o
 	res.Evaluations = st.Evaluations
 	res.Valid = st.Valid
 	res.Elapsed = now().Sub(st.Start)
+	span.End(slog.Uint64("evaluations", res.Evaluations), slog.Uint64("valid", res.Valid))
 	return res, nil
+}
+
+// timedCost runs one cost-function call inside the worker-occupancy gauge
+// and the evaluation-latency histogram. Shared by Explore, ExploreParallel
+// and the parallel cost cache so every *actual* cost-function execution —
+// never a cache hit — lands in atf_evaluation_cost_seconds exactly once.
+func timedCost(cf CostFunction, cfg *Config) (Cost, error) {
+	mWorkersBusy.Inc()
+	start := time.Now()
+	cost, err := cf.Cost(cfg)
+	mEvalSeconds.Observe(time.Since(start).Seconds())
+	mWorkersBusy.Dec()
+	return cost, err
+}
+
+// commitMetrics updates the process-wide evaluation counters for one
+// committed evaluation.
+func commitMetrics(cached bool, err error) {
+	mEvaluations.Inc()
+	if cached {
+		mEvalCached.Inc()
+	}
+	if err != nil {
+		mEvalFailed.Inc()
+	}
 }

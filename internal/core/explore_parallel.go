@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
+
+	"atf/internal/obs"
 )
 
 // CloneableCostFunction is a CostFunction that can produce independent
@@ -121,14 +124,14 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 	}
 	evalOne := func(w int, cfg *Config) (Cost, error) {
 		if cache == nil {
-			cost, err := cfs[w].Cost(cfg)
+			cost, err := timedCost(cfs[w], cfg)
 			if err != nil {
 				cost = InfCost()
 			}
 			return cost, err
 		}
 		return cache.getOrCompute(cfg.Key(), func() (Cost, error) {
-			cost, err := cfs[w].Cost(cfg)
+			cost, err := timedCost(cfs[w], cfg)
 			if err != nil {
 				cost = InfCost()
 			}
@@ -159,6 +162,9 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 		committed = make(map[string]bool)
 	}
 
+	mWorkers.Set(int64(workers))
+	span := obs.StartSpan("explore", slog.Int("workers", workers))
+
 	st := &State{Start: now(), SpaceSize: sp.Size()}
 	res := &Result{}
 	aborted := false
@@ -167,6 +173,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 		if len(batch) == 0 {
 			break // technique exhausted
 		}
+		mBatches.Inc()
 
 		// Fan the batch out to the workers...
 		outcomes := make([]outcome, len(batch))
@@ -178,6 +185,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 		wg.Wait()
 
 		// ...and merge strictly in batch order.
+		mergeStart := time.Now()
 		evals := make([]Evaluation, 0, len(batch))
 		for i, cfg := range batch {
 			st.Now = now()
@@ -193,6 +201,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 				committed[key] = true
 			}
 
+			commitMetrics(cached, err)
 			st.Evaluations++
 			if !cost.IsInf() {
 				st.Valid++
@@ -220,6 +229,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 			}
 		}
 		bt.ReportCosts(evals)
+		mBatchMergeSeconds.Observe(time.Since(mergeStart).Seconds())
 	}
 
 	res.Best = st.BestConfig
@@ -227,5 +237,6 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 	res.Evaluations = st.Evaluations
 	res.Valid = st.Valid
 	res.Elapsed = now().Sub(st.Start)
+	span.End(slog.Uint64("evaluations", res.Evaluations), slog.Uint64("valid", res.Valid))
 	return res, nil
 }

@@ -2,9 +2,13 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"atf/internal/obs"
 )
 
 // GenOptions controls search-space generation.
@@ -133,6 +137,8 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("core: no tuning parameters")
 	}
+	span := obs.StartSpan("spacegen", slog.Int("groups", len(groups)))
+	start := time.Now()
 	// Validate global name uniqueness up front for a good error message.
 	seen := make(map[string]bool)
 	var names []string
@@ -161,6 +167,7 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			span.Fail(err)
 			return nil, err
 		}
 	}
@@ -173,11 +180,27 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 			break
 		}
 		if size > 0 && t.total > ^uint64(0)/size {
-			return nil, fmt.Errorf("core: search space size overflows uint64")
+			err := fmt.Errorf("core: search space size overflows uint64")
+			span.Fail(err)
+			return nil, err
 		}
 		size *= t.total
 	}
 	s.size = size
+
+	var nodes uint64
+	for _, t := range trees {
+		nodes += t.Nodes()
+	}
+	mSpacegenRuns.Inc()
+	mSpacegenSeconds.Observe(time.Since(start).Seconds())
+	mSpacegenChecks.Add(s.Checks())
+	mSpacegenConfigs.Set(int64(size))
+	mSpacegenNodes.Set(int64(nodes))
+	span.End(
+		slog.Uint64("valid_configs", size),
+		slog.Uint64("tree_nodes", nodes),
+		slog.Uint64("constraint_checks", s.Checks()))
 	return s, nil
 }
 

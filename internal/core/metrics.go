@@ -1,0 +1,47 @@
+package core
+
+import "atf/internal/obs"
+
+// Process-wide instrumentation of the core hot paths, recorded into the
+// obs.Default() registry (exported by atfd's /metrics and the CLI -stats
+// summaries). Metric names and semantics are documented in DESIGN.md §3c;
+// keep the two in sync.
+var (
+	// Search-space generation (GenerateSpace / GenerateGroup).
+	mSpacegenRuns = obs.NewCounter("atf_spacegen_total",
+		"Search-space generations completed")
+	mSpacegenSeconds = obs.NewHistogram("atf_spacegen_seconds",
+		"Wall-clock time of one search-space generation (tree build)", nil)
+	mSpacegenChecks = obs.NewCounter("atf_spacegen_constraint_checks_total",
+		"Constraint evaluations performed during space generation")
+	mSpacegenConfigs = obs.NewGauge("atf_spacegen_last_valid_configs",
+		"Valid configurations in the most recently generated space")
+	mSpacegenNodes = obs.NewGauge("atf_spacegen_last_tree_nodes",
+		"Trie nodes in the most recently generated space")
+
+	// Exploration (Explore and ExploreParallel).
+	mEvaluations = obs.NewCounter("atf_evaluations_total",
+		"Cost evaluations committed to exploration results")
+	mEvalCached = obs.NewCounter("atf_evaluations_cached_total",
+		"Committed evaluations served from the cost cache")
+	mEvalFailed = obs.NewCounter("atf_evaluations_failed_total",
+		"Committed evaluations whose cost function returned an error")
+	mEvalSeconds = obs.NewHistogram("atf_evaluation_cost_seconds",
+		"Wall-clock latency of one cost-function call (cache misses only)", nil)
+	mBatches = obs.NewCounter("atf_explore_batches_total",
+		"Configuration batches dispatched by ExploreParallel")
+	mBatchMergeSeconds = obs.NewHistogram("atf_explore_batch_merge_seconds",
+		"Latency of merging one evaluated batch in deterministic order", nil)
+	mWorkersBusy = obs.NewGauge("atf_explore_workers_busy",
+		"Exploration workers currently inside a cost-function call")
+	mWorkers = obs.NewGauge("atf_explore_workers",
+		"Workers of the most recently started parallel exploration")
+
+	// The sharded cost cache behind ExploreParallel.
+	mCostCacheHits = obs.NewCounter("atf_cost_cache_hits_total",
+		"Cost-cache lookups served from a completed entry")
+	mCostCacheMisses = obs.NewCounter("atf_cost_cache_misses_total",
+		"Cost-cache lookups that evaluated the cost function")
+	mCostCacheInflight = obs.NewCounter("atf_cost_cache_inflight_waits_total",
+		"Cost-cache lookups that blocked on another worker's in-flight evaluation")
+)

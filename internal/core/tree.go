@@ -38,6 +38,21 @@ func (t *Tree) Size() uint64 { return t.total }
 // Checks returns how many constraint evaluations generation performed.
 func (t *Tree) Checks() uint64 { return t.checks }
 
+// Nodes returns the number of trie vertices — the space's materialized
+// memory footprint in nodes, reported by the generation instrumentation
+// (prefix sharing makes this far smaller than Size() × depth).
+func (t *Tree) Nodes() uint64 {
+	var walk func(ns []*node) uint64
+	walk = func(ns []*node) uint64 {
+		n := uint64(len(ns))
+		for _, c := range ns {
+			n += walk(c.children)
+		}
+		return n
+	}
+	return walk(t.roots)
+}
+
 // Depth returns the number of parameters in the group.
 func (t *Tree) Depth() int { return len(t.params) }
 

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per metric, histogram
+// buckets as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. This is what atfd serves on GET /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if err := writeHeader(w, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := writeHeader(w, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeHeader(w, h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatBound(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteSummary prints the snapshot as the aligned, human-readable table
+// behind atf-tune -stats and atf-experiments -stats: every non-zero
+// counter and gauge, then per-histogram count/mean/p50/p95/max-bucket
+// rows. Histograms whose names end in "_seconds" render as durations.
+func WriteSummary(w io.Writer, s Snapshot) {
+	fmt.Fprintln(w, "== instrumentation summary (internal/obs) ==")
+	rows := make([][2]string, 0, len(s.Counters)+len(s.Gauges))
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		rows = append(rows, [2]string{c.Name, strconv.FormatUint(c.Value, 10)})
+	}
+	for _, g := range s.Gauges {
+		if g.Value == 0 {
+			continue
+		}
+		rows = append(rows, [2]string{g.Name, strconv.FormatInt(g.Value, 10)})
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Count > 0 && len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-*s  %s\n", width, r[0], r[1])
+	}
+	for _, h := range s.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		seconds := strings.HasSuffix(h.Name, "_seconds")
+		fmt.Fprintf(w, "%-*s  count=%d mean=%s p50=%s p95=%s\n",
+			width, h.Name, h.Count,
+			formatObserved(h.Mean(), seconds),
+			formatObserved(h.Quantile(0.50), seconds),
+			formatObserved(h.Quantile(0.95), seconds))
+	}
+}
+
+func formatObserved(v float64, seconds bool) string {
+	if seconds {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race this is the registry's
+// race-cleanliness contract, and the totals check its atomicity.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_seconds", "", []float64{0.001, 0.01, 0.1})
+
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(i%4) * 0.004) // 0, 4ms, 8ms, 12ms
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers) * perWorker / 4 * (0 + 0.004 + 0.008 + 0.012)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+	snap := r.Snapshot().Histogram("h_seconds")
+	// 0 → le=0.001; 4ms and 8ms → le=0.01; 12ms → le=0.1; nothing overflows.
+	wantCounts := []uint64{workers * perWorker / 4, workers * perWorker / 2, workers * perWorker / 4, 0}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], want)
+		}
+	}
+}
+
+// TestHistogramBucketEdges pins the boundary semantics: observations equal
+// to an upper bound land in that bucket (le = "less than or equal"), and
+// values above the last bound land in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("edge", "", []float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.0000001, 2, 4, 4.5, math.Inf(1)} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histogram("edge")
+	want := []uint64{2, 2, 1, 2} // {0,1}, {1.0000001,2}, {4}, {4.5,+Inf}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 7 {
+		t.Errorf("count = %d, want 7", snap.Count)
+	}
+}
+
+// TestRegistryGetOrCreate: registering the same name twice returns the
+// same collector, so package-level metric variables never collide.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "first")
+	b := r.NewCounter("x_total", "second help is ignored")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counters diverged")
+	}
+	h1 := r.NewHistogram("h", "", []float64{1, 2})
+	h2 := r.NewHistogram("h", "", nil)
+	if h1 != h2 {
+		t.Fatal("re-registering a histogram returned a different instance")
+	}
+}
+
+// TestQuantile checks the linear-interpolation estimate against a uniform
+// fill of one bucket.
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q", "", []float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in (10, 20]
+	}
+	snap := r.Snapshot().Histogram("q")
+	if got := snap.Quantile(0.5); got < 10 || got > 20 {
+		t.Errorf("p50 = %v, want within (10, 20]", got)
+	}
+	if got := snap.Mean(); got != 15 {
+		t.Errorf("mean = %v, want 15", got)
+	}
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.9); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestPrometheusFormat checks the exposition output line-by-line: TYPE
+// headers, cumulative buckets, the +Inf bucket matching _count.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("atf_test_total", "a counter")
+	c.Add(3)
+	g := r.NewGauge("atf_test_gauge", "a gauge")
+	g.Set(-2)
+	h := r.NewHistogram("atf_test_seconds", "a histogram", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE atf_test_total counter\n",
+		"atf_test_total 3\n",
+		"# TYPE atf_test_gauge gauge\n",
+		"atf_test_gauge -2\n",
+		"# TYPE atf_test_seconds histogram\n",
+		`atf_test_seconds_bucket{le="0.5"} 1` + "\n",
+		`atf_test_seconds_bucket{le="1"} 2` + "\n",
+		`atf_test_seconds_bucket{le="+Inf"} 3` + "\n",
+		"atf_test_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotJSON: the snapshot marshals (the /stats body) and orders
+// metrics by name.
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "").Inc()
+	r.NewCounter("a_total", "").Inc()
+	snap := r.Snapshot()
+	if snap.Counters[0].Name != "a_total" || snap.Counters[1].Name != "b_total" {
+		t.Fatalf("snapshot not sorted: %+v", snap.Counters)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("a_total").Value != 1 {
+		t.Fatalf("round-trip lost counter value: %s", data)
+	}
+}
+
+// TestSummaryOutput sanity-checks the -stats table writer.
+func TestSummaryOutput(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("evals_total", "").Add(7)
+	r.NewCounter("silent_total", "") // zero: omitted
+	h := r.NewHistogram("lat_seconds", "", nil)
+	h.Observe(0.002)
+	var buf bytes.Buffer
+	WriteSummary(&buf, r.Snapshot())
+	out := buf.String()
+	if !strings.Contains(out, "evals_total") || !strings.Contains(out, "7") {
+		t.Errorf("summary missing counter:\n%s", out)
+	}
+	if strings.Contains(out, "silent_total") {
+		t.Errorf("summary printed zero-valued counter:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_seconds") || !strings.Contains(out, "count=1") {
+		t.Errorf("summary missing histogram:\n%s", out)
+	}
+}

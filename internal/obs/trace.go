@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing is the structured-event half of the observability layer: named
+// spans (StartSpan/End) and point events (Event) emitted through a
+// log/slog handler. It is off by default — StartSpan returns a nil span
+// and every call on it is a no-op costing one atomic load — and is
+// switched on process-wide with EnableTracing (atfd -trace, or any
+// embedding program that wants the tuner's internals narrated).
+
+var traceLogger atomic.Pointer[slog.Logger]
+
+// EnableTracing routes spans and events to the logger; nil disables
+// tracing again. Safe to call at any time, including mid-run.
+func EnableTracing(l *slog.Logger) {
+	if l == nil {
+		traceLogger.Store(nil)
+		return
+	}
+	traceLogger.Store(l)
+}
+
+// TracingEnabled reports whether a trace logger is installed.
+func TracingEnabled() bool { return traceLogger.Load() != nil }
+
+// Span is one timed operation. A nil *Span (tracing disabled) is valid:
+// all methods are no-ops.
+type Span struct {
+	name  string
+	start time.Time
+	log   *slog.Logger
+}
+
+// StartSpan opens a span and logs a "span start" debug event. The
+// returned span is nil when tracing is disabled.
+func StartSpan(name string, attrs ...any) *Span {
+	l := traceLogger.Load()
+	if l == nil {
+		return nil
+	}
+	l.Debug("span start", append([]any{slog.String("span", name)}, attrs...)...)
+	return &Span{name: name, start: time.Now(), log: l}
+}
+
+// End closes the span, logging its duration plus any closing attributes
+// at info level.
+func (s *Span) End(attrs ...any) {
+	if s == nil {
+		return
+	}
+	s.log.Info("span end", append([]any{
+		slog.String("span", s.name),
+		slog.Duration("elapsed", time.Since(s.start)),
+	}, attrs...)...)
+}
+
+// Fail closes the span with the error attached (warn level). A nil err
+// behaves like End.
+func (s *Span) Fail(err error, attrs ...any) {
+	if s == nil {
+		return
+	}
+	if err == nil {
+		s.End(attrs...)
+		return
+	}
+	s.log.Warn("span failed", append([]any{
+		slog.String("span", s.name),
+		slog.Duration("elapsed", time.Since(s.start)),
+		slog.String("error", err.Error()),
+	}, attrs...)...)
+}
+
+// Event logs a point-in-time structured event (info level); a no-op when
+// tracing is disabled.
+func Event(name string, attrs ...any) {
+	l := traceLogger.Load()
+	if l == nil {
+		return
+	}
+	l.Info(name, attrs...)
+}
+
+// NewTextTracer builds a slog logger writing the human-readable text
+// format at the given level to w — the logger atfd installs for -trace.
+func NewTextTracer(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestTracingDisabled: with no logger installed spans are nil and all
+// operations are safe no-ops — the always-on instrumentation cost.
+func TestTracingDisabled(t *testing.T) {
+	EnableTracing(nil)
+	if TracingEnabled() {
+		t.Fatal("tracing reported enabled after EnableTracing(nil)")
+	}
+	sp := StartSpan("noop")
+	if sp != nil {
+		t.Fatal("StartSpan returned a live span while disabled")
+	}
+	sp.End()                         // must not panic on nil receiver
+	sp.Fail(nil)                     // likewise
+	Event("noop", slog.Int("x", 42)) // likewise
+}
+
+// TestTracingSpans: an installed logger receives start/end events with
+// the span name, duration, and attributes.
+func TestTracingSpans(t *testing.T) {
+	var buf bytes.Buffer
+	EnableTracing(NewTextTracer(&buf, slog.LevelDebug))
+	defer EnableTracing(nil)
+
+	sp := StartSpan("spacegen", slog.Int("groups", 2))
+	sp.End(slog.Uint64("valid_configs", 17))
+	Event("checkpoint", slog.String("session", "s1"))
+
+	out := buf.String()
+	for _, want := range []string{
+		"span start", "span=spacegen", "groups=2",
+		"span end", "elapsed=", "valid_configs=17",
+		"checkpoint", "session=s1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,23 @@ import (
 	"hash/maphash"
 	"strconv"
 	"sync"
+	"time"
+
+	"atf/internal/obs"
+)
+
+// Process-wide compile-cache metrics (DESIGN.md §3c). The cache's own
+// hits/misses fields stay authoritative for CompileCacheStats (they reset
+// with ResetCompileCache); these export the same events cumulatively.
+var (
+	mCompileHits = obs.NewCounter("atf_oclc_compile_cache_hits_total",
+		"Compile-cache lookups served from a completed program")
+	mCompileMisses = obs.NewCounter("atf_oclc_compile_cache_misses_total",
+		"Compile-cache lookups that compiled the program")
+	mCompileInflight = obs.NewCounter("atf_oclc_compile_cache_inflight_waits_total",
+		"Compile-cache lookups that blocked on another worker's in-flight compile")
+	mCompileSeconds = obs.NewHistogram("atf_oclc_compile_seconds",
+		"Wall-clock time of one cold kernel compile (preprocess+lex+parse)", nil)
 )
 
 // programCache memoizes compiled programs by (source, define set). ATF's
@@ -80,10 +97,17 @@ func (c *programCache) compile(source string, defines map[string]string) (*Progr
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+			mCompileHits.Inc()
+		default:
+			mCompileInflight.Inc()
+			<-e.done
+		}
 		return e.prog, e.err
 	}
 	c.misses++
+	mCompileMisses.Inc()
 	if len(c.entries) >= c.cap {
 		// The cache outgrew its bound: drop a quarter of the entries
 		// (arbitrary victims — map order). Eviction never blocks waiters:
@@ -101,7 +125,9 @@ func (c *programCache) compile(source string, defines map[string]string) (*Progr
 	c.entries[key] = e
 	c.mu.Unlock()
 
+	start := time.Now()
 	e.prog, e.err = Compile(source, defines)
+	mCompileSeconds.Observe(time.Since(start).Seconds())
 	close(e.done)
 	return e.prog, e.err
 }

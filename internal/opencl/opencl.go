@@ -12,9 +12,23 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
+	"atf/internal/obs"
 	"atf/internal/oclc"
 	"atf/internal/perfmodel"
+)
+
+// Simulated device-queue metrics (DESIGN.md §3c): every EnqueueNDRange is
+// one enqueue→profile round trip, the unit tuning cost functions pay per
+// configuration.
+var (
+	mEnqueues = obs.NewCounter("atf_opencl_enqueues_total",
+		"Kernel launches enqueued on the simulated device queue")
+	mEnqueueFailed = obs.NewCounter("atf_opencl_enqueue_failures_total",
+		"Enqueues rejected (bad NDRange, work-group limit) or failed in execution")
+	mEnqueueSeconds = obs.NewHistogram("atf_opencl_enqueue_seconds",
+		"Wall-clock enqueue-to-profile latency of one simulated kernel launch", nil)
 )
 
 // Platform is an OpenCL platform: a vendor name and its devices.
@@ -224,6 +238,17 @@ func (e *Event) DurationNs() float64 { return e.Estimate.TimeNs }
 // EnqueueNDRange launches a kernel over global/local sizes (1 or 2
 // dimensions) and blocks until the simulated execution finishes.
 func (q *Queue) EnqueueNDRange(k *Kernel, global, local []int64) (*Event, error) {
+	start := time.Now()
+	ev, err := q.enqueueNDRange(k, global, local)
+	mEnqueues.Inc()
+	mEnqueueSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		mEnqueueFailed.Inc()
+	}
+	return ev, err
+}
+
+func (q *Queue) enqueueNDRange(k *Kernel, global, local []int64) (*Event, error) {
 	if len(global) != len(local) || len(global) < 1 || len(global) > 2 {
 		return nil, fmt.Errorf("opencl: global/local must both be 1-D or 2-D")
 	}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 
 	"atf"
+	"atf/internal/obs"
 )
 
 // API wraps a Manager with the daemon's HTTP/JSON endpoints:
@@ -16,10 +18,20 @@ import (
 //	GET    /v1/sessions/{id}              one session's status
 //	GET    /v1/sessions/{id}/evaluations  NDJSON evaluation stream (?from=N)
 //	GET    /v1/sessions/{id}/best         best configuration and cost so far
+//	GET    /v1/sessions/{id}/stats        per-session metrics (JSON)
 //	DELETE /v1/sessions/{id}              cancel the session
 //	GET    /v1/healthz                    liveness probe
+//	GET    /metrics                       process metrics (Prometheus text)
+//	GET    /debug/pprof/*                 Go profiler (only with Pprof set)
 type API struct {
 	Manager *Manager
+	// Metrics is the registry served on /metrics; nil means obs.Default(),
+	// the registry the tuner's built-in instrumentation records into.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ (atfd -pprof). Off
+	// by default: the profiler exposes heap and goroutine internals, so
+	// operators opt in explicitly.
+	Pprof bool
 }
 
 // Handler builds the daemon's HTTP handler.
@@ -30,11 +42,37 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", a.getSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/evaluations", a.streamEvaluations)
 	mux.HandleFunc("GET /v1/sessions/{id}/best", a.getBest)
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", a.getStats)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", a.cancelSession)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", a.getMetrics)
+	if a.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// getMetrics serves the process-wide registry in Prometheus text format.
+func (a *API) getMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := a.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+// getStats serves one session's metric registry as JSON.
+func (a *API) getStats(w http.ResponseWriter, r *http.Request) {
+	if s, ok := a.session(w, r); ok {
+		writeJSON(w, http.StatusOK, s.Stats())
+	}
 }
 
 // apiError is the uniform error body.

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"atf/internal/obs"
+)
+
+// sessionMetrics is one session's private obs registry: the counters and
+// histograms behind GET /v1/sessions/{id}/stats. Process-wide totals
+// (across all sessions and the embedded tuner internals) live in
+// obs.Default() and are served by GET /metrics; the per-session registry
+// answers the operator question the global one cannot — "what is THIS
+// run doing" — without labels or cardinality tricks.
+type sessionMetrics struct {
+	registry *obs.Registry
+
+	evaluations *obs.Counter
+	cached      *obs.Counter
+	failed      *obs.Counter
+	valid       *obs.Counter
+	journalErrs *obs.Counter
+	// cost is the distribution of reported (simulated) kernel costs in
+	// seconds — the per-configuration timing CLTune prints as its core
+	// output, here as a scrapeable histogram.
+	cost *obs.Histogram
+	// commitLatency is the evaluation-start→commit latency in seconds
+	// (Evaluation.At deltas), i.e. how fast the session is advancing.
+	commitLatency *obs.Histogram
+}
+
+func newSessionMetrics() *sessionMetrics {
+	r := obs.NewRegistry()
+	return &sessionMetrics{
+		registry: r,
+		evaluations: r.NewCounter("session_evaluations_total",
+			"Evaluations committed by this session (including the resumed prefix)"),
+		cached: r.NewCounter("session_evaluations_cached_total",
+			"Committed evaluations served from the cost cache"),
+		failed: r.NewCounter("session_evaluations_failed_total",
+			"Committed evaluations whose cost function errored"),
+		valid: r.NewCounter("session_valid_total",
+			"Committed evaluations with finite cost"),
+		journalErrs: r.NewCounter("session_journal_errors_total",
+			"Failed journal appends (the run keeps going; resume loses these records)"),
+		cost: r.NewHistogram("session_cost_seconds",
+			"Reported per-configuration cost (simulated kernel time)", nil),
+		commitLatency: r.NewHistogram("session_commit_gap_seconds",
+			"Gap between consecutive evaluation commits", nil),
+	}
+}
+
+// record folds one committed evaluation record into the session metrics.
+// prevAtNs is the previous record's At timestamp (0 for the first).
+func (m *sessionMetrics) record(rec *EvalRecord, prevAtNs int64) {
+	m.evaluations.Inc()
+	if rec.Cached {
+		m.cached.Inc()
+	}
+	if rec.Error != "" {
+		m.failed.Inc()
+	}
+	if len(rec.Cost) > 0 && !rec.Cost.IsInf() {
+		m.valid.Inc()
+		m.cost.Observe(rec.Cost.Primary() / 1e9)
+	}
+	if rec.AtNs > prevAtNs {
+		m.commitLatency.Observe(float64(rec.AtNs-prevAtNs) / 1e9)
+	}
+}
+
+// StatsResponse is the body of GET /v1/sessions/{id}/stats: the status
+// snapshot plus the session's metric registry.
+type StatsResponse struct {
+	Status  Status       `json:"status"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// Stats snapshots the session's status and metrics together.
+func (s *Session) Stats() StatsResponse {
+	return StatsResponse{Status: s.Status(), Metrics: s.metrics.registry.Snapshot()}
+}

@@ -44,6 +44,7 @@ type Session struct {
 	ctx     context.Context
 	journal *Journal
 	done    chan struct{}
+	metrics *sessionMetrics
 
 	mu           sync.Mutex
 	cond         *sync.Cond
@@ -305,11 +306,15 @@ func (m *Manager) newSession(id string, spec *atf.Spec, created int64, j *Journa
 		state:         StateRunning,
 		evals:         append([]EvalRecord(nil), replayed...),
 		replayed:      len(replayed),
+		metrics:       newSessionMetrics(),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	// Rebuild the live counters from the replayed prefix.
+	// Rebuild the live counters and metrics from the replayed prefix.
+	var prevAtNs int64
 	for i := range s.evals {
 		rec := &s.evals[i]
+		s.metrics.record(rec, prevAtNs)
+		prevAtNs = rec.AtNs
 		if len(rec.Cost) > 0 && !rec.Cost.IsInf() {
 			s.valid++
 			if s.best == nil || rec.Cost.Less(s.bestCost) {
@@ -414,9 +419,17 @@ func (s *Session) onEvaluation(ev atf.Evaluation) {
 	if ev.Err != nil {
 		rec.Error = ev.Err.Error()
 	}
-	if err := s.journal.Append(Record{Type: "eval", Eval: &rec}); err != nil && s.runErr == nil {
-		s.runErr = err
+	if err := s.journal.Append(Record{Type: "eval", Eval: &rec}); err != nil {
+		s.metrics.journalErrs.Inc()
+		if s.runErr == nil {
+			s.runErr = err
+		}
 	}
+	var prevAtNs int64
+	if n := len(s.evals); n > 0 {
+		prevAtNs = s.evals[n-1].AtNs
+	}
+	s.metrics.record(&rec, prevAtNs)
 	s.evals = append(s.evals, rec)
 	if len(rec.Cost) > 0 && !rec.Cost.IsInf() {
 		s.valid++

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"atf"
+)
+
+const statsSpecJSON = `{
+	"name": "stats test",
+	"parameters": [
+		{"name": "X", "range": {"interval": {"begin": 1, "end": 40}}}
+	],
+	"cost": {"kind": "expr", "expr": "(X - 7) * (X - 7)"},
+	"abort": {"evaluations": 40},
+	"parallelism": 2
+}`
+
+// TestMetricsEndpoint runs a tuning session to completion, scrapes
+// /metrics, parses every line of the Prometheus text format, and asserts
+// the core evaluation counters are present and non-zero.
+func TestMetricsEndpoint(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := httptest.NewServer((&API{Manager: m}).Handler())
+	defer srv.Close()
+
+	spec, err := atf.ParseSpec([]byte(statsSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	values := parsePrometheus(t, string(body))
+	// The exhaustive run committed 40 evaluations; the process-wide counter
+	// may exceed that (other tests in the package also explore) but can
+	// never be below it, and the cost histogram must have observations.
+	for _, name := range []string{"atf_evaluations_total", "atf_evaluation_cost_seconds_count"} {
+		v, ok := values[name]
+		if !ok {
+			t.Fatalf("/metrics missing %s:\n%s", name, body)
+		}
+		if v < 40 {
+			t.Errorf("%s = %v, want >= 40", name, v)
+		}
+	}
+	// Histogram well-formedness: the +Inf bucket equals _count.
+	if inf, ok := values[`atf_evaluation_cost_seconds_bucket{le="+Inf"}`]; !ok {
+		t.Error("/metrics missing the +Inf bucket of atf_evaluation_cost_seconds")
+	} else if inf != values["atf_evaluation_cost_seconds_count"] {
+		t.Errorf("+Inf bucket %v != count %v", inf, values["atf_evaluation_cost_seconds_count"])
+	}
+}
+
+// parsePrometheus parses text exposition format into sample name → value,
+// failing the test on any malformed line.
+func parsePrometheus(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	values := make(map[string]float64)
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("line %d not 'name value': %q", i+1, line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d has bad value: %q: %v", i+1, line, err)
+		}
+		values[line[:idx]] = v
+	}
+	if len(values) == 0 {
+		t.Fatal("no samples parsed from /metrics")
+	}
+	return values
+}
+
+// TestSessionStatsEndpoint asserts the per-session JSON stats view:
+// exactly this session's 40 evaluations, a populated cost histogram, and
+// the embedded status snapshot.
+func TestSessionStatsEndpoint(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := httptest.NewServer((&API{Manager: m}).Handler())
+	defer srv.Close()
+
+	spec, err := atf.ParseSpec([]byte(statsSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+
+	resp, err := srv.Client().Get(fmt.Sprintf("%s/v1/sessions/%s/stats", srv.URL, s.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Status.State != StateDone {
+		t.Errorf("state = %s, want done", stats.Status.State)
+	}
+	if got := stats.Metrics.Counter("session_evaluations_total").Value; got != 40 {
+		t.Errorf("session_evaluations_total = %d, want 40", got)
+	}
+	if got := stats.Metrics.Counter("session_valid_total").Value; got != 40 {
+		t.Errorf("session_valid_total = %d, want 40", got)
+	}
+	h := stats.Metrics.Histogram("session_cost_seconds")
+	if h.Count != 40 {
+		t.Errorf("session_cost_seconds count = %d, want 40", h.Count)
+	}
+
+	// Unknown session id → 404.
+	resp2, err := srv.Client().Get(srv.URL + "/v1/sessions/nosuch/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Errorf("GET /stats for unknown id = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestStatsSurvivesResume: a resumed session rebuilds its per-session
+// metrics from the replayed journal prefix, so /stats never undercounts
+// after a daemon restart.
+func TestStatsSurvivesResume(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := parseResumeSpec(t)
+	s1, err := m1.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let some evaluations land, then interrupt.
+	waitForEvals(t, s1, 20)
+	m1.Shutdown()
+
+	m2, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Shutdown()
+	resumed, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d sessions, want 1", len(resumed))
+	}
+	s2 := resumed[0]
+	s2.Wait()
+	stats := s2.Stats()
+	if got, want := stats.Metrics.Counter("session_evaluations_total").Value, stats.Status.Evaluations; got != want {
+		t.Errorf("metrics evaluations = %d, status evaluations = %d; must match after resume", got, want)
+	}
+	if stats.Metrics.Counter("session_valid_total").Value == 0 {
+		t.Error("resumed session has zero valid evaluations in metrics")
+	}
+}

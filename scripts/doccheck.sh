@@ -1,0 +1,13 @@
+#!/bin/sh
+# doccheck: every package in the module must carry a package-level doc
+# comment, so `go doc <pkg>` is never empty. Run by `make doccheck`
+# (part of the default `make check` chain) after `go vet`.
+set -eu
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+    echo "doccheck: packages missing a package doc comment:" >&2
+    echo "$missing" | sed 's/^/  /' >&2
+    exit 1
+fi
+echo "doccheck: all packages documented"

@@ -1,9 +1,6 @@
-// Declarative tuning specs: the JSON form of a tuning run that the atfd
-// daemon's API accepts and the tuning journal persists. A Spec names the
-// paper's three ingredients — tuning parameters with constrained ranges,
-// a cost function, and a search technique with an abort condition — as
-// data instead of Go code, so any program that can speak JSON can drive
-// the tuner.
+// This file defines the declarative tuning-spec surface: the JSON form
+// of a tuning run that the atfd daemon's API accepts and the tuning
+// journal persists (see Spec).
 
 package atf
 
@@ -19,7 +16,29 @@ import (
 	"atf/internal/opencl"
 )
 
-// Spec is a declarative description of one tuning run.
+// Spec is the declarative description of one tuning run — the JSON form
+// the atfd daemon's POST /v1/sessions accepts and the tuning journal
+// persists. It names the paper's three ingredients — tuning parameters
+// with constrained ranges, a cost function, and a search technique with
+// an abort condition — as data instead of Go code, so any program that
+// can speak JSON can drive the tuner. The saxpy space of the paper's
+// Listing 2 as a spec:
+//
+//	{
+//	  "name": "saxpy",
+//	  "parameters": [
+//	    {"name": "WPT", "range": {"interval": {"begin": 1, "end": 4096}},
+//	     "constraints": [{"op": "divides", "expr": "4096"}]},
+//	    {"name": "LS", "range": {"interval": {"begin": 1, "end": 4096}},
+//	     "constraints": [{"op": "divides", "expr": "4096 / WPT"}]}
+//	  ],
+//	  "cost": {"kind": "saxpy", "device": "K20c", "n": 4096},
+//	  "technique": {"kind": "annealing"},
+//	  "abort": {"evaluations": 200}
+//	}
+//
+// Decode and validate with ParseSpec; run in-process with Run, or POST
+// the JSON to atfd for a journaled, resumable session.
 type Spec struct {
 	// Name labels the run (journal files, session listings).
 	Name string `json:"name,omitempty"`
@@ -48,18 +67,28 @@ type Spec struct {
 	Record bool `json:"record,omitempty"`
 }
 
-// ParamSpec declares one tuning parameter.
+// ParamSpec declares one tuning parameter: the JSON counterpart of the
+// paper's tp(name, range, constraint) form (and of TP in Go).
 type ParamSpec struct {
-	Name        string           `json:"name"`
-	Range       RangeSpec        `json:"range"`
+	// Name is the parameter's unique name, referenced by later
+	// parameters' constraint expressions.
+	Name string `json:"name"`
+	// Range is the raw candidate range the constraints filter.
+	Range RangeSpec `json:"range"`
+	// Constraints combine conjunctively; each may reference previously
+	// declared parameters by name.
 	Constraints []ConstraintSpec `json:"constraints,omitempty"`
 }
 
 // RangeSpec declares a parameter's raw range; exactly one field is set.
 type RangeSpec struct {
+	// Interval is an integer interval with optional step.
 	Interval *IntervalSpec `json:"interval,omitempty"`
-	Set      []Value       `json:"set,omitempty"`
-	Bools    bool          `json:"bools,omitempty"`
+	// Set lists the range elements explicitly (ints, floats, bools or
+	// strings).
+	Set []Value `json:"set,omitempty"`
+	// Bools selects the {false, true} range.
+	Bools bool `json:"bools,omitempty"`
 }
 
 // IntervalSpec is the integer interval [Begin, End] with optional Step.
@@ -91,10 +120,14 @@ type TechniqueSpec struct {
 
 // AbortSpec describes an abort condition; set fields combine with OR.
 type AbortSpec struct {
-	Evaluations uint64   `json:"evaluations,omitempty"`
-	DurationMs  int64    `json:"duration_ms,omitempty"`
-	Fraction    float64  `json:"fraction,omitempty"`
-	CostBelow   *float64 `json:"cost_below,omitempty"`
+	// Evaluations stops after this many tested configurations.
+	Evaluations uint64 `json:"evaluations,omitempty"`
+	// DurationMs stops after this much wall-clock time.
+	DurationMs int64 `json:"duration_ms,omitempty"`
+	// Fraction stops after this fraction of the search space (0, 1].
+	Fraction float64 `json:"fraction,omitempty"`
+	// CostBelow stops once a configuration scores below this cost.
+	CostBelow *float64 `json:"cost_below,omitempty"`
 }
 
 // CostSpec selects a cost function kind:
@@ -144,11 +177,19 @@ func ParseSpec(data []byte) (*Spec, error) {
 	return &s, nil
 }
 
-// SpecBuild is a spec assembled into runnable pieces.
+// SpecBuild is a spec assembled into runnable pieces: the configured
+// Tuner, the declared parameters, and the cost function. Callers that
+// need more control than Spec.Run — the atfd session manager attaches a
+// context, an OnEvaluation journal hook and a pre-generated space — run
+// the pieces themselves.
 type SpecBuild struct {
-	Tuner  Tuner
+	// Tuner carries the technique, abort condition, seed, parallelism
+	// and cache settings from the spec.
+	Tuner Tuner
+	// Params is the declared (or built-in, for the gemm kind) space.
 	Params []*Param
-	Cost   CostFunction
+	// Cost is the configured cost function.
+	Cost CostFunction
 }
 
 // Build validates the spec and assembles the tuner, the parameters and
