@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race doccheck check fmt
+.PHONY: all build vet test race doccheck check fmt bench
 
 all: check
 
@@ -16,10 +16,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages get a dedicated race pass: the parallel
-# exploration engine, the observability registry, and the atfd session
-# manager/journal.
+# exploration engine (including memoized multi-worker space generation and
+# its clblast equivalence suite), the observability registry, and the atfd
+# session manager/journal.
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/clblast/... ./internal/obs/... ./internal/server/...
 
 # doccheck enforces usable godoc: go vet's doc diagnostics plus a package
 # comment on every package (scripts/doccheck.sh).
@@ -27,6 +28,12 @@ doccheck: vet
 	sh scripts/doccheck.sh
 
 check: doccheck build test race
+
+# bench runs the space-generation benchmark (memo on/off × workers) plus the
+# exploration benches, 5 samples each for benchdiff/benchstat comparison:
+#   make bench > after.txt   # then: scripts/benchdiff.sh before.txt after.txt
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkGenerateSpace|BenchmarkExploreParallel' -count=5 .
 
 fmt:
 	gofmt -w .

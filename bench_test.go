@@ -343,6 +343,36 @@ func BenchmarkDivisorHints(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateSpace measures the space-generation hot path on the
+// full XgemmDirect space (reduced cap 32; the cap-64 numbers live in
+// results/spacegen.md) across the memoization ablation and worker counts.
+// Constraint checks and the unique/logical node ratio are reported so a
+// benchdiff run shows the sharing effect alongside the wall clock.
+func BenchmarkGenerateSpace(b *testing.B) {
+	params := clblast.XgemmDirectParams(clblast.SpaceOptions{RangeCap: 32})
+	for _, tc := range []struct {
+		name string
+		mode core.MemoMode
+	}{{"memo-off", core.MemoOff}, {"memo-on", core.MemoOn}} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", tc.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sp, err := core.GenerateFlat(params, core.GenOptions{
+						Workers: workers, Memoize: tc.mode,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					logical, unique := sp.NodeCounts()
+					b.ReportMetric(float64(sp.Checks()), "checks")
+					b.ReportMetric(float64(logical), "logical-nodes")
+					b.ReportMetric(float64(unique), "unique-nodes")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelInterpreter measures the simulated-OpenCL substrate
 // itself: one sampled XgemmDirect launch per iteration.
 func BenchmarkKernelInterpreter(b *testing.B) {

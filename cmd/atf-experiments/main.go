@@ -34,6 +34,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	stats := flag.Bool("stats", false,
 		"print the instrumentation summary (evaluations, caches, latency histograms) after the experiments")
+	memo := flag.String("memo", "both",
+		"gentime memoization ablation: on, off, or both (one table row per mode)")
 	flag.Parse()
 
 	opts := harness.Options{
@@ -131,15 +133,29 @@ func main() {
 	if want("gentime") {
 		var rs []*harness.GenTimeResult
 		for _, kernel := range []string{"saxpy", "gemm"} {
-			r, err := harness.GenTime(kernel, *cap, 0)
-			if err != nil {
-				fail(err)
+			for _, memoize := range memoModes(*memo) {
+				r, err := harness.GenTime(kernel, *cap, 0, memoize)
+				if err != nil {
+					fail(err)
+				}
+				rs = append(rs, r)
 			}
-			rs = append(rs, r)
 		}
 		emit(harness.GenTimeTable(rs))
 	}
 	if *stats {
 		obs.WriteSummary(os.Stdout, obs.Default().Snapshot())
+	}
+}
+
+// memoModes translates the -memo flag into the gentime ablation axis.
+func memoModes(mode string) []bool {
+	switch mode {
+	case "on":
+		return []bool{true}
+	case "off":
+		return []bool{false}
+	default:
+		return []bool{false, true}
 	}
 }

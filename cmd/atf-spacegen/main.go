@@ -64,8 +64,11 @@ func main() {
 		el := time.Since(start)
 		runtime.GC()
 		runtime.ReadMemStats(&m1)
-		fmt.Printf("ATF trie: %d configs in %d nodes, %v, ~%d MiB heap\n",
-			sp.Size(), sp.NodeCount(), el, (m1.HeapAlloc-m0.HeapAlloc)>>20)
+		logical, unique := sp.NodeCounts()
+		hits, _ := sp.MemoStats()
+		fmt.Printf("ATF trie: %d configs in %d logical nodes (%d unique after memoization, %d memo hits),\n"+
+			"  %v, %d KiB arena, ~%d MiB heap\n",
+			sp.Size(), logical, unique, hits, el, sp.ArenaBytes()>>10, (m1.HeapAlloc-m0.HeapAlloc)>>20)
 	}
 
 	// CLTune, generate-then-filter with budget.

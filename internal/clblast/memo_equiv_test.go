@@ -1,0 +1,179 @@
+package clblast
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"atf/internal/core"
+)
+
+// pathologicalNoDeps builds a group in which no constraint reads any earlier
+// parameter: every level's footprint is empty, so memoization collapses each
+// level below the root to a single shared block (maximal sharing).
+func pathologicalNoDeps() []*core.Param {
+	return []*core.Param{
+		core.NewParam("A", core.NewInterval(1, 8)),
+		core.NewParam("B", core.NewInterval(1, 6),
+			core.IntPred(func(v int64) bool { return v%2 == 0 })),
+		core.NewParam("C", core.NewSet(1, 2, 4)),
+		core.NewParam("D", core.BoolRange()),
+	}
+}
+
+// TestMemoizedGenerationEquivalence is the tentpole property test: memoized
+// generation must be bit-identical to the baseline — same Size, same
+// fill(i) sequence for sampled indices, same indexOf round-trips — across
+// worker counts and memoization modes, for saxpy, XgemmDirect, and the
+// pathological no-deps group.
+func TestMemoizedGenerationEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		params func() []*core.Param
+	}{
+		{"saxpy", func() []*core.Param { return SaxpyParams(1 << 14) }},
+		{"xgemmdirect", func() []*core.Param {
+			return XgemmDirectParams(SpaceOptions{RangeCap: 16})
+		}},
+		{"nodeps", pathologicalNoDeps},
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline, err := core.GenerateFlat(tc.params(),
+				core.GenOptions{Workers: 1, Memoize: core.MemoOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Per-mode generation statistics must not depend on the worker
+			// count (determinism contract).
+			stats := map[string]map[string]bool{}
+			for _, memo := range []core.MemoMode{core.MemoOff, core.MemoOn} {
+				for _, w := range workerCounts {
+					label := fmt.Sprintf("memo=%v workers=%d", memo, w)
+					sp, err := core.GenerateFlat(tc.params(),
+						core.GenOptions{Workers: w, Memoize: memo})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if sp.Size() != baseline.Size() {
+						t.Fatalf("%s: size %d, want %d", label, sp.Size(), baseline.Size())
+					}
+					logical, unique := sp.NodeCounts()
+					bl, _ := baseline.NodeCounts()
+					if logical != bl {
+						t.Fatalf("%s: logical nodes %d, want %d", label, logical, bl)
+					}
+					if memo == core.MemoOff && unique != logical {
+						t.Fatalf("%s: memo off must not share (unique %d != logical %d)",
+							label, unique, logical)
+					}
+					n := sp.Size()
+					step := n/257 + 1
+					for idx := uint64(0); idx < n; idx += step {
+						checkIndex(t, label, baseline, sp, idx)
+					}
+					checkIndex(t, label, baseline, sp, n-1)
+					hits, misses := sp.MemoStats()
+					key := fmt.Sprintf("memo=%v checks=%d unique=%d hits=%d misses=%d",
+						memo, sp.Checks(), unique, hits, misses)
+					mk := fmt.Sprintf("memo=%v", memo)
+					if stats[mk] == nil {
+						stats[mk] = map[string]bool{}
+					}
+					stats[mk][key] = true
+				}
+			}
+			for mode, set := range stats {
+				if len(set) != 1 {
+					t.Errorf("%s: generation statistics vary with worker count: %v", mode, set)
+				}
+			}
+			// The no-deps group must actually collapse: below the root,
+			// one shared block per level.
+			if tc.name == "nodeps" {
+				sp, err := core.GenerateFlat(tc.params(), core.GenOptions{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				logical, unique := sp.NodeCounts()
+				// 8 roots + one shared block each for B (3), C (3), D (2).
+				if logical != 8+8*3+8*3*3+8*3*3*2 {
+					t.Errorf("nodeps logical = %d", logical)
+				}
+				if unique != 8+3+3+2 {
+					t.Errorf("nodeps unique = %d, want 16 (maximal sharing)", unique)
+				}
+			}
+		})
+	}
+}
+
+// checkIndex asserts sp.At(idx) equals the baseline's configuration and
+// that indexOf round-trips to the same index.
+func checkIndex(t *testing.T, label string, baseline, sp *core.Space, idx uint64) {
+	t.Helper()
+	want := baseline.At(idx)
+	got := sp.At(idx)
+	if !got.Equal(want) {
+		t.Fatalf("%s: At(%d) = %v, want %v", label, idx, got, want)
+	}
+	ri, ok := sp.IndexOf(got)
+	if !ok || ri != idx {
+		t.Fatalf("%s: IndexOf(At(%d)) = %d,%v", label, idx, ri, ok)
+	}
+}
+
+// TestXgemmDirectFootprintsCoverReads verifies the FnReads/ExprReads
+// declarations in XgemmDirectParams: replay the full constrained nested
+// iteration with a read observer installed and fail if any constraint reads
+// a parameter outside its declared footprint (an under-declared footprint
+// would let memoization share subtrees that should differ).
+func TestXgemmDirectFootprintsCoverReads(t *testing.T) {
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 8})
+	names := make([]string, len(params))
+	pos := map[string]int{}
+	for i, p := range params {
+		names[i] = p.Name
+		pos[p.Name] = i
+	}
+	declared := make([]map[int]bool, len(params))
+	for i, p := range params {
+		reads, exact := p.Deps()
+		if !exact {
+			t.Fatalf("parameter %s: footprint not exact; annotate its constraint with FnReads/ExprReads", p.Name)
+		}
+		m := map[int]bool{}
+		for _, r := range reads {
+			m[pos[r]] = true
+		}
+		declared[i] = m
+	}
+
+	cfg := core.NewConfig(names)
+	depth := 0
+	cfg.ObserveReads(func(p int) {
+		if !declared[depth][p] {
+			t.Fatalf("constraint of %s read %s, which is outside its declared footprint",
+				names[depth], names[p])
+		}
+	})
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(params) {
+			return
+		}
+		p := params[d]
+		for i := 0; i < p.Range.Len(); i++ {
+			v := p.Range.At(i)
+			depth = d
+			if !p.Accepts(v, cfg) {
+				continue
+			}
+			cfg.SetAt(d, v)
+			rec(d + 1)
+			depth = d
+		}
+	}
+	rec(0)
+}

@@ -128,53 +128,67 @@ func XgemmDirectParams(opts SpaceOptions) []*core.Param {
 	mdimcd := core.NewParam("MDIMCD", intRange(),
 		core.Divides(core.Ref("WGD"))) // 2
 
+	// The raw Go predicates below declare their exact read footprints via
+	// FnReads/ExprReads so dependency-aware subtree memoization can share
+	// completion subtrees between prefixes (e.g. the PADA/PADB tail reads
+	// only {WGD, PADA}, so the two leaf levels collapse to one tail per
+	// WGD). The clblast deps-coverage test verifies the declarations
+	// against the reads the predicates actually perform.
 	ndimcd := core.NewParam("NDIMCD", intRange(), core.And(
 		core.Divides(core.Ref("WGD")), // 3
-		func(v core.Value, c *core.Config) bool { // 10
+		core.FnReads(func(v core.Value, c *core.Config) bool { // 10
 			return c.Int("MDIMCD")*v.Int() <= opts.MaxWorkGroupSize
-		},
+		}, "MDIMCD"),
 	))
 
 	mdimad := core.NewParam("MDIMAD", intRange(), core.And(
 		core.Divides(core.Ref("WGD")), // 4
-		func(v core.Value, c *core.Config) bool {
+		core.FnReads(func(v core.Value, c *core.Config) bool {
 			threads := c.Int("MDIMCD") * c.Int("NDIMCD")
 			if threads%v.Int() != 0 { // 6
 				return false
 			}
 			return c.Int("WGD")%(threads/v.Int()) == 0 // 7
-		},
+		}, "WGD", "MDIMCD", "NDIMCD"),
 	))
 
 	ndimbd := core.NewParam("NDIMBD", intRange(), core.And(
 		core.Divides(core.Ref("WGD")), // 5
-		func(v core.Value, c *core.Config) bool {
+		core.FnReads(func(v core.Value, c *core.Config) bool {
 			threads := c.Int("MDIMCD") * c.Int("NDIMCD")
 			if threads%v.Int() != 0 { // 8
 				return false
 			}
 			return c.Int("WGD")%(threads/v.Int()) == 0 // 9
-		},
+		}, "WGD", "MDIMCD", "NDIMCD"),
 	))
 
 	vwmd := core.NewParam("VWMD", core.NewSet(1, 2, 4, 8), core.And(
-		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("MDIMCD") }), // 11
-		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("MDIMAD") }), // 12
+		core.Divides(core.ExprReads(func(c *core.Config) int64 { // 11
+			return c.Int("WGD") / c.Int("MDIMCD")
+		}, "WGD", "MDIMCD")),
+		core.Divides(core.ExprReads(func(c *core.Config) int64 { // 12
+			return c.Int("WGD") / c.Int("MDIMAD")
+		}, "WGD", "MDIMAD")),
 	))
 
 	vwnd := core.NewParam("VWND", core.NewSet(1, 2, 4, 8), core.And(
-		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("NDIMCD") }), // 13
-		core.Divides(func(c *core.Config) int64 { return c.Int("WGD") / c.Int("NDIMBD") }), // 14
+		core.Divides(core.ExprReads(func(c *core.Config) int64 { // 13
+			return c.Int("WGD") / c.Int("NDIMCD")
+		}, "WGD", "NDIMCD")),
+		core.Divides(core.ExprReads(func(c *core.Config) int64 { // 14
+			return c.Int("WGD") / c.Int("NDIMBD")
+		}, "WGD", "NDIMBD")),
 	))
 
 	pada := core.NewParam("PADA", core.BoolRange())
 	padb := core.NewParam("PADB", core.BoolRange(), // 15
-		func(v core.Value, c *core.Config) bool {
+		core.FnReads(func(v core.Value, c *core.Config) bool {
 			wgdV := c.Int("WGD")
 			padaV := c.Value("PADA").Int()
 			bytes := 4 * wgdV * ((wgdV + padaV) + (wgdV + v.Int()))
 			return bytes <= opts.LocalMemBytes
-		})
+		}, "WGD", "PADA"))
 
 	if opts.DivisorHints {
 		wgdRef := core.Ref("WGD")

@@ -18,6 +18,10 @@ type Config struct {
 	names  *nameIndex
 	vals   []Value
 	filled int // how many leading parameters are set (generation order)
+	// onRead, when non-nil, observes every by-name read (position passed).
+	// Tests use it to verify that a constraint's declared read footprint
+	// covers what its predicate actually consults (see ObserveReads).
+	onRead func(pos int)
 }
 
 // nameIndex maps parameter names to their position. It is shared by all
@@ -98,8 +102,17 @@ func (c *Config) Value(name string) Value {
 	if i >= c.filled {
 		panic(fmt.Sprintf("core: constraint references parameter %q before it is assigned; constraints may only use previously declared parameters of the same group", name))
 	}
+	if c.onRead != nil {
+		c.onRead(i)
+	}
 	return c.vals[i]
 }
+
+// ObserveReads installs a hook called with the position of every successful
+// by-name read (Value and its typed variants). Pass nil to remove. Intended
+// for tests that check declared constraint footprints against actual reads;
+// generation never installs a hook.
+func (c *Config) ObserveReads(fn func(pos int)) { c.onRead = fn }
 
 // Has reports whether the named parameter exists and is assigned.
 func (c *Config) Has(name string) bool {

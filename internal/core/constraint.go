@@ -4,89 +4,121 @@ import "fmt"
 
 // Constraint filters a tuning parameter's range: it receives a candidate
 // value for the parameter plus the partial configuration of all previously
-// declared parameters, and returns false to reject the value (paper,
-// Section II, Step 1). Rejection happens during range iteration, before the
-// Cartesian product is formed — the core of ATF's fast space generation.
-type Constraint func(v Value, c *Config) bool
-
-// Expr is an arithmetic expression over previously declared tuning
-// parameters and constants, evaluated against a partial configuration.
-// ATF constraint aliases such as atf::divides(N/WPT) take such expressions.
-type Expr func(c *Config) int64
-
-// ExprOf converts a constant or expression-like Go value into an Expr.
-// Accepted: Expr, func(*Config) int64, and any integer type.
-func ExprOf(x any) Expr {
-	switch e := x.(type) {
-	case Expr:
-		return e
-	case func(c *Config) int64:
-		return e
-	case int:
-		v := int64(e)
-		return func(*Config) int64 { return v }
-	case int32:
-		v := int64(e)
-		return func(*Config) int64 { return v }
-	case int64:
-		return func(*Config) int64 { return e }
-	case uint:
-		v := int64(e)
-		return func(*Config) int64 { return v }
-	case uint64:
-		v := int64(e)
-		return func(*Config) int64 { return v }
-	default:
-		panic(fmt.Sprintf("core: cannot use %T as constraint expression", x))
-	}
+// declared parameters, and rejects the value (paper, Section II, Step 1).
+// Rejection happens during range iteration, before the Cartesian product is
+// formed — the core of ATF's fast space generation.
+//
+// A Constraint additionally carries its *read footprint*: the set of
+// previously declared parameter names its predicate may consult (see
+// Deps). The footprint drives dependency-aware subtree memoization during
+// space generation — prefixes that agree on the footprint of the remaining
+// parameters share one subtree instead of re-deriving it. Constraints
+// built from the paper's aliases (Divides, LessThan, ...) derive their
+// footprint from the expression they wrap; raw Go predicates use Fn
+// (unknown footprint, conservatively treated as "all preceding
+// parameters") or FnReads (explicitly declared footprint).
+//
+// The zero Constraint accepts every value and reads nothing.
+type Constraint struct {
+	fn    func(v Value, c *Config) bool
+	reads []string
+	exact bool
 }
 
-// Lit returns an Expr producing the constant v.
-func Lit(v int64) Expr { return func(*Config) int64 { return v } }
+// Check reports whether the constraint accepts candidate value v in the
+// context of partial configuration c. The zero Constraint accepts all.
+func (ct Constraint) Check(v Value, c *Config) bool {
+	return ct.fn == nil || ct.fn(v, c)
+}
 
-// Ref returns an Expr producing the current value of the named (previously
-// declared) integer parameter.
-func Ref(name string) Expr { return func(c *Config) int64 { return c.Int(name) } }
+// IsZero reports whether the constraint is the zero value (no predicate).
+func (ct Constraint) IsZero() bool { return ct.fn == nil }
+
+// Deps returns the names of previously declared parameters the constraint
+// may read. exact is true when the list is complete; exact == false means
+// the footprint is unknown (an unannotated Go closure) and callers must
+// conservatively assume the constraint reads every preceding parameter.
+func (ct Constraint) Deps() (reads []string, exact bool) {
+	if ct.fn == nil {
+		return nil, true
+	}
+	return ct.reads, ct.exact
+}
+
+// Fn adapts a raw predicate over (candidate, partial configuration) into a
+// Constraint with an unknown read footprint. Space generation remains
+// correct but cannot share subtrees across the parameter: an unknown
+// footprint counts as "reads all preceding parameters". Prefer FnReads
+// when the read set is known.
+func Fn(f func(v Value, c *Config) bool) Constraint {
+	return Constraint{fn: f}
+}
+
+// FnReads adapts a raw predicate into a Constraint declaring the complete
+// set of previously declared parameter names the predicate reads. The
+// declaration is a promise: if the predicate consults a parameter outside
+// reads, memoized generation may share subtrees that should differ.
+// (Declaring a superset is always safe.)
+func FnReads(f func(v Value, c *Config) bool, reads ...string) Constraint {
+	return Constraint{fn: f, reads: dedupNames(reads), exact: true}
+}
 
 // The six constraint aliases the paper lists (Section II): divides,
 // is_multiple_of, less_than, greater_than, equal, unequal. Each takes a
-// constant or an expression over earlier parameters.
+// constant or an expression over earlier parameters and inherits the
+// expression's read footprint.
 
 // Divides accepts values v for which v divides expr(c) evenly. A value of
 // zero never divides anything (avoids division by zero).
 func Divides(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool {
-		d := v.Int()
-		if d == 0 {
-			return false
-		}
-		return e(c)%d == 0
+	ev := e.fn
+	return Constraint{
+		fn: func(v Value, c *Config) bool {
+			d := v.Int()
+			if d == 0 {
+				return false
+			}
+			return ev(c)%d == 0
+		},
+		reads: e.reads, exact: e.exact,
 	}
 }
 
 // IsMultipleOf accepts values v that are an integer multiple of expr(c).
 func IsMultipleOf(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool {
-		m := e(c)
-		if m == 0 {
-			return false
-		}
-		return v.Int()%m == 0
+	ev := e.fn
+	return Constraint{
+		fn: func(v Value, c *Config) bool {
+			m := ev(c)
+			if m == 0 {
+				return false
+			}
+			return v.Int()%m == 0
+		},
+		reads: e.reads, exact: e.exact,
 	}
 }
 
 // LessThan accepts values strictly below expr(c).
 func LessThan(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool { return v.Int() < e(c) }
+	ev := e.fn
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return v.Int() < ev(c) },
+		reads: e.reads, exact: e.exact,
+	}
 }
 
 // GreaterThan accepts values strictly above expr(c).
 func GreaterThan(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool { return v.Int() > e(c) }
+	ev := e.fn
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return v.Int() > ev(c) },
+		reads: e.reads, exact: e.exact,
+	}
 }
 
 // LessEqual accepts values less than or equal to expr(c). Not one of the six
@@ -94,25 +126,41 @@ func GreaterThan(x any) Constraint {
 // can be easily added").
 func LessEqual(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool { return v.Int() <= e(c) }
+	ev := e.fn
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return v.Int() <= ev(c) },
+		reads: e.reads, exact: e.exact,
+	}
 }
 
 // GreaterEqual accepts values greater than or equal to expr(c).
 func GreaterEqual(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool { return v.Int() >= e(c) }
+	ev := e.fn
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return v.Int() >= ev(c) },
+		reads: e.reads, exact: e.exact,
+	}
 }
 
 // Equal accepts values equal to expr(c).
 func Equal(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool { return v.Int() == e(c) }
+	ev := e.fn
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return v.Int() == ev(c) },
+		reads: e.reads, exact: e.exact,
+	}
 }
 
 // Unequal accepts values different from expr(c).
 func Unequal(x any) Constraint {
 	e := ExprOf(x)
-	return func(v Value, c *Config) bool { return v.Int() != e(c) }
+	ev := e.fn
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return v.Int() != ev(c) },
+		reads: e.reads, exact: e.exact,
+	}
 }
 
 // ConstraintAliases maps the paper's alias names (snake_case, matching
@@ -135,54 +183,103 @@ var ConstraintAliases = map[string]func(x any) Constraint{
 func ConstraintByName(op string, x any) (Constraint, error) {
 	alias, ok := ConstraintAliases[op]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown constraint alias %q", op)
+		return Constraint{}, fmt.Errorf("core: unknown constraint alias %q", op)
 	}
 	return alias(x), nil
 }
 
 // And combines constraints conjunctively, mirroring ATF's && operator on
-// constraints. A nil element is treated as always-true.
+// constraints. Zero-value elements are treated as always-true. The
+// combined read footprint is the union of the elements'; it is exact only
+// when every element's is.
 func And(cs ...Constraint) Constraint {
-	return func(v Value, c *Config) bool {
-		for _, ct := range cs {
-			if ct != nil && !ct(v, c) {
-				return false
+	fns, reads, exact := combine(cs)
+	switch len(fns) {
+	case 0:
+		return Constraint{}
+	case 1:
+		return Constraint{fn: fns[0], reads: reads, exact: exact}
+	}
+	return Constraint{
+		fn: func(v Value, c *Config) bool {
+			for _, f := range fns {
+				if !f(v, c) {
+					return false
+				}
 			}
-		}
-		return true
+			return true
+		},
+		reads: reads, exact: exact,
 	}
 }
 
 // Or combines constraints disjunctively, mirroring ATF's || operator.
-// With no non-nil constraints Or accepts everything.
+// With no non-zero constraints Or accepts everything.
 func Or(cs ...Constraint) Constraint {
-	return func(v Value, c *Config) bool {
-		any := false
-		for _, ct := range cs {
-			if ct == nil {
-				continue
+	fns, reads, exact := combine(cs)
+	if len(fns) == 0 {
+		return Constraint{}
+	}
+	return Constraint{
+		fn: func(v Value, c *Config) bool {
+			for _, f := range fns {
+				if f(v, c) {
+					return true
+				}
 			}
-			any = true
-			if ct(v, c) {
-				return true
-			}
-		}
-		return !any
+			return false
+		},
+		reads: reads, exact: exact,
 	}
 }
 
-// Not negates a constraint.
+// Not negates a constraint; the footprint is unchanged. Negating the zero
+// constraint rejects everything.
 func Not(ct Constraint) Constraint {
-	return func(v Value, c *Config) bool { return !ct(v, c) }
+	return Constraint{
+		fn:    func(v Value, c *Config) bool { return !ct.Check(v, c) },
+		reads: ct.reads, exact: ct.fn == nil || ct.exact,
+	}
+}
+
+// combine collects the non-zero predicates and merges footprints.
+func combine(cs []Constraint) (fns []func(Value, *Config) bool, reads []string, exact bool) {
+	exact = true
+	for _, ct := range cs {
+		if ct.fn == nil {
+			continue
+		}
+		fns = append(fns, ct.fn)
+		if !ct.exact {
+			exact = false
+		}
+		for _, r := range ct.reads {
+			if !contains(reads, r) {
+				reads = append(reads, r)
+			}
+		}
+	}
+	return fns, reads, exact
+}
+
+// dedupNames copies names dropping duplicates, preserving order.
+func dedupNames(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if !contains(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Pred adapts a plain predicate over the candidate value (ignoring earlier
-// parameters) into a Constraint.
+// parameters) into a Constraint with an empty, exact footprint.
 func Pred(f func(v Value) bool) Constraint {
-	return func(v Value, _ *Config) bool { return f(v) }
+	return Constraint{fn: func(v Value, _ *Config) bool { return f(v) }, exact: true}
 }
 
 // IntPred adapts a predicate over int64 candidate values.
 func IntPred(f func(v int64) bool) Constraint {
-	return func(v Value, _ *Config) bool { return f(v.Int()) }
+	return Constraint{fn: func(v Value, _ *Config) bool { return f(v.Int()) }, exact: true}
 }

@@ -17,16 +17,16 @@ func TestDivides(t *testing.T) {
 	ct := Divides(N)
 	empty := ctx(nil)
 	for _, v := range []int64{1, 2, 3, 4, 6, 12} {
-		if !ct(Int(v), empty) {
+		if !ct.Check(Int(v), empty) {
 			t.Errorf("%d should divide %d", v, N)
 		}
 	}
 	for _, v := range []int64{5, 7, 8, 9, 10, 11, 13} {
-		if ct(Int(v), empty) {
+		if ct.Check(Int(v), empty) {
 			t.Errorf("%d should not divide %d", v, N)
 		}
 	}
-	if ct(Int(0), empty) {
+	if ct.Check(Int(0), empty) {
 		t.Error("zero never divides")
 	}
 }
@@ -38,11 +38,11 @@ func TestDividesExpr(t *testing.T) {
 	ct := Divides(func(c *Config) int64 { return N / c.Int("WPT") })
 	c := ctx(names, Int(4)) // N/WPT = 6
 	for _, v := range []int64{1, 2, 3, 6} {
-		if !ct(Int(v), c) {
+		if !ct.Check(Int(v), c) {
 			t.Errorf("LS=%d should divide 6", v)
 		}
 	}
-	if ct(Int(4), c) || ct(Int(5), c) {
+	if ct.Check(Int(4), c) || ct.Check(Int(5), c) {
 		t.Error("4 and 5 do not divide 6")
 	}
 }
@@ -50,56 +50,56 @@ func TestDividesExpr(t *testing.T) {
 func TestIsMultipleOf(t *testing.T) {
 	ct := IsMultipleOf(4)
 	empty := ctx(nil)
-	if !ct(Int(8), empty) || !ct(Int(4), empty) || !ct(Int(0), empty) {
+	if !ct.Check(Int(8), empty) || !ct.Check(Int(4), empty) || !ct.Check(Int(0), empty) {
 		t.Error("multiples of 4 rejected")
 	}
-	if ct(Int(6), empty) {
+	if ct.Check(Int(6), empty) {
 		t.Error("6 is not a multiple of 4")
 	}
 	zero := IsMultipleOf(0)
-	if zero(Int(5), empty) {
+	if zero.Check(Int(5), empty) {
 		t.Error("nothing is a multiple of 0")
 	}
 }
 
 func TestComparisonAliases(t *testing.T) {
 	empty := ctx(nil)
-	if !LessThan(5)(Int(4), empty) || LessThan(5)(Int(5), empty) {
+	if !LessThan(5).Check(Int(4), empty) || LessThan(5).Check(Int(5), empty) {
 		t.Error("LessThan broken")
 	}
-	if !GreaterThan(5)(Int(6), empty) || GreaterThan(5)(Int(5), empty) {
+	if !GreaterThan(5).Check(Int(6), empty) || GreaterThan(5).Check(Int(5), empty) {
 		t.Error("GreaterThan broken")
 	}
-	if !LessEqual(5)(Int(5), empty) || LessEqual(5)(Int(6), empty) {
+	if !LessEqual(5).Check(Int(5), empty) || LessEqual(5).Check(Int(6), empty) {
 		t.Error("LessEqual broken")
 	}
-	if !GreaterEqual(5)(Int(5), empty) || GreaterEqual(5)(Int(4), empty) {
+	if !GreaterEqual(5).Check(Int(5), empty) || GreaterEqual(5).Check(Int(4), empty) {
 		t.Error("GreaterEqual broken")
 	}
-	if !Equal(5)(Int(5), empty) || Equal(5)(Int(4), empty) {
+	if !Equal(5).Check(Int(5), empty) || Equal(5).Check(Int(4), empty) {
 		t.Error("Equal broken")
 	}
-	if !Unequal(5)(Int(4), empty) || Unequal(5)(Int(5), empty) {
+	if !Unequal(5).Check(Int(4), empty) || Unequal(5).Check(Int(5), empty) {
 		t.Error("Unequal broken")
 	}
 }
 
 func TestExprOf(t *testing.T) {
 	empty := ctx(nil)
-	if ExprOf(7)(empty) != 7 {
+	if ExprOf(7).Eval(empty) != 7 {
 		t.Error("int literal expr")
 	}
-	if ExprOf(int32(7))(empty) != 7 || ExprOf(int64(7))(empty) != 7 {
+	if ExprOf(int32(7)).Eval(empty) != 7 || ExprOf(int64(7)).Eval(empty) != 7 {
 		t.Error("sized literal expr")
 	}
-	if ExprOf(uint(7))(empty) != 7 || ExprOf(uint64(7))(empty) != 7 {
+	if ExprOf(uint(7)).Eval(empty) != 7 || ExprOf(uint64(7)).Eval(empty) != 7 {
 		t.Error("unsigned literal expr")
 	}
-	if ExprOf(Lit(9))(empty) != 9 {
+	if ExprOf(Lit(9)).Eval(empty) != 9 {
 		t.Error("Expr passthrough")
 	}
 	f := func(c *Config) int64 { return 3 }
-	if ExprOf(f)(empty) != 3 {
+	if ExprOf(f).Eval(empty) != 3 {
 		t.Error("func expr")
 	}
 }
@@ -115,10 +115,10 @@ func TestExprOfUnsupportedPanics(t *testing.T) {
 
 func TestRefAndLit(t *testing.T) {
 	c := ctx([]string{"WGD"}, Int(32))
-	if Ref("WGD")(c) != 32 {
+	if Ref("WGD").Eval(c) != 32 {
 		t.Error("Ref broken")
 	}
-	if Lit(5)(c) != 5 {
+	if Lit(5).Eval(c) != 5 {
 		t.Error("Lit broken")
 	}
 }
@@ -129,26 +129,26 @@ func TestAndOrNot(t *testing.T) {
 	big := IntPred(func(v int64) bool { return v > 10 })
 
 	and := And(even, big)
-	if !and(Int(12), empty) || and(Int(12+1), empty) || and(Int(2), empty) {
+	if !and.Check(Int(12), empty) || and.Check(Int(12+1), empty) || and.Check(Int(2), empty) {
 		t.Error("And broken")
 	}
-	// nil elements are always-true.
-	if !And(nil, even)(Int(2), empty) {
-		t.Error("And with nil broken")
+	// Zero-value elements are always-true.
+	if !And(Constraint{}, even).Check(Int(2), empty) {
+		t.Error("And with zero constraint broken")
 	}
 
 	or := Or(even, big)
-	if !or(Int(2), empty) || !or(Int(11), empty) || or(Int(7), empty) {
+	if !or.Check(Int(2), empty) || !or.Check(Int(11), empty) || or.Check(Int(7), empty) {
 		t.Error("Or broken")
 	}
-	if !Or()(Int(7), empty) {
+	if !Or().Check(Int(7), empty) {
 		t.Error("empty Or should accept")
 	}
-	if !Or(nil)(Int(7), empty) {
-		t.Error("Or of nils should accept")
+	if !Or(Constraint{}).Check(Int(7), empty) {
+		t.Error("Or of zero constraints should accept")
 	}
 
-	if Not(even)(Int(2), empty) || !Not(even)(Int(3), empty) {
+	if Not(even).Check(Int(2), empty) || !Not(even).Check(Int(3), empty) {
 		t.Error("Not broken")
 	}
 }
@@ -156,11 +156,11 @@ func TestAndOrNot(t *testing.T) {
 func TestPredAdapters(t *testing.T) {
 	empty := ctx(nil)
 	p := Pred(func(v Value) bool { return v.Kind() == KindInt })
-	if !p(Int(1), empty) || p(Str("x"), empty) {
+	if !p.Check(Int(1), empty) || p.Check(Str("x"), empty) {
 		t.Error("Pred broken")
 	}
 	ip := IntPred(func(v int64) bool { return v == 3 })
-	if !ip(Int(3), empty) || ip(Int(4), empty) {
+	if !ip.Check(Int(3), empty) || ip.Check(Int(4), empty) {
 		t.Error("IntPred broken")
 	}
 }
@@ -169,10 +169,51 @@ func TestDividesOnBooleanParam(t *testing.T) {
 	// Boolean parameters promote to 0/1 in integral constraints, as in C++.
 	empty := ctx(nil)
 	ct := Divides(6)
-	if !ct(Bool(true), empty) {
+	if !ct.Check(Bool(true), empty) {
 		t.Error("true (1) divides 6")
 	}
-	if ct(Bool(false), empty) {
+	if ct.Check(Bool(false), empty) {
 		t.Error("false (0) never divides")
+	}
+}
+
+func TestConstraintDeps(t *testing.T) {
+	// Alias constraints report the referenced names of their expression.
+	reads, exact := Divides(Ref("WGD")).Deps()
+	if !exact || len(reads) != 1 || reads[0] != "WGD" {
+		t.Errorf("Divides(Ref) deps = %v exact=%v, want [WGD] true", reads, exact)
+	}
+	// Constant expressions have an empty exact footprint.
+	if reads, exact := LessThan(5).Deps(); !exact || len(reads) != 0 {
+		t.Errorf("LessThan(5) deps = %v exact=%v, want [] true", reads, exact)
+	}
+	// Raw closures are unknown...
+	if _, exact := Fn(func(Value, *Config) bool { return true }).Deps(); exact {
+		t.Error("Fn should have an inexact footprint")
+	}
+	if _, exact := Divides(func(*Config) int64 { return 1 }).Deps(); exact {
+		t.Error("Divides(raw func) should have an inexact footprint")
+	}
+	// ...unless annotated.
+	reads, exact = FnReads(func(Value, *Config) bool { return true }, "A", "B", "A").Deps()
+	if !exact || len(reads) != 2 || reads[0] != "A" || reads[1] != "B" {
+		t.Errorf("FnReads deps = %v exact=%v, want [A B] true", reads, exact)
+	}
+	// And unions footprints; exactness is sticky across elements.
+	reads, exact = And(Divides(Ref("A")), FnReads(func(Value, *Config) bool { return true }, "B")).Deps()
+	if !exact || len(reads) != 2 {
+		t.Errorf("And deps = %v exact=%v, want [A B] true", reads, exact)
+	}
+	if _, exact := And(Divides(Ref("A")), Fn(func(Value, *Config) bool { return true })).Deps(); exact {
+		t.Error("And with an unknown element should be inexact")
+	}
+	// Parsed expressions are exact with their referenced names.
+	reads, exact = Divides(MustParseExpr("WGD / MDIMCD")).Deps()
+	if !exact || len(reads) != 2 {
+		t.Errorf("parsed-expr deps = %v exact=%v, want [WGD MDIMCD] true", reads, exact)
+	}
+	// The zero Constraint reads nothing, exactly.
+	if reads, exact := (Constraint{}).Deps(); !exact || len(reads) != 0 {
+		t.Errorf("zero constraint deps = %v exact=%v, want [] true", reads, exact)
 	}
 }

@@ -5,6 +5,84 @@ import (
 	"strconv"
 )
 
+// Expr is an arithmetic expression over previously declared tuning
+// parameters and constants, evaluated against a partial configuration.
+// ATF constraint aliases such as atf::divides(N/WPT) take such expressions.
+//
+// Like Constraint, an Expr carries its read footprint — the parameter
+// names it references — which the constraint aliases propagate into the
+// constraints they build (a divides(WGD) constraint reports the single
+// referenced name WGD). Exprs built from Lit, Ref, ExprReads, or ParseExpr
+// have exact footprints; raw func(*Config) int64 closures wrapped by
+// ExprOf/ExprFn have unknown footprints.
+//
+// The zero Expr has no evaluator; test with IsZero before Eval.
+type Expr struct {
+	fn    func(c *Config) int64
+	reads []string
+	exact bool
+}
+
+// Eval evaluates the expression against the partial configuration.
+func (e Expr) Eval(c *Config) int64 { return e.fn(c) }
+
+// IsZero reports whether the expression is the zero value (no evaluator).
+func (e Expr) IsZero() bool { return e.fn == nil }
+
+// Deps returns the parameter names the expression may read; exact is true
+// when the list is complete (see Constraint.Deps for the contract).
+func (e Expr) Deps() (reads []string, exact bool) {
+	if e.fn == nil {
+		return nil, true
+	}
+	return e.reads, e.exact
+}
+
+// ExprOf converts a constant or expression-like Go value into an Expr.
+// Accepted: Expr, func(*Config) int64 (unknown footprint — prefer
+// ExprReads), and any integer type.
+func ExprOf(x any) Expr {
+	switch e := x.(type) {
+	case Expr:
+		return e
+	case func(c *Config) int64:
+		return ExprFn(e)
+	case int:
+		return Lit(int64(e))
+	case int32:
+		return Lit(int64(e))
+	case int64:
+		return Lit(e)
+	case uint:
+		return Lit(int64(e))
+	case uint64:
+		return Lit(int64(e))
+	default:
+		panic(fmt.Sprintf("core: cannot use %T as constraint expression", x))
+	}
+}
+
+// ExprFn wraps a raw evaluator whose read footprint is unknown.
+func ExprFn(fn func(c *Config) int64) Expr { return Expr{fn: fn} }
+
+// ExprReads wraps a raw evaluator declaring the complete set of parameter
+// names it reads (the same promise as FnReads: reading outside the
+// declared set breaks memoized generation; a superset is safe).
+func ExprReads(fn func(c *Config) int64, reads ...string) Expr {
+	return Expr{fn: fn, reads: dedupNames(reads), exact: true}
+}
+
+// Lit returns an Expr producing the constant v (empty footprint).
+func Lit(v int64) Expr {
+	return Expr{fn: func(*Config) int64 { return v }, exact: true}
+}
+
+// Ref returns an Expr producing the current value of the named (previously
+// declared) integer parameter; its footprint is exactly {name}.
+func Ref(name string) Expr {
+	return Expr{fn: func(c *Config) int64 { return c.Int(name) }, reads: []string{name}, exact: true}
+}
+
 // ParseExpr parses an integer arithmetic expression over previously
 // declared tuning parameters into an Expr. It is the textual counterpart
 // of the func(*Config) int64 expressions the constraint aliases accept,
@@ -19,20 +97,24 @@ import (
 //
 // The second return value lists the parameter names the expression
 // references, in first-appearance order, so callers can validate them
-// against the declaration order before generation starts.
+// against the declaration order before generation starts. The same list
+// becomes the Expr's exact read footprint.
 func ParseExpr(src string) (Expr, []string, error) {
 	p := &exprParser{src: src}
-	e, err := p.parseSum()
+	fn, err := p.parseSum()
 	if err != nil {
-		return nil, nil, err
+		return Expr{}, nil, err
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, nil, fmt.Errorf("core: unexpected %q at offset %d in expression %q",
+		return Expr{}, nil, fmt.Errorf("core: unexpected %q at offset %d in expression %q",
 			p.src[p.pos:], p.pos, src)
 	}
-	return e, p.refs, nil
+	return Expr{fn: fn, reads: p.refs, exact: true}, p.refs, nil
 }
+
+// evalFn is the raw evaluator type the parser composes internally.
+type evalFn func(c *Config) int64
 
 // exprParser is a small recursive-descent parser over the expression
 // source; it records referenced parameter names as it goes.
@@ -58,7 +140,7 @@ func (p *exprParser) peek() byte {
 }
 
 // parseSum handles + and - (lowest precedence).
-func (p *exprParser) parseSum() (Expr, error) {
+func (p *exprParser) parseSum() (evalFn, error) {
 	left, err := p.parseProduct()
 	if err != nil {
 		return nil, err
@@ -88,7 +170,7 @@ func (p *exprParser) parseSum() (Expr, error) {
 }
 
 // parseProduct handles * / and %.
-func (p *exprParser) parseProduct() (Expr, error) {
+func (p *exprParser) parseProduct() (evalFn, error) {
 	left, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -138,7 +220,7 @@ func (p *exprParser) parseProduct() (Expr, error) {
 }
 
 // parseUnary handles unary minus.
-func (p *exprParser) parseUnary() (Expr, error) {
+func (p *exprParser) parseUnary() (evalFn, error) {
 	if p.peek() == '-' {
 		p.pos++
 		e, err := p.parseUnary()
@@ -151,7 +233,7 @@ func (p *exprParser) parseUnary() (Expr, error) {
 }
 
 // parseAtom handles literals, parameter references and parentheses.
-func (p *exprParser) parseAtom() (Expr, error) {
+func (p *exprParser) parseAtom() (evalFn, error) {
 	switch ch := p.peek(); {
 	case ch == '(':
 		p.pos++
@@ -173,7 +255,7 @@ func (p *exprParser) parseAtom() (Expr, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: bad integer literal %q in expression %q", p.src[start:p.pos], p.src)
 		}
-		return Lit(v), nil
+		return func(*Config) int64 { return v }, nil
 	case isIdentStart(ch):
 		start := p.pos
 		for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
@@ -183,7 +265,7 @@ func (p *exprParser) parseAtom() (Expr, error) {
 		if !contains(p.refs, name) {
 			p.refs = append(p.refs, name)
 		}
-		return Ref(name), nil
+		return func(c *Config) int64 { return c.Int(name) }, nil
 	case ch == 0:
 		return nil, fmt.Errorf("core: unexpected end of expression %q", p.src)
 	default:

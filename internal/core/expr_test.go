@@ -38,7 +38,7 @@ func TestParseExprArithmetic(t *testing.T) {
 			t.Errorf("ParseExpr(%q): %v", tc.src, err)
 			continue
 		}
-		if got := e(c); got != tc.want {
+		if got := e.Eval(c); got != tc.want {
 			t.Errorf("ParseExpr(%q) = %d, want %d", tc.src, got, tc.want)
 		}
 	}
@@ -68,7 +68,7 @@ func TestConstraintByName(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := exprConfig(t, []string{"X"})
-	if !ct(Int(4), c) || ct(Int(5), c) {
+	if !ct.Check(Int(4), c) || ct.Check(Int(5), c) {
 		t.Error("divides alias misbehaves")
 	}
 	if _, err := ConstraintByName("approximately", 1); err == nil {
@@ -84,7 +84,7 @@ func TestConstraintByName(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := exprConfig(t, []string{"WPT", "LS"}, 4, 0)
-	if !ct(Int(256), cfg) || ct(Int(3), cfg) {
+	if !ct.Check(Int(256), cfg) || ct.Check(Int(3), cfg) {
 		t.Error("divides(4096/WPT) misbehaves")
 	}
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// Dependency-aware subtree memoization (beyond the HPCC'17 paper; the
+// technique follows Willemsen et al., "Efficient Construction of Large
+// Search Spaces for Auto-Tuning", arXiv:2509.26253): the subtree of valid
+// completions below depth d does not depend on the entire partial
+// configuration — only on the values of the parameters that the
+// constraints of the *remaining* parameters d..k-1 actually read. Two
+// prefixes that agree on that projection have identical completion
+// subtrees, so generation computes the subtree once and shares it
+// (turning the trie into a DAG, which fill/indexOf traverse unchanged
+// because per-node leaf counts are a property of the subtree alone).
+//
+// For XgemmDirect this collapses most of the ~10M constraint checks: the
+// KWID level reads only WGD, so every KWID branch below a fixed WGD shares
+// one subtree, and the PADA/PADB tail reads only {WGD, PADA}, so the two
+// leaf levels — the bulk of the trie — collapse to one tail per WGD.
+
+// suffixFootprints computes, for every depth d, the sorted positions < d
+// of parameters that the constraints (and divisor hints) of parameters
+// d..k-1 may read — the memo-key projection. memoable[d] reports whether
+// memoizing depth d can pay off: the footprint must be exact (no
+// unannotated closure at or below d) and strictly smaller than the whole
+// prefix (a full-prefix key is unique per prefix and can never hit).
+// Depth 0 is never memoized (it has no prefix and is chunked across
+// generation workers).
+func suffixFootprints(params []*Param) (foot [][]int, memoable []bool) {
+	n := len(params)
+	foot = make([][]int, n)
+	memoable = make([]bool, n)
+	pos := make(map[string]int, n)
+	for i, p := range params {
+		pos[p.Name] = i
+	}
+	read := make([]bool, n) // read by any parameter in the suffix [d, n)
+	unknown := false        // some parameter in the suffix has an inexact footprint
+	for d := n - 1; d >= 0; d-- {
+		reads, exact := params[d].Deps()
+		if !exact {
+			unknown = true
+		}
+		for _, name := range reads {
+			if i, ok := pos[name]; ok && i < d {
+				read[i] = true
+			}
+		}
+		if d == 0 {
+			break
+		}
+		if unknown {
+			// Conservative: some remaining constraint may read anything
+			// declared before it, so the key would be the full prefix.
+			continue
+		}
+		var f []int
+		for i := 0; i < d; i++ {
+			if read[i] {
+				f = append(f, i)
+			}
+		}
+		foot[d] = f
+		memoable[d] = len(f) < d
+	}
+	return foot, memoable
+}
+
+// memoKeyAppend encodes (depth, projected values) into buf. The encoding
+// is injective: each value is tagged with its kind and either a fixed
+// 8-byte payload or a length-prefixed string.
+func memoKeyAppend(buf []byte, d int, foot []int, cfg *Config) []byte {
+	buf = append(buf, byte(d))
+	for _, p := range foot {
+		v := cfg.At(p)
+		buf = append(buf, byte(v.kind))
+		switch v.kind {
+		case KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+			buf = append(buf, v.s...)
+		case KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+		default: // KindInt, KindBool
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
+		}
+	}
+	return buf
+}
+
+// memoEntry is one memoized subtree. done closes when the computing worker
+// has stored nodes/count (or panicked); other workers encountering the key
+// while it is in flight wait instead of re-deriving the subtree, which
+// keeps unique node counts and constraint-check totals deterministic
+// across worker counts.
+type memoEntry struct {
+	done     chan struct{}
+	nodes    []bnode
+	count    uint64
+	panicked any // non-nil if the computation panicked; re-raised in waiters
+}
+
+// memoTable is the per-generation subtree cache shared by all workers of
+// one group.
+type memoTable struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{m: make(map[string]*memoEntry)}
+}
+
+// lookup returns the entry for key and whether it already existed. When it
+// did not, the caller owns the returned entry and must fill it and close
+// done (also on panic — waiters block on done).
+func (t *memoTable) lookup(key []byte) (*memoEntry, bool) {
+	t.mu.Lock()
+	if e, ok := t.m[string(key)]; ok {
+		t.mu.Unlock()
+		return e, true
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	t.m[string(key)] = e
+	t.mu.Unlock()
+	return e, false
+}

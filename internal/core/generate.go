@@ -11,12 +11,73 @@ import (
 	"atf/internal/obs"
 )
 
+// MemoMode selects whether space generation shares completion subtrees
+// between prefixes via dependency-aware memoization (footprint.go).
+type MemoMode int
+
+const (
+	// MemoOn (the default) memoizes subtrees keyed on the read footprint of
+	// the remaining parameters. Observable behaviour — enumeration order,
+	// Size, index round-trips — is identical to MemoOff.
+	MemoOn MemoMode = iota
+	// MemoOff disables memoization; every prefix re-derives its subtree.
+	// Retained as the ablation baseline (experiment E10).
+	MemoOff
+)
+
 // GenOptions controls search-space generation.
 type GenOptions struct {
 	// Workers is the number of goroutines used for parallel generation.
 	// 0 means runtime.NumCPU(). 1 forces sequential generation (the
 	// baseline of ablation experiment E9).
 	Workers int
+	// Memoize toggles dependency-aware subtree memoization (default on).
+	Memoize MemoMode
+}
+
+// groupBuilder holds the state shared by the workers generating one group.
+type groupBuilder struct {
+	params   []*Param
+	memo     *memoTable // nil when memoization is off or never applicable
+	foot     [][]int    // per-depth suffix footprints (memo key projection)
+	memoable []bool     // per-depth: is memoizing this depth worthwhile?
+	checks   atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// workerState is the per-worker mutable context: the partial configuration,
+// a reusable memo-key buffer, and the parameter position currently being
+// checked — recorded so a panicking constraint can be attributed to the
+// offending parameter, depth, and candidate value.
+type workerState struct {
+	cfg    *Config
+	keybuf []byte
+	depth  int
+	val    Value
+}
+
+// genPanic wraps a constraint panic with the position that raised it. It is
+// attached at the innermost recovery point and stored in memo entries so
+// workers that observe the panic through a shared subtree report the
+// original location, not their own.
+type genPanic struct {
+	name  string
+	depth int
+	val   Value
+	cause any
+}
+
+// annotatePanic converts a generation panic into a descriptive error. If r
+// is not yet a genPanic, the worker's current position identifies the
+// offending parameter.
+func annotatePanic(r any, params []*Param, st *workerState) error {
+	gp, ok := r.(genPanic)
+	if !ok {
+		gp = genPanic{name: params[st.depth].Name, depth: st.depth, val: st.val, cause: r}
+	}
+	return fmt.Errorf("core: constraint of parameter %q (depth %d) panicked on candidate value %v: %v",
+		gp.name, gp.depth, gp.val, gp.cause)
 }
 
 // GenerateGroup builds the sub-space trie for one parameter group by
@@ -24,17 +85,35 @@ type GenOptions struct {
 // each parameter's constraint against the partial configuration (paper,
 // Section II Step 1). Invalid values are pruned immediately, so the
 // Cartesian product of raw ranges — which for XgemmDirect exceeds 10^19 —
-// is never formed.
+// is never formed. With opts.Memoize on, prefixes that agree on the read
+// footprint of the remaining parameters additionally share one completion
+// subtree (see footprint.go).
 func GenerateGroup(g *Group, opts GenOptions) (*Tree, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	t := &Tree{params: g.Params, names: g.Names()}
-	var checks atomic.Uint64
+	names := g.Names()
+
+	b := &groupBuilder{params: g.Params}
+	shared := false
+	if opts.Memoize == MemoOn {
+		b.foot, b.memoable = suffixFootprints(g.Params)
+		for _, m := range b.memoable {
+			if m {
+				shared = true
+			}
+		}
+		if shared {
+			b.memo = newMemoTable()
+		}
+	}
 
 	rootRange := g.Params[0].Range
 	n := rootRange.Len()
+	if n == 0 {
+		return finishTree(b, names, nil, shared)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -42,9 +121,12 @@ func GenerateGroup(g *Group, opts GenOptions) (*Tree, error) {
 	// Each worker owns a contiguous chunk of the first parameter's raw
 	// range and builds the subtrees for its chunk independently; chunk
 	// results are concatenated in range order so the trie (and therefore
-	// configuration indices) is identical regardless of worker count.
+	// configuration indices) is identical regardless of worker count. The
+	// memo table is shared: a subtree key is computed by exactly one worker
+	// (others wait on the in-flight entry), keeping constraint-check totals
+	// and node counts worker-count-independent too.
 	type chunkResult struct {
-		roots []*node
+		roots []bnode
 		err   error
 	}
 	results := make([]chunkResult, workers)
@@ -62,69 +144,118 @@ func GenerateGroup(g *Group, opts GenOptions) (*Tree, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			st := &workerState{cfg: NewConfig(names)}
 			defer func() {
 				if r := recover(); r != nil {
-					results[w].err = fmt.Errorf("core: generating group %v: %v", t.names, r)
+					results[w].err = annotatePanic(r, g.Params, st)
 				}
 			}()
-			cfg := NewConfig(t.names)
-			var local uint64
-			roots := buildLevel(g.Params, 0, lo, hi, cfg, &local)
-			checks.Add(local)
-			results[w].roots = roots
+			results[w].roots = b.build(st, 0, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 
+	var roots []bnode
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
 		}
-		t.roots = append(t.roots, r.roots...)
+		roots = append(roots, r.roots...)
 	}
-	t.total = sumCounts(t.roots)
-	t.checks = checks.Load()
+	return finishTree(b, names, roots, shared)
+}
+
+// finishTree flattens the built block DAG into the arena Tree and attaches
+// the generation statistics.
+func finishTree(b *groupBuilder, names []string, roots []bnode, shared bool) (*Tree, error) {
+	t, err := flattenTree(b.params, names, roots, shared)
+	if err != nil {
+		return nil, err
+	}
+	t.checks = b.checks.Load()
+	t.memoHits = b.hits.Load()
+	t.memoMisses = b.misses.Load()
 	return t, nil
 }
 
-// buildLevel constructs trie nodes for parameter depth d, restricted to raw
-// range indices [lo, hi) (the full range for all depths except a
-// parallelized root). cfg carries the partial configuration; checks counts
-// constraint evaluations.
-func buildLevel(params []*Param, d, lo, hi int, cfg *Config, checks *uint64) []*node {
-	p := params[d]
-	last := d == len(params)-1
+// build constructs the sibling block for parameter depth d, restricted to
+// raw range indices [lo, hi) (the full range for all depths except a
+// parallelized root).
+func (b *groupBuilder) build(st *workerState, d, lo, hi int) []bnode {
+	p := b.params[d]
+	last := d == len(b.params)-1
+	var checks uint64
+	var out []bnode
 
-	emit := func(out []*node, v Value) []*node {
-		*checks++
-		if !p.Accepts(v, cfg) {
-			return out
+	emit := func(v Value) {
+		checks++
+		st.depth, st.val = d, v
+		if !p.Accepts(v, st.cfg) {
+			return
 		}
 		if last {
-			return append(out, &node{val: v, count: 1})
+			out = append(out, bnode{val: v, count: 1})
+			return
 		}
-		cfg.set(d, v)
-		children := buildLevel(params, d+1, 0, params[d+1].Range.Len(), cfg, checks)
+		st.cfg.set(d, v)
+		children := b.descend(st, d+1)
 		if len(children) == 0 {
-			return out // dead prefix: no valid completion exists
+			return // dead prefix: no valid completion exists
 		}
-		return append(out, &node{val: v, children: children, count: sumCounts(children)})
+		out = append(out, bnode{val: v, children: children, count: sumCounts(children)})
 	}
 
-	var out []*node
 	// Divisor-hinted fast path: enumerate only candidate divisors. On a
 	// parallelized root level each worker intersects the divisor set with
 	// its own chunk, so multi-worker generation keeps the fast path.
-	if vals, ok := hintedValues(p, cfg, lo, hi); ok {
+	if vals, ok := hintedValues(p, st.cfg, lo, hi); ok {
 		for _, v := range vals {
-			out = emit(out, Int(v))
+			emit(Int(v))
 		}
-		return out
+	} else {
+		for i := lo; i < hi; i++ {
+			emit(p.Range.At(i))
+		}
 	}
-	for i := lo; i < hi; i++ {
-		out = emit(out, p.Range.At(i))
-	}
+	b.checks.Add(checks)
 	return out
+}
+
+// descend produces the subtree block below the current prefix, at depth d.
+// For memoable depths the block is looked up by (depth, footprint
+// projection); the first worker to encounter a key computes the block,
+// concurrent encounters wait on the in-flight entry, later ones reuse it.
+func (b *groupBuilder) descend(st *workerState, d int) []bnode {
+	full := b.params[d].Range.Len()
+	if b.memo == nil || !b.memoable[d] {
+		return b.build(st, d, 0, full)
+	}
+	st.keybuf = memoKeyAppend(st.keybuf[:0], d, b.foot[d], st.cfg)
+	e, existed := b.memo.lookup(st.keybuf)
+	if existed {
+		b.hits.Add(1)
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.nodes
+	}
+	b.misses.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			gp, ok := r.(genPanic)
+			if !ok {
+				gp = genPanic{name: b.params[st.depth].Name, depth: st.depth, val: st.val, cause: r}
+			}
+			e.panicked = gp
+			close(e.done)
+			panic(gp)
+		}
+	}()
+	e.nodes = b.build(st, d, 0, full)
+	e.count = sumCounts(e.nodes)
+	close(e.done)
+	return e.nodes
 }
 
 // GenerateSpace generates the full search space from parameter groups. The
@@ -146,7 +277,9 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 	for _, g := range groups {
 		for _, p := range g.Params {
 			if seen[p.Name] {
-				return nil, fmt.Errorf("core: duplicate tuning parameter %q", p.Name)
+				err := fmt.Errorf("core: duplicate tuning parameter %q", p.Name)
+				span.Fail(err)
+				return nil, err
 			}
 			seen[p.Name] = true
 			names = append(names, p.Name)
@@ -188,18 +321,30 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 	}
 	s.size = size
 
-	var nodes uint64
+	var logical, unique, arena, hits, misses uint64
 	for _, t := range trees {
-		nodes += t.Nodes()
+		l, u := t.Nodes()
+		logical += l
+		unique += u
+		arena += t.ArenaBytes()
+		h, m := t.MemoStats()
+		hits += h
+		misses += m
 	}
 	mSpacegenRuns.Inc()
 	mSpacegenSeconds.Observe(time.Since(start).Seconds())
 	mSpacegenChecks.Add(s.Checks())
 	mSpacegenConfigs.Set(int64(size))
-	mSpacegenNodes.Set(int64(nodes))
+	mSpacegenNodes.Set(int64(logical))
+	mSpacegenUniqueNodes.Set(int64(unique))
+	mSpacegenArenaBytes.Set(int64(arena))
+	mSpacegenMemoHits.Add(hits)
+	mSpacegenMemoMisses.Add(misses)
 	span.End(
 		slog.Uint64("valid_configs", size),
-		slog.Uint64("tree_nodes", nodes),
+		slog.Uint64("tree_nodes", logical),
+		slog.Uint64("unique_nodes", unique),
+		slog.Uint64("memo_hits", hits),
 		slog.Uint64("constraint_checks", s.Checks()))
 	return s, nil
 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuffixFootprints(t *testing.T) {
+	params := []*Param{
+		NewParam("A", NewInterval(1, 4)),
+		NewParam("B", NewInterval(1, 4), Divides(Ref("A"))),
+		NewParam("C", NewInterval(1, 4)),
+		NewParam("D", NewInterval(1, 4), Divides(Ref("A"))),
+	}
+	foot, memoable := suffixFootprints(params)
+	if memoable[0] {
+		t.Error("depth 0 must never be memoable")
+	}
+	// Suffix {B,C,D} reads {A}, which is the whole depth-1 prefix: a
+	// full-prefix key is unique per prefix and can never hit.
+	if memoable[1] {
+		t.Error("depth 1 footprint equals its prefix; must not be memoable")
+	}
+	// Suffix {C,D} reads {A} ⊂ {A,B}.
+	if !memoable[2] || len(foot[2]) != 1 || foot[2][0] != 0 {
+		t.Errorf("depth 2: foot=%v memoable=%v, want [0] true", foot[2], memoable[2])
+	}
+	// Suffix {D} reads {A} ⊂ {A,B,C}.
+	if !memoable[3] || len(foot[3]) != 1 || foot[3][0] != 0 {
+		t.Errorf("depth 3: foot=%v memoable=%v, want [0] true", foot[3], memoable[3])
+	}
+}
+
+func TestSuffixFootprintsUnknownIsSticky(t *testing.T) {
+	params := []*Param{
+		NewParam("A", NewInterval(1, 4)),
+		NewParam("B", NewInterval(1, 4)),
+		NewParam("C", NewInterval(1, 4), Fn(func(v Value, c *Config) bool { return true })),
+		NewParam("D", NewInterval(1, 4)),
+	}
+	_, memoable := suffixFootprints(params)
+	// C's unknown footprint poisons every depth whose suffix contains C.
+	if memoable[1] || memoable[2] {
+		t.Error("unknown footprint must disable memoization at depths whose suffix contains it")
+	}
+	// The suffix {D} below C reads nothing and is exact again.
+	if !memoable[3] {
+		t.Error("suffix strictly after the unknown constraint should be memoable")
+	}
+}
+
+func TestPanickingConstraintSurfacesAsError(t *testing.T) {
+	// Satellite: a panicking custom constraint must surface as an error
+	// naming the offending parameter, depth, and candidate value — under
+	// multi-worker generation and in both memoization modes (with memo on,
+	// depth 2 is memoized, so the panic travels through a memo entry).
+	for _, mode := range []MemoMode{MemoOff, MemoOn} {
+		for _, workers := range []int{1, 4} {
+			params := []*Param{
+				NewParam("A", NewInterval(1, 8)),
+				NewParam("B", NewInterval(1, 4)),
+				NewParam("C", NewInterval(1, 8), FnReads(func(v Value, c *Config) bool {
+					if c.Int("A") == 5 && v.Int() == 3 {
+						panic("boom")
+					}
+					return true
+				}, "A")),
+			}
+			_, err := GenerateFlat(params, GenOptions{Workers: workers, Memoize: mode})
+			if err == nil {
+				t.Fatalf("memo=%v workers=%d: expected error from panicking constraint", mode, workers)
+			}
+			msg := err.Error()
+			for _, want := range []string{`"C"`, "depth 2", "value 3", "boom"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("memo=%v workers=%d: error %q does not mention %q", mode, workers, msg, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMemoDeterminismAcrossWorkers(t *testing.T) {
+	// The in-flight memo dedup guarantees each subtree key is computed by
+	// exactly one worker, so constraint-check totals, memo hit/miss counts,
+	// and unique node counts are identical at every worker count.
+	params := func() []*Param {
+		return []*Param{
+			NewParam("A", NewInterval(1, 16)),
+			NewParam("B", NewInterval(1, 16), Divides(Ref("A"))),
+			NewParam("C", NewInterval(1, 8), Divides(Ref("A"))),
+		}
+	}
+	var wantChecks, wantUnique, wantHits, wantMisses uint64
+	for i, w := range []int{1, 2, 4, 8} {
+		sp, err := GenerateFlat(params(), GenOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, unique := sp.NodeCounts()
+		hits, misses := sp.MemoStats()
+		if i == 0 {
+			wantChecks, wantUnique, wantHits, wantMisses = sp.Checks(), unique, hits, misses
+			if hits == 0 {
+				t.Error("expected memo hits in a chain-constrained space")
+			}
+			continue
+		}
+		if sp.Checks() != wantChecks || unique != wantUnique || hits != wantHits || misses != wantMisses {
+			t.Errorf("workers=%d: checks/unique/hits/misses = %d/%d/%d/%d, want %d/%d/%d/%d",
+				w, sp.Checks(), unique, hits, misses, wantChecks, wantUnique, wantHits, wantMisses)
+		}
+	}
+}
+
+func TestMemoKeyDistinguishesKinds(t *testing.T) {
+	// The key encoding must be injective across value kinds and string
+	// lengths: Int(1) vs Bool(true) vs "1" must produce distinct keys.
+	names := []string{"X"}
+	foot := []int{0}
+	key := func(v Value) string {
+		c := ctx(names, v)
+		return string(memoKeyAppend(nil, 1, foot, c))
+	}
+	ks := []string{
+		key(Int(1)), key(Bool(true)), key(Str("1")),
+		key(Float(1)), key(Str("")), key(Int(0)),
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			t.Fatalf("memo key collision: %q", k)
+		}
+		seen[k] = true
+	}
+}

@@ -27,7 +27,7 @@ func (p *Param) WithDivisorHint(x any) *Param {
 
 // hintApplicable reports whether the hint can drive iteration of r.
 func hintApplicable(p *Param) (*IntervalRange, bool) {
-	if p.DivisorOf == nil {
+	if p.DivisorOf.IsZero() {
 		return nil, false
 	}
 	ir, ok := p.Range.(*IntervalRange)
@@ -72,5 +72,5 @@ func hintedValues(p *Param, cfg *Config, lo, hi int) ([]int64, bool) {
 	}
 	// Step-1 interval: raw index i holds value Begin+i, so the chunk
 	// [lo, hi) covers values [Begin+lo, Begin+hi-1].
-	return divisorsInRange(p.DivisorOf(cfg), ir.Begin+int64(lo), ir.Begin+int64(hi)-1), true
+	return divisorsInRange(p.DivisorOf.Eval(cfg), ir.Begin+int64(lo), ir.Begin+int64(hi)-1), true
 }

@@ -17,7 +17,15 @@ var (
 	mSpacegenConfigs = obs.NewGauge("atf_spacegen_last_valid_configs",
 		"Valid configurations in the most recently generated space")
 	mSpacegenNodes = obs.NewGauge("atf_spacegen_last_tree_nodes",
-		"Trie nodes in the most recently generated space")
+		"Logical trie nodes in the most recently generated space")
+	mSpacegenUniqueNodes = obs.NewGauge("atf_spacegen_last_unique_nodes",
+		"Unique (shared) trie arena nodes in the most recently generated space")
+	mSpacegenArenaBytes = obs.NewGauge("atf_spacegen_last_arena_bytes",
+		"Bytes held by the trie arenas of the most recently generated space")
+	mSpacegenMemoHits = obs.NewCounter("atf_spacegen_memo_hits_total",
+		"Subtree-memoization hits during space generation")
+	mSpacegenMemoMisses = obs.NewCounter("atf_spacegen_memo_misses_total",
+		"Subtree-memoization misses (subtrees computed) during space generation")
 
 	// Exploration (Explore and ExploreParallel).
 	mEvaluations = obs.NewCounter("atf_evaluations_total",

@@ -9,7 +9,7 @@ import "fmt"
 type Param struct {
 	Name       string
 	Range      Range
-	Constraint Constraint // nil means unconstrained
+	Constraint Constraint // the zero Constraint means unconstrained
 	// DivisorOf is an optional iteration hint (see WithDivisorHint):
 	// generation may enumerate only divisors of this expression's value.
 	// It never widens the space — the Constraint is always re-checked.
@@ -39,7 +39,21 @@ func NewParam(name string, r Range, cs ...Constraint) *Param {
 // Accepts reports whether value v passes the parameter's constraint in the
 // context of partial configuration c.
 func (p *Param) Accepts(v Value, c *Config) bool {
-	return p.Constraint == nil || p.Constraint(v, c)
+	return p.Constraint.Check(v, c)
+}
+
+// Deps returns the names of previously declared parameters this parameter's
+// constraint and divisor hint may read, and whether that footprint is exact
+// (see Constraint.Deps). Space generation uses it to decide which prefixes
+// share completion subtrees.
+func (p *Param) Deps() (reads []string, exact bool) {
+	cr, ce := p.Constraint.Deps()
+	dr, de := p.DivisorOf.Deps()
+	if len(dr) == 0 {
+		return cr, ce && de
+	}
+	merged := append(append([]string(nil), cr...), dr...)
+	return dedupNames(merged), ce && de
 }
 
 // Group is an ordered list of interdependent tuning parameters (paper,
@@ -83,7 +97,7 @@ func (g *Group) Names() []string {
 func AutoGroup(params []*Param) []*Group {
 	var groups []*Group
 	for _, p := range params {
-		if p.Constraint == nil || len(groups) == 0 {
+		if p.Constraint.IsZero() || len(groups) == 0 {
 			groups = append(groups, G(p))
 			continue
 		}

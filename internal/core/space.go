@@ -41,15 +41,48 @@ func (s *Space) Checks() uint64 {
 	return c
 }
 
-// NodeCount returns the total number of trie nodes across groups; with the
-// per-config value count it quantifies the trie's memory advantage over a
-// materialized configuration list (DESIGN.md §6 ablation).
+// NodeCount returns the total number of *logical* trie nodes across groups
+// (the fully expanded prefix tree); with the per-config value count it
+// quantifies the trie's memory advantage over a materialized configuration
+// list (DESIGN.md §6 ablation). See NodeCounts for the logical/unique
+// distinction introduced by subtree memoization.
 func (s *Space) NodeCount() int {
-	n := 0
+	logical, _ := s.NodeCounts()
+	return int(logical)
+}
+
+// NodeCounts returns the aggregate trie vertex counts across groups:
+// logical is the expanded prefix-tree size, unique the number of arena
+// entries actually stored after dependency-aware subtree sharing (equal
+// when memoization is off; see Tree.Nodes).
+func (s *Space) NodeCounts() (logical, unique uint64) {
 	for _, t := range s.trees {
-		n += t.nodeCount()
+		l, u := t.Nodes()
+		logical += l
+		unique += u
 	}
-	return n
+	return logical, unique
+}
+
+// MemoStats returns the aggregate subtree-memoization hit/miss counts of
+// the generation that produced this space.
+func (s *Space) MemoStats() (hits, misses uint64) {
+	for _, t := range s.trees {
+		h, m := t.MemoStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// ArenaBytes returns the total memory footprint of the flattened trie
+// arenas across groups.
+func (s *Space) ArenaBytes() uint64 {
+	var b uint64
+	for _, t := range s.trees {
+		b += t.ArenaBytes()
+	}
+	return b
 }
 
 // RawSize returns the size of the *unconstrained* Cartesian product of all

@@ -412,20 +412,43 @@ func TestGroupPanicsOnEmpty(t *testing.T) {
 }
 
 func TestSpaceChecksAccounting(t *testing.T) {
-	// For an unconstrained 2-param space of 3×4 the generator performs
+	params := func() []*Param {
+		return []*Param{
+			NewParam("a", NewInterval(1, 3)),
+			NewParam("b", NewInterval(1, 4)),
+		}
+	}
+	// Without memoization, an unconstrained 2-param space of 3×4 performs
 	// 3 (root) + 3*4 (children) = 15 constraint checks.
-	sp, err := GenerateFlat([]*Param{
-		NewParam("a", NewInterval(1, 3)),
-		NewParam("b", NewInterval(1, 4)),
-	}, GenOptions{Workers: 1})
+	sp, err := GenerateFlat(params(), GenOptions{Workers: 1, Memoize: MemoOff})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sp.Checks() != 15 {
-		t.Errorf("checks = %d, want 15", sp.Checks())
+		t.Errorf("memo off: checks = %d, want 15", sp.Checks())
 	}
 	if sp.Size() != 12 {
 		t.Errorf("size = %d, want 12", sp.Size())
+	}
+	// With memoization (the default), b reads nothing, so its level is
+	// derived once and shared by all three roots: 3 + 4 = 7 checks.
+	sp, err = GenerateFlat(params(), GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Checks() != 7 {
+		t.Errorf("memo on: checks = %d, want 7", sp.Checks())
+	}
+	if sp.Size() != 12 {
+		t.Errorf("size = %d, want 12", sp.Size())
+	}
+	hits, misses := sp.MemoStats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("memo hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+	logical, unique := sp.NodeCounts()
+	if logical != 15 || unique != 7 {
+		t.Errorf("nodes logical/unique = %d/%d, want 15/7", logical, unique)
 	}
 }
 

@@ -1,32 +1,69 @@
 package core
 
-import "math/rand"
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"unsafe"
+)
 
 // The search space of one parameter group is stored as a trie ("tree of
 // valid partial configurations"): level d of the trie holds the accepted
 // values of the group's d-th parameter given the prefix encoded by the path
 // from the root. Sharing prefixes keeps spaces with ~10^7 configurations in
-// memory, and per-node leaf counts give O(depth · branching) lookup of the
-// i-th configuration, uniform random sampling, and index-based
+// memory, and per-node leaf counts give O(depth · log branching) lookup of
+// the i-th configuration, uniform random sampling, and index-based
 // neighbourhoods for annealing-style techniques.
+//
+// Two representations exist. During generation, subtrees are built as
+// value-slice blocks of bnode (a sibling block is one contiguous []bnode —
+// the slab — so nodes are never heap-allocated individually), and
+// dependency-aware memoization may share whole blocks between prefixes
+// (footprint.go). After generation the block DAG is flattened into the
+// arena form below: per-level node arrays whose children are index ranges
+// plus block-local cumulative leaf counts, which turns the i-th-config
+// lookup into a binary search over prefix sums and stores each shared
+// subtree exactly once.
 
-// node is one trie vertex: a parameter value plus the subtrees of valid
-// continuations. count caches the number of complete configurations below.
-type node struct {
+// bnode is one build-time trie vertex: a parameter value plus the sibling
+// block of valid continuations. count caches the number of complete
+// configurations below.
+type bnode struct {
 	val      Value
-	children []*node // nil for leaf-level nodes
+	children []bnode // empty for leaf-level nodes
 	count    uint64
+}
+
+// level is one depth of the flattened trie. A node i at depth d holds
+// vals[i]; its children occupy the contiguous index range
+// [childLo[i], childHi[i]) of depth d+1. cum[i] is the number of leaves
+// under the siblings preceding i *within i's own block* (cum of a block's
+// first node is 0), so locating the child containing a leaf index is a
+// binary search over cum within the block. The leaf level stores only
+// vals: its j-th block entry is its j-th leaf, no search needed.
+type level struct {
+	vals             []Value
+	cum              []uint64
+	childLo, childHi []uint32
 }
 
 // Tree is the generated sub-space of one parameter group.
 type Tree struct {
 	params []*Param
 	names  []string
-	roots  []*node
+	lv     []level
+	rootN  uint32 // the root block is [0, rootN) at level 0
 	total  uint64
 	// checks counts constraint evaluations performed during generation;
-	// reported by the space-generation experiments (E3).
+	// reported by the space-generation experiments (E3/E10). With
+	// memoization it counts only the evaluations actually performed —
+	// shared subtrees are checked once.
 	checks uint64
+	// Memoization and arena statistics (see Nodes, MemoStats, ArenaBytes).
+	memoHits, memoMisses uint64
+	logicalNodes         uint64
+	uniqueNodes          uint64
+	arenaBytes           uint64
 }
 
 // Params returns the group's parameters in declaration order.
@@ -38,78 +75,81 @@ func (t *Tree) Size() uint64 { return t.total }
 // Checks returns how many constraint evaluations generation performed.
 func (t *Tree) Checks() uint64 { return t.checks }
 
-// Nodes returns the number of trie vertices — the space's materialized
-// memory footprint in nodes, reported by the generation instrumentation
-// (prefix sharing makes this far smaller than Size() × depth).
-func (t *Tree) Nodes() uint64 {
-	var walk func(ns []*node) uint64
-	walk = func(ns []*node) uint64 {
-		n := uint64(len(ns))
-		for _, c := range ns {
-			n += walk(c.children)
-		}
-		return n
-	}
-	return walk(t.roots)
+// Nodes returns the trie's vertex counts: logical is the size of the fully
+// expanded prefix tree (what generation materializes without subtree
+// sharing — the E10 "trie nodes" figure), unique is the number of arena
+// entries actually stored after dependency-aware sharing. Without
+// memoization the two are equal; their ratio is the sharing factor.
+func (t *Tree) Nodes() (logical, unique uint64) {
+	return t.logicalNodes, t.uniqueNodes
 }
+
+// MemoStats returns the subtree-memoization hit/miss counts of this
+// group's generation (both zero when memoization was off or never
+// applicable).
+func (t *Tree) MemoStats() (hits, misses uint64) { return t.memoHits, t.memoMisses }
+
+// ArenaBytes returns the memory footprint of the flattened trie arenas.
+func (t *Tree) ArenaBytes() uint64 { return t.arenaBytes }
 
 // Depth returns the number of parameters in the group.
 func (t *Tree) Depth() int { return len(t.params) }
 
 // fill writes the configuration with in-group index idx into cfg at the
-// given parameter offset. idx must be < t.total.
+// given parameter offset. idx must be < t.total. Within each sibling block
+// the child holding idx is found by binary search over the block-local
+// cumulative leaf counts.
 func (t *Tree) fill(idx uint64, cfg *Config, offset int) {
 	if idx >= t.total {
 		panic("core: tree index out of range")
 	}
-	level := t.roots
-	for d := 0; d < len(t.params); d++ {
-		for _, n := range level {
-			if idx < n.count {
-				cfg.set(offset+d, n.val)
-				level = n.children
-				break
+	lo, hi := uint32(0), t.rootN
+	last := len(t.lv) - 1
+	for d := 0; d < last; d++ {
+		lv := &t.lv[d]
+		a, b := lo, hi
+		for b-a > 1 {
+			mid := a + (b-a)/2
+			if lv.cum[mid] <= idx {
+				a = mid
+			} else {
+				b = mid
 			}
-			idx -= n.count
 		}
+		cfg.set(offset+d, lv.vals[a])
+		idx -= lv.cum[a]
+		lo, hi = lv.childLo[a], lv.childHi[a]
 	}
+	cfg.set(offset+last, t.lv[last].vals[lo+uint32(idx)])
 }
 
 // indexOf returns the in-group index of the configuration stored in cfg at
 // the given offset, and whether the configuration is present in the tree.
 func (t *Tree) indexOf(cfg *Config, offset int) (uint64, bool) {
 	var idx uint64
-	level := t.roots
-	for d := 0; d < len(t.params); d++ {
+	lo, hi := uint32(0), t.rootN
+	last := len(t.lv) - 1
+	for d := 0; d <= last; d++ {
+		lv := &t.lv[d]
 		want := cfg.At(offset + d)
 		found := false
-		for _, n := range level {
-			if n.val.Equal(want) {
-				level = n.children
+		for j := lo; j < hi; j++ {
+			if lv.vals[j].Equal(want) {
+				if d == last {
+					idx += uint64(j - lo)
+				} else {
+					idx += lv.cum[j]
+					lo, hi = lv.childLo[j], lv.childHi[j]
+				}
 				found = true
 				break
 			}
-			idx += n.count
 		}
 		if !found {
 			return 0, false
 		}
 	}
 	return idx, true
-}
-
-// nodeCount returns the total number of trie nodes; used by the memory
-// ablation bench comparing trie storage with a materialized list.
-func (t *Tree) nodeCount() int {
-	var walk func(ns []*node) int
-	walk = func(ns []*node) int {
-		c := len(ns)
-		for _, n := range ns {
-			c += walk(n.children)
-		}
-		return c
-	}
-	return walk(t.roots)
 }
 
 // sampleLeaf picks a uniformly random configuration index in the group.
@@ -120,11 +160,128 @@ func (t *Tree) sampleLeaf(rng *rand.Rand) uint64 {
 	return uint64(rng.Int63n(int64(t.total)))
 }
 
-// sumCounts recomputes a node list's aggregate leaf count.
-func sumCounts(ns []*node) uint64 {
+// sumCounts recomputes a node block's aggregate leaf count.
+func sumCounts(ns []bnode) uint64 {
 	var s uint64
 	for _, n := range ns {
 		s += n.count
 	}
 	return s
+}
+
+// countLevels tallies the number of build nodes per depth.
+func countLevels(ns []bnode, d int, counts []uint64) {
+	counts[d] += uint64(len(ns))
+	if d+1 == len(counts) {
+		return
+	}
+	for i := range ns {
+		countLevels(ns[i].children, d+1, counts)
+	}
+}
+
+// blockRef locates a flattened sibling block and caches its logical
+// (expanded) node count.
+type blockRef struct {
+	lo, hi  uint32
+	logical uint64
+}
+
+// flattener converts the build-time block DAG into the arena form. shared
+// enables block deduplication by slab identity — memoized generation hands
+// the same []bnode to every parent that shares the subtree, so the block's
+// first-node address identifies it. Without memoization every block is
+// unique and the cache would be pure overhead.
+type flattener struct {
+	t      *Tree
+	cache  map[*bnode]blockRef
+	shared bool
+}
+
+// flattenTree builds the arena representation from the root block.
+func flattenTree(params []*Param, names []string, roots []bnode, shared bool) (*Tree, error) {
+	t := &Tree{params: params, names: names, lv: make([]level, len(params))}
+	f := &flattener{t: t, shared: shared}
+	if shared {
+		f.cache = make(map[*bnode]blockRef)
+	} else {
+		// Without sharing every build node lands in the arena exactly once,
+		// so a counting pre-pass sizes the level arrays exactly and the
+		// appends below never reallocate (the re-walk is far cheaper than
+		// growth copies at millions of nodes).
+		counts := make([]uint64, len(params))
+		countLevels(roots, 0, counts)
+		for d := range t.lv {
+			lv := &t.lv[d]
+			lv.vals = make([]Value, 0, counts[d])
+			if d < len(t.lv)-1 {
+				lv.cum = make([]uint64, 0, counts[d])
+				lv.childLo = make([]uint32, 0, counts[d])
+				lv.childHi = make([]uint32, 0, counts[d])
+			}
+		}
+	}
+	ref, err := f.add(roots, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.rootN = ref.hi
+	t.total = sumCounts(roots)
+	t.logicalNodes = ref.logical
+	const valSize = uint64(unsafe.Sizeof(Value{}))
+	for i := range t.lv {
+		lv := &t.lv[i]
+		t.uniqueNodes += uint64(len(lv.vals))
+		t.arenaBytes += uint64(len(lv.vals))*valSize +
+			uint64(len(lv.cum))*8 + uint64(len(lv.childLo))*4 + uint64(len(lv.childHi))*4
+	}
+	return t, nil
+}
+
+// add appends the block to its level's arena (once per shared block) and
+// returns its index range plus its logical subtree size.
+func (f *flattener) add(ns []bnode, d int) (blockRef, error) {
+	if len(ns) == 0 {
+		return blockRef{}, nil
+	}
+	if f.shared {
+		if r, ok := f.cache[&ns[0]]; ok {
+			return r, nil
+		}
+	}
+	lv := &f.t.lv[d]
+	base := len(lv.vals)
+	if uint64(base)+uint64(len(ns)) > math.MaxUint32 {
+		return blockRef{}, fmt.Errorf("core: trie level %d exceeds 2^32 nodes", d)
+	}
+	lo := uint32(base)
+	logical := uint64(len(ns))
+	if d == len(f.t.lv)-1 {
+		for i := range ns {
+			lv.vals = append(lv.vals, ns[i].val)
+		}
+	} else {
+		var run uint64
+		for i := range ns {
+			lv.vals = append(lv.vals, ns[i].val)
+			lv.cum = append(lv.cum, run)
+			run += ns[i].count
+			lv.childLo = append(lv.childLo, 0)
+			lv.childHi = append(lv.childHi, 0)
+		}
+		for i := range ns {
+			cr, err := f.add(ns[i].children, d+1)
+			if err != nil {
+				return blockRef{}, err
+			}
+			lv.childLo[int(lo)+i] = cr.lo
+			lv.childHi[int(lo)+i] = cr.hi
+			logical += cr.logical
+		}
+	}
+	r := blockRef{lo: lo, hi: lo + uint32(len(ns)), logical: logical}
+	if f.shared {
+		f.cache[&ns[0]] = r
+	}
+	return r, nil
 }

@@ -14,27 +14,37 @@ import (
 // second). Each row is produced by the observability instrumentation's
 // view of one GenerateSpace call: wall-clock build time, trie nodes
 // materialized, constraint checks performed, and valid configurations.
+// Since the dependency-aware memoization change, each row also records
+// the memo hit/miss counts, the unique (shared) node count, and the
+// arena footprint, with memo on/off as the ablation axis.
 type GenTimeResult struct {
-	Kernel    string
-	Params    int
-	Raw       string // unconstrained Cartesian-product size
-	Valid     uint64
-	TreeNodes uint64
-	Checks    uint64
-	GenTime   time.Duration
+	Kernel      string
+	Memoize     bool
+	Params      int
+	Raw         string // unconstrained Cartesian-product size
+	Valid       uint64
+	TreeNodes   uint64 // logical (expanded prefix tree)
+	UniqueNodes uint64 // arena entries after subtree sharing
+	Checks      uint64
+	MemoHits    uint64
+	MemoMisses  uint64
+	ArenaBytes  uint64
+	GenTime     time.Duration
 }
 
 // GenTime runs E10 for one named kernel space: "saxpy" (n = 2^22, the
 // paper's Listing 2 space) or "gemm" (XgemmDirect at the given range
-// cap). workers=0 uses all CPUs, matching the tuner default.
-func GenTime(kernel string, rangeCap int64, workers int) (*GenTimeResult, error) {
+// cap). workers=0 uses all CPUs, matching the tuner default. memoize
+// toggles dependency-aware subtree memoization (the post-change default
+// is on; off reproduces the pre-change baseline).
+func GenTime(kernel string, rangeCap int64, workers int, memoize bool) (*GenTimeResult, error) {
 	var params []*core.Param
 	switch kernel {
 	case "saxpy":
 		const n = int64(1 << 22)
 		wpt := core.NewParam("WPT", core.NewInterval(1, n), core.Divides(n)).
 			WithDivisorHint(n)
-		nOverWPT := func(c *core.Config) int64 { return n / c.Int("WPT") }
+		nOverWPT := core.ExprReads(func(c *core.Config) int64 { return n / c.Int("WPT") }, "WPT")
 		ls := core.NewParam("LS", core.NewInterval(1, n), core.Divides(nOverWPT)).
 			WithDivisorHint(nOverWPT)
 		params = []*core.Param{wpt, ls}
@@ -44,25 +54,32 @@ func GenTime(kernel string, rangeCap int64, workers int) (*GenTimeResult, error)
 		return nil, fmt.Errorf("harness: unknown gentime kernel %q", kernel)
 	}
 
+	mode := core.MemoOff
+	if memoize {
+		mode = core.MemoOn
+	}
 	start := time.Now()
-	space, err := core.GenerateFlat(params, core.GenOptions{Workers: workers})
+	space, err := core.GenerateFlat(params, core.GenOptions{Workers: workers, Memoize: mode})
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
 
-	var nodes uint64
-	for _, t := range space.Groups() {
-		nodes += t.Nodes()
-	}
+	logical, unique := space.NodeCounts()
+	hits, misses := space.MemoStats()
 	return &GenTimeResult{
-		Kernel:    kernel,
-		Params:    len(params),
-		Raw:       space.RawSize().String(),
-		Valid:     space.Size(),
-		TreeNodes: nodes,
-		Checks:    space.Checks(),
-		GenTime:   elapsed,
+		Kernel:      kernel,
+		Memoize:     memoize,
+		Params:      len(params),
+		Raw:         space.RawSize().String(),
+		Valid:       space.Size(),
+		TreeNodes:   logical,
+		UniqueNodes: unique,
+		Checks:      space.Checks(),
+		MemoHits:    hits,
+		MemoMisses:  misses,
+		ArenaBytes:  space.ArenaBytes(),
+		GenTime:     elapsed,
 	}, nil
 }
 
@@ -70,22 +87,29 @@ func GenTime(kernel string, rangeCap int64, workers int) (*GenTimeResult, error)
 func GenTimeTable(rs []*GenTimeResult) *Table {
 	t := &Table{
 		ID:      "E10",
-		Title:   "measured space-generation cost (obs instrumentation): tree build time, nodes, checks",
-		Columns: []string{"kernel", "params", "raw product", "valid configs", "trie nodes", "constraint checks", "gen time"},
+		Title:   "measured space-generation cost (obs instrumentation): tree build time, nodes, checks, memoization",
+		Columns: []string{"kernel", "memo", "valid configs", "logical nodes", "unique nodes", "constraint checks", "memo hits", "arena bytes", "gen time"},
 	}
 	for _, r := range rs {
+		memo := "off"
+		if r.Memoize {
+			memo = "on"
+		}
 		t.Rows = append(t.Rows, []string{
 			r.Kernel,
-			fmt.Sprintf("%d", r.Params),
-			r.Raw,
+			memo,
 			fmt.Sprintf("%d", r.Valid),
 			fmt.Sprintf("%d", r.TreeNodes),
+			fmt.Sprintf("%d", r.UniqueNodes),
 			fmt.Sprintf("%d", r.Checks),
+			fmt.Sprintf("%d", r.MemoHits),
+			fmt.Sprintf("%d", r.ArenaBytes),
 			r.GenTime.Round(time.Microsecond).String(),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"same numbers land in atf_spacegen_* metrics; rerun with -stats for the histogram view",
+		"memo=off is the pre-memoization baseline: every prefix re-derives its completion subtree",
 		"paper §VI-A: ATF generates the XgemmDirect space in <1 s; CLTune's generate-then-filter runs for hours (E3)")
 	return t
 }

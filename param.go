@@ -94,6 +94,11 @@ func Not(c Constraint) Constraint { return core.Not(c) }
 // constraint, for conditions the aliases do not cover.
 func Where(f func(v Value) bool) Constraint { return core.Pred(f) }
 
+// Expr is an arithmetic expression over previously declared parameters,
+// accepted by the constraint aliases. It carries the read footprint that
+// drives dependency-aware subtree memoization during space generation.
+type Expr = core.Expr
+
 // Ref is the value of a previously declared integer parameter, for use in
 // constraint expressions.
-func Ref(name string) func(*Config) int64 { return core.Ref(name) }
+func Ref(name string) Expr { return core.Ref(name) }

@@ -1,0 +1,77 @@
+#!/bin/sh
+# benchdiff.sh OLD NEW — benchstat-style comparison of two `go test -bench`
+# outputs (e.g. two `make bench > file` runs) without external tooling.
+#
+# For every benchmark name present in both files it reports the mean ns/op,
+# the spread (min..max as ±% of the mean, a crude stand-in for benchstat's
+# confidence interval), and the delta. Run benchmarks with -count=5 or more
+# so the spread means something.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 old.txt new.txt" >&2
+    exit 2
+fi
+old=$1
+new=$2
+[ -r "$old" ] || { echo "benchdiff: cannot read $old" >&2; exit 1; }
+[ -r "$new" ] || { echo "benchdiff: cannot read $new" >&2; exit 1; }
+
+awk -v OLD="$old" -v NEW="$new" '
+function strip_procs(name) {
+    # Benchmark names end in -GOMAXPROCS; strip it so runs from machines
+    # with different core counts still line up.
+    sub(/-[0-9]+$/, "", name)
+    return name
+}
+function collect(file, sum, sumsq, cnt, mn, mx,    line, parts, name, val, n) {
+    while ((getline line < file) > 0) {
+        n = split(line, parts, /[ \t]+/)
+        if (parts[1] !~ /^Benchmark/ || n < 3) continue
+        # layout: Name  N  value ns/op  [metric pairs...]
+        for (i = 3; i < n; i++) {
+            if (parts[i+1] == "ns/op") {
+                name = strip_procs(parts[1])
+                val = parts[i] + 0
+                sum[name] += val
+                sumsq[name] += val * val
+                cnt[name]++
+                if (!(name in mn) || val < mn[name]) mn[name] = val
+                if (!(name in mx) || val > mx[name]) mx[name] = val
+                break
+            }
+        }
+    }
+    close(file)
+}
+function fmt_ns(v) {
+    if (v >= 1e9) return sprintf("%.3fs", v / 1e9)
+    if (v >= 1e6) return sprintf("%.2fms", v / 1e6)
+    if (v >= 1e3) return sprintf("%.1fµs", v / 1e3)
+    return sprintf("%.0fns", v)
+}
+function spread(name, mn, mx, cnt, mean) {
+    if (cnt[name] < 2 || mean == 0) return "     "
+    return sprintf("±%3.0f%%", 100 * (mx[name] - mn[name]) / (2 * mean))
+}
+BEGIN {
+    collect(OLD, osum, osumsq, ocnt, omn, omx)
+    collect(NEW, nsum, nsumsq, ncnt, nmn, nmx)
+    printf "%-55s %14s %7s %14s %7s %9s\n", "benchmark", "old", "", "new", "", "delta"
+    any = 0
+    for (name in ocnt) {
+        if (!(name in ncnt)) continue
+        any = 1
+        om = osum[name] / ocnt[name]
+        nm = nsum[name] / ncnt[name]
+        delta = (om > 0) ? 100 * (nm - om) / om : 0
+        printf "%-55s %14s %7s %14s %7s %+8.1f%%\n",
+            name, fmt_ns(om), spread(name, omn, omx, ocnt, om),
+            fmt_ns(nm), spread(name, nmn, nmx, ncnt, nm), delta
+    }
+    if (!any) {
+        print "benchdiff: no common benchmarks between the two files" > "/dev/stderr"
+        exit 1
+    }
+}
+'

@@ -403,7 +403,7 @@ func (s *Spec) exprCost(params []*Param) (CostFunction, error) {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		return core.SingleCost(float64(e(cfg))), nil
+		return core.SingleCost(float64(e.Eval(cfg))), nil
 	}), nil
 }
 
