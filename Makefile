@@ -17,10 +17,11 @@ test:
 
 # The concurrency-heavy packages get a dedicated race pass: the parallel
 # exploration engine (including memoized multi-worker space generation and
-# its clblast equivalence suite), the observability registry, and the atfd
+# its clblast equivalence suite), the kernel interpreter/VM (scheduler and
+# register-arena pooling), the observability registry, and the atfd
 # session manager/journal.
 race:
-	$(GO) test -race ./internal/core/... ./internal/clblast/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/clblast/... ./internal/oclc/... ./internal/obs/... ./internal/server/...
 
 # doccheck enforces usable godoc: go vet's doc diagnostics plus a package
 # comment on every package (scripts/doccheck.sh).
@@ -29,11 +30,12 @@ doccheck: vet
 
 check: doccheck build test race
 
-# bench runs the space-generation benchmark (memo on/off × workers) plus the
-# exploration benches, 5 samples each for benchdiff/benchstat comparison:
+# bench runs the space-generation benchmark (memo on/off × workers), the
+# exploration benches, and the kernel-interpreter engine comparison
+# (walk vs vm-nospec vs vm), 5 samples each for benchdiff/benchstat:
 #   make bench > after.txt   # then: scripts/benchdiff.sh before.txt after.txt
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGenerateSpace|BenchmarkExploreParallel' -count=5 .
+	$(GO) test -run '^$$' -bench 'BenchmarkGenerateSpace|BenchmarkExploreParallel|BenchmarkKernelInterpreter' -count=5 .
 
 fmt:
 	gofmt -w .

@@ -374,19 +374,29 @@ func BenchmarkGenerateSpace(b *testing.B) {
 }
 
 // BenchmarkKernelInterpreter measures the simulated-OpenCL substrate
-// itself: one sampled XgemmDirect launch per iteration.
+// itself: one sampled XgemmDirect launch per iteration, under each
+// execution engine. engine=walk is the tree-walking reference,
+// engine=vm-nospec the bytecode VM without define-specialization, and
+// engine=vm the production path (ISSUE 5 target: vm ≥5× walk).
 func BenchmarkKernelInterpreter(b *testing.B) {
 	dev, err := opencl.FindDevice("", "K20m")
 	if err != nil {
 		b.Fatal(err)
 	}
-	eval := clblast.NewGemmEvaluator(dev, clblast.CaffeInputSizes()[1], 1)
-	cfg := clblast.DefaultConfig()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eval.Eval(cfg); err != nil {
-			b.Fatal(err)
-		}
+	prev := oclc.DefaultEngine()
+	defer oclc.SetDefaultEngine(prev)
+	for _, eng := range []oclc.Engine{oclc.EngineWalk, oclc.EngineVMNoSpec, oclc.EngineVM} {
+		b.Run("engine="+eng.String(), func(b *testing.B) {
+			oclc.SetDefaultEngine(eng)
+			eval := clblast.NewGemmEvaluator(dev, clblast.CaffeInputSizes()[1], 1)
+			cfg := clblast.DefaultConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Eval(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command atf-experiments regenerates the paper's evaluation artifacts
-// (DESIGN.md §4, experiments E1–E9) on the simulated devices and prints
+// (DESIGN.md §4, experiments E1–E11) on the simulated devices and prints
 // one table per experiment. EXPERIMENTS.md records a full run.
 //
 // Usage:
@@ -17,11 +17,12 @@ import (
 
 	"atf/internal/harness"
 	"atf/internal/obs"
+	"atf/internal/oclc"
 )
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime")
+		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime, interp")
 	cap := flag.Int64("cap", 64, "XgemmDirect integer range cap")
 	sizeCaps := flag.String("sizecaps", "16,64,256",
 		"comma-separated range caps for the E4 size census (1024 reproduces the paper's 2^10 setting; allow a few minutes)")
@@ -36,7 +37,16 @@ func main() {
 		"print the instrumentation summary (evaluations, caches, latency histograms) after the experiments")
 	memo := flag.String("memo", "both",
 		"gentime memoization ablation: on, off, or both (one table row per mode)")
+	engine := flag.String("engine", "",
+		"oclc execution engine for kernel launches: vm (default), walk, vm-nospec")
+	interpEvals := flag.Int("interp-evals", 20, "timed cost evaluations per engine in the E11 ablation")
 	flag.Parse()
+
+	eng, err := oclc.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atf-experiments:", err)
+		os.Exit(2)
+	}
 
 	opts := harness.Options{
 		Seed:           *seed,
@@ -45,6 +55,7 @@ func main() {
 		OpenTunerEvals: *otEvals,
 		DevOptEvals:    *devOptEvals,
 		Parallelism:    *parallelism,
+		Engine:         eng,
 	}
 
 	emit := func(t *harness.Table) {
@@ -142,6 +153,13 @@ func main() {
 			}
 		}
 		emit(harness.GenTimeTable(rs))
+	}
+	if want("interp") {
+		r, err := harness.Interp("Xeon", *interpEvals, opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(harness.InterpTable(r))
 	}
 	if *stats {
 		obs.WriteSummary(os.Stdout, obs.Default().Snapshot())

@@ -34,6 +34,7 @@ import (
 	"syscall"
 
 	"atf/internal/obs"
+	"atf/internal/oclc"
 	"atf/internal/server"
 )
 
@@ -42,7 +43,17 @@ func main() {
 	dir := flag.String("journal-dir", "atfd-journals", "tuning journal directory")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := flag.Bool("trace", false, "log structured span/trace events to stderr")
+	engine := flag.String("engine", "",
+		"oclc execution engine for kernel launches: vm (default), walk, vm-nospec (docs/OPERATIONS.md)")
 	flag.Parse()
+
+	eng, err := oclc.ParseEngine(*engine)
+	if err != nil {
+		fail(err)
+	}
+	if eng != oclc.EngineDefault {
+		oclc.SetDefaultEngine(eng)
+	}
 
 	if *trace {
 		obs.EnableTracing(obs.NewTextTracer(os.Stderr, slog.LevelDebug))

@@ -6,6 +6,7 @@ import (
 
 	"atf/internal/clblast"
 	"atf/internal/core"
+	"atf/internal/oclc"
 	"atf/internal/opencl"
 	"atf/internal/opentuner"
 	"atf/internal/search"
@@ -30,6 +31,11 @@ type Options struct {
 	// Parallelism is the number of concurrent cost evaluators per tuning
 	// run (Tuner.Parallelism semantics: 0/1 sequential, -1 = NumCPU).
 	Parallelism int
+	// Engine selects the oclc execution engine for every kernel launch of
+	// the run (cmd/atf-experiments -engine). The zero value keeps the
+	// process default (the bytecode VM); oclc.EngineWalk is the
+	// tree-walking reference interpreter.
+	Engine oclc.Engine
 }
 
 // explore dispatches a tuning run to the sequential or parallel engine
@@ -61,6 +67,9 @@ func (o *Options) defaults() {
 	}
 	if o.DevOptEvals == 0 {
 		o.DevOptEvals = 120
+	}
+	if o.Engine != oclc.EngineDefault {
+		oclc.SetDefaultEngine(o.Engine)
 	}
 }
 

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"atf/internal/clblast"
+	"atf/internal/oclc"
+	"atf/internal/opencl"
+)
+
+// InterpRow is one engine's measurement in the E11 ablation.
+type InterpRow struct {
+	Engine    string
+	NsPerEval float64
+	Speedup   float64 // vs the walker reference
+}
+
+// InterpResult is experiment E11: the kernel-interpreter ablation. The
+// same XgemmDirect cost evaluation (the per-configuration unit of every
+// tuning run) is timed under the tree-walking reference interpreter, the
+// bytecode VM without define-specialization, and the full VM.
+type InterpResult struct {
+	Device string
+	IS     string
+	Config string
+	Evals  int
+	Rows   []*InterpRow
+}
+
+// Interp runs E11 on one device. evals is the number of timed cost
+// evaluations per engine (default 20). The process-default engine is
+// restored before returning.
+func Interp(deviceName string, evals int, opts Options) (*InterpResult, error) {
+	opts.defaults()
+	if evals <= 0 {
+		evals = 20
+	}
+	dev, err := opencl.FindDevice("", deviceName)
+	if err != nil {
+		return nil, err
+	}
+	shape := clblast.CaffeInputSizes()[1]
+	cfg := clblast.DefaultConfig()
+
+	prev := oclc.DefaultEngine()
+	defer oclc.SetDefaultEngine(prev)
+
+	res := &InterpResult{
+		Device: dev.Name(),
+		IS:     shape.String(),
+		Config: "XgemmDirect default",
+		Evals:  evals,
+	}
+	engines := []oclc.Engine{oclc.EngineWalk, oclc.EngineVMNoSpec, oclc.EngineVM}
+	var walkNs float64
+	for _, eng := range engines {
+		oclc.SetDefaultEngine(eng)
+		eval := clblast.NewGemmEvaluator(dev, shape, opts.Seed)
+		// Warm up: first eval pays preprocess/parse/lower once per engine.
+		if _, err := eval.Eval(cfg); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < evals; i++ {
+			if _, err := eval.Eval(cfg); err != nil {
+				return nil, err
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(evals)
+		if eng == oclc.EngineWalk {
+			walkNs = ns
+		}
+		res.Rows = append(res.Rows, &InterpRow{
+			Engine:    eng.String(),
+			NsPerEval: ns,
+			Speedup:   walkNs / ns,
+		})
+	}
+	return res, nil
+}
+
+// InterpTable renders E11.
+func InterpTable(r *InterpResult) *Table {
+	t := &Table{
+		ID: "E11",
+		Title: fmt.Sprintf("Kernel-interpreter ablation on %s, %s (%s, %d evals/engine)",
+			r.Device, r.IS, r.Config, r.Evals),
+		Columns: []string{"engine", "ms/eval", "speedup vs walk"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Engine,
+			fmt.Sprintf("%.3f", row.NsPerEval/1e6),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"walk = tree-walking reference interpreter; vm-nospec = bytecode VM without define-specialization; vm = VM with constant folding, dead-branch elimination and static kind inference")
+	return t
+}

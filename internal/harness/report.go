@@ -1,9 +1,10 @@
 // Package harness drives the paper-reproduction experiments (DESIGN.md
-// §4, E1–E9): Figure 2 on both devices, the search-space generation and
+// §4, E1–E11): Figure 2 on both devices, the search-space generation and
 // size comparisons of §VI-A, the OpenTuner validity study of §VI-B, the
-// defaults-vs-device-optimized comparison, and the Section V parallel
-// generation ablation. Each experiment returns a Table that cmd/
-// atf-experiments prints and EXPERIMENTS.md records.
+// defaults-vs-device-optimized comparison, the Section V parallel
+// generation ablation, and the kernel-interpreter engine ablation. Each
+// experiment returns a Table that cmd/atf-experiments prints and
+// EXPERIMENTS.md records.
 package harness
 
 import (

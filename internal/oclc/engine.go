@@ -1,0 +1,80 @@
+package oclc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Engine selects how Launch executes work-items. The register-based
+// bytecode VM is the production engine; the tree-walking interpreter stays
+// as the reference implementation for differential testing and ablation
+// (results/interp.md). EngineVMNoSpec runs the VM on bytecode compiled
+// without define-specialization (no constant folding, no dead-branch
+// elimination), isolating the specialization win in the E11 ablation.
+type Engine uint8
+
+const (
+	// EngineDefault resolves to the process default (SetDefaultEngine).
+	EngineDefault Engine = iota
+	// EngineVM executes define-specialized bytecode.
+	EngineVM
+	// EngineWalk executes the AST directly (reference engine).
+	EngineWalk
+	// EngineVMNoSpec executes unspecialized bytecode (ablation).
+	EngineVMNoSpec
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineVM:
+		return "vm"
+	case EngineWalk:
+		return "walk"
+	case EngineVMNoSpec:
+		return "vm-nospec"
+	default:
+		return "default"
+	}
+}
+
+// ParseEngine maps the -engine flag values to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default":
+		return EngineDefault, nil
+	case "vm":
+		return EngineVM, nil
+	case "walk":
+		return EngineWalk, nil
+	case "vm-nospec", "nospec":
+		return EngineVMNoSpec, nil
+	}
+	return EngineDefault, fmt.Errorf("oclc: unknown engine %q (want vm, walk, or vm-nospec)", s)
+}
+
+// defaultEngine is the process-wide engine used when ExecOptions.Engine is
+// EngineDefault. Stored atomically so the -engine escape hatch and tests
+// can flip it while exploration workers launch kernels concurrently.
+var defaultEngine atomic.Int32
+
+func init() { defaultEngine.Store(int32(EngineVM)) }
+
+// SetDefaultEngine selects the process-wide execution engine (the -engine
+// flag and harness.Options.Engine land here).
+func SetDefaultEngine(e Engine) {
+	if e == EngineDefault {
+		e = EngineVM
+	}
+	defaultEngine.Store(int32(e))
+}
+
+// DefaultEngine returns the process-wide execution engine.
+func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// resolve maps EngineDefault to the process default.
+func (e Engine) resolve() Engine {
+	if e == EngineDefault {
+		return DefaultEngine()
+	}
+	return e
+}

@@ -91,6 +91,11 @@ type ExecOptions struct {
 	// RecordAccesses attaches an address log to the first executed
 	// work-group for the coalescing analysis.
 	RecordAccesses bool
+	// Engine selects the execution engine for this launch; EngineDefault
+	// uses the process default (SetDefaultEngine). A VM engine silently
+	// falls back to the walker when the program has no bytecode (bare
+	// Parse, or lowering bailed out).
+	Engine Engine
 }
 
 // ExecResult is the outcome of a launch.
@@ -178,7 +183,29 @@ func (p *Program) Launch(kernelName string, args []Arg, cfg LaunchConfig, opts E
 		limit = int64(opts.SampleGroups)
 	}
 
-	var localBytes int64
+	eng := opts.Engine.resolve()
+	var vc *vmCode
+	switch eng {
+	case EngineVM:
+		vc = fn.vm
+	case EngineVMNoSpec:
+		p.ensureNoSpec()
+		vc = fn.vmNoSpec
+	}
+
+	// Per-group scratch is hoisted out of the group loop: the aggregation
+	// buffers are reset and reused, so counter totals (and allocation
+	// behaviour) are invariant in the number of work-groups.
+	n := int(cfg.WorkGroupSize())
+	counters := make([]Counters, n)
+	errs := make([]error, n)
+	var sched *vmScheduler
+	if vc != nil {
+		sched = newVMScheduler(p, fn, vc, eng, args, n)
+		defer sched.release()
+	}
+
+	var localBytes, vmInstrs int64
 	for g := int64(0); g < limit; g++ {
 		gz := g / (ngx * ngy)
 		gy := (g / ngx) % ngy
@@ -192,7 +219,14 @@ func (p *Program) Launch(kernelName string, args []Arg, cfg LaunchConfig, opts E
 			wg.log = NewAccessLog(int(cfg.WorkGroupSize()))
 			res.Log = wg.log
 		}
-		divergent, err := p.runGroup(fn, args, wg, &res.Counters)
+		var divergent bool
+		if sched != nil {
+			var ic int64
+			divergent, ic, err = sched.runGroup(wg, &res.Counters, counters, errs)
+			vmInstrs += ic
+		} else {
+			divergent, err = p.runGroup(fn, args, wg, &res.Counters, counters, errs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -206,16 +240,23 @@ func (p *Program) Launch(kernelName string, args []Arg, cfg LaunchConfig, opts E
 		res.WIsExecuted += cfg.WorkGroupSize()
 	}
 	res.LocalBytes = localBytes
+	if vmInstrs > 0 {
+		mVMInstructions.Add(uint64(vmInstrs))
+	}
 	return res, nil
 }
 
-// runGroup executes all work-items of one group.
-func (p *Program) runGroup(fn *Function, args []Arg, wg *wgCtx, agg *Counters) (bool, error) {
+// runGroup executes all work-items of one group on the tree-walking
+// engine. counters and errs are caller-owned scratch of WorkGroupSize
+// length, reset here.
+func (p *Program) runGroup(fn *Function, args []Arg, wg *wgCtx, agg *Counters, counters []Counters, errs []error) (bool, error) {
 	n := wg.launch.WorkGroupSize()
 	wg.barrier = newCyclicBarrier(int(n))
 
-	counters := make([]Counters, n)
-	errs := make([]error, n)
+	for i := int64(0); i < n; i++ {
+		counters[i] = Counters{}
+		errs[i] = nil
+	}
 	var done sync.WaitGroup
 	lin := 0
 	for lz := int64(0); lz < wg.launch.Local[2]; lz++ {

@@ -1,0 +1,317 @@
+package oclc
+
+// Static scalar-kind inference. The walker's storeTo/execDecl convert
+// every value written to a declared scalar slot to the slot's kind, so a
+// slot's runtime kind is a compile-time invariant: KFloat for float
+// declarations, KInt for int/bool ones (convert maps KBool to an int
+// value). When the compiler can prove the value being stored already has
+// that kind, the conversion (opConvert/opStoreVar) is a no-op and the
+// producing instruction can write the slot directly. The inference is
+// deliberately conservative: anything it cannot prove is KVoid and keeps
+// the converting instruction.
+//
+// Soundness notes, mirroring the walker:
+//   - Kernel scalar parameters are NOT converted on launch (argToRval
+//     passes the caller's Arg kind through), so their kinds are unknown.
+//     Helper-function scalar parameters ARE converted by callFunction.
+//   - Array declarations create Memory with Elem = the declared kind, so
+//     loads from them have a known kind. Pointer parameters alias
+//     caller-owned Memory of unknown Elem and stay unknown.
+//   - %, shifts, and bitwise operators either error (float operands,
+//     zero divisor) — in which case nothing is stored — or produce ints.
+
+// declSlotKind is the runtime kind a declared scalar slot is guaranteed
+// to hold after its declaration (and, inductively, after every store,
+// since storeTo converts to the current kind). KVoid means no guarantee
+// (e.g. a void* declaration, whose convert is the identity).
+func declSlotKind(t Type) ValKind {
+	switch t.Kind {
+	case KFloat:
+		return KFloat
+	case KInt, KBool:
+		return KInt
+	}
+	return KVoid
+}
+
+// loadKind is the kind Memory.load yields for an element kind.
+func loadKind(k ValKind) ValKind {
+	if k == KFloat {
+		return KFloat
+	}
+	return KInt
+}
+
+// binKind is the static result kind of applyBinary given static operand
+// kinds, or KVoid when unknown. For the int-only operators the result is
+// KInt whenever the operation succeeds; on failure nothing is stored, so
+// KInt is still a sound answer for store elision.
+func binKind(op string, l, r ValKind) ValKind {
+	switch op {
+	case "+", "-", "*", "/":
+		if l == KFloat || r == KFloat {
+			return KFloat
+		}
+		if l == KInt && r == KInt {
+			return KInt
+		}
+		return KVoid
+	case "%", "<<", ">>", "&", "|", "^",
+		"==", "!=", "<", ">", "<=", ">=", "&&", "||":
+		return KInt
+	}
+	return KVoid
+}
+
+// builtinRetKinds lists builtins with a fixed result kind (arity errors
+// store nothing, so they do not weaken the guarantee). min/max/clamp are
+// operand-dependent and stay out.
+var builtinRetKinds = map[string]ValKind{
+	"get_global_id": KInt, "get_local_id": KInt, "get_group_id": KInt,
+	"get_global_size": KInt, "get_local_size": KInt, "get_num_groups": KInt,
+	"get_work_dim": KInt, "abs": KInt,
+	"fma": KFloat, "mad": KFloat, "pow": KFloat, "fmod": KFloat,
+	"fabs": KFloat, "sqrt": KFloat, "rsqrt": KFloat, "exp": KFloat,
+	"log": KFloat, "sin": KFloat, "cos": KFloat, "tanh": KFloat,
+	"floor": KFloat, "ceil": KFloat, "round": KFloat,
+}
+
+// staticKind infers the runtime kind of e's value, or KVoid when it
+// cannot be proven. Mirrors eval/applyBinary promotion exactly.
+func (c *compiler) staticKind(e Expr) ValKind {
+	switch x := e.(type) {
+	case *IntLit:
+		return KInt
+	case *FloatLit:
+		return KFloat
+	case *VarRef:
+		return c.slotKind[x.Slot]
+	case *Cast:
+		if k := declSlotKind(x.To); k != KVoid {
+			return k
+		}
+		return c.staticKind(x.X) // convert to void is the identity
+	case *Unary:
+		switch x.Op {
+		case "!", "~":
+			return KInt
+		case "-", "++", "--":
+			// Negation and inc/dec keep a float float and turn anything
+			// else into an int.
+			if k := c.staticKind(x.X); k == KInt || k == KFloat {
+				return k
+			}
+			return KVoid
+		}
+		return KVoid
+	case *Binary:
+		return binKind(x.Op, c.staticKind(x.L), c.staticKind(x.R))
+	case *Cond:
+		if t, f := c.staticKind(x.T), c.staticKind(x.F); t == f {
+			return t
+		}
+		return KVoid
+	case *Index:
+		if b, ok := x.Base.(*VarRef); ok {
+			return c.elemKind[b.Slot]
+		}
+		return KVoid
+	case *Assign:
+		// The assignment's value is the pre-conversion stored value.
+		if x.Op == "=" {
+			return c.staticKind(x.Value)
+		}
+		return KVoid
+	case *Call:
+		// compileCall resolves builtins before user functions, so the
+		// table only applies to genuine builtins. User-function results
+		// are unknown: falling off the end skips the return conversion.
+		if _, ok := builtins[x.Name]; ok {
+			return builtinRetKinds[x.Name]
+		}
+		return KVoid
+	}
+	return KVoid
+}
+
+// refsSlot reports whether e reads or writes the given frame slot. Used
+// to detect self-referential initializers (`int x = x + 1`), whose reads
+// observe the slot's pre-declaration content.
+func refsSlot(e Expr, slot int) bool {
+	switch x := e.(type) {
+	case *VarRef:
+		return x.Slot == slot
+	case *Cast:
+		return refsSlot(x.X, slot)
+	case *Unary:
+		return refsSlot(x.X, slot)
+	case *Binary:
+		return refsSlot(x.L, slot) || refsSlot(x.R, slot)
+	case *Cond:
+		return refsSlot(x.C, slot) || refsSlot(x.T, slot) || refsSlot(x.F, slot)
+	case *Assign:
+		return refsSlot(x.Target, slot) || refsSlot(x.Value, slot)
+	case *Index:
+		if refsSlot(x.Base, slot) {
+			return true
+		}
+		for _, i := range x.Idx {
+			if refsSlot(i, slot) {
+				return true
+			}
+		}
+		return false
+	case *Call:
+		for _, a := range x.Args {
+			if refsSlot(a, slot) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// scanKinds populates the compiler's slot/element kind tables from the
+// function signature and a body walk, and collects the slots whose
+// initializers read their own pre-declaration content (those are zeroed
+// at function entry so the pooled register file matches the walker's
+// fresh frame).
+func (c *compiler) scanKinds() {
+	c.slotKind = make([]ValKind, c.fn.NumSlots)
+	c.elemKind = make([]ValKind, c.fn.NumSlots)
+	if !c.fn.Kernel {
+		for _, p := range c.fn.Params {
+			if !p.Type.Ptr {
+				c.slotKind[p.Slot] = declSlotKind(p.Type)
+			}
+		}
+	}
+	c.scanStmt(c.fn.Body)
+}
+
+func (c *compiler) scanStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		for _, sub := range st.Stmts {
+			c.scanStmt(sub)
+		}
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			selfRef := false
+			if len(d.Dims) > 0 {
+				c.elemKind[d.Slot] = loadKind(d.Type.Kind)
+				for _, e := range d.Dims {
+					c.scanExpr(e)
+					selfRef = selfRef || refsSlot(e, d.Slot)
+				}
+			} else {
+				c.slotKind[d.Slot] = declSlotKind(d.Type)
+			}
+			if d.Init != nil {
+				c.scanExpr(d.Init)
+				selfRef = selfRef || refsSlot(d.Init, d.Slot)
+			}
+			if selfRef {
+				c.zeroSlots = append(c.zeroSlots, int32(d.Slot))
+			}
+		}
+	case *ExprStmt:
+		c.scanExpr(st.X)
+	case *If:
+		c.scanExpr(st.Cond)
+		c.scanStmt(st.Then)
+		if st.Else != nil {
+			c.scanStmt(st.Else)
+		}
+	case *For:
+		if st.Init != nil {
+			c.scanStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.scanExpr(st.Cond)
+		}
+		if st.Post != nil {
+			c.scanExpr(st.Post)
+		}
+		c.scanStmt(st.Body)
+	case *While:
+		c.scanExpr(st.Cond)
+		c.scanStmt(st.Body)
+	case *Return:
+		if st.X != nil {
+			c.scanExpr(st.X)
+		}
+	}
+}
+
+// scanExpr invalidates element-kind knowledge for pointer slots that are
+// ever written: an assignment (or ++/--) can replace an array slot's
+// pointer with an arbitrary value, after which loads through it have
+// unknown kinds. Scalar slot kinds survive writes (storeTo converts).
+func (c *compiler) scanExpr(e Expr) {
+	switch x := e.(type) {
+	case *Cast:
+		c.scanExpr(x.X)
+	case *Unary:
+		if x.Op == "++" || x.Op == "--" {
+			if t, ok := x.X.(*VarRef); ok {
+				c.elemKind[t.Slot] = KVoid
+			}
+		}
+		c.scanExpr(x.X)
+	case *Binary:
+		c.scanExpr(x.L)
+		c.scanExpr(x.R)
+	case *Cond:
+		c.scanExpr(x.C)
+		c.scanExpr(x.T)
+		c.scanExpr(x.F)
+	case *Assign:
+		if t, ok := x.Target.(*VarRef); ok {
+			c.elemKind[t.Slot] = KVoid
+		}
+		c.scanExpr(x.Target)
+		c.scanExpr(x.Value)
+	case *Index:
+		c.scanExpr(x.Base)
+		for _, i := range x.Idx {
+			c.scanExpr(i)
+		}
+	case *Call:
+		for _, a := range x.Args {
+			c.scanExpr(a)
+		}
+	}
+}
+
+// retargetable reports that op's only register effect is writing its
+// result to operand a, so a can be redirected to a variable slot.
+func retargetable(op opcode) bool {
+	switch op {
+	case opConstI, opConstF, opConstR, opMove, opConvert, opBool,
+		opIncVar, opIncVal,
+		opAdd, opSub, opMul, opDiv, opMod, opShl, opShr,
+		opBitAnd, opBitOr, opBitXor,
+		opEq, opNe, opLt, opGt, opLe, opGe, opNeg, opNot, opBitNot,
+		opAddImm, opSubImm, opRSubImm, opMulImm, opDivImm, opModImm,
+		opShlImm, opShrImm, opBitAndImm, opBitOrImm, opBitXorImm,
+		opEqImm, opNeImm, opLtImm, opGtImm, opLeImm, opGeImm,
+		opLoad1, opLoad2, opWIQuery, opFMA, opCallBuiltin, opCallFn:
+		return true
+	}
+	return false
+}
+
+// straightLine reports that the instruction window contains no control
+// flow, so the last instruction is the unique final writer of its dst
+// (a window with branches can write the result register on two paths).
+func straightLine(code []instr) bool {
+	for i := range code {
+		switch code[i].op {
+		case opJump, opJumpFalse, opJumpTrue, opBrCmpFalse, opBrCmpFalseImm:
+			return false
+		}
+	}
+	return true
+}

@@ -30,7 +30,16 @@ func Compile(source string, defines map[string]string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Parse(pp)
+	prog, err := Parse(pp)
+	if err != nil {
+		return nil, err
+	}
+	// Lower to bytecode while the define-set is still in scope: the source
+	// has been specialized by Preprocess, so constant folding here is
+	// per-configuration specialization. Programs built via bare Parse run
+	// on the tree-walking engine.
+	prog.lower()
+	return prog, nil
 }
 
 type parser struct {

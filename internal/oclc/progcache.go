@@ -23,6 +23,29 @@ var (
 		"Wall-clock time of one cold kernel compile (preprocess+lex+parse)", nil)
 )
 
+// Engine-labeled views of the cache counters (DESIGN.md §3c): the same
+// events as the unlabeled totals, attributed to the process-default engine
+// active at lookup time, so operators can see which engine a tuning run's
+// compiles fed.
+var (
+	mCompileHitsByEngine = map[Engine]*obs.Counter{
+		EngineVM: obs.NewCounter(`atf_oclc_compile_cache_hits_total{engine="vm"}`,
+			"Compile-cache hits while the vm engine was the process default"),
+		EngineWalk: obs.NewCounter(`atf_oclc_compile_cache_hits_total{engine="walk"}`,
+			"Compile-cache hits while the walk engine was the process default"),
+		EngineVMNoSpec: obs.NewCounter(`atf_oclc_compile_cache_hits_total{engine="vm-nospec"}`,
+			"Compile-cache hits while the vm-nospec engine was the process default"),
+	}
+	mCompileMissesByEngine = map[Engine]*obs.Counter{
+		EngineVM: obs.NewCounter(`atf_oclc_compile_cache_misses_total{engine="vm"}`,
+			"Compile-cache misses while the vm engine was the process default"),
+		EngineWalk: obs.NewCounter(`atf_oclc_compile_cache_misses_total{engine="walk"}`,
+			"Compile-cache misses while the walk engine was the process default"),
+		EngineVMNoSpec: obs.NewCounter(`atf_oclc_compile_cache_misses_total{engine="vm-nospec"}`,
+			"Compile-cache misses while the vm-nospec engine was the process default"),
+	}
+)
+
 // programCache memoizes compiled programs by (source, define set). ATF's
 // OpenCL cost function rebuilds the kernel for every configuration; search
 // techniques revisit configurations (annealing walks, cache-less random
@@ -100,6 +123,9 @@ func (c *programCache) compile(source string, defines map[string]string) (*Progr
 		select {
 		case <-e.done:
 			mCompileHits.Inc()
+			if m := mCompileHitsByEngine[DefaultEngine()]; m != nil {
+				m.Inc()
+			}
 		default:
 			mCompileInflight.Inc()
 			<-e.done
@@ -108,6 +134,9 @@ func (c *programCache) compile(source string, defines map[string]string) (*Progr
 	}
 	c.misses++
 	mCompileMisses.Inc()
+	if m := mCompileMissesByEngine[DefaultEngine()]; m != nil {
+		m.Inc()
+	}
 	if len(c.entries) >= c.cap {
 		// The cache outgrew its bound: drop a quarter of the entries
 		// (arbitrary victims — map order). Eviction never blocks waiters:
