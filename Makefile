@@ -32,10 +32,16 @@ check: doccheck build test race
 
 # bench runs the space-generation benchmark (memo on/off × workers), the
 # exploration benches, and the kernel-interpreter engine comparison
-# (walk vs vm-nospec vs vm), 5 samples each for benchdiff/benchstat:
+# (walk vs vm-nospec vs vm vs vm-vec), 5 samples each for
+# benchdiff/benchstat. The raw text is kept in results/bench.txt and a
+# machine-readable mean-ns/op summary is written to results/bench.json;
+# scripts/benchdiff.sh diffs any mix of the two formats:
 #   make bench > after.txt   # then: scripts/benchdiff.sh before.txt after.txt
+#   scripts/benchdiff.sh old-bench.json results/bench.json
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGenerateSpace|BenchmarkExploreParallel|BenchmarkKernelInterpreter' -count=5 .
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench 'BenchmarkGenerateSpace|BenchmarkExploreParallel|BenchmarkKernelInterpreter' -count=5 . | tee results/bench.txt
+	@sh scripts/bench2json.sh results/bench.txt > results/bench.json
 
 fmt:
 	gofmt -w .

@@ -44,7 +44,7 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := flag.Bool("trace", false, "log structured span/trace events to stderr")
 	engine := flag.String("engine", "",
-		"oclc execution engine for kernel launches: vm (default), walk, vm-nospec (docs/OPERATIONS.md)")
+		"oclc execution engine for kernel launches: vm-vec (default), vm, walk, vm-nospec (docs/OPERATIONS.md)")
 	flag.Parse()
 
 	eng, err := oclc.ParseEngine(*engine)

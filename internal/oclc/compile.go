@@ -65,6 +65,7 @@ func lowerFunction(p *Program, fn *Function, spec bool) (vc *vmCode) {
 		maxRegs: fn.NumSlots,
 	}
 	c.scanKinds()
+	c.uni = analyzeUniform(fn)
 	// Self-referential initializers observe the slot's content from
 	// before the declaration; the walker sees a zeroed frame there, the
 	// VM a pooled register file, so those slots are cleared on entry.
@@ -99,6 +100,11 @@ type compiler struct {
 	slotKind  []ValKind
 	elemKind  []ValKind
 	zeroSlots []int32
+
+	// Uniformity analysis (uniform.go): which variable slots provably
+	// hold work-item-ID-independent values, for branch hints consumed by
+	// the lockstep-vectorized engine.
+	uni *uniScan
 }
 
 // loopPatch collects forward jumps of one lexical loop.
@@ -136,11 +142,17 @@ var cmpKinds = map[opcode]int32{
 // emitCondBranch emits the branch-if-false on creg together with the
 // associated counter bump (iter: opCtrBranch, opCtrLoop, opCtrUnroll, or
 // opNop for none), fusing all of it into the comparison instruction that
-// produced creg when there is one. Returns the index to patch with the
-// false-path target. The counter reorderings are unobservable: no
-// instruction between the comparison and the branch can fail, and
-// counters are only read after the work-item finishes.
-func (c *compiler) emitCondBranch(creg int32, iter opcode, pos Pos) int {
+// produced creg when there is one. cond is the source condition; when the
+// uniformity analysis proves it work-item-ID-independent the branch
+// carries the brUniform hint for the vector engine. Returns the index to
+// patch with the false-path target. The counter reorderings are
+// unobservable: no instruction between the comparison and the branch can
+// fail, and counters are only read after the work-item finishes.
+func (c *compiler) emitCondBranch(creg int32, iter opcode, cond Expr, pos Pos) int {
+	var hint int32
+	if c.uni.condUniform(cond) {
+		hint = brUniform
+	}
 	if n := len(c.vc.code) - 1; n >= 0 {
 		last := c.vc.code[n]
 		if kind, ok := cmpKinds[last.op]; ok && last.a == creg && creg >= int32(c.fn.NumSlots) {
@@ -157,18 +169,27 @@ func (c *compiler) emitCondBranch(creg int32, iter opcode, pos Pos) int {
 			if last.op >= opEqImm && last.op <= opGeImm {
 				fop = opBrCmpFalseImm
 			}
-			c.vc.code[n] = instr{op: fop, a: last.b, b: last.c, imm: last.imm, d: kind | cb<<8, pos: pos}
+			c.vc.code[n] = instr{op: fop, a: last.b, b: last.c, imm: last.imm, d: kind | cb<<8 | hint, pos: pos}
 			return n
 		}
 	}
 	if iter == opCtrBranch {
 		c.emit(instr{op: opCtrBranch, imm: 1, pos: pos})
 	}
-	jf := c.emit(instr{op: opJumpFalse, a: creg, pos: pos})
+	jf := c.emit(instr{op: opJumpFalse, a: creg, d: boolHint(hint != 0), pos: pos})
 	if iter == opCtrLoop || iter == opCtrUnroll {
 		c.emit(instr{op: iter, pos: pos})
 	}
 	return jf
+}
+
+// boolHint encodes a uniformity hint for opJumpFalse/opJumpTrue, whose d
+// operand is otherwise unused.
+func boolHint(uniform bool) int32 {
+	if uniform {
+		return 1
+	}
+	return 0
 }
 
 func (c *compiler) newTemp() int32 {
@@ -556,7 +577,7 @@ func (c *compiler) compileCond(x *Cond) int32 {
 	}
 	rc := c.compileExpr(x.C)
 	t := c.newTemp()
-	jf := c.emitCondBranch(rc, opCtrBranch, x.Pos)
+	jf := c.emitCondBranch(rc, opCtrBranch, x.C, x.Pos)
 	m := c.mark()
 	c.compileExprInto(x.T, t)
 	c.reset(m)
@@ -637,7 +658,7 @@ func (c *compiler) compileBinary(x *Binary) int32 {
 			jop = opJumpTrue
 			short = 1
 		}
-		js := c.emit(instr{op: jop, a: rl, pos: x.Pos})
+		js := c.emit(instr{op: jop, a: rl, d: boolHint(c.uni.condUniform(x.L)), pos: x.Pos})
 		m := c.mark()
 		rr := c.compileExpr(x.R)
 		c.emit(instr{op: opBool, a: t, b: rr, pos: x.Pos})
@@ -873,7 +894,9 @@ func (c *compiler) compileCall(x *Call) int32 {
 		}
 	}
 	t := c.newTemp()
-	c.emit(instr{op: opCallFn, a: t, b: base, c: int32(len(x.Args)), imm: c.fnIdx(callee), pos: x.Pos})
+	// d records the live temp watermark of the caller frame while the
+	// callee runs (vector lane re-convergence; see opcode.go).
+	c.emit(instr{op: opCallFn, a: t, b: base, c: int32(len(x.Args)), d: c.tempTop, imm: c.fnIdx(callee), pos: x.Pos})
 	return t
 }
 
@@ -896,7 +919,10 @@ func (c *compiler) compileBuiltin(x *Call) int32 {
 		// group. The walker evaluates arguments (for effect) and then
 		// synchronizes regardless of arity.
 		c.compileArgsForEffect(x.Args)
-		c.emit(instr{op: opBarrier, pos: x.Pos})
+		// a records the live temp watermark: registers at or above it are
+		// dead across the suspension (vector lane re-convergence ignores
+		// them; see opcode.go).
+		c.emit(instr{op: opBarrier, a: c.tempTop, pos: x.Pos})
 		t := c.newTemp()
 		c.emit(instr{op: opConstR, a: t, imm: c.rvalIdx(rval{}), pos: x.Pos})
 		return t
@@ -1049,7 +1075,7 @@ func (c *compiler) compileIf(st *If) {
 	}
 	m := c.mark()
 	rc := c.compileExpr(st.Cond)
-	jf := c.emitCondBranch(rc, opCtrBranch, st.Pos)
+	jf := c.emitCondBranch(rc, opCtrBranch, st.Cond, st.Pos)
 	c.reset(m)
 	c.compileStmt(st.Then)
 	if st.Else == nil {
@@ -1093,7 +1119,7 @@ func (c *compiler) compileLoopCond(cond Expr, iter opcode, pos Pos) (int, bool) 
 	}
 	m := c.mark()
 	rc := c.compileExpr(cond)
-	jf := c.emitCondBranch(rc, iter, pos)
+	jf := c.emitCondBranch(rc, iter, cond, pos)
 	c.reset(m)
 	return jf, true
 }

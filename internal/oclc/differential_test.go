@@ -2,11 +2,12 @@ package oclc_test
 
 // Differential testing of the execution engines: every corpus kernel runs
 // under the tree-walking reference interpreter, the specialized bytecode
-// VM, and the unspecialized VM, across several define-sets, and the test
-// asserts identical observable behaviour — buffer contents bit-for-bit,
-// the full Counters struct, execution geometry, the divergence flag, and
-// error strings. This is the acceptance gate that lets the VM replace the
-// walker as the default engine.
+// VM, the unspecialized VM, and the lockstep-vectorized VM, across several
+// define-sets, and the test asserts identical observable behaviour —
+// buffer contents bit-for-bit, the full Counters struct, execution
+// geometry, the divergence flag, and error strings. This is the
+// acceptance gate that lets a VM replace the walker as the default
+// engine.
 
 import (
 	"fmt"
@@ -259,6 +260,63 @@ var diffCorpus = []diffCase{
 		global: [2]int64{4, 0}, local: [2]int64{4, 0},
 		bufs: []int{4},
 	},
+	{
+		// Data-dependent branch and loop bound: lanes take different paths
+		// and different trip counts based on loaded values, so the vector
+		// engine must scatter and finish the group on scalar frames (no
+		// barrier ever re-converges it).
+		name: "data-dependent-branch",
+		src: `__kernel void ddb(__global float* out, __global int* sel) {
+		  const int g = get_global_id(0);
+		  float v = 1.0f;
+		  if (sel[g] > 0) { v = v * 2.0f + 1.0f; } else { v = v - 3.0f; }
+		  for (int i = 0; i < sel[g] + 4; i++) { v += (float)(i * (g + 1)); }
+		  out[g] = v;
+		}`,
+		kernel: "ddb",
+		global: [2]int64{8, 0}, local: [2]int64{4, 0},
+		bufs: []int{8, -8},
+	},
+	{
+		// Early return inside a loop: some lanes exit the kernel mid-loop
+		// while the rest keep iterating — lane deaths inside a divergent
+		// region, with per-lane counters diverging too.
+		name: "early-return-in-loop",
+		src: `__kernel void er(__global float* out, __global int* lim) {
+		  const int g = get_global_id(0);
+		  float acc = 0.0f;
+		  for (int i = 0; i < 16; i++) {
+		    if (i == lim[g]) { out[g] = acc; return; }
+		    acc += (float)(g + i);
+		  }
+		  out[g] = -acc;
+		}`,
+		kernel: "er",
+		global: [2]int64{8, 0}, local: [2]int64{8, 0},
+		bufs: []int{8, -8},
+	},
+	{
+		// Divergent region between two uniform ones, separated by a
+		// barrier: the group scatters at the data-dependent branch, every
+		// lane reaches the barrier, and the vector engine re-gathers and
+		// finishes the reduction in lockstep.
+		name: "divergent-barrier-regather",
+		src: `__kernel void dbr(__global float* out, __global int* sel) {
+		  __local float tile[LS];
+		  const int l = get_local_id(0);
+		  float v;
+		  if (sel[get_global_id(0)] > 0) { v = 2.0f; } else { v = 0.5f; }
+		  tile[l] = v;
+		  barrier(0);
+		  float s = 0.0f;
+		  for (int i = 0; i < LS; i++) { s += tile[i]; }
+		  out[get_global_id(0)] = s * v;
+		}`,
+		defines: map[string]string{"LS": "8"},
+		kernel:  "dbr",
+		global:  [2]int64{16, 0}, local: [2]int64{8, 0},
+		bufs: []int{16, -16},
+	},
 }
 
 // diffRun executes one case under one engine with fresh buffers and
@@ -348,7 +406,7 @@ func TestDifferentialEngines(t *testing.T) {
 	for _, tc := range diffCorpus {
 		t.Run(tc.name, func(t *testing.T) {
 			ref := runDiffCase(t, tc, oclc.EngineWalk)
-			for _, eng := range []oclc.Engine{oclc.EngineVM, oclc.EngineVMNoSpec} {
+			for _, eng := range []oclc.Engine{oclc.EngineVM, oclc.EngineVMNoSpec, oclc.EngineVMVec} {
 				compareRuns(t, eng, ref, runDiffCase(t, tc, eng))
 			}
 		})
@@ -356,7 +414,7 @@ func TestDifferentialEngines(t *testing.T) {
 }
 
 // TestDifferentialXgemmDirect runs the full CLBlast XgemmDirect kernel —
-// the tuning workload the VM was built for — under all three engines
+// the tuning workload the VM was built for — under all four engines
 // across several configurations and compares results and counters.
 func TestDifferentialXgemmDirect(t *testing.T) {
 	if testing.Short() {
@@ -421,7 +479,7 @@ func TestDifferentialXgemmDirect(t *testing.T) {
 			if ref.err != nil {
 				t.Fatalf("walk failed: %v", ref.err)
 			}
-			for _, eng := range []oclc.Engine{oclc.EngineVM, oclc.EngineVMNoSpec} {
+			for _, eng := range []oclc.Engine{oclc.EngineVM, oclc.EngineVMNoSpec, oclc.EngineVMVec} {
 				got := run(eng)
 				if got.err != nil {
 					t.Fatalf("%v failed: %v", eng, got.err)
@@ -437,6 +495,138 @@ func TestDifferentialXgemmDirect(t *testing.T) {
 				}
 				if ref.res.Divergent != got.res.Divergent || ref.res.LocalBytes != got.res.LocalBytes {
 					t.Fatalf("%v: geometry mismatch", eng)
+				}
+			}
+		})
+	}
+}
+
+// TestVMVecGroupSizeProperty is the lane-width property test for the
+// vectorized engine: a corpus of kernels (uniform, divergent, and
+// barrier-re-converging) runs at work-group sizes {1, 2, 7, 64} — scalar
+// degenerate, minimal, odd, and wide — over a fixed 448-item NDRange
+// (divisible by every size). At every size vm-vec must be bit-equal to
+// the walker, and kernels whose semantics don't reference the local
+// geometry must additionally produce buffers invariant to the group size.
+func TestVMVecGroupSizeProperty(t *testing.T) {
+	const global = 448
+	sizes := []int64{1, 2, 7, 64}
+	cases := []struct {
+		tc            diffCase
+		sizeInvariant bool
+	}{
+		{sizeInvariant: true, tc: diffCase{
+			name: "saxpy",
+			src: `__kernel void saxpy(const int N, const float a,
+				__global float* x, __global float* y) {
+			  for (int w = 0; w < WPT; w++) {
+			    const int id = w * get_global_size(0) + get_global_id(0);
+			    y[id] = a * x[id] + y[id];
+			  }
+			}`,
+			defines: map[string]string{"WPT": "2"},
+			kernel:  "saxpy",
+			bufs:    []int{0, 0, 2 * global, 2 * global},
+			scalars: []oclc.Arg{oclc.IntArg(2 * global), oclc.FloatArg(2.5)},
+		}},
+		{sizeInvariant: true, tc: diffCase{
+			name: "int-float-mix",
+			src: `__kernel void mix(__global float* out, __global int* flags, const int n) {
+			  const int g = get_global_id(0);
+			  int acc = g % 5;
+			  float facc = 0.5f;
+			  for (int i = 0; i < n; i++) {
+			    acc = acc * 3 + (i & 7);
+			    acc ^= i << 2;
+			    facc = fma(facc, 1.0f + (float)(i) * 0.125f, 0.25f);
+			    facc /= 2;
+			  }
+			  if (acc % 2 == 0 && facc > 0.0f) { flags[g] = acc; }
+			  else { flags[g] = -acc; }
+			  out[g] = facc + (float)(acc);
+			}`,
+			kernel:  "mix",
+			bufs:    []int{global, -global, 0},
+			scalars: []oclc.Arg{oclc.IntArg(6)},
+		}},
+		{sizeInvariant: true, tc: diffCase{
+			name: "builtins",
+			src: `__kernel void bc(__global float* out) {
+			  const int g = get_global_id(0);
+			  float v = sqrt((float)(g + 1)) + fabs(-1.5f) + pow(2.0f, 3.0f);
+			  v += (float)(abs(2 - g)) + fmod(7.5f, 2.0f);
+			  v = clamp(v, 0.0f, 100.0f) + (float)(min(g, 3)) + (float)(max(g, 1));
+			  out[g] = v;
+			}`,
+			kernel: "bc",
+			bufs:   []int{global},
+		}},
+		{sizeInvariant: true, tc: diffCase{
+			name: "data-dependent-branch",
+			src: `__kernel void ddb(__global float* out, __global int* sel) {
+			  const int g = get_global_id(0);
+			  float v = 1.0f;
+			  if (sel[g] > 0) { v = v * 2.0f + 1.0f; } else { v = v - 3.0f; }
+			  for (int i = 0; i < (sel[g] & 7) + 1; i++) { v += (float)(i * (g + 1)); }
+			  out[g] = v;
+			}`,
+			kernel: "ddb",
+			bufs:   []int{global, -global},
+		}},
+		{sizeInvariant: true, tc: diffCase{
+			name: "early-return-in-loop",
+			src: `__kernel void er(__global float* out, __global int* lim) {
+			  const int g = get_global_id(0);
+			  float acc = 0.0f;
+			  for (int i = 0; i < 16; i++) {
+			    if (i == lim[g]) { out[g] = acc; return; }
+			    acc += (float)(g + i);
+			  }
+			  out[g] = -acc;
+			}`,
+			kernel: "er",
+			bufs:   []int{global, -global},
+		}},
+		{sizeInvariant: false, tc: diffCase{
+			// Divergence, then a barrier re-convergence, in a kernel whose
+			// output depends on the local geometry — exercises the scatter
+			// and re-gather paths at every lane width, including width 1.
+			name: "divergent-barrier-regather",
+			src: `__kernel void dbr(__global float* out, __global int* sel) {
+			  const int g = get_global_id(0);
+			  float v;
+			  if (sel[g] > 0) { v = 2.0f; } else { v = 0.5f; }
+			  barrier(0);
+			  out[g] = v * (float)(get_local_id(0) + get_local_size(0));
+			}`,
+			kernel: "dbr",
+			bufs:   []int{global, -global},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.tc.name, func(t *testing.T) {
+			var first diffRun
+			for si, local := range sizes {
+				tc := c.tc
+				tc.global = [2]int64{global, 0}
+				tc.local = [2]int64{local, 0}
+				ref := runDiffCase(t, tc, oclc.EngineWalk)
+				got := runDiffCase(t, tc, oclc.EngineVMVec)
+				compareRuns(t, oclc.EngineVMVec, ref, got)
+				if si == 0 {
+					first = got
+					continue
+				}
+				if !c.sizeInvariant {
+					continue
+				}
+				for i := range first.bufs {
+					for j := range first.bufs[i] {
+						if first.bufs[i][j] != got.bufs[i][j] {
+							t.Fatalf("local=%d: buffer %d[%d] = %v, local=%d has %v",
+								local, i, j, got.bufs[i][j], sizes[0], first.bufs[i][j])
+						}
+					}
 				}
 			}
 		})

@@ -5,11 +5,12 @@ import (
 	"sync/atomic"
 )
 
-// Engine selects how Launch executes work-items. The register-based
-// bytecode VM is the production engine; the tree-walking interpreter stays
-// as the reference implementation for differential testing and ablation
-// (results/interp.md). EngineVMNoSpec runs the VM on bytecode compiled
-// without define-specialization (no constant folding, no dead-branch
+// Engine selects how Launch executes work-items. The lockstep-vectorized
+// bytecode VM (vm-vec) is the production engine; the scalar VM remains for
+// ablation, and the tree-walking interpreter stays as the reference
+// implementation for differential testing (results/interp.md).
+// EngineVMNoSpec runs the scalar VM on bytecode compiled without
+// define-specialization (no constant folding, no dead-branch
 // elimination), isolating the specialization win in the E11 ablation.
 type Engine uint8
 
@@ -22,6 +23,11 @@ const (
 	EngineWalk
 	// EngineVMNoSpec executes unspecialized bytecode (ablation).
 	EngineVMNoSpec
+	// EngineVMVec executes specialized bytecode in lockstep over a whole
+	// work-group (SoA register files, one dispatch per instruction per
+	// group), falling back to per-item scalar frames on control-flow
+	// divergence (vmvec.go).
+	EngineVMVec
 )
 
 func (e Engine) String() string {
@@ -32,6 +38,8 @@ func (e Engine) String() string {
 		return "walk"
 	case EngineVMNoSpec:
 		return "vm-nospec"
+	case EngineVMVec:
+		return "vm-vec"
 	default:
 		return "default"
 	}
@@ -48,8 +56,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineWalk, nil
 	case "vm-nospec", "nospec":
 		return EngineVMNoSpec, nil
+	case "vm-vec", "vec":
+		return EngineVMVec, nil
 	}
-	return EngineDefault, fmt.Errorf("oclc: unknown engine %q (want vm, walk, or vm-nospec)", s)
+	return EngineDefault, fmt.Errorf("oclc: unknown engine %q (want vm-vec, vm, walk, or vm-nospec)", s)
 }
 
 // defaultEngine is the process-wide engine used when ExecOptions.Engine is
@@ -57,13 +67,13 @@ func ParseEngine(s string) (Engine, error) {
 // can flip it while exploration workers launch kernels concurrently.
 var defaultEngine atomic.Int32
 
-func init() { defaultEngine.Store(int32(EngineVM)) }
+func init() { defaultEngine.Store(int32(EngineVMVec)) }
 
 // SetDefaultEngine selects the process-wide execution engine (the -engine
 // flag and harness.Options.Engine land here).
 func SetDefaultEngine(e Engine) {
 	if e == EngineDefault {
-		e = EngineVM
+		e = EngineVMVec
 	}
 	defaultEngine.Store(int32(e))
 }

@@ -186,7 +186,7 @@ func (p *Program) Launch(kernelName string, args []Arg, cfg LaunchConfig, opts E
 	eng := opts.Engine.resolve()
 	var vc *vmCode
 	switch eng {
-	case EngineVM:
+	case EngineVM, EngineVMVec:
 		vc = fn.vm
 	case EngineVMNoSpec:
 		p.ensureNoSpec()

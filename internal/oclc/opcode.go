@@ -18,7 +18,7 @@ const (
 	opReturn    // return r[a] from the current frame
 	opReturnNil // return rval{} from the current frame
 	opErr       // fail with errTab[imm]
-	opBarrier   // Barriers++; suspend until the work-group synchronizes
+	opBarrier   // Barriers++; suspend until the work-group synchronizes (a = live temp watermark)
 
 	// Counter bumps for statically-resolved work (folded constants,
 	// eliminated branches) and loop iterations.
@@ -88,9 +88,10 @@ const (
 
 	// Fused compare-and-branch: the dominant loop-head/if-head sequence
 	// [compare; counter bump; conditional jump] in one dispatch. Operand
-	// d packs the comparison kind (low byte) and the counter bumped on
-	// the taken/either path (cbIter* in the high byte); the jump target
-	// lives in c because imm carries the constant for the Imm form.
+	// d packs the comparison kind (low byte), the counter bumped on the
+	// taken/either path (cbIter* in the second byte), and the brUniform
+	// hint bit; the jump target lives in c because imm carries the
+	// constant for the Imm form.
 	opBrCmpFalse    // compare r[a] ? r[b]; IntOps++; bump; if false ip = c
 	opBrCmpFalseImm // compare r[a] ? imm;  IntOps++; bump; if false ip = c
 
@@ -109,8 +110,33 @@ const (
 	opWIQuery     // r[a] = work-item query b at dimension c
 	opFMA         // r[a] = fma(r[b], r[c], r[d]); FMAs++
 	opCallBuiltin // r[a] = builtinTab[imm](args r[b:b+c])
-	opCallFn      // r[a] = fnTab[imm](args r[b:b+c]); Calls++
+	opCallFn      // r[a] = fnTab[imm](args r[b:b+c]); Calls++ (d = live temp watermark)
 )
+
+// Uniformity hints (compile.go, uniform.go), consumed only by the
+// lockstep-vectorized engine (vmvec.go); the scalar VM ignores them. A
+// hinted branch is proven work-item-ID-independent: every lane of a
+// work-group executing in lockstep takes the same direction, so the
+// vector engine decides it once instead of checking per-lane agreement.
+// A wrong hint would silently corrupt lockstep execution, so the analysis
+// in uniform.go is strictly conservative.
+//
+// For opJumpFalse/opJumpTrue the hint is d != 0 (d is otherwise unused);
+// for opBrCmpFalse* it is the brUniform bit, above the cmp/cbIter bytes.
+const brUniform int32 = 1 << 16
+
+// Live temp watermarks: instructions at which a work-item can suspend
+// (opBarrier) or leave the frame mid-statement (opCallFn) record the
+// compiler's temp-register watermark in a spare operand. Registers at or
+// above the watermark are dead — no later instruction reads them before
+// writing — which the vector engine's lane re-convergence check uses to
+// ignore stale per-lane garbage in expression temporaries.
+//
+// Lane-width-aware operand layout (vmvec.go): the vector engine keeps one
+// structure-of-arrays register file per frame, laid out column-major —
+// register r of lane l lives at regs[r*width+l], so every operand index
+// in this file addresses a contiguous [width]rval column. Scalar frames
+// use the same indices with width 1; no instruction encodes the width.
 
 // Comparison kinds for opBrCmpFalse* (low byte of operand d).
 const (

@@ -23,6 +23,22 @@ type rval struct {
 func intVal(v int64) rval     { return rval{k: KInt, i: v} }
 func floatVal(v float64) rval { return rval{k: KFloat, f: v} }
 
+// setInt/setFloat write a scalar result in place, touching only the kind
+// and payload fields. A full rval assignment copies 48 bytes and — because
+// of the mem pointer — goes through the GC write barrier on every register
+// write; the in-place form does neither. Stale mem/off/dim1 fields are
+// harmless: every consumer dispatches on k first and reads pointer fields
+// only when k == KPtr.
+func (p *rval) setInt(v int64) {
+	p.k = KInt
+	p.i = v
+}
+
+func (p *rval) setFloat(v float64) {
+	p.k = KFloat
+	p.f = v
+}
+
 // asInt coerces to int64 with C semantics (float truncation).
 func (v rval) asInt() int64 {
 	if v.k == KFloat {
@@ -108,6 +124,24 @@ func (m *Memory) store(i int64, v rval) error {
 	return nil
 }
 
+// storePlain is store for engines that interleave a whole group's
+// work-items on one goroutine (the VM schedulers): identical bounds and
+// conversion semantics, without the atomic cell write — an atomic store is
+// a serializing instruction on most hosts and the vector engine issues one
+// per lane per store. The walker keeps the atomic path because its
+// work-items are goroutines that may race on a cell.
+func (m *Memory) storePlain(i int64, v rval) error {
+	if uint64(i) >= uint64(len(m.Data)) {
+		return fmt.Errorf("oclc: %s buffer %d: store index %d out of range [0,%d)", m.Space, m.ID, i, len(m.Data))
+	}
+	if m.Elem == KFloat {
+		m.Data[i] = v.asFloat()
+	} else {
+		m.Data[i] = float64(v.asInt())
+	}
+	return nil
+}
+
 // Float32s returns the buffer contents as float32 (device precision).
 func (m *Memory) Float32s() []float32 {
 	out := make([]float32, len(m.Data))
@@ -184,9 +218,11 @@ type Access struct {
 // groups accesses by SIMD batch and counts unique cache lines to derive
 // memory transactions.
 type AccessLog struct {
-	perWI [][]Access
-	sites map[int]map[int][]uint64 // site -> wi -> ordered addresses
-	once  sync.Once
+	perWI  [][]Access
+	bySite [][][]uint64 // site -> wi -> ordered addresses (arena-backed)
+	sites  map[int]map[int][]uint64
+	once   sync.Once
+	mapono sync.Once
 }
 
 // NewAccessLog returns a log with buffers for n work-items.
@@ -197,20 +233,81 @@ func (l *AccessLog) record(site, wi int, addr uint64, store bool) {
 	l.perWI[wi] = append(l.perWI[wi], Access{Site: site, Addr: addr, Store: store})
 }
 
-// Sites returns the accesses grouped site → work-item → ordered address
-// list; built once, after the work-group has finished.
-func (l *AccessLog) Sites() map[int]map[int][]uint64 {
+// SiteAccesses returns the accesses grouped site → work-item → ordered
+// address list; built once, after the work-group has finished. Site IDs
+// are dense compile-time indices, so the grouping is a counting sort into
+// a single address arena — the log is rebuilt for every sampled launch of
+// a cost evaluation, which makes this path too hot for map-based grouping.
+// Sites with no accesses hold a nil work-item slice.
+func (l *AccessLog) SiteAccesses() [][][]uint64 {
 	l.once.Do(func() {
-		l.sites = make(map[int]map[int][]uint64)
-		for wi, accs := range l.perWI {
-			for _, a := range accs {
-				m := l.sites[a.Site]
-				if m == nil {
-					m = make(map[int][]uint64)
-					l.sites[a.Site] = m
+		nWI := len(l.perWI)
+		maxSite := -1
+		total := 0
+		for _, accs := range l.perWI {
+			for i := range accs {
+				if s := accs[i].Site; s > maxSite {
+					maxSite = s
 				}
-				m[wi] = append(m[wi], a.Addr)
 			}
+			total += len(accs)
+		}
+		if maxSite < 0 {
+			return
+		}
+		ns := maxSite + 1
+		counts := make([]int, ns*nWI)
+		for wi, accs := range l.perWI {
+			for i := range accs {
+				counts[accs[i].Site*nWI+wi]++
+			}
+		}
+		arena := make([]uint64, 0, total)
+		cells := make([][]uint64, ns*nWI)
+		for ci, c := range counts {
+			if c > 0 {
+				off := len(arena)
+				arena = arena[: off+c : cap(arena)]
+				cells[ci] = arena[off : off : off+c]
+			}
+		}
+		for wi, accs := range l.perWI {
+			for i := range accs {
+				ci := accs[i].Site*nWI + wi
+				cells[ci] = append(cells[ci], accs[i].Addr)
+			}
+		}
+		l.bySite = make([][][]uint64, ns)
+		for s := 0; s < ns; s++ {
+			row := cells[s*nWI : (s+1)*nWI]
+			for _, c := range row {
+				if c != nil {
+					l.bySite[s] = row
+					break
+				}
+			}
+		}
+	})
+	return l.bySite
+}
+
+// Sites returns the same grouping as SiteAccesses in map form (site →
+// work-item → addresses), omitting empty sites and work-items. Kept for
+// consumers that want sparse lookup; derived from the slice form.
+func (l *AccessLog) Sites() map[int]map[int][]uint64 {
+	l.mapono.Do(func() {
+		l.sites = make(map[int]map[int][]uint64)
+		for s, row := range l.SiteAccesses() {
+			if row == nil {
+				continue
+			}
+			m := make(map[int][]uint64)
+			for wi, addrs := range row {
+				if len(addrs) > 0 {
+					m[wi] = addrs
+				}
+			}
+			l.sites[s] = m
 		}
 	})
 	return l.sites

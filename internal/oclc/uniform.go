@@ -1,0 +1,254 @@
+package oclc
+
+// Uniformity analysis for the lockstep-vectorized engine (vmvec.go).
+//
+// A value is *uniform* when every work-item of a work-group executing in
+// lockstep from kernel entry is guaranteed to hold the same value in it; a
+// branch on a uniform condition is taken the same way by all active lanes,
+// so the vector engine can decide it once per group instead of checking
+// per-lane agreement (and, on disagreement, scattering to scalar frames).
+//
+// The analysis is a conservative fixed point over variable slots. A slot
+// becomes *varying* when any write to it either stores a varying value or
+// happens under varying control (inside an if/loop/ternary arm whose
+// condition is varying — after lanes re-converge at a barrier, such a slot
+// can hold different values per lane even though every individual store
+// looked uniform). Work-item IDs, memory loads, and user-function results
+// are varying; group IDs, NDRange sizes, literals, and kernel parameters
+// (host-provided scalars and buffer pointers) are uniform. Helper-function
+// parameters are varying — call sites may pass lane-dependent values.
+//
+// Soundness over precision: a missed hint costs a per-lane agreement
+// check; a wrong hint silently corrupts results. One construct defeats
+// slot-level reasoning entirely: break/continue/return under varying
+// control makes *iteration counts* lane-dependent, so a loop induction
+// variable diverges without any of its stores being tainted. Any such
+// statement marks the whole function tainted and suppresses every hint.
+
+// uniBuiltins classifies builtin calls for the analysis: work-group-level
+// queries are uniform when their arguments are; pure arithmetic builtins
+// propagate their arguments' uniformity; anything else (work-item IDs,
+// async copies, unknown names) is varying.
+var uniBuiltins = map[string]bool{
+	// group-level queries: uniform if args uniform
+	"get_group_id": true, "get_global_size": true, "get_local_size": true,
+	"get_num_groups": true, "get_work_dim": true,
+	// pure arithmetic: uniform if args uniform
+	"abs": true, "ceil": true, "clamp": true, "cos": true, "exp": true,
+	"fabs": true, "floor": true, "fma": true, "fmod": true, "log": true,
+	"mad": true, "max": true, "min": true, "pow": true, "round": true,
+	"rsqrt": true, "sin": true, "sqrt": true, "tanh": true,
+}
+
+// uniScan holds the analysis state and, after analyzeUniform, the result
+// the compiler queries through condUniform.
+type uniScan struct {
+	fn       *Function
+	varying  []bool // per variable slot
+	divDepth int    // nesting depth of varying control
+	tainted  bool   // varying break/continue/return seen: no hints at all
+	changed  bool
+}
+
+// analyzeUniform runs the fixed point for one function.
+func analyzeUniform(fn *Function) *uniScan {
+	u := &uniScan{fn: fn, varying: make([]bool, fn.NumSlots)}
+	if !fn.Kernel {
+		for _, p := range fn.Params {
+			u.varying[p.Slot] = true
+		}
+	}
+	// Each round can only flip slots monotonically false→true, so the
+	// fixed point needs at most NumSlots+1 rounds.
+	for i := 0; i <= fn.NumSlots; i++ {
+		u.changed = false
+		u.divDepth = 0
+		u.walkStmt(fn.Body)
+		if !u.changed {
+			break
+		}
+	}
+	return u
+}
+
+// condUniform reports whether a branch on cond may carry the brUniform
+// hint. Safe to call during lowering: at the fixed point re-walking an
+// expression mutates nothing.
+func (u *uniScan) condUniform(cond Expr) bool {
+	if u == nil || u.tainted || cond == nil {
+		return false
+	}
+	return !u.walkExpr(cond)
+}
+
+// markWrite records a store to a slot: the slot becomes varying when the
+// stored value is varying or the store happens under varying control.
+func (u *uniScan) markWrite(slot int, valVarying bool) {
+	if (valVarying || u.divDepth > 0) && !u.varying[slot] {
+		u.varying[slot] = true
+		u.changed = true
+	}
+}
+
+func (u *uniScan) walkStmt(s Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *Block:
+		for _, sub := range st.Stmts {
+			u.walkStmt(sub)
+		}
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			for _, dim := range d.Dims {
+				u.walkExpr(dim)
+			}
+			if len(d.Dims) > 0 {
+				// Array slots hold pointers; branches never usefully test
+				// them, so varying is the cheap safe answer.
+				u.markWrite(d.Slot, true)
+				continue
+			}
+			v := false
+			if d.Init != nil {
+				v = u.walkExpr(d.Init)
+			}
+			u.markWrite(d.Slot, v)
+		}
+	case *ExprStmt:
+		u.walkExpr(st.X)
+	case *If:
+		cv := u.walkExpr(st.Cond)
+		if cv {
+			u.divDepth++
+		}
+		u.walkStmt(st.Then)
+		u.walkStmt(st.Else)
+		if cv {
+			u.divDepth--
+		}
+	case *For:
+		u.walkStmt(st.Init)
+		cv := st.Cond != nil && u.walkExpr(st.Cond)
+		if cv {
+			u.divDepth++
+		}
+		u.walkStmt(st.Body)
+		if st.Post != nil {
+			u.walkExpr(st.Post)
+		}
+		if cv {
+			u.divDepth--
+		}
+	case *While:
+		cv := u.walkExpr(st.Cond)
+		if cv {
+			u.divDepth++
+		}
+		u.walkStmt(st.Body)
+		if cv {
+			u.divDepth--
+		}
+	case *Return:
+		if st.X != nil {
+			u.walkExpr(st.X)
+		}
+		if u.divDepth > 0 {
+			u.tainted = true
+		}
+	case *BreakStmt:
+		if u.divDepth > 0 {
+			u.tainted = true
+		}
+	case *ContinueStmt:
+		if u.divDepth > 0 {
+			u.tainted = true
+		}
+	}
+}
+
+// walkExpr reports whether the expression's value is (possibly) varying,
+// recording slot writes on the way.
+func (u *uniScan) walkExpr(e Expr) bool {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit:
+		return false
+	case *VarRef:
+		return u.varying[x.Slot]
+	case *Cast:
+		return u.walkExpr(x.X)
+	case *Unary:
+		if x.Op == "++" || x.Op == "--" {
+			if t, ok := x.X.(*VarRef); ok {
+				// new = old ± 1: varying iff the slot already is, or the
+				// increment happens under varying control.
+				u.markWrite(t.Slot, u.varying[t.Slot])
+				return u.varying[t.Slot]
+			}
+			u.walkExpr(x.X) // index operands; value comes from memory
+			return true
+		}
+		return u.walkExpr(x.X)
+	case *Binary:
+		if x.Op == "&&" || x.Op == "||" {
+			lv := u.walkExpr(x.L)
+			if lv {
+				// The right side only runs on lanes where the left side
+				// did not short-circuit: conditional evaluation is
+				// varying control for any writes inside it.
+				u.divDepth++
+			}
+			rv := u.walkExpr(x.R)
+			if lv {
+				u.divDepth--
+			}
+			return lv || rv
+		}
+		lv := u.walkExpr(x.L)
+		rv := u.walkExpr(x.R)
+		return lv || rv
+	case *Assign:
+		v := u.walkExpr(x.Value)
+		if t, ok := x.Target.(*VarRef); ok {
+			if x.Op != "=" {
+				v = v || u.varying[t.Slot] // compound: reads the old value
+			}
+			u.markWrite(t.Slot, v)
+			return u.varying[t.Slot] || v
+		}
+		u.walkExpr(x.Target) // index operands; the store goes to memory
+		return true
+	case *Cond:
+		cv := u.walkExpr(x.C)
+		if cv {
+			u.divDepth++
+		}
+		tv := u.walkExpr(x.T)
+		fv := u.walkExpr(x.F)
+		if cv {
+			u.divDepth--
+		}
+		return cv || tv || fv
+	case *Index:
+		u.walkExpr(x.Base)
+		for _, i := range x.Idx {
+			u.walkExpr(i)
+		}
+		return true // memory contents are lane-dependent
+	case *Call:
+		v := false
+		for _, a := range x.Args {
+			if u.walkExpr(a) {
+				v = true
+			}
+		}
+		if _, builtin := builtins[x.Name]; builtin {
+			if uniBuiltins[x.Name] {
+				return v
+			}
+			return true // work-item IDs and side-effecting builtins
+		}
+		return true // user-function results are conservatively varying
+	default:
+		return true
+	}
+}

@@ -491,7 +491,7 @@ frames:
 						res = a >= b
 					}
 				}
-				cb := in.d >> 8
+				cb := (in.d >> 8) & 0xff // mask off the brUniform hint bit
 				if cb == cbIterBranch {
 					ctr.Branches++
 				}
@@ -734,6 +734,50 @@ type vmScheduler struct {
 	args    []Arg
 	wis     []vmWI
 	arena   []rval // n × numRegs kernel-frame registers
+
+	// Lockstep-vectorized execution state (vmvec.go), used only while
+	// variant == EngineVMVec. The kernel-frame SoA register file reuses
+	// arena (same size, column-major layout); deeper call frames and the
+	// lane bookkeeping are pooled here across launches like everything
+	// else.
+	width      int
+	lanes      []int  // active lanes, ascending
+	laneActive []bool // lane liveness, indexed by linear local id
+	segLanes   []int  // lanes live at the current vector segment's start
+	diedInSeg  []int  // lanes that failed during the current segment
+	lanesDirty bool
+	vframes    []vecFrame
+	scatArena  []rval     // n × numRegs scalar kernel-frame registers for scattered lanes
+	argBuf     []rval     // per-lane builtin argument gather scratch
+	ctrs       []Counters // borrowed per-group counters (Launch scratch)
+	laneErrs   []error    // borrowed per-group errors (Launch scratch)
+	groupDiv   bool
+
+	// segCtr batches the counter increments of the current lockstep
+	// segment. In lockstep every active lane receives identical increments
+	// per instruction, so they accumulate once per instruction here and
+	// flush into a lane's ctrs entry exactly when the lane leaves the
+	// segment: at death (laneFail), at a scatter, and when the group
+	// finishes (runGroupVec). Per-lane divergence inside an instruction —
+	// a lane dying before the instruction's increments apply — is handled
+	// by ordering the segCtr bump against the laneFail calls to match the
+	// scalar engine's per-item increment/fail order.
+	segCtr Counters
+
+	// vecArenaVC/vecArenaW identify the (code, width) whose SoA column
+	// layout the pooled arena currently holds, nil/0 after any scalar
+	// launch. Scalar launches slice the same arena per work-item (AoS), so
+	// a vec launch inheriting such an arena would see kind-divergent junk
+	// in not-yet-written variable slots — harmless for execution (registers
+	// are written before read) but fatal for tryGather, whose per-register
+	// kind-agreement check cannot tell live state from junk. newVMScheduler
+	// clears the arena once on every layout transition so junk is a
+	// uniform KVoid.
+	vecArenaVC *vmCode
+	vecArenaW  int
+
+	vecDispatches int64 // group-level instruction dispatches (metrics)
+	vecLaneExecs  int64 // per-lane instructions retired in vector mode
 }
 
 // vmSchedPool recycles schedulers across launches: the tuning loop
@@ -750,21 +794,40 @@ func newVMScheduler(p *Program, fn *Function, vc *vmCode, variant Engine, args [
 			s.p, s.fn, s.vc, s.variant, s.args = p, fn, vc, variant, args
 			s.wis = s.wis[:n]
 			s.arena = s.arena[:regs]
+			if variant == EngineVMVec {
+				if s.vecArenaVC != vc || s.vecArenaW != n {
+					clear(s.arena)
+					s.vecArenaVC, s.vecArenaW = vc, n
+				}
+			} else {
+				s.vecArenaVC, s.vecArenaW = nil, 0
+			}
 			return s
 		}
 	}
-	return &vmScheduler{
+	s := &vmScheduler{
 		p: p, fn: fn, vc: vc, variant: variant, args: args,
 		wis:   make([]vmWI, n),
 		arena: make([]rval, regs),
 	}
+	if variant == EngineVMVec {
+		s.vecArenaVC, s.vecArenaW = vc, n
+	}
+	return s
 }
 
 // release returns the scheduler to the pool. The caller must not use it
 // afterwards; buffer references in the arena are dropped lazily (the pool
-// is emptied by the next GC cycle).
+// is emptied by the next GC cycle). Locally accumulated vector metrics
+// are published here, once per launch.
 func (s *vmScheduler) release() {
+	if s.vecDispatches > 0 {
+		mVecDispatches.Add(uint64(s.vecDispatches))
+		mVecInstructions.Add(uint64(s.vecLaneExecs))
+		s.vecDispatches, s.vecLaneExecs = 0, 0
+	}
 	s.p, s.fn, s.vc, s.args = nil, nil, nil, nil
+	s.ctrs, s.laneErrs = nil, nil
 	vmSchedPool.Put(s)
 }
 
@@ -776,6 +839,9 @@ func (s *vmScheduler) release() {
 // kernels cannot observe the difference from the walker's concurrent
 // goroutines, and Counters are per-work-item either way.
 func (s *vmScheduler) runGroup(wg *wgCtx, agg *Counters, counters []Counters, errs []error) (bool, int64, error) {
+	if s.variant == EngineVMVec {
+		return s.runGroupVec(wg, agg, counters, errs)
+	}
 	fn, vc := s.fn, s.vc
 	n := int(wg.launch.WorkGroupSize())
 	for i := 0; i < n; i++ {

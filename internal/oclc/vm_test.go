@@ -130,6 +130,7 @@ func TestEngineParseAndDefault(t *testing.T) {
 		"": EngineDefault, "default": EngineDefault,
 		"vm": EngineVM, "walk": EngineWalk,
 		"vm-nospec": EngineVMNoSpec, "nospec": EngineVMNoSpec,
+		"vm-vec": EngineVMVec, "vec": EngineVMVec,
 	}
 	for s, want := range cases {
 		got, err := ParseEngine(s)
@@ -147,13 +148,13 @@ func TestEngineParseAndDefault(t *testing.T) {
 	if DefaultEngine() != EngineWalk {
 		t.Fatal("SetDefaultEngine(walk) not visible")
 	}
-	// EngineDefault resolves to the VM, never to itself.
+	// EngineDefault resolves to the vectorized VM, never to itself.
 	SetDefaultEngine(EngineDefault)
-	if DefaultEngine() != EngineVM {
-		t.Fatalf("SetDefaultEngine(default) resolved to %v, want vm", DefaultEngine())
+	if DefaultEngine() != EngineVMVec {
+		t.Fatalf("SetDefaultEngine(default) resolved to %v, want vm-vec", DefaultEngine())
 	}
-	if got := EngineDefault.resolve(); got != EngineVM {
-		t.Fatalf("resolve() = %v, want vm", got)
+	if got := EngineDefault.resolve(); got != EngineVMVec {
+		t.Fatalf("resolve() = %v, want vm-vec", got)
 	}
 }
 

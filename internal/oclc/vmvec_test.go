@@ -1,0 +1,116 @@
+package oclc
+
+import "testing"
+
+// launchVec compiles and launches a 1-D kernel under EngineVMVec with one
+// float output buffer of n elements, returning the buffer and result.
+func launchVec(t *testing.T, src string, defines map[string]string, kernel string, global, local int64, extra []Arg, n int) ([]float64, *ExecResult) {
+	t.Helper()
+	prog, err := Compile(src, defines)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out := NewGlobalMemory(1, KFloat, 4, n)
+	args := append([]Arg{BufArg(out)}, extra...)
+	res, err := prog.Launch(kernel, args, NDRange1D(global, local), ExecOptions{Engine: EngineVMVec})
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	cp := make([]float64, len(out.Data))
+	copy(cp, out.Data)
+	return cp, res
+}
+
+// TestVecUniformKernelStaysVectorized pins the uniformity hints: a kernel
+// whose only branches are work-item-ID-independent loop heads must run
+// entirely in lockstep — zero scalar fallbacks — while retiring one group
+// dispatch per instruction (instructions/dispatches == lane width).
+func TestVecUniformKernelStaysVectorized(t *testing.T) {
+	src := `__kernel void u(__global float* out, const int n) {
+	  const int g = get_global_id(0);
+	  float v = 0.5f;
+	  for (int i = 0; i < n; i++) { v = v * 1.5f + (float)(g); }
+	  out[g] = v;
+	}`
+	fb0 := mVecFallbacks.Value()
+	nd0 := mVecDispatches.Value()
+	ni0 := mVecInstructions.Value()
+	launchVec(t, src, nil, "u", 32, 8, []Arg{IntArg(6)}, 32)
+	if d := mVecFallbacks.Value() - fb0; d != 0 {
+		t.Fatalf("uniform kernel caused %d scalar fallbacks, want 0", d)
+	}
+	nd := mVecDispatches.Value() - nd0
+	ni := mVecInstructions.Value() - ni0
+	if nd == 0 {
+		t.Fatal("no vector dispatches recorded")
+	}
+	if ni != nd*8 {
+		t.Fatalf("instructions = %d, want dispatches(%d) x width(8): full-width lockstep", ni, nd)
+	}
+}
+
+// TestVecFallbackAndRegatherMetrics pins the divergence path: a
+// data-dependent branch forces a scatter in every group, and the barrier
+// after it re-converges the lanes back into lockstep.
+func TestVecFallbackAndRegatherMetrics(t *testing.T) {
+	src := `__kernel void d(__global float* out, __global int* sel) {
+	  const int g = get_global_id(0);
+	  float v;
+	  if (sel[g] > 0) { v = 2.0f; } else { v = 0.5f; }
+	  barrier(0);
+	  out[g] = v * (float)(get_local_id(0) + 1);
+	}`
+	sel := NewGlobalMemory(2, KInt, 4, 16)
+	for i := range sel.Data {
+		sel.Data[i] = float64(i%2*2 - 1) // alternating -1, 1: divergent in every group
+	}
+	fb0 := mVecFallbacks.Value()
+	rg0 := mVecRegathers.Value()
+	hc0 := mVecLanesActive.Count()
+	launchVec(t, src, nil, "d", 16, 8, []Arg{BufArg(sel)}, 16)
+	if d := mVecFallbacks.Value() - fb0; d != 2 {
+		t.Fatalf("fallbacks = %d, want 2 (one per group)", d)
+	}
+	if d := mVecRegathers.Value() - rg0; d != 2 {
+		t.Fatalf("regathers = %d, want 2 (one per barrier release)", d)
+	}
+	if mVecLanesActive.Count() == hc0 {
+		t.Fatal("lanes-active histogram saw no observations")
+	}
+}
+
+// TestVecDivergentDeterminism pins that the scatter/re-gather scheduler is
+// deterministic: repeated launches of a divergence-heavy kernel produce
+// identical buffers, counters, and divergence flags.
+func TestVecDivergentDeterminism(t *testing.T) {
+	src := `__kernel void d(__global float* out, __global int* lim) {
+	  const int g = get_global_id(0);
+	  float acc = 0.0f;
+	  for (int i = 0; i < 12; i++) {
+	    if (i == lim[g]) { out[g] = acc; return; }
+	    acc += (float)(g + i);
+	  }
+	  barrier(0);
+	  out[g] = -acc;
+	}`
+	run := func() ([]float64, Counters, bool) {
+		lim := NewGlobalMemory(2, KInt, 4, 16)
+		for i := range lim.Data {
+			lim.Data[i] = float64(i - 4)
+		}
+		buf, res := launchVec(t, src, nil, "d", 16, 8, []Arg{BufArg(lim)}, 16)
+		return buf, res.Counters, res.Divergent
+	}
+	b1, c1, d1 := run()
+	for i := 0; i < 3; i++ {
+		b2, c2, d2 := run()
+		if c1 != c2 || d1 != d2 {
+			t.Fatalf("run %d: counters/divergence differ:\n  first: %+v div=%v\n  again: %+v div=%v", i, c1, d1, c2, d2)
+		}
+		for j := range b1 {
+			if b1[j] != b2[j] {
+				t.Fatalf("run %d: out[%d] = %v, first run had %v", i, j, b2[j], b1[j])
+			}
+		}
+	}
+}

@@ -190,7 +190,11 @@ func (m *Model) transactions(res *oclc.ExecResult, wgSize int64) (trans, ideal i
 	}
 
 	simd := int64(m.Dev.SIMDWidth)
-	for _, perWI := range res.Log.Sites() {
+	lines := make(map[uint64]struct{}, simd)
+	for _, perWI := range res.Log.SiteAccesses() {
+		if perWI == nil {
+			continue
+		}
 		maxLen := 0
 		for _, as := range perWI {
 			if len(as) > maxLen {
@@ -198,14 +202,14 @@ func (m *Model) transactions(res *oclc.ExecResult, wgSize int64) (trans, ideal i
 			}
 		}
 		batches := (wgSize + simd - 1) / simd
-		lines := make(map[uint64]struct{}, simd)
 		for b := int64(0); b < batches; b++ {
 			for k := 0; k < maxLen; k++ {
 				clear(lines)
 				for wi := b * simd; wi < (b+1)*simd && wi < wgSize; wi++ {
-					as := perWI[int(wi)]
-					if k < len(as) {
-						lines[as[k]/uint64(line)] = struct{}{}
+					if int(wi) < len(perWI) {
+						if as := perWI[int(wi)]; k < len(as) {
+							lines[as[k]/uint64(line)] = struct{}{}
+						}
 					}
 				}
 				trans += int64(len(lines))

@@ -2,10 +2,16 @@
 # benchdiff.sh OLD NEW — benchstat-style comparison of two `go test -bench`
 # outputs (e.g. two `make bench > file` runs) without external tooling.
 #
+# Each input may be either raw `go test -bench` text or a results/bench.json
+# summary written by scripts/bench2json.sh (detected by a leading "{"); the
+# two formats can be mixed, so an old bench.json diffs against a fresh text
+# run.
+#
 # For every benchmark name present in both files it reports the mean ns/op,
 # the spread (min..max as ±% of the mean, a crude stand-in for benchstat's
 # confidence interval), and the delta. Run benchmarks with -count=5 or more
-# so the spread means something.
+# so the spread means something (JSON inputs carry only the mean, so their
+# spread column is blank).
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -18,28 +24,76 @@ new=$2
 [ -r "$new" ] || { echo "benchdiff: cannot read $new" >&2; exit 1; }
 
 awk -v OLD="$old" -v NEW="$new" '
-function strip_procs(name) {
-    # Benchmark names end in -GOMAXPROCS; strip it so runs from machines
-    # with different core counts still line up.
-    sub(/-[0-9]+$/, "", name)
-    return name
-}
-function collect(file, sum, sumsq, cnt, mn, mx,    line, parts, name, val, n) {
+function collect(file, sum, sumsq, cnt, mn, mx,    line, parts, name, val, n, i, nb, names, vals, common, sfx, b) {
+    # Buffer every (name, ns/op) pair first: the -GOMAXPROCS suffix is
+    # appended only when GOMAXPROCS > 1, and sub-benchmark names can
+    # legitimately end in -N (workers-8), so it is stripped only when every
+    # benchmark line in the file carries the identical one.
+    nb = 0
+    common = ""
     while ((getline line < file) > 0) {
         n = split(line, parts, /[ \t]+/)
         if (parts[1] !~ /^Benchmark/ || n < 3) continue
         # layout: Name  N  value ns/op  [metric pairs...]
         for (i = 3; i < n; i++) {
             if (parts[i+1] == "ns/op") {
-                name = strip_procs(parts[1])
-                val = parts[i] + 0
-                sum[name] += val
-                sumsq[name] += val * val
-                cnt[name]++
-                if (!(name in mn) || val < mn[name]) mn[name] = val
-                if (!(name in mx) || val > mx[name]) mx[name] = val
+                nb++
+                names[nb] = parts[1]
+                vals[nb] = parts[i] + 0
+                if (match(parts[1], /-[0-9]+$/)) {
+                    sfx = substr(parts[1], RSTART)
+                    if (nb == 1 || sfx == common) common = sfx
+                    else common = ""
+                } else common = ""
                 break
             }
+        }
+    }
+    close(file)
+    for (b = 1; b <= nb; b++) {
+        name = names[b]
+        if (common != "") sub(/-[0-9]+$/, "", name)
+        val = vals[b]
+        sum[name] += val
+        sumsq[name] += val * val
+        cnt[name]++
+        if (!(name in mn) || val < mn[name]) mn[name] = val
+        if (!(name in mx) || val > mx[name]) mx[name] = val
+    }
+}
+function is_json(file,    line, r) {
+    # bench2json.sh output opens with "{"; go test -bench text never does.
+    r = (getline line < file)
+    close(file)
+    return r > 0 && line ~ /^[ \t]*\{/
+}
+function collect_json(file, sum, sumsq, cnt, mn, mx,    line, group, key, val, name) {
+    # Parse the two-level bench2json.sh layout:
+    #   {  "Group": {  "sub/key": 123.4,  ...  },  ...  }
+    # reconstructing the text-mode benchmark names (BenchmarkGroup/sub/key)
+    # so JSON and text inputs line up.
+    group = ""
+    while ((getline line < file) > 0) {
+        if (line ~ /^  "[^"]+": \{/) {
+            group = line
+            sub(/^  "/, "", group)
+            sub(/": \{.*$/, "", group)
+            continue
+        }
+        if (line ~ /^    "[^"]*": [0-9]/) {
+            key = line
+            sub(/^    "/, "", key)
+            sub(/": [^"]*$/, "", key)
+            val = line
+            sub(/^.*": /, "", val)
+            sub(/,[ \t]*$/, "", val)
+            name = "Benchmark" group (key == "" ? "" : "/" key)
+            val += 0
+            sum[name] += val
+            sumsq[name] += val * val
+            cnt[name]++
+            if (!(name in mn) || val < mn[name]) mn[name] = val
+            if (!(name in mx) || val > mx[name]) mx[name] = val
         }
     }
     close(file)
@@ -55,8 +109,10 @@ function spread(name, mn, mx, cnt, mean) {
     return sprintf("±%3.0f%%", 100 * (mx[name] - mn[name]) / (2 * mean))
 }
 BEGIN {
-    collect(OLD, osum, osumsq, ocnt, omn, omx)
-    collect(NEW, nsum, nsumsq, ncnt, nmn, nmx)
+    if (is_json(OLD)) collect_json(OLD, osum, osumsq, ocnt, omn, omx)
+    else collect(OLD, osum, osumsq, ocnt, omn, omx)
+    if (is_json(NEW)) collect_json(NEW, nsum, nsumsq, ncnt, nmn, nmx)
+    else collect(NEW, nsum, nsumsq, ncnt, nmn, nmx)
     printf "%-55s %14s %7s %14s %7s %9s\n", "benchmark", "old", "", "new", "", "delta"
     any = 0
     for (name in ocnt) {
