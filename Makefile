@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race doccheck check fmt bench
+.PHONY: all build vet test race doccheck check fmt bench e2e-dist
 
 all: check
 
@@ -18,10 +18,16 @@ test:
 # The concurrency-heavy packages get a dedicated race pass: the parallel
 # exploration engine (including memoized multi-worker space generation and
 # its clblast equivalence suite), the kernel interpreter/VM (scheduler and
-# register-arena pooling), the observability registry, and the atfd
-# session manager/journal.
+# register-arena pooling), the observability registry, the atfd session
+# manager/journal, and the distributed evaluation fleet.
 race:
-	$(GO) test -race ./internal/core/... ./internal/clblast/... ./internal/oclc/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/clblast/... ./internal/oclc/... ./internal/obs/... ./internal/server/... ./internal/dist/...
+
+# e2e-dist exercises the real binaries: atfd plus two atf-worker
+# processes tune one session, one worker is killed mid-run, and the
+# result must match a fleetless control run (scripts/e2e-dist.sh).
+e2e-dist: build
+	sh scripts/e2e-dist.sh
 
 # doccheck enforces usable godoc: go vet's doc diagnostics plus a package
 # comment on every package (scripts/doccheck.sh).

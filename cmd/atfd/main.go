@@ -16,6 +16,16 @@
 //	# scrape process metrics / read one session's stats
 //	curl http://127.0.0.1:7521/metrics
 //	curl http://127.0.0.1:7521/v1/sessions/<id>/stats
+//	# list the evaluation worker fleet (see cmd/atf-worker)
+//	curl http://127.0.0.1:7521/v1/workers
+//
+// The daemon is also the coordinator of the distributed evaluation
+// fleet: atf-worker processes register on /v1/workers and sessions'
+// cost evaluations are dispatched to them, with speculative re-dispatch
+// of straggler partitions and an in-process fallback, merged so results
+// are bit-identical to a local run. With no workers registered the
+// daemon evaluates everything in process, exactly as before; -fleet=false
+// disables the coordinator entirely.
 //
 // Observability (docs/OPERATIONS.md): /metrics serves the process-wide
 // counters and histograms in Prometheus text format, -pprof mounts the Go
@@ -32,7 +42,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"atf/internal/dist"
 	"atf/internal/obs"
 	"atf/internal/oclc"
 	"atf/internal/server"
@@ -45,6 +57,9 @@ func main() {
 	trace := flag.Bool("trace", false, "log structured span/trace events to stderr")
 	engine := flag.String("engine", "",
 		"oclc execution engine for kernel launches: vm-vec (default), vm, walk, vm-nospec (docs/OPERATIONS.md)")
+	fleet := flag.Bool("fleet", true, "coordinate remote eval workers (cmd/atf-worker) on /v1/workers")
+	heartbeat := flag.Duration("worker-heartbeat", 2*time.Second, "worker heartbeat interval; liveness expires after 3 heartbeats")
+	straggler := flag.Duration("straggler-after", 10*time.Second, "speculatively re-dispatch a batch partition after this long")
 	flag.Parse()
 
 	eng, err := oclc.ParseEngine(*engine)
@@ -63,6 +78,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var coordinator *dist.Fleet
+	if *fleet {
+		// The evaluator factory must be in place before Resume so resumed
+		// sessions dispatch to the fleet too.
+		coordinator = dist.NewFleet(dist.Options{
+			Heartbeat:      *heartbeat,
+			StragglerAfter: *straggler,
+		})
+		m.Evaluator = coordinator.SessionEvaluator
+	}
 	resumed, err := m.Resume()
 	if err != nil {
 		// Unreadable journals are reported but don't stop the daemon:
@@ -78,7 +103,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv := &http.Server{Handler: (&server.API{Manager: m, Pprof: *enablePprof}).Handler()}
+	handler := (&server.API{Manager: m, Pprof: *enablePprof}).Handler()
+	if coordinator != nil {
+		// The fleet endpoints mount beside the session API; /v1/workers is
+		// more specific than the API mux's patterns, so it wins.
+		top := http.NewServeMux()
+		top.Handle("/v1/workers", coordinator.Handler())
+		top.Handle("/", handler)
+		handler = top
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Printf("atfd: listening on http://%s (journals in %s)\n", ln.Addr(), m.Dir())
 	if *enablePprof {
 		fmt.Printf("atfd: pprof enabled at http://%s/debug/pprof/\n", ln.Addr())

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Outcome is the result of evaluating one configuration: the cost vector
+// and the cost function's error, if any. Failed evaluations carry
+// InfCost() so they never win the comparison, exactly as in Explore.
+type Outcome struct {
+	Cost Cost
+	Err  error
+}
+
+// BatchEvaluator is the evaluate step of exploration, extracted from
+// ExploreParallel as a transport-agnostic seam: the engine draws batches
+// of configurations from the technique, hands each batch to the
+// evaluator, and merges the outcomes strictly in batch order. The
+// in-process PoolEvaluator is the default and reference implementation;
+// the distributed fleet coordinator (internal/dist) implements the same
+// interface over remote workers. Because merging happens on the engine
+// side in batch-index order, any evaluator that returns the right
+// outcomes — in any internal order, computed anywhere — yields a result
+// bit-identical to a local run.
+type BatchEvaluator interface {
+	// EvaluateBatch evaluates the batch and returns one outcome per
+	// configuration, in batch order. batchIndex is the 0-based sequence
+	// number of the batch within the exploration run. A non-nil error
+	// aborts exploration; evaluators that can degrade (the fleet
+	// coordinator falls back to local evaluation) should do so instead
+	// of erroring.
+	EvaluateBatch(ctx context.Context, batchIndex uint64, batch []*Config) ([]Outcome, error)
+}
+
+// PoolEvaluator is the in-process BatchEvaluator: a fixed pool of worker
+// goroutines, one cost-function instance per worker (clones when the
+// cost function supports them), and the sharded in-flight-deduplicating
+// cost cache. It is the extracted evaluate step of ExploreParallel and
+// is also what an atf-worker process runs behind its HTTP eval endpoint.
+// EvaluateBatch is safe for concurrent calls.
+type PoolEvaluator struct {
+	cfs   []CostFunction
+	cache *costCache
+	tasks chan poolTask
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolTask struct {
+	cfg *Config
+	out *Outcome
+	wg  *sync.WaitGroup
+}
+
+// NewPoolEvaluator builds a pool of `workers` evaluation goroutines over
+// cf. With cacheCosts, outcomes are memoized by configuration key with
+// in-flight deduplication, so a configuration's cost function runs at
+// most once per pool. Close the pool to release its goroutines.
+func NewPoolEvaluator(cf CostFunction, workers int, cacheCosts bool) (*PoolEvaluator, error) {
+	if cf == nil {
+		return nil, fmt.Errorf("core: no cost function")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One cost function per worker: clones when the cost function
+	// supports them, the shared instance otherwise.
+	cfs := make([]CostFunction, workers)
+	cfs[0] = cf
+	for i := 1; i < workers; i++ {
+		if cl, ok := cf.(CloneableCostFunction); ok {
+			c, err := cl.Clone()
+			if err != nil {
+				return nil, fmt.Errorf("core: cloning cost function for worker %d: %w", i, err)
+			}
+			cfs[i] = c
+		} else {
+			cfs[i] = cf
+		}
+	}
+	p := &PoolEvaluator{cfs: cfs, tasks: make(chan poolTask)}
+	if cacheCosts {
+		p.cache = newCostCache()
+	}
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for t := range p.tasks {
+				t.out.Cost, t.out.Err = p.evalOne(w, t.cfg)
+				t.wg.Done()
+			}
+		}(w)
+	}
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *PoolEvaluator) Workers() int { return len(p.cfs) }
+
+func (p *PoolEvaluator) evalOne(w int, cfg *Config) (Cost, error) {
+	if p.cache == nil {
+		cost, err := timedCost(p.cfs[w], cfg)
+		if err != nil {
+			cost = InfCost()
+		}
+		return cost, err
+	}
+	return p.cache.getOrCompute(cfg.Key(), func() (Cost, error) {
+		cost, err := timedCost(p.cfs[w], cfg)
+		if err != nil {
+			cost = InfCost()
+		}
+		return cost, err
+	})
+}
+
+// EvaluateBatch implements BatchEvaluator: the batch is fanned out to the
+// pool and the outcomes are returned in batch order.
+func (p *PoolEvaluator) EvaluateBatch(ctx context.Context, batchIndex uint64, batch []*Config) ([]Outcome, error) {
+	outcomes := make([]Outcome, len(batch))
+	var wg sync.WaitGroup
+	wg.Add(len(batch))
+	for i, cfg := range batch {
+		p.tasks <- poolTask{cfg: cfg, out: &outcomes[i], wg: &wg}
+	}
+	wg.Wait()
+	return outcomes, nil
+}
+
+// Close stops the pool's worker goroutines. The pool must be idle; Close
+// is idempotent.
+func (p *PoolEvaluator) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	return nil
+}

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"runtime"
-	"sync"
 	"time"
 
 	"atf/internal/obs"
@@ -27,13 +27,33 @@ type ParallelOptions struct {
 	ExploreOptions
 	// Workers is the number of concurrent cost evaluators: 1 runs the
 	// sequential Explore loop (bit-compatible with it), <= 0 selects
-	// runtime.NumCPU().
+	// runtime.NumCPU(). With a custom Evaluator, Workers only sets the
+	// default BatchSize — the evaluator owns its own concurrency.
 	Workers int
 	// BatchSize is the number of configurations requested from the
 	// technique per round; 0 means Workers. Larger batches amortize
 	// synchronization, smaller ones shorten the speculation window of
 	// adapted stateful techniques (see Batcher).
 	BatchSize int
+	// Evaluator substitutes the evaluate step: instead of the built-in
+	// in-process pool (PoolEvaluator over cf), batches are handed to this
+	// evaluator — the seam the distributed fleet coordinator plugs into.
+	// The merge discipline is unchanged, so results stay bit-identical to
+	// a local run for any evaluator that returns correct outcomes. The
+	// caller owns the evaluator's lifecycle.
+	Evaluator BatchEvaluator
+	// OnBatch, when set, observes every batch before it is dispatched —
+	// the hook the atfd journal uses to write batch-boundary records so a
+	// coordinator crash mid-batch replays cleanly.
+	OnBatch func(mark BatchMark)
+}
+
+// BatchMark identifies one dispatched batch: its 0-based index, the
+// evaluation index of its first configuration, and its size.
+type BatchMark struct {
+	Index     uint64
+	StartEval uint64
+	Size      int
 }
 
 // ExploreParallel is the parallel exploration engine: it drives a worker
@@ -61,7 +81,7 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers == 1 {
+	if workers == 1 && opts.Evaluator == nil && opts.OnBatch == nil {
 		return Explore(sp, tech, cf, abort, opts.ExploreOptions)
 	}
 	if sp == nil || sp.Size() == 0 {
@@ -93,67 +113,25 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 		batchSize = workers
 	}
 
-	// One cost function per worker: clones when the cost function supports
-	// them, the shared instance otherwise.
-	cfs := make([]CostFunction, workers)
-	cfs[0] = cf
-	for i := 1; i < workers; i++ {
-		if cl, ok := cf.(CloneableCostFunction); ok {
-			c, err := cl.Clone()
-			if err != nil {
-				return nil, fmt.Errorf("core: cloning cost function for worker %d: %w", i, err)
-			}
-			cfs[i] = c
-		} else {
-			cfs[i] = cf
+	// The evaluate step: the caller's evaluator (the distributed fleet
+	// coordinator) or the built-in in-process pool.
+	evaluator := opts.Evaluator
+	if evaluator == nil {
+		pool, err := NewPoolEvaluator(cf, workers, opts.CacheCosts)
+		if err != nil {
+			return nil, err
 		}
+		defer pool.Close()
+		evaluator = pool
 	}
-
-	var cache *costCache
-	if opts.CacheCosts {
-		cache = newCostCache()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	bt := AsBatch(tech)
 	bt.Initialize(sp, seed)
 	defer bt.Finalize()
-
-	type outcome struct {
-		cost Cost
-		err  error
-	}
-	evalOne := func(w int, cfg *Config) (Cost, error) {
-		if cache == nil {
-			cost, err := timedCost(cfs[w], cfg)
-			if err != nil {
-				cost = InfCost()
-			}
-			return cost, err
-		}
-		return cache.getOrCompute(cfg.Key(), func() (Cost, error) {
-			cost, err := timedCost(cfs[w], cfg)
-			if err != nil {
-				cost = InfCost()
-			}
-			return cost, err
-		})
-	}
-
-	type task struct {
-		cfg *Config
-		out *outcome
-		wg  *sync.WaitGroup
-	}
-	tasks := make(chan task)
-	defer close(tasks)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			for t := range tasks {
-				t.out.cost, t.out.err = evalOne(w, t.cfg)
-				t.wg.Done()
-			}
-		}(w)
-	}
 
 	// committed tracks the keys of committed evaluations so the Cached flag
 	// depends only on commit order, not on which worker won a cache race.
@@ -168,21 +146,27 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 	st := &State{Start: now(), SpaceSize: sp.Size()}
 	res := &Result{}
 	aborted := false
-	for !aborted && !opts.canceled() {
+	for batchIndex := uint64(0); !aborted && !opts.canceled(); batchIndex++ {
 		batch := bt.GetNextBatch(batchSize)
 		if len(batch) == 0 {
 			break // technique exhausted
 		}
 		mBatches.Inc()
-
-		// Fan the batch out to the workers...
-		outcomes := make([]outcome, len(batch))
-		var wg sync.WaitGroup
-		wg.Add(len(batch))
-		for i, cfg := range batch {
-			tasks <- task{cfg: cfg, out: &outcomes[i], wg: &wg}
+		if opts.OnBatch != nil {
+			opts.OnBatch(BatchMark{Index: batchIndex, StartEval: st.Evaluations, Size: len(batch)})
 		}
-		wg.Wait()
+
+		// Fan the batch out to the evaluator...
+		outcomes, err := evaluator.EvaluateBatch(ctx, batchIndex, batch)
+		if err != nil {
+			if opts.canceled() {
+				break // cancellation mid-batch: return the partial result
+			}
+			return nil, fmt.Errorf("core: evaluating batch %d: %w", batchIndex, err)
+		}
+		if len(outcomes) != len(batch) {
+			return nil, fmt.Errorf("core: evaluator returned %d outcomes for a batch of %d", len(outcomes), len(batch))
+		}
 
 		// ...and merge strictly in batch order.
 		mergeStart := time.Now()
@@ -193,7 +177,10 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 				aborted = true
 				break
 			}
-			cost, err := outcomes[i].cost, outcomes[i].err
+			cost, err := outcomes[i].Cost, outcomes[i].Err
+			if err != nil && !cost.IsInf() {
+				cost = InfCost() // failed evaluations never win, whatever the evaluator sent
+			}
 			var cached bool
 			if committed != nil {
 				key := cfg.Key()

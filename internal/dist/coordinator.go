@@ -1,0 +1,555 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"atf"
+	"atf/internal/core"
+	"atf/internal/server/client"
+)
+
+// Options configures the fleet coordinator. The zero value is usable:
+// 2s heartbeats, a TTL of three heartbeats, 10s straggler re-dispatch,
+// three remote attempts per partition, and the default retry policy for
+// refused connections.
+type Options struct {
+	// Heartbeat is the interval workers are told to re-register at.
+	Heartbeat time.Duration
+	// TTL is how long a worker stays live without a heartbeat
+	// (default 3× Heartbeat).
+	TTL time.Duration
+	// StragglerAfter is how long the coordinator waits on a partition
+	// before speculatively re-dispatching it to another worker
+	// (default 10s).
+	StragglerAfter time.Duration
+	// RequestTimeout bounds one eval dispatch round-trip (default 0: no
+	// timeout beyond the exploration context — simulated-device evals are
+	// fast, but script cost functions may not be).
+	RequestTimeout time.Duration
+	// MaxAttempts is the remote attempt budget per partition, first
+	// dispatch included, before the in-process fallback takes over
+	// (default 3).
+	MaxAttempts int
+	// Retry handles refused connections on dispatch (default
+	// client.DefaultRetry). Dispatches are safe to retry: evaluation is
+	// deterministic and outcome merging is first-wins.
+	Retry *client.RetryPolicy
+	// HTTPClient overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.TTL <= 0 {
+		o.TTL = 3 * o.Heartbeat
+	}
+	if o.StragglerAfter <= 0 {
+		o.StragglerAfter = 10 * time.Second
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 3
+	}
+	if o.Retry == nil {
+		o.Retry = &client.DefaultRetry
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	return o
+}
+
+// Fleet is the coordinator side of the distributed evaluation fleet: a
+// worker registry plus a factory for per-session BatchEvaluators. atfd
+// creates one Fleet, mounts Handler() next to the session API, and
+// passes SessionEvaluator to the session manager.
+type Fleet struct {
+	opts     Options
+	registry *Registry
+}
+
+// NewFleet creates a coordinator with the given options.
+func NewFleet(opts Options) *Fleet {
+	opts = opts.withDefaults()
+	return &Fleet{
+		opts:     opts,
+		registry: NewRegistry(opts.Heartbeat, opts.TTL),
+	}
+}
+
+// Registry exposes the worker registry (status listings, tests).
+func (f *Fleet) Registry() *Registry { return f.registry }
+
+// Handler serves the fleet's registration and status endpoints.
+func (f *Fleet) Handler() http.Handler { return f.registry.Handler() }
+
+// SessionEvaluator builds the BatchEvaluator for one tuning session.
+// local is the in-process cost function — the reference the fleet
+// degrades to when no workers are live or a partition exhausts its
+// remote attempts. replay maps configuration keys to journaled outcomes
+// from a resumed session, so replayed configurations are never
+// re-dispatched. The returned evaluator implements io.Closer; the
+// session runner closes it to release the fallback pool.
+//
+// The signature matches server.Manager's Evaluator field — typed with
+// atf-only types so the server package never imports dist.
+func (f *Fleet) SessionEvaluator(session string, spec *atf.Spec, local atf.CostFunction, replay map[string]atf.Outcome) atf.BatchEvaluator {
+	cache := true
+	if spec != nil && spec.CacheCosts != nil {
+		cache = *spec.CacheCosts
+	}
+	return &sessionEvaluator{
+		fleet:   f,
+		session: session,
+		spec:    spec,
+		local:   local,
+		replay:  replay,
+		cache:   map[string]core.Outcome{},
+		caching: cache,
+	}
+}
+
+// sessionEvaluator is the fleet-backed BatchEvaluator for one session.
+// Every EvaluateBatch resolves replayed and cached configurations first,
+// partitions the rest contiguously across the live workers, and runs one
+// controller per partition: dispatch, speculative re-dispatch of
+// stragglers and failures, in-process fallback when the remote attempt
+// budget runs out. Outcome slots are filled first-wins under one mutex —
+// evaluation is deterministic, so racing attempts always agree — and the
+// engine merges the completed batch in index order, which is what makes
+// the fleet bit-identical to a local run.
+type sessionEvaluator struct {
+	fleet   *Fleet
+	session string
+	spec    *atf.Spec
+	local   atf.CostFunction
+	replay  map[string]atf.Outcome
+
+	cacheMu sync.Mutex
+	cache   map[string]core.Outcome
+	caching bool
+
+	poolMu sync.Mutex
+	pool   *core.PoolEvaluator
+	closed bool
+}
+
+// batchState is one batch's outcome board, shared by every concurrent
+// attempt. fill is first-wins: a slot is written once, by whichever
+// attempt completes it first.
+type batchState struct {
+	mu       sync.Mutex
+	outcomes []core.Outcome
+	filled   []bool
+}
+
+// partition is one contiguous slice of a batch dispatched as a unit.
+// done closes when every slot it owns has been filled (by any attempt).
+type partition struct {
+	indices   []int // positions in the batch
+	remaining int   // unfilled count, guarded by batchState.mu
+	done      chan struct{}
+}
+
+// fill records an outcome for batch position i if it is still open;
+// p, when non-nil, is the partition owning i and has its remaining
+// count maintained. Reports whether the slot was newly filled.
+func (st *batchState) fill(p *partition, i int, o core.Outcome) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.filled[i] {
+		return false
+	}
+	st.filled[i] = true
+	st.outcomes[i] = o
+	if p != nil {
+		p.remaining--
+		if p.remaining == 0 {
+			close(p.done)
+		}
+	}
+	return true
+}
+
+// unfilled returns the still-open positions among indices.
+func (st *batchState) unfilled(indices []int) []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var open []int
+	for _, i := range indices {
+		if !st.filled[i] {
+			open = append(open, i)
+		}
+	}
+	return open
+}
+
+func (st *batchState) get(i int) core.Outcome {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.outcomes[i]
+}
+
+// EvaluateBatch implements core.BatchEvaluator over the fleet.
+func (e *sessionEvaluator) EvaluateBatch(ctx context.Context, batchIndex uint64, batch []*core.Config) ([]core.Outcome, error) {
+	start := time.Now()
+	st := &batchState{
+		outcomes: make([]core.Outcome, len(batch)),
+		filled:   make([]bool, len(batch)),
+	}
+
+	// Resolve what needs no dispatch: journaled replays, cached costs,
+	// and in-batch duplicates (evaluated once, copied after).
+	keys := make([]string, len(batch))
+	first := make(map[string]int, len(batch))
+	var pending []int
+	var dups [][2]int // [duplicate position, first position]
+	for i, cfg := range batch {
+		keys[i] = cfg.Key()
+		if o, ok := e.replay[keys[i]]; ok {
+			st.fill(nil, i, o)
+			continue
+		}
+		if o, ok := e.cached(keys[i]); ok {
+			st.fill(nil, i, o)
+			continue
+		}
+		if j, ok := first[keys[i]]; ok {
+			dups = append(dups, [2]int{i, j})
+			continue
+		}
+		first[keys[i]] = i
+		pending = append(pending, i)
+	}
+
+	if len(pending) > 0 {
+		if err := e.evaluatePending(ctx, batchIndex, batch, st, pending); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, d := range dups {
+		st.fill(nil, d[0], st.get(d[1]))
+	}
+	for _, i := range pending {
+		e.store(keys[i], st.get(i))
+	}
+	mDispatchCommitSeconds.Observe(time.Since(start).Seconds())
+	return st.outcomes, nil
+}
+
+// evaluatePending runs the unresolved positions of one batch: across the
+// live workers when there are any, in process otherwise, and always
+// finishing locally whatever the remote attempts left open.
+func (e *sessionEvaluator) evaluatePending(ctx context.Context, batchIndex uint64, batch []*core.Config, st *batchState, pending []int) error {
+	live := e.fleet.registry.Live()
+	if len(live) == 0 {
+		// Zero workers: plain atfd behavior, the whole batch in process.
+		mBatchesLocal.Add(1)
+		return e.localFill(ctx, batchIndex, batch, st, pending)
+	}
+
+	mBatchesDispatched.Add(1)
+	parts := makePartitions(pending, len(live))
+	var wg sync.WaitGroup
+	for pi, part := range parts {
+		wg.Add(1)
+		go func(pi int, part *partition) {
+			defer wg.Done()
+			e.runPartition(ctx, batchIndex, batch, st, part, live, pi)
+		}(pi, part)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Safety net: anything a controller could not finish remotely is
+	// evaluated in process so the engine always gets a complete batch.
+	if open := st.unfilled(pending); len(open) > 0 {
+		return e.localFill(ctx, batchIndex, batch, st, open)
+	}
+	return nil
+}
+
+// makePartitions splits the pending positions into count contiguous
+// partitions of near-equal size (fewer when there are fewer positions).
+func makePartitions(pending []int, count int) []*partition {
+	if count > len(pending) {
+		count = len(pending)
+	}
+	parts := make([]*partition, 0, count)
+	for p := 0; p < count; p++ {
+		lo := p * len(pending) / count
+		hi := (p + 1) * len(pending) / count
+		indices := pending[lo:hi]
+		parts = append(parts, &partition{
+			indices:   indices,
+			remaining: len(indices),
+			done:      make(chan struct{}),
+		})
+	}
+	return parts
+}
+
+// runPartition drives one partition to completion: dispatch to its
+// assigned worker, re-dispatch on failure, speculatively re-dispatch
+// when the straggler deadline passes, and hand over to the in-process
+// fallback once the remote attempt budget is spent. Racing attempts are
+// harmless — outcomes are deterministic and slots fill first-wins.
+func (e *sessionEvaluator) runPartition(ctx context.Context, batchIndex uint64, batch []*core.Config, st *batchState, part *partition, live []*worker, slot int) {
+	opts := e.fleet.opts
+	failures := make(chan struct{}, opts.MaxAttempts+1)
+	dispatch := func(w *worker) {
+		go func() {
+			if err := e.dispatch(ctx, batchIndex, batch, st, part, w); err != nil && ctx.Err() == nil {
+				e.fleet.registry.MarkFailed(w)
+				select { // non-blocking: the controller may be gone
+				case failures <- struct{}{}:
+				default:
+				}
+			}
+		}()
+	}
+
+	attempts := 1
+	mPartitionsDispatched.Add(1)
+	dispatch(live[slot%len(live)])
+
+	straggler := time.NewTimer(opts.StragglerAfter)
+	defer straggler.Stop()
+	resetStraggler := func() {
+		straggler.Stop()
+		select {
+		case <-straggler.C:
+		default:
+		}
+		straggler.Reset(opts.StragglerAfter)
+	}
+
+	for {
+		redispatch := false
+		select {
+		case <-part.done:
+			return
+		case <-ctx.Done():
+			return
+		case <-failures:
+			redispatch = true
+		case <-straggler.C:
+			redispatch = true
+		}
+		if redispatch {
+			w := e.nextWorker(slot + attempts)
+			if w == nil || attempts >= opts.MaxAttempts {
+				// Out of remote options: finish the open slots in process.
+				mPartitionsLocal.Add(1)
+				e.localFill(ctx, batchIndex, batch, st, st.unfilled(part.indices))
+				return
+			}
+			attempts++
+			mPartitionsRedispatched.Add(1)
+			dispatch(w)
+			resetStraggler()
+		}
+	}
+}
+
+// nextWorker picks a live worker for a re-dispatch, rotating through the
+// current live set; nil when the fleet has none left.
+func (e *sessionEvaluator) nextWorker(slot int) *worker {
+	live := e.fleet.registry.Live()
+	if len(live) == 0 {
+		return nil
+	}
+	return live[slot%len(live)]
+}
+
+// dispatch POSTs the partition's still-open configurations to one worker
+// and fills outcome slots from its NDJSON stream as records arrive, so a
+// partial stream from a dying worker still contributes every complete
+// record. Refused connections are retried under the shared policy;
+// anything else is one strike and the controller re-dispatches.
+func (e *sessionEvaluator) dispatch(ctx context.Context, batchIndex uint64, batch []*core.Config, st *batchState, part *partition, w *worker) error {
+	open := st.unfilled(part.indices)
+	if len(open) == 0 {
+		return nil
+	}
+	w.dispatches.Add(1)
+	configs := make([]*core.Config, len(open))
+	for i, pos := range open {
+		configs[i] = batch[pos]
+	}
+	body, err := json.Marshal(EvalRequest{
+		Session:    e.session,
+		BatchIndex: batchIndex,
+		Spec:       e.spec,
+		Configs:    configs,
+	})
+	if err != nil {
+		return fmt.Errorf("dist: encoding eval request: %w", err)
+	}
+	if e.fleet.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.fleet.opts.RequestTimeout)
+		defer cancel()
+	}
+	return e.fleet.opts.Retry.Do(ctx, func() error {
+		return e.streamEval(ctx, body, batchIndex, st, part, open, w)
+	})
+}
+
+func (e *sessionEvaluator) streamEval(ctx context.Context, body []byte, batchIndex uint64, st *batchState, part *partition, open []int, w *worker) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.fleet.opts.HTTPClient.Do(req)
+	if err != nil {
+		// Refused connections unwrap as transient on their own; other
+		// transport failures are this attempt's strike.
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		err := fmt.Errorf("dist: worker %s: eval returned %s: %s", w.name, resp.Status, bytes.TrimSpace(msg))
+		if client.TransientStatus(resp.StatusCode) {
+			// Safe to retry even though this is a POST: evaluation is
+			// deterministic and slots fill first-wins.
+			return client.Transient(err)
+		}
+		return err
+	}
+
+	seen := 0
+	torn, err := client.ScanNDJSON(resp.Body, func(line []byte) (bool, error) {
+		var rec EvalResult
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return false, fmt.Errorf("dist: worker %s: bad eval record: %w", w.name, err)
+		}
+		if rec.BatchIndex != batchIndex {
+			return false, fmt.Errorf("dist: worker %s: record for batch %d in batch %d stream", w.name, rec.BatchIndex, batchIndex)
+		}
+		if rec.Index < 0 || rec.Index >= len(open) {
+			return false, fmt.Errorf("dist: worker %s: record index %d out of range (%d configs)", w.name, rec.Index, len(open))
+		}
+		o := core.Outcome{Cost: rec.Cost}
+		if rec.Error != "" {
+			o.Err = errors.New(rec.Error)
+			if !o.Cost.IsInf() {
+				o.Cost = core.InfCost()
+			}
+		}
+		if st.fill(part, open[rec.Index], o) {
+			mRemoteEvals.Add(1)
+			w.evals.Add(1)
+			w.evalsTotal.Add(1)
+		}
+		seen++
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	if torn || seen < len(open) {
+		return fmt.Errorf("dist: worker %s: stream ended after %d of %d results", w.name, seen, len(open))
+	}
+	return nil
+}
+
+// localFill evaluates the given open positions with the in-process
+// fallback pool and fills their slots (first-wins, like any attempt).
+func (e *sessionEvaluator) localFill(ctx context.Context, batchIndex uint64, batch []*core.Config, st *batchState, open []int) error {
+	if len(open) == 0 {
+		return nil
+	}
+	pool, err := e.localPool()
+	if err != nil {
+		return err
+	}
+	configs := make([]*core.Config, len(open))
+	for i, pos := range open {
+		configs[i] = batch[pos]
+	}
+	outcomes, err := pool.EvaluateBatch(ctx, batchIndex, configs)
+	if err != nil {
+		return err
+	}
+	for i, pos := range open {
+		st.fill(nil, pos, outcomes[i])
+	}
+	return nil
+}
+
+// localPool lazily builds the in-process fallback: the spec's own
+// parallelism over the session's cost function. Caching stays at the
+// session level, so the pool's cache is off.
+func (e *sessionEvaluator) localPool() (*core.PoolEvaluator, error) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("dist: evaluator closed")
+	}
+	if e.pool == nil {
+		workers := 1
+		if e.spec != nil {
+			workers = e.spec.Parallelism
+		}
+		if workers == atf.AutoParallelism {
+			workers = runtime.NumCPU()
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		pool, err := core.NewPoolEvaluator(e.local, workers, false)
+		if err != nil {
+			return nil, err
+		}
+		e.pool = pool
+	}
+	return e.pool, nil
+}
+
+func (e *sessionEvaluator) cached(key string) (core.Outcome, bool) {
+	if !e.caching {
+		return core.Outcome{}, false
+	}
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	o, ok := e.cache[key]
+	return o, ok
+}
+
+func (e *sessionEvaluator) store(key string, o core.Outcome) {
+	if !e.caching {
+		return
+	}
+	e.cacheMu.Lock()
+	e.cache[key] = o
+	e.cacheMu.Unlock()
+}
+
+// Close releases the in-process fallback pool. The session runner calls
+// it when the tuning run finishes.
+func (e *sessionEvaluator) Close() error {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	e.closed = true
+	if e.pool != nil {
+		err := e.pool.Close()
+		e.pool = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package dist is the distributed evaluation fleet behind atfd: remote
+// eval-worker processes (cmd/atf-worker) register with the daemon over
+// HTTP and evaluate batches of configurations on the coordinator's
+// behalf, so tuning throughput scales with machines instead of cores.
+//
+// The subsystem plugs into the exploration engine through the
+// core.BatchEvaluator seam: the engine draws batches from the technique
+// exactly as before and merges outcomes strictly in batch-index order,
+// so a fleet run is bit-identical to a local run at any fleet size and
+// under any worker-failure pattern — the fleet only changes where costs
+// are computed, never what is committed.
+//
+// Protocol (HTTP/JSON in the style of the atfd API, NDJSON streams for
+// results):
+//
+//	worker → coordinator  POST /v1/workers        register + heartbeat
+//	anyone → coordinator  GET  /v1/workers        fleet status
+//	coordinator → worker  POST /v1/eval           batch partition dispatch
+//	coordinator → worker  (response)              NDJSON EvalResult stream
+//	anyone → worker       GET  /v1/healthz        liveness probe
+//
+// The coordinator partitions each batch across the live workers,
+// speculatively re-dispatches partitions whose worker dies or straggles
+// (first complete outcome per configuration wins — outcomes are
+// deterministic, so duplicates agree), and falls back to in-process
+// evaluation when no workers are live or a partition exhausts its remote
+// attempts, so a fleet of zero workers behaves exactly like plain atfd.
+package dist
+
+import (
+	"atf"
+)
+
+// RegisterRequest is the worker → coordinator registration and heartbeat
+// body. Workers re-POST it every heartbeat interval; the coordinator
+// keys workers by URL, so re-registration is idempotent and doubles as
+// liveness.
+type RegisterRequest struct {
+	// Name labels the worker in listings and metrics (default: its URL).
+	Name string `json:"name,omitempty"`
+	// URL is the worker's advertised base URL — where the coordinator
+	// POSTs /v1/eval.
+	URL string `json:"url"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// HeartbeatMs is the interval at which the coordinator expects the
+	// worker to re-register; liveness expires after TTLMs without one.
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+	TTLMs       int64 `json:"ttl_ms"`
+}
+
+// WorkerStatus is one worker's row in GET /v1/workers.
+type WorkerStatus struct {
+	ID             string `json:"id"`
+	Name           string `json:"name"`
+	URL            string `json:"url"`
+	Live           bool   `json:"live"`
+	LastSeenUnixNs int64  `json:"last_seen_unix_ns"`
+	Dispatches     uint64 `json:"dispatches"`
+	Failures       uint64 `json:"failures"`
+	Evals          uint64 `json:"evals"`
+}
+
+// EvalRequest is the coordinator → worker dispatch body: one partition
+// of one batch. The spec rides along on every request — workers are
+// stateless and cache the built cost function by spec hash, so repeat
+// requests of the same tuning run pay the build once.
+type EvalRequest struct {
+	// Session identifies the tuning session (logging and diagnostics).
+	Session string `json:"session,omitempty"`
+	// BatchIndex is the exploration engine's batch sequence number; it
+	// is echoed on every result record so records of a stale attempt can
+	// never be mistaken for another batch's.
+	BatchIndex uint64 `json:"batch_index"`
+	// Spec describes the tuning run; the worker builds (and caches) the
+	// cost function from it.
+	Spec *atf.Spec `json:"spec"`
+	// Configs are the configurations to evaluate, in partition order.
+	Configs []*atf.Config `json:"configs"`
+}
+
+// EvalResult is one line of the worker's NDJSON response stream:
+// (batch index, config index, cost, error) for one configuration.
+// Index is the position within the request's Configs.
+type EvalResult struct {
+	BatchIndex uint64   `json:"batch_index"`
+	Index      int      `json:"index"`
+	Cost       atf.Cost `json:"cost,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}

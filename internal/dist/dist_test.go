@@ -1,0 +1,464 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"atf"
+	"atf/internal/server/client"
+)
+
+// distSpecJSON is the test tuning run: a deterministic synthetic cost
+// over a 300-config space, explored by seeded annealing with batch
+// size 3 — small enough to run in milliseconds, stateful enough that any
+// merge-order slip changes the walk and fails the comparison.
+const distSpecJSON = `{
+	"name": "dist",
+	"parameters": [
+		{"name": "X", "range": {"interval": {"begin": 1, "end": 60}}},
+		{"name": "Y", "range": {"interval": {"begin": 1, "end": 5}}}
+	],
+	"cost": {"kind": "expr", "expr": "(X - 42) * (X - 42) + Y"},
+	"technique": {"kind": "annealing"},
+	"abort": {"evaluations": 120},
+	"seed": 7,
+	"parallelism": 3,
+	"record": true
+}`
+
+func parseDistSpec(t *testing.T) *atf.Spec {
+	t.Helper()
+	spec, err := atf.ParseSpec([]byte(distSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// fastOptions keeps failure-path tests quick: tight straggler deadline,
+// minimal backoff.
+func fastOptions() Options {
+	return Options{
+		StragglerAfter: 300 * time.Millisecond,
+		Retry:          &client.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	}
+}
+
+// runLocal is the reference: the spec exactly as a local run executes it.
+func runLocal(t *testing.T, spec *atf.Spec) *atf.Result {
+	t.Helper()
+	res, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runFleet runs the spec through a coordinator with the given worker
+// handlers (each wrapped however the caller chose) registered.
+func runFleet(t *testing.T, spec *atf.Spec, workers ...http.Handler) *atf.Result {
+	t.Helper()
+	f := NewFleet(fastOptions())
+	for i, h := range workers {
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		if _, _, err := f.registry.Heartbeat(RegisterRequest{Name: fmt.Sprintf("w%d", i), URL: srv.URL}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	build, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := f.SessionEvaluator("test", spec, build.Cost, nil)
+	t.Cleanup(func() { ev.(io.Closer).Close() })
+	tuner := build.Tuner
+	tuner.Evaluator = ev
+	res, err := tuner.Tune(build.Cost, build.Params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func newWorkerHandler(t *testing.T, name string) http.Handler {
+	t.Helper()
+	ws := NewWorkerServer(WorkerOptions{Name: name, Parallelism: 2})
+	t.Cleanup(func() { ws.Close() })
+	return ws.Handler()
+}
+
+// sameResult asserts two runs are bit-identical in everything
+// deterministic: counters, best, and the full evaluation history
+// (indices, configurations, costs, cached flags — not timings).
+func sameResult(t *testing.T, label string, got, want *atf.Result) {
+	t.Helper()
+	if got.Evaluations != want.Evaluations || got.Valid != want.Valid {
+		t.Fatalf("%s: counters %d/%d, want %d/%d", label, got.Evaluations, got.Valid, want.Evaluations, want.Valid)
+	}
+	if !got.Best.Equal(want.Best) || got.BestCost.String() != want.BestCost.String() {
+		t.Fatalf("%s: best %v/%v, want %v/%v", label, got.Best, got.BestCost, want.Best, want.BestCost)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		g, w := got.History[i], want.History[i]
+		if g.Index != w.Index || g.Config.Key() != w.Config.Key() ||
+			g.Cost.String() != w.Cost.String() || g.Cached != w.Cached || (g.Err != nil) != (w.Err != nil) {
+			t.Fatalf("%s: history[%d] = {%d %s %s cached=%v err=%v}, want {%d %s %s cached=%v err=%v}",
+				label, i,
+				g.Index, g.Config.Key(), g.Cost, g.Cached, g.Err != nil,
+				w.Index, w.Config.Key(), w.Cost, w.Cached, w.Err != nil)
+		}
+	}
+}
+
+// TestFleetDeterminism is the tentpole property: a local run, a
+// 1-worker fleet, and a 4-worker fleet commit identical results —
+// including the full history — because the engine merges in batch-index
+// order no matter where costs were computed.
+func TestFleetDeterminism(t *testing.T) {
+	spec := parseDistSpec(t)
+	want := runLocal(t, spec)
+
+	one := runFleet(t, spec, newWorkerHandler(t, "solo"))
+	sameResult(t, "1-worker fleet", one, want)
+
+	four := runFleet(t, spec,
+		newWorkerHandler(t, "a"), newWorkerHandler(t, "b"),
+		newWorkerHandler(t, "c"), newWorkerHandler(t, "d"))
+	sameResult(t, "4-worker fleet", four, want)
+}
+
+// truncatingHandler kills its connection mid-stream for the first
+// `kills` requests — the NDJSON response stops inside a record, exactly
+// like a worker process dying mid-batch — and serves normally after.
+type truncatingHandler struct {
+	inner http.Handler
+	limit int // bytes to emit before dying
+
+	mu    sync.Mutex
+	kills int
+}
+
+func (h *truncatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	kill := h.kills > 0
+	if kill {
+		h.kills--
+	}
+	h.mu.Unlock()
+	if !kill {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+	h.inner.ServeHTTP(&truncatingWriter{ResponseWriter: w, remaining: h.limit}, r)
+}
+
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	if len(p) > t.remaining {
+		t.ResponseWriter.Write(p[:t.remaining])
+		t.Flush()
+		panic(http.ErrAbortHandler) // die mid-record
+	}
+	t.remaining -= len(p)
+	return t.ResponseWriter.Write(p)
+}
+
+func (t *truncatingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestFleetDeterminismUnderWorkerKills injects mid-batch worker deaths:
+// one worker's first three responses die partway through a record. The
+// coordinator keeps the complete records, re-dispatches the rest, and
+// the result is still bit-identical to the local run.
+func TestFleetDeterminismUnderWorkerKills(t *testing.T) {
+	spec := parseDistSpec(t)
+	want := runLocal(t, spec)
+
+	flaky := &truncatingHandler{inner: newWorkerHandler(t, "flaky"), limit: 40, kills: 3}
+	got := runFleet(t, spec, flaky, newWorkerHandler(t, "steady"))
+	sameResult(t, "fleet with mid-batch kills", got, want)
+}
+
+// TestFleetZeroWorkers: a coordinator with an empty fleet behaves
+// exactly like plain atfd — everything evaluates in process.
+func TestFleetZeroWorkers(t *testing.T) {
+	spec := parseDistSpec(t)
+	want := runLocal(t, spec)
+	got := runFleet(t, spec) // no workers registered
+	sameResult(t, "zero-worker fleet", got, want)
+}
+
+// TestFleetAllWorkersDead: every registered worker is unreachable; the
+// in-process fallback finishes every partition and the result is still
+// identical.
+func TestFleetAllWorkersDead(t *testing.T) {
+	spec := parseDistSpec(t)
+	want := runLocal(t, spec)
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	base := dead.URL
+	dead.Close() // refused connections from here on
+
+	f := NewFleet(fastOptions())
+	if _, _, err := f.registry.Heartbeat(RegisterRequest{Name: "ghost", URL: base}); err != nil {
+		t.Fatal(err)
+	}
+	build, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := f.SessionEvaluator("test", spec, build.Cost, nil)
+	defer ev.(io.Closer).Close()
+	tuner := build.Tuner
+	tuner.Evaluator = ev
+	got, err := tuner.Tune(build.Cost, build.Params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "all-dead fleet", got, want)
+}
+
+// TestFleetReplayShortCircuits: replayed outcomes (a resumed session's
+// journal) must never be dispatched — a fleet whose only worker would
+// poison every cost still returns the replayed values. The spec is
+// exhaustive so the walk ends exactly at space exhaustion: with an
+// eval-count abort the engine dispatches one batch past the abort point,
+// and those configurations are legitimately absent from any journal.
+func TestFleetReplayShortCircuits(t *testing.T) {
+	spec, err := atf.ParseSpec([]byte(`{
+		"name": "replay",
+		"parameters": [
+			{"name": "X", "range": {"interval": {"begin": 1, "end": 60}}},
+			{"name": "Y", "range": {"interval": {"begin": 1, "end": 5}}}
+		],
+		"cost": {"kind": "expr", "expr": "(X - 42) * (X - 42) + Y"},
+		"parallelism": 3,
+		"record": true
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runLocal(t, spec)
+
+	replay := make(map[string]atf.Outcome, len(want.History))
+	for _, ev := range want.History {
+		if _, dup := replay[ev.Config.Key()]; !dup {
+			replay[ev.Config.Key()] = atf.Outcome{Cost: ev.Cost, Err: ev.Err}
+		}
+	}
+
+	// A worker that fails loudly if anything reaches it.
+	poisoned := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("replayed configuration dispatched to a worker")
+		http.Error(w, "poisoned", http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(poisoned)
+	defer srv.Close()
+
+	f := NewFleet(fastOptions())
+	if _, _, err := f.registry.Heartbeat(RegisterRequest{Name: "poisoned", URL: srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	ev := f.SessionEvaluator("test", spec, build.Cost, replay)
+	defer ev.(io.Closer).Close()
+	tuner := build.Tuner
+	tuner.Evaluator = ev
+	got, err := tuner.Tune(build.Cost, build.Params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "replayed fleet", got, want)
+}
+
+// TestRegistryLiveness covers the liveness state machine: heartbeat
+// makes a worker live, TTL expiry benches it, a dispatch failure benches
+// it immediately, and the next heartbeat revives it.
+func TestRegistryLiveness(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRegistry(2*time.Second, 6*time.Second)
+	r.now = func() time.Time { return now }
+
+	w, fresh, err := r.Heartbeat(RegisterRequest{Name: "w", URL: "http://127.0.0.1:9"})
+	if err != nil || !fresh {
+		t.Fatalf("first heartbeat: fresh=%v err=%v", fresh, err)
+	}
+	if _, again, _ := r.Heartbeat(RegisterRequest{Name: "w", URL: "http://127.0.0.1:9"}); again {
+		t.Fatal("re-registration reported as fresh")
+	}
+	if len(r.Live()) != 1 {
+		t.Fatal("heartbeated worker not live")
+	}
+
+	now = now.Add(7 * time.Second) // past the TTL
+	if len(r.Live()) != 0 {
+		t.Fatal("worker live past its TTL")
+	}
+
+	now = now.Add(time.Second)
+	r.Heartbeat(RegisterRequest{Name: "w", URL: "http://127.0.0.1:9"})
+	if len(r.Live()) != 1 {
+		t.Fatal("heartbeat did not revive the worker")
+	}
+
+	r.MarkFailed(w)
+	if len(r.Live()) != 0 {
+		t.Fatal("failed worker still live before its next heartbeat")
+	}
+	st := r.Status()
+	if len(st) != 1 || st[0].Live || st[0].Failures != 1 {
+		t.Fatalf("status after failure: %+v", st)
+	}
+	r.Heartbeat(RegisterRequest{Name: "w", URL: "http://127.0.0.1:9"})
+	if len(r.Live()) != 1 {
+		t.Fatal("heartbeat did not clear the failure bench")
+	}
+
+	if _, _, err := r.Heartbeat(RegisterRequest{URL: ":not a url"}); err == nil {
+		t.Fatal("bad worker URL accepted")
+	}
+}
+
+// TestWorkerServerStreamsInOrder drives the worker's HTTP surface
+// directly: results come back as NDJSON in request order with the batch
+// index echoed, and repeat requests reuse the cached evaluator pool.
+func TestWorkerServerStreamsInOrder(t *testing.T) {
+	spec := parseDistSpec(t)
+	build, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := atf.GenerateSpace(1, build.Params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := make([]*atf.Config, 5)
+	for i := range configs {
+		configs[i] = space.At(uint64(i))
+	}
+
+	ws := NewWorkerServer(WorkerOptions{Name: "w", Parallelism: 2})
+	defer ws.Close()
+	srv := httptest.NewServer(ws.Handler())
+	defer srv.Close()
+
+	post := func() []EvalResult {
+		t.Helper()
+		body, err := json.Marshal(EvalRequest{Session: "s", BatchIndex: 9, Spec: spec, Configs: configs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("eval returned %s", resp.Status)
+		}
+		var recs []EvalResult
+		torn, err := client.ScanNDJSON(resp.Body, func(line []byte) (bool, error) {
+			var rec EvalResult
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return false, err
+			}
+			recs = append(recs, rec)
+			return true, nil
+		})
+		if err != nil || torn {
+			t.Fatalf("stream err=%v torn=%v", err, torn)
+		}
+		return recs
+	}
+
+	recs := post()
+	if len(recs) != len(configs) {
+		t.Fatalf("got %d results, want %d", len(recs), len(configs))
+	}
+	for i, rec := range recs {
+		if rec.Index != i || rec.BatchIndex != 9 {
+			t.Fatalf("record %d = {batch %d, index %d}", i, rec.BatchIndex, rec.Index)
+		}
+		if len(rec.Cost) == 0 {
+			t.Fatalf("record %d has no cost", i)
+		}
+	}
+
+	again := post()
+	for i := range recs {
+		if recs[i].Cost.String() != again[i].Cost.String() {
+			t.Fatalf("repeat eval of config %d: %s then %s", i, recs[i].Cost, again[i].Cost)
+		}
+	}
+	ws.mu.Lock()
+	pools := len(ws.pools)
+	ws.mu.Unlock()
+	if pools != 1 {
+		t.Fatalf("worker built %d pools for one spec", pools)
+	}
+
+	// Bad requests are 4xx, not a torn stream.
+	resp, err := http.Post(srv.URL+"/v1/eval", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty eval request returned %s", resp.Status)
+	}
+}
+
+// TestRunHeartbeat: the loop registers, keeps the worker live across
+// heartbeats, survives a coordinator outage, and stops on a permanent
+// rejection.
+func TestRunHeartbeat(t *testing.T) {
+	f := NewFleet(Options{Heartbeat: 20 * time.Millisecond})
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RunHeartbeat(ctx, nil, srv.URL, RegisterRequest{Name: "hb", URL: "http://127.0.0.1:9"}, nil)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.registry.Live()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("heartbeat returned %v after cancel", err)
+	}
+
+	// A permanent rejection (bad advertise URL -> 400) stops the loop.
+	err := RunHeartbeat(context.Background(), nil, srv.URL, RegisterRequest{Name: "bad", URL: ":nope"}, nil)
+	if err == nil || client.IsTransient(err) {
+		t.Fatalf("permanent rejection returned %v", err)
+	}
+}

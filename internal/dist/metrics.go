@@ -1,0 +1,40 @@
+package dist
+
+import (
+	"fmt"
+
+	"atf/internal/obs"
+)
+
+// Coordinator-side fleet instrumentation, recorded into obs.Default()
+// and exported by atfd's /metrics. Metric names are documented in
+// DESIGN.md §3c; keep the two in sync.
+var (
+	mWorkersLive = obs.NewGauge("atf_dist_workers_live",
+		"Registered eval workers whose heartbeat is within the TTL")
+	mBatchesDispatched = obs.NewCounter("atf_dist_batches_dispatched_total",
+		"Configuration batches dispatched to the worker fleet")
+	mBatchesLocal = obs.NewCounter("atf_dist_batches_local_total",
+		"Batches evaluated entirely by the in-process fallback (no live workers)")
+	mPartitionsDispatched = obs.NewCounter("atf_dist_partitions_dispatched_total",
+		"Batch partitions dispatched to workers (first attempts)")
+	mPartitionsRedispatched = obs.NewCounter("atf_dist_partitions_redispatched_total",
+		"Partition re-dispatches: worker failures plus speculative straggler re-dispatch")
+	mPartitionsLocal = obs.NewCounter("atf_dist_partitions_local_fallback_total",
+		"Partitions finished by the in-process fallback after remote attempts ran out")
+	mRemoteEvals = obs.NewCounter("atf_dist_remote_evals_total",
+		"Evaluation outcomes received from remote workers (duplicates included)")
+	mDispatchCommitSeconds = obs.NewHistogram("atf_dist_dispatch_commit_seconds",
+		"Latency from batch dispatch to all outcomes being commit-ready", nil)
+	mServedEvals = obs.NewCounter("atf_dist_served_evals_total",
+		"Evaluation results this process served as a worker (atf-worker /metrics)")
+)
+
+// workerEvalsCounter is the per-worker eval throughput counter,
+// label-styled like the oclc engine counters. Registration is
+// get-or-create, so re-registrations and coordinator restarts reuse the
+// same collector.
+func workerEvalsCounter(name string) *obs.Counter {
+	return obs.NewCounter(fmt.Sprintf("atf_dist_worker_evals_total{worker=%q}", name),
+		"Evaluation outcomes received from one worker")
+}

@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atf/internal/obs"
+)
+
+// Registry tracks the fleet's eval workers and their liveness. Workers
+// are keyed by advertised URL: registration is idempotent and doubles as
+// the heartbeat. A worker is live while its last heartbeat is within the
+// TTL and it has no unresolved dispatch failure — a failed dispatch
+// benches the worker until its next heartbeat, so one dead process does
+// not keep eating re-dispatches.
+type Registry struct {
+	heartbeat time.Duration
+	ttl       time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	workers map[string]*worker // by URL
+	order   []string           // registration order, for stable listings
+}
+
+// worker is one registered eval worker. The counters are atomic so the
+// dispatch path never takes the registry lock.
+type worker struct {
+	id   string
+	name string
+	url  string
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	benched  bool // dispatch failed since the last heartbeat
+
+	dispatches atomic.Uint64
+	failures   atomic.Uint64
+	evals      atomic.Uint64
+	evalsTotal *obs.Counter
+}
+
+// NewRegistry creates a worker registry with the given heartbeat
+// interval (0 means 2s) and TTL (0 means 3 heartbeats).
+func NewRegistry(heartbeat, ttl time.Duration) *Registry {
+	if heartbeat <= 0 {
+		heartbeat = 2 * time.Second
+	}
+	if ttl <= 0 {
+		ttl = 3 * heartbeat
+	}
+	return &Registry{
+		heartbeat: heartbeat,
+		ttl:       ttl,
+		now:       time.Now,
+		workers:   make(map[string]*worker),
+	}
+}
+
+// Heartbeat registers the worker or refreshes its liveness; it returns
+// the worker and whether this was a first registration.
+func (r *Registry) Heartbeat(req RegisterRequest) (*worker, bool, error) {
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, false, fmt.Errorf("dist: bad worker url %q", req.URL)
+	}
+	name := req.Name
+	if name == "" {
+		name = u.Host
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[req.URL]
+	if !ok {
+		w = &worker{
+			id:         "w-" + randomSuffix(),
+			name:       name,
+			url:        req.URL,
+			evalsTotal: workerEvalsCounter(name),
+		}
+		r.workers[req.URL] = w
+		r.order = append(r.order, req.URL)
+	}
+	w.mu.Lock()
+	w.name = name
+	w.lastSeen = r.now()
+	w.benched = false
+	w.mu.Unlock()
+	r.updateLiveGauge()
+	return w, !ok, nil
+}
+
+// Live returns the workers eligible for dispatch, in registration order.
+func (r *Registry) Live() []*worker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.liveLocked()
+}
+
+func (r *Registry) liveLocked() []*worker {
+	cutoff := r.now().Add(-r.ttl)
+	var live []*worker
+	for _, url := range r.order {
+		w := r.workers[url]
+		w.mu.Lock()
+		ok := !w.benched && !w.lastSeen.Before(cutoff)
+		w.mu.Unlock()
+		if ok {
+			live = append(live, w)
+		}
+	}
+	mWorkersLive.Set(int64(len(live)))
+	return live
+}
+
+func (r *Registry) updateLiveGauge() { r.liveLocked() }
+
+// MarkFailed benches a worker after a failed dispatch until its next
+// heartbeat proves it alive again.
+func (r *Registry) MarkFailed(w *worker) {
+	w.failures.Add(1)
+	w.mu.Lock()
+	w.benched = true
+	w.mu.Unlock()
+	r.mu.Lock()
+	r.updateLiveGauge()
+	r.mu.Unlock()
+}
+
+// Status snapshots every registered worker for GET /v1/workers.
+func (r *Registry) Status() []WorkerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.ttl)
+	out := make([]WorkerStatus, 0, len(r.order))
+	for _, url := range r.order {
+		w := r.workers[url]
+		w.mu.Lock()
+		st := WorkerStatus{
+			ID:             w.id,
+			Name:           w.name,
+			URL:            w.url,
+			Live:           !w.benched && !w.lastSeen.Before(cutoff),
+			LastSeenUnixNs: w.lastSeen.UnixNano(),
+			Dispatches:     w.dispatches.Load(),
+			Failures:       w.failures.Load(),
+			Evals:          w.evals.Load(),
+		}
+		w.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Handler serves the coordinator's worker-facing endpoints:
+//
+//	POST /v1/workers  register / heartbeat
+//	GET  /v1/workers  fleet status
+//
+// atfd mounts it next to the session API on the same listener.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, req *http.Request) {
+		var body RegisterRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&body); err != nil {
+			writeJSONError(w, http.StatusBadRequest, "bad register body: %v", err)
+			return
+		}
+		wk, fresh, err := r.Heartbeat(body)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		code := http.StatusOK
+		if fresh {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, RegisterResponse{
+			ID:          wk.id,
+			HeartbeatMs: r.heartbeat.Milliseconds(),
+			TTLMs:       r.ttl.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Status())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// randomSuffix is a short collision-resistant id component.
+func randomSuffix() string {
+	var b [5]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"atf"
+	"atf/internal/core"
+	"atf/internal/server/client"
+)
+
+// WorkerOptions configures an eval worker.
+type WorkerOptions struct {
+	// Name labels the worker in coordinator listings and metrics.
+	Name string
+	// Parallelism is the size of each spec's evaluation pool and the
+	// NDJSON flush chunk (0 = NumCPU).
+	Parallelism int
+}
+
+// WorkerServer is the serving side of an eval worker (cmd/atf-worker):
+// it receives batch partitions on POST /v1/eval, evaluates them with an
+// in-process pool built from the request's spec, and streams outcomes
+// back as NDJSON. Workers are stateless — the spec rides on every
+// request — but cache built pools by spec hash so a tuning run pays the
+// cost-function construction once.
+type WorkerServer struct {
+	name        string
+	parallelism int
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+	pools    map[[sha256.Size]byte]*core.PoolEvaluator
+}
+
+// NewWorkerServer creates a worker server.
+func NewWorkerServer(opts WorkerOptions) *WorkerServer {
+	parallelism := opts.Parallelism
+	if parallelism < 1 {
+		parallelism = runtime.NumCPU()
+	}
+	return &WorkerServer{
+		name:        opts.Name,
+		parallelism: parallelism,
+		pools:       make(map[[sha256.Size]byte]*core.PoolEvaluator),
+	}
+}
+
+// Handler serves the worker's endpoints: POST /v1/eval and GET
+// /v1/healthz.
+func (s *WorkerServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "name": s.name})
+	})
+	return mux
+}
+
+// handleEval evaluates one partition and streams EvalResult lines.
+// Results are written and flushed in pool-sized chunks, so a worker
+// killed mid-partition has already delivered every finished chunk — the
+// coordinator keeps those records and re-dispatches only the rest.
+func (s *WorkerServer) handleEval(w http.ResponseWriter, r *http.Request) {
+	// Register as in-flight under the lock so Close either sees this
+	// request and waits for it, or marks closed before it starts.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeJSONError(w, http.StatusServiceUnavailable, "worker shutting down")
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	var req EvalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad eval request: %v", err)
+		return
+	}
+	if req.Spec == nil {
+		writeJSONError(w, http.StatusBadRequest, "eval request has no spec")
+		return
+	}
+	pool, err := s.pool(req.Spec)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "building evaluator: %v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for start := 0; start < len(req.Configs); start += s.parallelism {
+		if r.Context().Err() != nil {
+			return // coordinator gave up; stop evaluating
+		}
+		end := start + s.parallelism
+		if end > len(req.Configs) {
+			end = len(req.Configs)
+		}
+		outcomes, err := pool.EvaluateBatch(r.Context(), req.BatchIndex, req.Configs[start:end])
+		if err != nil {
+			return // stream ends torn; the coordinator re-dispatches
+		}
+		for i, o := range outcomes {
+			rec := EvalResult{BatchIndex: req.BatchIndex, Index: start + i, Cost: o.Cost}
+			if o.Err != nil {
+				rec.Error = o.Err.Error()
+			}
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+			mServedEvals.Add(1)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// pool returns the evaluation pool for a spec, building it on first use.
+// Specs are keyed by the hash of their canonical JSON form; the pool
+// caches costs per configuration exactly like a local run with the
+// spec's cache setting.
+func (s *WorkerServer) pool(spec *atf.Spec) (*core.PoolEvaluator, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	key := sha256.Sum256(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pools[key]; ok {
+		return p, nil
+	}
+	build, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	cache := true
+	if spec.CacheCosts != nil {
+		cache = *spec.CacheCosts
+	}
+	pool, err := core.NewPoolEvaluator(build.Cost, s.parallelism, cache)
+	if err != nil {
+		return nil, err
+	}
+	s.pools[key] = pool
+	return pool, nil
+}
+
+// Close rejects new eval requests, waits for in-flight ones to drain
+// (the HTTP server's shutdown cancels their contexts, so they finish
+// their current chunk and return), then releases every cached pool.
+func (s *WorkerServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, p := range s.pools {
+		p.Close()
+		delete(s.pools, key)
+	}
+	return nil
+}
+
+// RunHeartbeat registers the worker with the coordinator and keeps
+// re-registering at the interval the coordinator announces, until ctx
+// cancels. Transient failures — a down or restarting coordinator — are
+// retried forever under the shared backoff policy, so a worker started
+// before its coordinator (or surviving a coordinator restart) joins the
+// fleet as soon as it comes up. Only a permanent rejection (a 4xx, e.g.
+// a malformed advertise URL) stops the loop.
+func RunHeartbeat(ctx context.Context, httpc *http.Client, coordinatorURL string, reg RegisterRequest, logf func(format string, args ...any)) error {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	retry := client.RetryPolicy{Attempts: 5}
+	interval := 2 * time.Second
+	registered := false
+	for {
+		var resp RegisterResponse
+		err := retry.Do(ctx, func() error {
+			return registerOnce(ctx, httpc, coordinatorURL, reg, &resp)
+		})
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err == nil:
+			if hb := time.Duration(resp.HeartbeatMs) * time.Millisecond; hb > 0 {
+				interval = hb
+			}
+			if !registered {
+				registered = true
+				logf("registered with %s as %s (heartbeat %v)", coordinatorURL, resp.ID, interval)
+			}
+		case client.IsTransient(err):
+			// Coordinator down: keep knocking at the heartbeat cadence.
+			registered = false
+			logf("heartbeat: %v (retrying)", err)
+		default:
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// registerOnce POSTs one registration. Registration is idempotent by
+// design (workers are keyed by URL), so every transport failure and 5xx
+// is transient.
+func registerOnce(ctx context.Context, httpc *http.Client, coordinatorURL string, reg RegisterRequest, resp *RegisterResponse) error {
+	body, err := json.Marshal(reg)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinatorURL+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := httpc.Do(req)
+	if err != nil {
+		return client.Transient(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK && res.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 1024))
+		err := fmt.Errorf("dist: register with %s: %s: %s", coordinatorURL, res.Status, bytes.TrimSpace(msg))
+		if client.TransientStatus(res.StatusCode) {
+			return client.Transient(err)
+		}
+		return err
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}

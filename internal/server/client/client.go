@@ -5,7 +5,6 @@
 package client
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -25,6 +24,10 @@ type Client struct {
 	Base string
 	// HTTP is the underlying client; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry bounds retries of transient failures (refused connections
+	// for every method; 5xx/429 additionally for idempotent ones); nil
+	// means DefaultRetry.
+	Retry *RetryPolicy
 }
 
 // New returns a client for the daemon at base.
@@ -37,44 +40,74 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) retry() RetryPolicy {
+	if c.Retry != nil {
+		return *c.Retry
+	}
+	return DefaultRetry
+}
+
+// idempotent reports whether a method can be retried after a failure
+// that may have reached the server. POSTs are only retried on refused
+// connections, where the request was provably never sent.
+func idempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	return c.retry().Do(ctx, func() error {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, reader)
 		if err != nil {
 			return err
 		}
-		reader = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, reader)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 400 {
-		var apiErr struct {
-			Error string `json:"error"`
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("atfd: %s %s: %s", method, path, apiErr.Error)
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if idempotent(method) {
+				return Transient(err)
+			}
+			return err // refused connections stay retryable via IsTransient
 		}
-		return fmt.Errorf("atfd: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(data, out)
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			err := fmt.Errorf("atfd: %s %s: HTTP %d", method, path, resp.StatusCode)
+			if json.Unmarshal(payload, &apiErr) == nil && apiErr.Error != "" {
+				err = fmt.Errorf("atfd: %s %s: %s", method, path, apiErr.Error)
+			}
+			if TransientStatus(resp.StatusCode) && idempotent(method) {
+				return Transient(err)
+			}
+			return err
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(payload, out)
+	})
 }
 
 // Create starts a tuning session from a declarative spec.
@@ -128,22 +161,17 @@ func (c *Client) Evaluations(ctx context.Context, id string, from int, fn func(s
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("atfd: evaluations %s: HTTP %d: %s", id, resp.StatusCode, data)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	// A torn trailing line — the server or connection dying mid-record —
+	// ends the stream without error; every complete record before it was
+	// delivered, and the caller can reconnect with from += records seen.
+	_, err = ScanNDJSON(resp.Body, func(line []byte) (bool, error) {
 		var rec server.EvalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return fmt.Errorf("atfd: bad evaluation line: %w", err)
+			return false, fmt.Errorf("atfd: bad evaluation line: %w", err)
 		}
-		if !fn(rec) {
-			return nil
-		}
-	}
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fn(rec), nil
+	})
+	if err != nil && ctx.Err() == nil {
 		return err
 	}
 	return nil

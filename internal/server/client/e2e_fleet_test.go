@@ -1,0 +1,230 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"atf/internal/dist"
+	"atf/internal/server"
+	"atf/internal/server/client"
+)
+
+// fleetDaemon is an atfd instance with the distributed-evaluation
+// coordinator wired in, exactly as cmd/atfd does it: the fleet's
+// SessionEvaluator factory installed on the manager before any session
+// starts, and /v1/workers mounted beside the session API.
+type fleetDaemon struct {
+	daemon
+	fleet *dist.Fleet
+}
+
+func startFleetDaemon(t *testing.T, dir string) *fleetDaemon {
+	t.Helper()
+	m, err := server.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dist.NewFleet(dist.Options{
+		Heartbeat:      50 * time.Millisecond,
+		StragglerAfter: 500 * time.Millisecond,
+		Retry:          &client.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	m.Evaluator = f.SessionEvaluator
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := http.NewServeMux()
+	top.Handle("/v1/workers", f.Handler())
+	top.Handle("/", (&server.API{Manager: m}).Handler())
+	srv := &http.Server{Handler: top}
+	go srv.Serve(ln)
+	return &fleetDaemon{
+		daemon: daemon{manager: m, srv: srv, base: "http://" + ln.Addr().String()},
+		fleet:  f,
+	}
+}
+
+// fleetWorker is one in-process atf-worker: an eval server plus the
+// heartbeat loop registering it with a coordinator.
+type fleetWorker struct {
+	ws     *dist.WorkerServer
+	srv    *http.Server
+	cancel context.CancelFunc
+}
+
+func startWorker(t *testing.T, coordinator, name string) *fleetWorker {
+	t.Helper()
+	ws := dist.NewWorkerServer(dist.WorkerOptions{Name: name, Parallelism: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: ws.Handler()}
+	go srv.Serve(ln)
+	ctx, cancel := context.WithCancel(context.Background())
+	go dist.RunHeartbeat(ctx, nil, coordinator,
+		dist.RegisterRequest{Name: name, URL: "http://" + ln.Addr().String()},
+		func(string, ...any) {})
+	return &fleetWorker{ws: ws, srv: srv, cancel: cancel}
+}
+
+// kill is the SIGKILL-equivalent for a worker: heartbeats stop and
+// in-flight eval requests die mid-stream.
+func (w *fleetWorker) kill() {
+	w.cancel()
+	w.srv.Close()
+	w.ws.Close()
+}
+
+func waitForWorkers(t *testing.T, d *fleetDaemon, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(d.fleet.Registry().Live()) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("fleet never reached %d live workers", n)
+}
+
+// TestFleetEndToEnd is the distributed-evaluation contract over real HTTP:
+// a session evaluated by a worker fleet — through a worker kill mid-run, a
+// coordinator kill, and a resume with an entirely fresh fleet — finishes
+// with exactly the counters, best configuration, and evaluation sequence
+// of a plain local daemon running the same spec.
+func TestFleetEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	spec := parseE2ESpec(t)
+
+	// Control: the spec run start-to-finish with no fleet at all.
+	control := startDaemon(t, t.TempDir())
+	defer control.kill()
+	c0 := client.New(control.base)
+	st0, err := c0.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c0.Wait(ctx, st0.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.State != server.StateDone {
+		t.Fatalf("control run ended %s (%s)", want.State, want.Error)
+	}
+
+	// Experiment: a fleet daemon with two workers.
+	dir := t.TempDir()
+	d1 := startFleetDaemon(t, dir)
+	w1 := startWorker(t, d1.base, "w1")
+	w2 := startWorker(t, d1.base, "w2")
+	defer w2.kill()
+	waitForWorkers(t, d1, 2)
+
+	c1 := client.New(d1.base)
+	st1, err := c1.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream a real prefix, in order, then kill one worker mid-run: its
+	// unfinished partitions must be re-dispatched without a gap or a
+	// duplicate in the committed sequence.
+	var streamed []server.EvalRecord
+	streamCtx, cancelStream := context.WithCancel(ctx)
+	err = c1.Evaluations(streamCtx, st1.ID, 0, func(rec server.EvalRecord) bool {
+		if rec.Index != uint64(len(streamed)) {
+			t.Errorf("stream out of order: got index %d at position %d", rec.Index, len(streamed))
+		}
+		streamed = append(streamed, rec)
+		if len(streamed) == 20 {
+			w1.kill()
+		}
+		return len(streamed) < 40
+	})
+	cancelStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) < 40 {
+		t.Fatalf("streamed only %d evaluations", len(streamed))
+	}
+
+	// Kill the coordinator too; the journal is the only survivor.
+	d1.kill()
+	w2.kill()
+
+	// Restart on the same journal directory with an entirely new fleet —
+	// fresh coordinator port, fresh workers. The resumed session replays
+	// its journaled prefix and dispatches the rest to the new workers.
+	d2 := startFleetDaemon(t, dir)
+	defer d2.kill()
+	w3 := startWorker(t, d2.base, "w3")
+	defer w3.kill()
+	w4 := startWorker(t, d2.base, "w4")
+	defer w4.kill()
+	resumed, err := d2.manager.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d sessions, want 1", len(resumed))
+	}
+
+	c2 := client.New(d2.base)
+	final, err := c2.Wait(ctx, st1.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("fleet run ended %s (%s)", final.State, final.Error)
+	}
+	if final.Divergence != "" {
+		t.Fatalf("fleet run diverged from its journal: %s", final.Divergence)
+	}
+	if final.Evaluations != want.Evaluations || final.Valid != want.Valid {
+		t.Errorf("fleet counters %d/%d, control %d/%d",
+			final.Evaluations, final.Valid, want.Evaluations, want.Valid)
+	}
+	if !final.Best.Equal(want.Best) || final.BestCost.String() != want.BestCost.String() {
+		t.Errorf("fleet best %v/%v, control %v/%v",
+			final.Best, final.BestCost, want.Best, want.BestCost)
+	}
+
+	// The full fleet-evaluated sequence matches the control run's journal
+	// key for key — bit-identical merge is the whole point.
+	wantKeys := journalEvalKeys(t, c0, st0.ID, want.Evaluations)
+	gotKeys := journalEvalKeys(t, c2, st1.ID, final.Evaluations)
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("evaluation %d: fleet %q, control %q", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	for i, rec := range streamed {
+		if gotKeys[i] != rec.Key {
+			t.Fatalf("evaluation %d: post-resume journal %q, live stream saw %q", i, gotKeys[i], rec.Key)
+		}
+	}
+}
+
+// journalEvalKeys streams a finished session's full evaluation sequence
+// and returns the config keys in index order.
+func journalEvalKeys(t *testing.T, c *client.Client, id string, n uint64) []string {
+	t.Helper()
+	var keys []string
+	err := c.Evaluations(context.Background(), id, 0, func(rec server.EvalRecord) bool {
+		keys = append(keys, rec.Key)
+		return uint64(len(keys)) < n
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(keys)) != n {
+		t.Fatalf("streamed %d evaluations, want %d", len(keys), n)
+	}
+	return keys
+}

@@ -1,0 +1,48 @@
+package client
+
+import (
+	"bufio"
+	"io"
+)
+
+// ScanNDJSON reads newline-delimited JSON from r, calling fn for every
+// complete line (empty lines are skipped). fn returns whether to keep
+// reading and a decode error for malformed lines.
+//
+// A malformed *final* line is tolerated and reported via torn instead of
+// an error: it is the line a dying peer cut short mid-write — the same
+// torn-tail discipline the tuning journal applies on disk. Callers
+// reconnect and resume from the count of complete records they kept.
+// Malformed lines with complete lines after them are real protocol
+// errors and are returned as such.
+func ScanNDJSON(r io.Reader, fn func(line []byte) (keep bool, err error)) (torn bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	// One line of lookahead: a line is only handed to fn once its
+	// successor proves it was completely written, or after the stream
+	// ends (then a decode failure means a torn tail, not an error).
+	var pending []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pending != nil {
+			keep, err := fn(pending)
+			if err != nil {
+				return false, err
+			}
+			if !keep {
+				return false, nil
+			}
+		}
+		pending = append(pending[:0], line...)
+	}
+	readErr := sc.Err()
+	if pending != nil {
+		if _, err := fn(pending); err != nil {
+			return true, readErr
+		}
+	}
+	return false, readErr
+}

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"atf/internal/server"
+)
+
+func collectNDJSON(t *testing.T, input string) (lines []string, torn bool, err error) {
+	t.Helper()
+	torn, err = ScanNDJSON(strings.NewReader(input), func(line []byte) (bool, error) {
+		if !json.Valid(line) {
+			return false, errors.New("bad line")
+		}
+		lines = append(lines, string(line))
+		return true, nil
+	})
+	return lines, torn, err
+}
+
+func TestScanNDJSONCompleteStream(t *testing.T) {
+	lines, torn, err := collectNDJSON(t, "{\"a\":1}\n{\"a\":2}\n")
+	if err != nil || torn {
+		t.Fatalf("err=%v torn=%v", err, torn)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+}
+
+// TestScanNDJSONTornTail is the regression test for reconnect handling:
+// the line a dying peer cut short must be dropped silently, exactly like
+// the journal's torn-tail tolerance on disk.
+func TestScanNDJSONTornTail(t *testing.T) {
+	lines, torn, err := collectNDJSON(t, "{\"a\":1}\n{\"a\":2}\n{\"a\":")
+	if err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if !torn {
+		t.Fatal("torn tail not reported")
+	}
+	if len(lines) != 2 {
+		t.Fatalf("kept %d complete lines, want 2", len(lines))
+	}
+}
+
+func TestScanNDJSONMidStreamGarbageErrors(t *testing.T) {
+	_, _, err := collectNDJSON(t, "{\"a\":1}\nnot json at all\n{\"a\":2}\n")
+	if err == nil {
+		t.Fatal("malformed mid-stream line must error")
+	}
+}
+
+func TestScanNDJSONStopEarly(t *testing.T) {
+	var n int
+	torn, err := ScanNDJSON(strings.NewReader("{}\n{}\n{}\n"), func(line []byte) (bool, error) {
+		n++
+		return n < 2, nil
+	})
+	if err != nil || torn || n != 2 {
+		t.Fatalf("err=%v torn=%v n=%d, want clean stop after 2", err, torn, n)
+	}
+}
+
+func TestScanNDJSONSkipsBlankLines(t *testing.T) {
+	lines, torn, err := collectNDJSON(t, "\n{\"a\":1}\n\n\n{\"a\":2}\n\n")
+	if err != nil || torn || len(lines) != 2 {
+		t.Fatalf("err=%v torn=%v lines=%d", err, torn, len(lines))
+	}
+}
+
+// TestEvaluationsToleratesTornTail drives Client.Evaluations against a
+// server whose NDJSON stream dies mid-record: the complete prefix is
+// delivered and no error surfaces, so the caller can reconnect from the
+// record count it kept.
+func TestEvaluationsToleratesTornTail(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, "{\"index\":%d,\"key\":\"k%d\"}\n", i, i)
+		}
+		fmt.Fprint(w, `{"index":3,"key":"trunca`) // the kill mid-write
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	var got []server.EvalRecord
+	err := c.Evaluations(context.Background(), "s", 0, func(rec server.EvalRecord) bool {
+		got = append(got, rec)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("torn tail leaked as error: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("kept %d records, want the 3 complete ones", len(got))
+	}
+	for i, rec := range got {
+		if rec.Index != uint64(i) {
+			t.Fatalf("record %d has index %d", i, rec.Index)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy bounds the retries of transient failures: up to Attempts
+// tries with exponential backoff starting at BaseDelay, capped at
+// MaxDelay, each delay jittered uniformly in [delay/2, delay] so a fleet
+// of clients recovering from the same outage does not stampede the
+// server. The zero value means no retries (one attempt). It is shared by
+// the CLI client and the distributed eval-worker protocol — one retry
+// helper, one transience classification.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included);
+	// values below 1 mean 1.
+	Attempts int
+	// BaseDelay is the delay before the first retry; 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; 0 means 2s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy the daemon client and the worker protocol
+// use when the caller does not configure one: 4 tries, 50ms → 2s.
+var DefaultRetry = RetryPolicy{Attempts: 4}
+
+// errTransient marks an error as retryable; see Transient.
+type errTransient struct{ err error }
+
+func (e *errTransient) Error() string { return e.err.Error() }
+func (e *errTransient) Unwrap() error { return e.err }
+
+// Transient wraps err so RetryPolicy.Do retries it. HTTP callers
+// typically wrap connection-level failures and 5xx statuses; anything
+// returned unwrapped is treated as permanent and stops the retry loop.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &errTransient{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// retryable via Transient, or is a refused connection — the one
+// transport failure that is always safe to retry because the request
+// never reached the server.
+func IsTransient(err error) bool {
+	var t *errTransient
+	return errors.As(err, &t) || errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// TransientStatus reports whether an HTTP status code should be treated
+// as transient: 5xx and 429 (backpressure) are, everything else is the
+// server's final word.
+func TransientStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// jitterRand is the shared jitter source; a dedicated locked source so
+// retry timing never perturbs any seeded application-level randomness.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Delay returns the backoff delay before retry number retry (0-based),
+// jittered. Exported so callers with their own loops (the coordinator's
+// straggler re-dispatch) share the same backoff shape.
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(retry)
+	if d > max || d <= 0 {
+		d = max
+	}
+	jitterMu.Lock()
+	f := jitterRand.Float64()
+	jitterMu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// Do runs fn until it succeeds, fails permanently, ctx is canceled, or
+// the attempt budget is exhausted. fn signals a retryable failure by
+// returning an error wrapped with Transient (refused connections are
+// retried even unwrapped). The last error is returned, annotated with
+// the attempt count when retries were used up.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(p.Delay(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", attempts, err)
+}

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{Attempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func TestRetryDoRecoversFromTransient(t *testing.T) {
+	calls := 0
+	err := fastRetry(4).Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on call 3", err, calls)
+	}
+}
+
+func TestRetryDoStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	want := errors.New("bad spec")
+	err := fastRetry(4).Do(context.Background(), func() error {
+		calls++
+		return want
+	})
+	if !errors.Is(err, want) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want permanent error after 1 call", err, calls)
+	}
+}
+
+func TestRetryDoExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := fastRetry(3).Do(context.Background(), func() error {
+		calls++
+		return Transient(errors.New("always down"))
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want failure after 3 calls", err, calls)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted error should still unwrap as transient: %v", err)
+	}
+}
+
+func TestRetryDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := RetryPolicy{Attempts: 10, BaseDelay: 50 * time.Millisecond}.Do(ctx, func() error {
+		calls++
+		cancel()
+		return Transient(errors.New("down"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want stop after cancellation", err, calls)
+	}
+}
+
+func TestRetryDelayBoundedAndJittered(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for retry := 0; retry < 12; retry++ {
+		d := p.Delay(retry)
+		if d < 5*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("retry %d delay %v outside [base/2, max]", retry, d)
+		}
+	}
+}
+
+// TestClientRetriesTransientHTTP drives the real Client against a server
+// that serves two 500s before succeeding: idempotent requests recover,
+// and the create POST does not retry a 5xx (it may have side effects).
+func TestClientRetriesTransientHTTP(t *testing.T) {
+	var gets, posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			if gets.Add(1) <= 2 {
+				http.Error(w, `{"error":"overloaded"}`, http.StatusInternalServerError)
+				return
+			}
+			fmt.Fprint(w, `[]`)
+		case http.MethodPost:
+			posts.Add(1)
+			http.Error(w, `{"error":"overloaded"}`, http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("list should survive two 500s: %v", err)
+	}
+	if got := gets.Load(); got != 3 {
+		t.Fatalf("list used %d attempts, want 3", got)
+	}
+
+	if _, err := c.Create(context.Background(), nil); err == nil {
+		t.Fatal("create against a 500 must fail")
+	}
+	if got := posts.Load(); got != 1 {
+		t.Fatalf("create retried a 5xx: %d attempts", got)
+	}
+}
+
+// TestClientRetriesRefusedConnection: a refused connection is retryable
+// for every method — the request never left the client.
+func TestClientRetriesRefusedConnection(t *testing.T) {
+	// Grab a port that nothing listens on.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	base := srv.URL
+	srv.Close()
+
+	c := New(base)
+	c.Retry = &RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err := c.List(context.Background())
+	if err == nil {
+		t.Fatal("list against a dead server must fail")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("refused connection should classify transient: %v", err)
+	}
+}

@@ -28,7 +28,7 @@ import (
 
 // Record is one journal line; Type selects which payload is set.
 type Record struct {
-	Type string `json:"type"` // "spec" | "eval" | "done"
+	Type string `json:"type"` // "spec" | "eval" | "batch" | "done"
 
 	// spec header fields.
 	Session       string    `json:"session,omitempty"`
@@ -36,8 +36,22 @@ type Record struct {
 	CreatedUnixNs int64     `json:"created_unix_ns,omitempty"`
 	Spec          *atf.Spec `json:"spec,omitempty"`
 
-	Eval *EvalRecord `json:"eval,omitempty"`
-	Done *DoneRecord `json:"done,omitempty"`
+	Eval  *EvalRecord  `json:"eval,omitempty"`
+	Batch *BatchRecord `json:"batch,omitempty"`
+	Done  *DoneRecord  `json:"done,omitempty"`
+}
+
+// BatchRecord journals one batch boundary of the parallel engine: batch
+// Index covered evaluations [StartEval, StartEval+Size). Written before
+// the batch is dispatched, so a journal whose evaluations stop inside a
+// batch's range identifies exactly which dispatch a crash interrupted. A
+// resumed run replays the same deterministic batch walk and skips
+// re-journaling marks inside the replayed prefix; the mark at the replay
+// boundary is appended again, which is why readers dedup by Index.
+type BatchRecord struct {
+	Index     uint64 `json:"index"`
+	StartEval uint64 `json:"start_eval"`
+	Size      int    `json:"size"`
 }
 
 // EvalRecord journals one committed evaluation. Key is the configuration's
@@ -136,7 +150,10 @@ type JournalData struct {
 	CreatedUnixNs int64
 	Spec          *atf.Spec
 	Evals         []EvalRecord
-	Done          *DoneRecord
+	// Batches are the journaled batch boundaries, deduplicated by batch
+	// index (a resumed run re-journals the mark it was interrupted in).
+	Batches []BatchRecord
+	Done    *DoneRecord
 	// Truncated marks a torn or out-of-sequence tail that was dropped
 	// (the line a kill interrupted mid-write).
 	Truncated bool
@@ -156,6 +173,7 @@ func ReadJournalFile(path string) (*JournalData, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	first := true
+	seenBatches := make(map[uint64]bool)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -184,6 +202,15 @@ func ReadJournalFile(path string) (*JournalData, error) {
 				return d, nil
 			}
 			d.Evals = append(d.Evals, *rec.Eval)
+		case "batch":
+			if rec.Batch == nil {
+				d.Truncated = true
+				return d, nil
+			}
+			if !seenBatches[rec.Batch.Index] {
+				seenBatches[rec.Batch.Index] = true
+				d.Batches = append(d.Batches, *rec.Batch)
+			}
 		case "done":
 			d.Done = rec.Done
 			return d, nil

@@ -184,3 +184,53 @@ func configOf(t *testing.T, spec *atf.Spec, x int64) *atf.Config {
 	t.Fatalf("no config with X=%d", x)
 	return nil
 }
+
+// TestJournalBatchRecords: batch-boundary records round-trip, interleave
+// freely with evaluations, and deduplicate by batch index on read — the
+// resumed-run case, where the mark at the replay boundary is appended a
+// second time.
+func TestJournalBatchRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batched.jsonl")
+	spec := testSpec(t)
+
+	j, err := CreateJournal(path, "batched", "batched", spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configOf(t, spec, 2)
+	append := func(rec Record) {
+		t.Helper()
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	append(Record{Type: "batch", Batch: &BatchRecord{Index: 0, StartEval: 0, Size: 2}})
+	append(Record{Type: "eval", Eval: &EvalRecord{Index: 0, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{2}}})
+	append(Record{Type: "eval", Eval: &EvalRecord{Index: 1, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{2}, Cached: true}})
+	append(Record{Type: "batch", Batch: &BatchRecord{Index: 1, StartEval: 2, Size: 2}})
+	append(Record{Type: "eval", Eval: &EvalRecord{Index: 2, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{2}}})
+	// The resumed run re-journals the mark of the batch it was killed in.
+	append(Record{Type: "batch", Batch: &BatchRecord{Index: 1, StartEval: 2, Size: 2}})
+	append(Record{Type: "eval", Eval: &EvalRecord{Index: 3, Key: cfg.Key(), Config: cfg, Cost: atf.Cost{2}}})
+	j.Close()
+
+	d, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truncated {
+		t.Fatal("clean journal reported truncated")
+	}
+	if len(d.Evals) != 4 {
+		t.Fatalf("read %d evaluations, want 4", len(d.Evals))
+	}
+	if len(d.Batches) != 2 {
+		t.Fatalf("read %d batch marks after dedup, want 2", len(d.Batches))
+	}
+	for i, b := range d.Batches {
+		if b.Index != uint64(i) || b.StartEval != uint64(2*i) || b.Size != 2 {
+			t.Fatalf("batch mark %d = %+v", i, b)
+		}
+	}
+}

@@ -233,3 +233,72 @@ func waitForEvals(t *testing.T, s *Session, n uint64) {
 	}
 	t.Fatalf("session never reached %d evaluations", n)
 }
+
+// TestManagerJournalsBatchMarks: a parallel session journals one batch
+// mark per dispatched batch, and the marks survive interrupt/resume as a
+// single deduplicated, contiguous sequence covering every evaluation.
+func TestManagerJournalsBatchMarks(t *testing.T) {
+	spec := parseResumeSpec(t)
+
+	dir := t.TempDir()
+	m1, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m1.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForEvals(t, s1, 40)
+	m1.Shutdown()
+
+	m2, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Shutdown()
+	resumed, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d sessions, want 1", len(resumed))
+	}
+	resumed[0].Wait()
+	st := resumed[0].Status()
+	if st.State != StateDone {
+		t.Fatalf("resumed run ended %s (%s)", st.State, st.Error)
+	}
+
+	d, err := ReadJournalFile(m2.journalPath(s1.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Batches) == 0 {
+		t.Fatal("parallel session journaled no batch marks")
+	}
+	for i, b := range d.Batches {
+		if b.Index != uint64(i) {
+			t.Fatalf("batch mark %d has index %d (marks must dedup to a dense ascending sequence)", i, b.Index)
+		}
+		if b.Size <= 0 {
+			t.Fatalf("batch mark %d has size %d", i, b.Size)
+		}
+		if i > 0 {
+			prev := d.Batches[i-1]
+			if b.StartEval != prev.StartEval+uint64(prev.Size) {
+				t.Fatalf("batch mark %d starts at eval %d, previous covered [%d, %d)",
+					i, b.StartEval, prev.StartEval, prev.StartEval+uint64(prev.Size))
+			}
+		}
+	}
+	// Marks are written before dispatch, so the final mark may cover the
+	// batch the abort cut short: it starts at or before the last committed
+	// evaluation count and its range reaches at least that far.
+	last := d.Batches[len(d.Batches)-1]
+	evals := uint64(len(d.Evals))
+	if last.StartEval > evals || last.StartEval+uint64(last.Size) < evals {
+		t.Fatalf("batch marks cover [0, %d..%d), journal has %d evaluations",
+			last.StartEval, last.StartEval+uint64(last.Size), evals)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -136,6 +137,16 @@ func (s *Session) Wait() { <-s.done }
 // Manager owns the sessions of one daemon process and their journals.
 type Manager struct {
 	dir string
+
+	// Evaluator, when set, supplies each session's batch evaluator — the
+	// hook atfd uses to plug in the distributed worker fleet without this
+	// package importing it. The factory receives the session id, its
+	// spec, the session's cost function (already wrapped for journal
+	// replay — the evaluator's local fallback) and the replayed outcomes
+	// by configuration key (so resumed evaluations are never dispatched
+	// remotely). If the returned evaluator implements io.Closer it is
+	// closed when the session's run ends. Set before Create/Resume.
+	Evaluator func(session string, spec *atf.Spec, local atf.CostFunction, replay map[string]atf.Outcome) atf.BatchEvaluator
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -370,6 +381,22 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 	tuner := build.Tuner
 	tuner.Context = s.ctx
 	tuner.OnEvaluation = s.onEvaluation
+	switch {
+	case m.Evaluator != nil:
+		// Fleet-backed session: the factory's evaluator substitutes the
+		// in-process pool, with the replay-wrapped cost function as its
+		// local fallback and the journaled outcomes resolved up front.
+		ev := m.Evaluator(s.ID, s.Spec, cf, replayOutcomes(replayed))
+		if c, ok := ev.(io.Closer); ok {
+			defer c.Close()
+		}
+		tuner.Evaluator = ev
+		tuner.OnBatch = s.onBatch
+	case tuner.Parallelism != 0 && tuner.Parallelism != 1:
+		// Parallel sessions journal their batch boundaries too, so a
+		// crash mid-batch is attributable to a specific dispatch.
+		tuner.OnBatch = s.onBatch
+	}
 	res, err := tuner.Explore(space, cf)
 	if err != nil {
 		s.finish(StateFailed, nil, err)
@@ -390,6 +417,45 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 	default:
 		s.finish(StateDone, res, nil)
 	}
+}
+
+// onBatch is the Tuner.OnBatch hook: it journals each batch boundary
+// before the batch is dispatched. Marks inside the replayed prefix were
+// journaled by the interrupted run and are skipped; the mark at the
+// replay boundary is appended again (readers dedup by batch index).
+func (s *Session) onBatch(mark atf.BatchMark) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mark.StartEval < uint64(s.replayed) {
+		return
+	}
+	rec := BatchRecord{Index: mark.Index, StartEval: mark.StartEval, Size: mark.Size}
+	if err := s.journal.Append(Record{Type: "batch", Batch: &rec}); err != nil {
+		s.metrics.journalErrs.Inc()
+		if s.runErr == nil {
+			s.runErr = err
+		}
+	}
+}
+
+// replayOutcomes indexes journaled evaluations by configuration key for
+// the fleet evaluator (first outcome wins, matching the cost cache).
+func replayOutcomes(evals []EvalRecord) map[string]atf.Outcome {
+	if len(evals) == 0 {
+		return nil
+	}
+	replay := make(map[string]atf.Outcome, len(evals))
+	for _, rec := range evals {
+		if _, dup := replay[rec.Key]; dup {
+			continue
+		}
+		out := atf.Outcome{Cost: rec.Cost}
+		if rec.Error != "" {
+			out.Err = errors.New(rec.Error)
+		}
+		replay[rec.Key] = out
+	}
+	return replay
 }
 
 // onEvaluation is the Tuner.OnEvaluation hook: it mirrors each committed

@@ -1,0 +1,118 @@
+#!/bin/sh
+# e2e-dist.sh — end-to-end check of the distributed evaluation fleet with
+# the real binaries (`make e2e-dist`). It runs one tuning session twice:
+#
+#   control    atfd -fleet=false, everything evaluated in process
+#   fleet      atfd + two atf-worker processes, one SIGKILLed mid-run
+#
+# and asserts the fleet run finishes with the same evaluation count, best
+# configuration, and best cost as the control — the coordinator's
+# deterministic merge contract, under a worker failure, over real HTTP.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "e2e-dist: $*"; }
+
+command -v jq >/dev/null || { say "jq is required"; exit 1; }
+
+say "building binaries into $workdir"
+$GO build -o "$workdir/atfd" ./cmd/atfd
+$GO build -o "$workdir/atf-worker" ./cmd/atf-worker
+
+# 1200 evaluations at ~1ms each: slow enough that the worker kill lands
+# mid-run, fast enough to finish in seconds.
+cat > "$workdir/spec.json" <<'EOF'
+{
+    "name": "e2e-dist",
+    "parameters": [
+        {"name": "A", "range": {"interval": {"begin": 1, "end": 60}}},
+        {"name": "B", "range": {"interval": {"begin": 1, "end": 20}}}
+    ],
+    "cost": {"kind": "expr", "expr": "(A - 47) * (A - 47) + (B - 13) * (B - 13)", "delay_ns": 1000000},
+    "technique": {"kind": "annealing"},
+    "abort": {"evaluations": 1200},
+    "seed": 97,
+    "parallelism": 4
+}
+EOF
+
+# wait_done BASE ID — poll a session until it leaves the running state,
+# then print its final status JSON.
+wait_done() {
+    base=$1; id=$2
+    for _ in $(seq 1 600); do
+        st=$(curl -fsS "$base/v1/sessions/$id")
+        case $(echo "$st" | jq -r .state) in
+            running) sleep 0.1 ;;
+            *) echo "$st"; return 0 ;;
+        esac
+    done
+    say "session $id never finished"; return 1
+}
+
+# run_session BASE — create the session and wait it out.
+run_session() {
+    id=$(curl -fsS -d @"$workdir/spec.json" "$1/v1/sessions" | jq -r .id)
+    wait_done "$1" "$id"
+}
+
+wait_http() {
+    for _ in $(seq 1 100); do
+        curl -fsS "$1" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    say "$1 never came up"; return 1
+}
+
+say "control run (fleet disabled)"
+"$workdir/atfd" -addr 127.0.0.1:7531 -fleet=false -journal-dir "$workdir/control-journals" >/dev/null &
+pids="$pids $!"
+wait_http http://127.0.0.1:7531/v1/healthz
+control=$(run_session http://127.0.0.1:7531)
+
+say "fleet run (two workers, one killed mid-tune)"
+"$workdir/atfd" -addr 127.0.0.1:7532 -worker-heartbeat 100ms -straggler-after 1s \
+    -journal-dir "$workdir/fleet-journals" >/dev/null &
+pids="$pids $!"
+wait_http http://127.0.0.1:7532/v1/healthz
+"$workdir/atf-worker" -coordinator http://127.0.0.1:7532 -addr 127.0.0.1:7533 -name steady >/dev/null &
+pids="$pids $!"
+"$workdir/atf-worker" -coordinator http://127.0.0.1:7532 -addr 127.0.0.1:7534 -name doomed >/dev/null &
+doomed=$!
+pids="$pids $doomed"
+for _ in $(seq 1 100); do
+    [ "$(curl -fsS http://127.0.0.1:7532/v1/workers | jq 'length')" = 2 ] && break
+    sleep 0.1
+done
+[ "$(curl -fsS http://127.0.0.1:7532/v1/workers | jq 'length')" = 2 ] || {
+    say "workers never registered"; exit 1
+}
+
+id=$(curl -fsS -d @"$workdir/spec.json" http://127.0.0.1:7532/v1/sessions | jq -r .id)
+# Let the fleet commit a real prefix, then SIGKILL one worker mid-tune.
+for _ in $(seq 1 300); do
+    evals=$(curl -fsS "http://127.0.0.1:7532/v1/sessions/$id" | jq .evaluations)
+    [ "$evals" -ge 100 ] && break
+    sleep 0.05
+done
+say "killing worker 'doomed' after $evals evaluations"
+kill -9 "$doomed"
+fleet=$(wait_done http://127.0.0.1:7532 "$id")
+
+for field in state evaluations valid best best_cost; do
+    c=$(echo "$control" | jq -c ".$field")
+    f=$(echo "$fleet" | jq -c ".$field")
+    if [ "$c" != "$f" ]; then
+        say "MISMATCH on $field: control=$c fleet=$f"
+        exit 1
+    fi
+done
+say "PASS: fleet run identical to control ($(echo "$fleet" | jq -c '{evaluations, best, best_cost}'))"
