@@ -373,6 +373,31 @@ func BenchmarkGenerateSpace(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateSpaceLazy measures lazy streaming construction on the
+// paper's headline space: XgemmDirect with uncapped {1..1024} ranges (raw
+// product beyond 10^19), counting-only Size plus a sweep of 100 At calls,
+// reporting the expanded-slab bytes left resident.
+func BenchmarkGenerateSpaceLazy(b *testing.B) {
+	params := clblast.XgemmDirectParams(clblast.SpaceOptions{RangeCap: 1024, DivisorHints: true})
+	for i := 0; i < b.N; i++ {
+		sp, err := core.GenerateFlat(params, core.GenOptions{MaxArenaBytes: 256 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sp.LazyGroups() != 1 {
+			b.Fatal("expected lazy construction")
+		}
+		step := sp.Size()/100 + 1
+		for idx := uint64(0); idx < sp.Size(); idx += step {
+			sp.At(idx)
+		}
+		_, _, resident := sp.LazyStats()
+		b.ReportMetric(float64(sp.Size()), "valid-configs")
+		b.ReportMetric(float64(sp.Checks()), "checks")
+		b.ReportMetric(float64(resident), "resident-bytes")
+	}
+}
+
 // BenchmarkKernelInterpreter measures the simulated-OpenCL substrate
 // itself: one sampled XgemmDirect launch per iteration, under each
 // execution engine. engine=walk is the tree-walking reference,

@@ -1,5 +1,5 @@
 // Command atf-experiments regenerates the paper's evaluation artifacts
-// (DESIGN.md §4, experiments E1–E12) on the simulated devices and prints
+// (DESIGN.md §4, experiments E1–E13) on the simulated devices and prints
 // one table per experiment. EXPERIMENTS.md records a full run.
 //
 // Usage:
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime, interp, vec")
+		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime, interp, vec, lazyspace")
 	cap := flag.Int64("cap", 64, "XgemmDirect integer range cap")
 	sizeCaps := flag.String("sizecaps", "16,64,256",
 		"comma-separated range caps for the E4 size census (1024 reproduces the paper's 2^10 setting; allow a few minutes)")
@@ -153,6 +153,26 @@ func main() {
 			}
 		}
 		emit(harness.GenTimeTable(rs))
+	}
+	if want("lazyspace") {
+		// E13: eager vs lazy construction across range caps. The uncapped
+		// 2^10 row runs lazy-only — its raw product (>10^19) has no
+		// materializable eager counterpart.
+		var rs []*harness.LazySpaceResult
+		for _, c := range []int64{16, 64, 256, 1024} {
+			modes := []bool{false, true}
+			if c >= 1024 {
+				modes = []bool{true}
+			}
+			for _, lazy := range modes {
+				r, err := harness.LazySpace(c, lazy, 200, 0)
+				if err != nil {
+					fail(err)
+				}
+				rs = append(rs, r)
+			}
+		}
+		emit(harness.LazySpaceTable(rs))
 	}
 	if want("interp") {
 		r, err := harness.Interp("Xeon", *interpEvals, opts)

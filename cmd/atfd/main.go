@@ -58,6 +58,8 @@ func main() {
 	engine := flag.String("engine", "",
 		"oclc execution engine for kernel launches: vm-vec (default), vm, walk, vm-nospec (docs/OPERATIONS.md)")
 	fleet := flag.Bool("fleet", true, "coordinate remote eval workers (cmd/atf-worker) on /v1/workers")
+	maxSpaceBytes := flag.Int64("max-space-bytes", 256<<20,
+		"default per-session memory bound on lazy search-space construction; 0 = unbounded (specs override with max_space_bytes)")
 	heartbeat := flag.Duration("worker-heartbeat", 2*time.Second, "worker heartbeat interval; liveness expires after 3 heartbeats")
 	straggler := flag.Duration("straggler-after", 10*time.Second, "speculatively re-dispatch a batch partition after this long")
 	flag.Parse()
@@ -78,6 +80,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	m.MaxSpaceBytes = *maxSpaceBytes
 	var coordinator *dist.Fleet
 	if *fleet {
 		// The evaluator factory must be in place before Resume so resumed

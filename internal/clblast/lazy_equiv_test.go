@@ -1,0 +1,115 @@
+package clblast
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"atf/internal/core"
+)
+
+// TestLazyGenerationEquivalence is the capped differential corpus of the
+// lazy-space acceptance criteria: on spaces small enough to build eagerly,
+// lazy construction must be bit-identical — Size, At at every probed
+// index, IndexOf round-trips — across worker counts and under eviction
+// pressure from a small arena budget.
+func TestLazyGenerationEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		params func() []*core.Param
+		budget int64
+	}{
+		{"saxpy", func() []*core.Param { return SaxpyParams(1 << 14) }, 1 << 16},
+		{"xgemmdirect-cap16", func() []*core.Param {
+			return XgemmDirectParams(SpaceOptions{RangeCap: 16})
+		}, 1 << 14},
+		{"xgemmdirect-cap16-hints", func() []*core.Param {
+			return XgemmDirectParams(SpaceOptions{RangeCap: 16, DivisorHints: true})
+		}, 1 << 14},
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eager, err := core.GenerateFlat(tc.params(),
+				core.GenOptions{Workers: 1, Mode: core.SpaceEager})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				for _, budget := range []int64{0, tc.budget} {
+					label := fmt.Sprintf("workers=%d budget=%d", w, budget)
+					lazy, err := core.GenerateFlat(tc.params(),
+						core.GenOptions{Workers: w, Mode: core.SpaceLazy, MaxArenaBytes: budget})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if lazy.Size() != eager.Size() {
+						t.Fatalf("%s: size %d, want %d", label, lazy.Size(), eager.Size())
+					}
+					if lazy.Checks() != eager.Checks() {
+						t.Errorf("%s: checks %d, want %d", label, lazy.Checks(), eager.Checks())
+					}
+					n := lazy.Size()
+					step := n/257 + 1
+					for idx := uint64(0); idx < n; idx += step {
+						checkIndex(t, label, eager, lazy, idx)
+					}
+					checkIndex(t, label, eager, lazy, n-1)
+				}
+			}
+		})
+	}
+}
+
+// TestXgemmDirectUncappedLazy is the acceptance demo: XgemmDirect with
+// uncapped {1..1024} ranges has a raw Cartesian product beyond 10^19, yet
+// the lazy space reports the exact valid count and serves At/IndexOf. The
+// exact size is cross-checked against an eager cap-96 build: the
+// local-memory constraint (#15) rejects every WGD >= 79 at any padding, so
+// the valid set — and the pruned enumeration order — is identical for
+// every cap >= 78, making the eager cap-96 trie a ground truth for the
+// uncapped space.
+func TestXgemmDirectUncappedLazy(t *testing.T) {
+	uncapped, err := core.GenerateFlat(
+		XgemmDirectParams(SpaceOptions{RangeCap: 1024, DivisorHints: true}),
+		core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncapped.LazyGroups() != 1 {
+		t.Fatalf("uncapped XgemmDirect should auto-select lazy construction")
+	}
+	tenPow19 := new(big.Int).Exp(big.NewInt(10), big.NewInt(19), nil)
+	if uncapped.RawSize().Cmp(tenPow19) <= 0 {
+		t.Fatalf("raw size %s should exceed 10^19", uncapped.RawSize())
+	}
+	ground, err := core.GenerateFlat(
+		XgemmDirectParams(SpaceOptions{RangeCap: 96, DivisorHints: true}),
+		core.GenOptions{Mode: core.SpaceEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncapped.Size() != ground.Size() {
+		t.Fatalf("uncapped Size = %d, want %d (saturated valid set)", uncapped.Size(), ground.Size())
+	}
+	params := XgemmDirectParams(SpaceOptions{RangeCap: 1024})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		idx := uncapped.RandomIndex(rng)
+		cfg := uncapped.At(idx)
+		if !cfg.Equal(ground.At(idx)) {
+			t.Fatalf("At(%d) = %v, want %v", idx, cfg, ground.At(idx))
+		}
+		if ri, ok := uncapped.IndexOf(cfg); !ok || ri != idx {
+			t.Fatalf("IndexOf(At(%d)) = %d,%v", idx, ri, ok)
+		}
+		if !ValidateConfig(cfg, params) {
+			t.Fatalf("At(%d) = %v violates the constraint chain", idx, cfg)
+		}
+	}
+	exp, _, res := uncapped.LazyStats()
+	t.Logf("uncapped: size=%d raw=%s expansions=%d resident=%dB checks=%d",
+		uncapped.Size(), uncapped.RawSize(), exp, res, uncapped.Checks())
+}

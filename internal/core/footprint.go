@@ -29,11 +29,14 @@ import (
 // unannotated closure at or below d) and strictly smaller than the whole
 // prefix (a full-prefix key is unique per prefix and can never hit).
 // Depth 0 is never memoized (it has no prefix and is chunked across
-// generation workers).
-func suffixFootprints(params []*Param) (foot [][]int, memoable []bool) {
+// generation workers). exact[d] reports whether the suffix footprint at d
+// is fully declared — lazy construction (lazy.go) keys subtrees on
+// foot[d] when exact and must fall back to the full prefix otherwise.
+func suffixFootprints(params []*Param) (foot [][]int, memoable, exact []bool) {
 	n := len(params)
 	foot = make([][]int, n)
 	memoable = make([]bool, n)
+	exact = make([]bool, n)
 	pos := make(map[string]int, n)
 	for i, p := range params {
 		pos[p.Name] = i
@@ -41,8 +44,8 @@ func suffixFootprints(params []*Param) (foot [][]int, memoable []bool) {
 	read := make([]bool, n) // read by any parameter in the suffix [d, n)
 	unknown := false        // some parameter in the suffix has an inexact footprint
 	for d := n - 1; d >= 0; d-- {
-		reads, exact := params[d].Deps()
-		if !exact {
+		reads, ex := params[d].Deps()
+		if !ex {
 			unknown = true
 		}
 		for _, name := range reads {
@@ -50,6 +53,7 @@ func suffixFootprints(params []*Param) (foot [][]int, memoable []bool) {
 				read[i] = true
 			}
 		}
+		exact[d] = !unknown
 		if d == 0 {
 			break
 		}
@@ -67,7 +71,7 @@ func suffixFootprints(params []*Param) (foot [][]int, memoable []bool) {
 		foot[d] = f
 		memoable[d] = len(f) < d
 	}
-	return foot, memoable
+	return foot, memoable, exact
 }
 
 // memoKeyAppend encodes (depth, projected values) into buf. The encoding
@@ -76,17 +80,23 @@ func suffixFootprints(params []*Param) (foot [][]int, memoable []bool) {
 func memoKeyAppend(buf []byte, d int, foot []int, cfg *Config) []byte {
 	buf = append(buf, byte(d))
 	for _, p := range foot {
-		v := cfg.At(p)
-		buf = append(buf, byte(v.kind))
-		switch v.kind {
-		case KindString:
-			buf = binary.AppendUvarint(buf, uint64(len(v.s)))
-			buf = append(buf, v.s...)
-		case KindFloat:
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
-		default: // KindInt, KindBool
-			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
-		}
+		buf = appendValueKey(buf, cfg.At(p))
+	}
+	return buf
+}
+
+// appendValueKey appends one value's injective key encoding: a kind tag
+// plus either a fixed 8-byte payload or a length-prefixed string.
+func appendValueKey(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		buf = append(buf, v.s...)
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+	default: // KindInt, KindBool
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
 	}
 	return buf
 }

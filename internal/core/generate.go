@@ -32,7 +32,24 @@ type GenOptions struct {
 	// baseline of ablation experiment E9).
 	Workers int
 	// Memoize toggles dependency-aware subtree memoization (default on).
+	// It applies to eager construction only: the lazy counting pass always
+	// memoizes (it is what makes counting 10^19-range spaces feasible).
 	Memoize MemoMode
+	// Mode selects eager or lazy construction. The default, SpaceAuto,
+	// builds a group eagerly unless its raw range product exceeds
+	// LazyThreshold (see lazy.go).
+	Mode SpaceMode
+	// MaxArenaBytes bounds the resident bytes of lazily expanded slabs
+	// across the whole space (cold slabs are LRU-evicted past the budget).
+	// <= 0 means unbounded. Eager construction ignores it.
+	MaxArenaBytes int64
+	// LazyThreshold overrides the SpaceAuto raw-range-product switchover
+	// (0 means DefaultLazyThreshold).
+	LazyThreshold uint64
+	// slabs, when set by GenerateSpace, is the slab cache shared by all
+	// lazy groups of one space so MaxArenaBytes bounds the space, not each
+	// group separately.
+	slabs *slabCache
 }
 
 // groupBuilder holds the state shared by the workers generating one group.
@@ -55,6 +72,12 @@ type workerState struct {
 	keybuf []byte
 	depth  int
 	val    Value
+	// Worker-local statistics batched by the lazy counting pass and flushed
+	// once per chunk; per-visit atomic increments dominate profiles on
+	// 10^19-range spaces.
+	checks uint64
+	hits   uint64
+	misses uint64
 }
 
 // genPanic wraps a constraint panic with the position that raised it. It is
@@ -89,6 +112,9 @@ func annotatePanic(r any, params []*Param, st *workerState) error {
 // footprint of the remaining parameters additionally share one completion
 // subtree (see footprint.go).
 func GenerateGroup(g *Group, opts GenOptions) (*Tree, error) {
+	if lazySelected(g, opts) {
+		return generateLazyGroup(g, opts)
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -98,7 +124,7 @@ func GenerateGroup(g *Group, opts GenOptions) (*Tree, error) {
 	b := &groupBuilder{params: g.Params}
 	shared := false
 	if opts.Memoize == MemoOn {
-		b.foot, b.memoable = suffixFootprints(g.Params)
+		b.foot, b.memoable, _ = suffixFootprints(g.Params)
 		for _, m := range b.memoable {
 			if m {
 				shared = true
@@ -287,6 +313,17 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 		}
 	}
 
+	// One slab cache per space: when any group constructs lazily, all lazy
+	// groups share it so MaxArenaBytes bounds the space as a whole.
+	if opts.slabs == nil {
+		for _, g := range groups {
+			if lazySelected(g, opts) {
+				opts.slabs = newSlabCache(opts.MaxArenaBytes)
+				break
+			}
+		}
+	}
+
 	trees := make([]*Tree, len(groups))
 	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
@@ -322,6 +359,7 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 	s.size = size
 
 	var logical, unique, arena, hits, misses uint64
+	lazyGroups := 0
 	for _, t := range trees {
 		l, u := t.Nodes()
 		logical += l
@@ -330,6 +368,9 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 		h, m := t.MemoStats()
 		hits += h
 		misses += m
+		if t.Lazy() {
+			lazyGroups++
+		}
 	}
 	mSpacegenRuns.Inc()
 	mSpacegenSeconds.Observe(time.Since(start).Seconds())
@@ -345,7 +386,8 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 		slog.Uint64("tree_nodes", logical),
 		slog.Uint64("unique_nodes", unique),
 		slog.Uint64("memo_hits", hits),
-		slog.Uint64("constraint_checks", s.Checks()))
+		slog.Uint64("constraint_checks", s.Checks()),
+		slog.Int("lazy_groups", lazyGroups))
 	return s, nil
 }
 

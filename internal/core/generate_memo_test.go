@@ -12,7 +12,7 @@ func TestSuffixFootprints(t *testing.T) {
 		NewParam("C", NewInterval(1, 4)),
 		NewParam("D", NewInterval(1, 4), Divides(Ref("A"))),
 	}
-	foot, memoable := suffixFootprints(params)
+	foot, memoable, _ := suffixFootprints(params)
 	if memoable[0] {
 		t.Error("depth 0 must never be memoable")
 	}
@@ -38,7 +38,7 @@ func TestSuffixFootprintsUnknownIsSticky(t *testing.T) {
 		NewParam("C", NewInterval(1, 4), Fn(func(v Value, c *Config) bool { return true })),
 		NewParam("D", NewInterval(1, 4)),
 	}
-	_, memoable := suffixFootprints(params)
+	_, memoable, exact := suffixFootprints(params)
 	// C's unknown footprint poisons every depth whose suffix contains C.
 	if memoable[1] || memoable[2] {
 		t.Error("unknown footprint must disable memoization at depths whose suffix contains it")
@@ -46,6 +46,14 @@ func TestSuffixFootprintsUnknownIsSticky(t *testing.T) {
 	// The suffix {D} below C reads nothing and is exact again.
 	if !memoable[3] {
 		t.Error("suffix strictly after the unknown constraint should be memoable")
+	}
+	// exact mirrors the stickiness: inexact at and above C's depth, exact
+	// strictly below — what lazy construction keys its census on.
+	if exact[1] || exact[2] {
+		t.Error("suffixes containing the unknown constraint must report inexact footprints")
+	}
+	if !exact[3] {
+		t.Error("suffix strictly after the unknown constraint should be exact")
 	}
 }
 

@@ -1,0 +1,736 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Lazy streaming space construction (ROADMAP item 2; Willemsen et al.,
+// "Efficient Construction of Large Search Spaces for Auto-Tuning",
+// arXiv:2509.26253): instead of materializing the arena trie up front,
+// generation runs a *counting-only* pass — the constrained nested iteration
+// of count.go, memoized on the same (depth, footprint) keys as PR 4's
+// subtree sharing — and defers node allocation entirely. `Size` is exact
+// after counting alone; `At`/`IndexOf` expand only the sibling blocks on
+// the path they touch, caching each expanded block ("slab") in a
+// byte-budgeted LRU shared across the space's groups. This removes the
+// range caps: XgemmDirect with uncapped 2^10 ranges — a raw product beyond
+// 10^19 — counts in seconds and explores under a fixed memory bound, while
+// enumeration order stays bit-identical to the eager trie (both modes
+// enumerate raw ranges — or sorted divisor hints — in the same order and
+// prune the same dead prefixes, so index i resolves to the same
+// configuration).
+//
+// Concurrency: the counting pass chunks the root range across workers with
+// in-flight dedup on count-memo entries (each key computed exactly once, so
+// checks and node statistics are worker-count invariant, like eager
+// generation). After generation, concurrent `At`/`IndexOf` callers dedup
+// first-touch expansion through in-flight slab entries the same way:
+// whoever misses computes, concurrent toucher-waiters block on the entry's
+// done channel, and completed slabs are immutable.
+
+// SpaceMode selects eager or lazy space construction.
+type SpaceMode int
+
+const (
+	// SpaceAuto (the default) builds small spaces eagerly and switches a
+	// group to lazy construction when its raw range product exceeds
+	// GenOptions.LazyThreshold.
+	SpaceAuto SpaceMode = iota
+	// SpaceEager always materializes the arena trie (PR 4 behaviour).
+	SpaceEager
+	// SpaceLazy always uses counting + on-demand slab expansion.
+	SpaceLazy
+)
+
+// DefaultLazyThreshold is the raw-range-product above which SpaceAuto
+// selects lazy construction for a group. The default keeps every space the
+// eager trie handled comfortably (XgemmDirect at range cap 64 has a raw
+// product around 10^12) eager, and switches well before materialization
+// would become the bottleneck.
+const DefaultLazyThreshold = uint64(1) << 44
+
+// errGroupSizeOverflow reports a group whose valid-configuration count does
+// not fit in uint64. It travels by panic through the counting recursion
+// (including memo entries) and is unwrapped at the worker boundary.
+var errGroupSizeOverflow = errors.New("core: group sub-space size overflows uint64")
+
+// rawGroupProduct returns the size of the group's unconstrained Cartesian
+// product, saturating at MaxUint64.
+func rawGroupProduct(g *Group) uint64 {
+	p := uint64(1)
+	for _, pa := range g.Params {
+		n := uint64(pa.Range.Len())
+		if n == 0 {
+			return 0
+		}
+		if p > math.MaxUint64/n {
+			return math.MaxUint64
+		}
+		p *= n
+	}
+	return p
+}
+
+// lazySelected decides whether a group uses lazy construction under opts.
+func lazySelected(g *Group, opts GenOptions) bool {
+	switch opts.Mode {
+	case SpaceLazy:
+		return true
+	case SpaceEager:
+		return false
+	}
+	thr := opts.LazyThreshold
+	if thr == 0 {
+		thr = DefaultLazyThreshold
+	}
+	return rawGroupProduct(g) > thr
+}
+
+// addCount adds two subtree counts, panicking with errGroupSizeOverflow on
+// uint64 overflow (Size must be exact or an error — never silently wrong).
+func addCount(a, b uint64) uint64 {
+	if b > math.MaxUint64-a {
+		panic(errGroupSizeOverflow)
+	}
+	return a + b
+}
+
+// satAdd adds two statistics counters, saturating at MaxUint64 (logical
+// node counts are reporting-only and may legitimately be astronomical).
+func satAdd(a, b uint64) uint64 {
+	if b > math.MaxUint64-a {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// countEntry memoizes one subtree's census: the number of valid
+// completions below the block (count), the logical vertex count of the
+// expanded subtree (vertices, saturating), and the number of live values
+// in the block itself (width — what an expanded slab would hold). The
+// census is a generation hot path touched millions of times on
+// 10^19-range spaces, so the completion protocol avoids a channel per
+// entry: ready flips once the fields are published, and a waiters channel
+// is created only when a second worker actually encounters the entry in
+// flight.
+type countEntry struct {
+	count    uint64
+	vertices uint64
+	width    uint64
+	panicked any
+	ready    atomic.Uint32 // 1 once count/vertices/width (or panicked) are published
+	waiters  chan struct{} // created by the first waiter, closed on completion
+}
+
+// countShard is one lock stripe of the census memo. Entries are allocated
+// from block arenas (pointers into fixed-capacity slabs, never moved) to
+// keep millions of small entries off the allocator's and the garbage
+// collector's hot paths.
+type countShard struct {
+	mu    sync.Mutex
+	m     map[string]*countEntry
+	arena []countEntry
+}
+
+const countShards = 64
+
+// countTable is the per-group census memo shared by counting workers and,
+// after generation, consulted by slab expansion for child counts.
+type countTable struct {
+	shards [countShards]countShard
+}
+
+func newCountTable() *countTable {
+	t := &countTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*countEntry)
+	}
+	return t
+}
+
+func (t *countTable) shardFor(key []byte) *countShard {
+	h := uint32(2166136261) // FNV-1a
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return &t.shards[h%countShards]
+}
+
+// lookup returns the entry for key and whether it already existed; a new
+// entry is owned by the caller, who must fill it and call complete (also
+// on panic, with panicked set first).
+func (t *countTable) lookup(key []byte) (*countEntry, *countShard, bool) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.m[string(key)]; ok {
+		s.mu.Unlock()
+		return e, s, true
+	}
+	if len(s.arena) == cap(s.arena) {
+		s.arena = make([]countEntry, 0, 512)
+	}
+	s.arena = append(s.arena, countEntry{})
+	e := &s.arena[len(s.arena)-1]
+	s.m[string(key)] = e
+	s.mu.Unlock()
+	return e, s, false
+}
+
+// complete publishes an entry's fields and wakes any waiters.
+func (s *countShard) complete(e *countEntry) {
+	s.mu.Lock()
+	e.ready.Store(1)
+	w := e.waiters
+	s.mu.Unlock()
+	if w != nil {
+		close(w)
+	}
+}
+
+// wait blocks until the entry is complete (fast-pathed by the caller's
+// ready check; this is the slow path taken only during a genuine race).
+func (s *countShard) wait(e *countEntry) {
+	s.mu.Lock()
+	if e.ready.Load() == 1 {
+		s.mu.Unlock()
+		return
+	}
+	if e.waiters == nil {
+		e.waiters = make(chan struct{})
+	}
+	w := e.waiters
+	s.mu.Unlock()
+	<-w
+}
+
+// widthSum totals the live block widths of all memoized subtrees — the
+// unique-node count contribution of the table-backed depths.
+func (t *countTable) widthSum() uint64 {
+	var sum uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			sum += e.width
+		}
+		s.mu.Unlock()
+	}
+	return sum
+}
+
+// slab is one expanded sibling block: the live values of a parameter given
+// a prefix footprint, with block-local cumulative leaf counts (cum[i] =
+// leaves under values preceding i; nil at the leaf level). Immutable once
+// published, so readers need no lock after the entry's done channel closes.
+type slab struct {
+	vals  []Value
+	cum   []uint64
+	bytes int64
+}
+
+// slabEntry is one slab cache slot. While an expansion is in flight the
+// entry is in the map but not on the LRU (elem nil, not evictable); commit
+// publishes the slab, links it into the LRU and closes done.
+type slabEntry struct {
+	key      string
+	done     chan struct{}
+	s        *slab
+	owner    *lazyTree
+	bytes    int64
+	elem     *list.Element
+	panicked any
+}
+
+// slabCache is the byte-budgeted LRU over expanded slabs, shared by all
+// lazy groups of one space so the budget bounds the whole space's resident
+// expansion memory. budget <= 0 means unbounded.
+type slabCache struct {
+	mu       sync.Mutex
+	budget   int64
+	resident int64
+	m        map[string]*slabEntry
+	lru      *list.List // front = most recently touched
+	ids      uint32
+}
+
+func newSlabCache(budget int64) *slabCache {
+	return &slabCache{budget: budget, m: make(map[string]*slabEntry), lru: list.New()}
+}
+
+// nextID hands out the per-tree key prefix distinguishing groups that
+// share one cache.
+func (c *slabCache) nextID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ids++
+	return c.ids
+}
+
+// lookup returns the entry for key and whether it already existed,
+// refreshing its LRU position on a hit. A new entry is owned by the
+// caller, who must expand and commit it (or abort on panic).
+func (c *slabCache) lookup(key []byte) (*slabEntry, bool) {
+	c.mu.Lock()
+	if e, ok := c.m[string(key)]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		return e, true
+	}
+	e := &slabEntry{key: string(key), done: make(chan struct{})}
+	c.m[e.key] = e
+	c.mu.Unlock()
+	return e, false
+}
+
+// commit publishes a freshly expanded slab: accounts its bytes, links it
+// into the LRU, evicts cold slabs past the budget (never the slab just
+// committed — progress is guaranteed even when one slab alone exceeds the
+// budget), and wakes waiters.
+func (c *slabCache) commit(e *slabEntry, owner *lazyTree) {
+	c.mu.Lock()
+	e.bytes = e.s.bytes
+	e.owner = owner
+	c.resident += e.bytes
+	e.elem = c.lru.PushFront(e)
+	owner.resident.Add(e.bytes)
+	owner.expansions.Add(1)
+	mSpaceLazyExpansions.Inc()
+	if c.budget > 0 {
+		for c.resident > c.budget {
+			back := c.lru.Back()
+			if back == nil {
+				break
+			}
+			v := back.Value.(*slabEntry)
+			if v == e {
+				break
+			}
+			c.lru.Remove(back)
+			delete(c.m, v.key)
+			c.resident -= v.bytes
+			v.owner.resident.Add(-v.bytes)
+			v.owner.evictions.Add(1)
+			mSpaceLazyEvictions.Inc()
+		}
+	}
+	mSpaceLazyResident.Set(c.resident)
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// abort withdraws an in-flight entry whose expansion panicked so later
+// touches retry; the caller stores e.panicked first, and waiters re-raise.
+func (c *slabCache) abort(e *slabEntry) {
+	c.mu.Lock()
+	delete(c.m, e.key)
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// lazyTree is the streaming representation of one group sub-space: the
+// census memo from the counting pass plus the shared slab cache. The
+// owning Tree delegates fill/indexOf here.
+type lazyTree struct {
+	params []*Param
+	names  []string
+	// keyfoot[d] is the key projection for subtrees at depth d: the exact
+	// suffix footprint when every remaining constraint declares its reads,
+	// otherwise the full prefix [0, d) — consistent up the tree because
+	// footprint inexactness is sticky toward the root (footprint.go).
+	keyfoot [][]int
+	// shareable[d] reports whether distinct prefixes can project onto a
+	// common key at depth d. A suffix footprint can only shed positions
+	// moving down the tree — keyfoot[d] ⊆ keyfoot[d-1] ∪ {d-1} — so sharing
+	// requires the inclusion to be strict; at equality every visit carries a
+	// unique key and the census memo cannot hit during counting. The
+	// counting pass skips the table entirely at such depths (the bulk of all
+	// blocks on deep spaces), trading the dominant map/allocation cost for a
+	// bounded re-scan of the thin skipped layers when a slab later expands.
+	shareable []bool
+	// sealed flips once counting finishes: after that, skipped depths use
+	// the table too, so expansion-time re-counts are memoized across
+	// touches instead of repeating per expansion.
+	sealed bool
+	counts *countTable
+	slabs  *slabCache
+	id     uint32 // key prefix within the shared slab cache
+	total  uint64
+
+	checks     atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	skipWidth  atomic.Uint64 // block widths at skipped depths (unique-node tally)
+	resident   atomic.Int64
+	expansions atomic.Uint64
+	evictions  atomic.Uint64
+}
+
+// generateLazyGroup runs the counting pass for one group and returns a
+// Tree whose lookups expand on demand. The pass performs exactly the
+// constraint checks eager memoized generation would (each subtree key is
+// counted once; non-shareable subtrees have full-prefix keys, unique per
+// prefix, so they too are counted once per visit), which also means any
+// deterministic constraint panic still surfaces at generation time.
+func generateLazyGroup(g *Group, opts GenOptions) (*Tree, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	names := g.Names()
+	n := len(g.Params)
+	foot, _, exact := suffixFootprints(g.Params)
+	keyfoot := make([][]int, n)
+	for d := 1; d < n; d++ {
+		if exact[d] {
+			keyfoot[d] = foot[d]
+		} else {
+			full := make([]int, d)
+			for i := range full {
+				full[i] = i
+			}
+			keyfoot[d] = full
+		}
+	}
+	shareable := make([]bool, n)
+	for d := 1; d < n; d++ {
+		shareable[d] = len(keyfoot[d]) <= len(keyfoot[d-1])
+	}
+	slabs := opts.slabs
+	if slabs == nil {
+		slabs = newSlabCache(opts.MaxArenaBytes)
+	}
+	lt := &lazyTree{
+		params:    g.Params,
+		names:     names,
+		keyfoot:   keyfoot,
+		shareable: shareable,
+		counts:    newCountTable(),
+		slabs:     slabs,
+		id:        slabs.nextID(),
+	}
+	t := &Tree{params: g.Params, names: names, lazy: lt}
+
+	rootLen := g.Params[0].Range.Len()
+	if rootLen == 0 {
+		return t, nil
+	}
+	if workers > rootLen {
+		workers = rootLen
+	}
+
+	// Chunk the root range across workers like GenerateGroup; the census
+	// memo is shared with in-flight dedup, so each subtree key is counted
+	// by exactly one worker and the statistics are worker-count invariant.
+	type chunkResult struct {
+		count, vertices, width uint64
+		err                    error
+	}
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	chunk := (rootLen + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > rootLen {
+			hi = rootLen
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			st := &workerState{cfg: NewConfig(names)}
+			defer func() {
+				lt.checks.Add(st.checks)
+				lt.hits.Add(st.hits)
+				lt.misses.Add(st.misses)
+				if r := recover(); r != nil {
+					if r == errGroupSizeOverflow {
+						results[w].err = errGroupSizeOverflow
+						return
+					}
+					results[w].err = annotatePanic(r, g.Params, st)
+				}
+			}()
+			c, vtx, width := lt.countScan(st, 0, lo, hi)
+			results[w] = chunkResult{count: c, vertices: vtx, width: width}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var total, vertices, rootWidth uint64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.count > math.MaxUint64-total {
+			return nil, errGroupSizeOverflow
+		}
+		total += r.count
+		vertices = satAdd(vertices, r.vertices)
+		rootWidth += r.width
+	}
+	lt.total = total
+	lt.sealed = true
+	t.total = total
+	t.checks = lt.checks.Load()
+	t.memoHits = lt.hits.Load()
+	t.memoMisses = lt.misses.Load()
+	t.logicalNodes = vertices
+	t.uniqueNodes = rootWidth + lt.counts.widthSum() + lt.skipWidth.Load()
+	return t, nil
+}
+
+// countScan enumerates the candidates of parameter depth d restricted to
+// raw-range indices [lo, hi) against the current prefix and returns the
+// number of valid completions, the logical vertex count of the expanded
+// forest, and the number of live values in this block. It mirrors
+// groupBuilder.build, including the divisor-hint fast path and dead-prefix
+// pruning, without allocating nodes.
+func (lt *lazyTree) countScan(st *workerState, d, lo, hi int) (count, vertices, width uint64) {
+	p := lt.params[d]
+	last := d == len(lt.params)-1
+
+	visit := func(v Value) {
+		st.checks++
+		st.depth, st.val = d, v
+		if !p.Accepts(v, st.cfg) {
+			return
+		}
+		if last {
+			count++
+			vertices++
+			width++
+			return
+		}
+		st.cfg.set(d, v)
+		c, vtx := lt.countDescend(st, d+1)
+		if c == 0 {
+			return // dead prefix: no valid completion exists
+		}
+		count = addCount(count, c)
+		vertices = satAdd(vertices, satAdd(vtx, 1))
+		width++
+	}
+
+	if vals, ok := hintedValues(p, st.cfg, lo, hi); ok {
+		for _, v := range vals {
+			visit(Int(v))
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			visit(p.Range.At(i))
+		}
+	}
+	return count, vertices, width
+}
+
+// countDescend memoizes the census of the subtree below the current prefix
+// at depth d, keyed on (depth, keyfoot projection). The first encounter
+// counts; concurrent encounters wait on the in-flight entry; later ones
+// reuse the stored census. Slab expansion calls this too — on the paths it
+// walks every key was already counted during generation, so post-generation
+// lookups are pure hits.
+func (lt *lazyTree) countDescend(st *workerState, d int) (count, vertices uint64) {
+	if !lt.sealed && !lt.shareable[d] {
+		// This depth's keys carry the full identity of their parent block
+		// plus the branching value, so each is visited exactly once during
+		// counting and the memo could never hit: count directly, recording
+		// only the block width for the unique-node tally. (After sealing,
+		// expansion-time re-counts of these depths do go through the table
+		// so repeated touches share.)
+		st.misses++
+		c, vtx, w := lt.countScan(st, d, 0, lt.params[d].Range.Len())
+		lt.skipWidth.Add(w)
+		return c, vtx
+	}
+	st.keybuf = memoKeyAppend(st.keybuf[:0], d, lt.keyfoot[d], st.cfg)
+	e, sh, existed := lt.counts.lookup(st.keybuf)
+	if existed {
+		st.hits++
+		if e.ready.Load() != 1 {
+			sh.wait(e)
+		}
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.count, e.vertices
+	}
+	st.misses++
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(genPanic); !ok && r != errGroupSizeOverflow {
+				r = genPanic{name: lt.params[st.depth].Name, depth: st.depth, val: st.val, cause: r}
+			}
+			e.panicked = r
+			sh.complete(e)
+			panic(r)
+		}
+	}()
+	c, vtx, width := lt.countScan(st, d, 0, lt.params[d].Range.Len())
+	e.count, e.vertices, e.width = c, vtx, width
+	sh.complete(e)
+	return c, vtx
+}
+
+// slabKey encodes the identity of the sibling block at depth d under the
+// prefix held in cfg (a space-level configuration; offset locates the
+// group): the tree id, the depth, and the keyfoot-projected prefix values.
+func (lt *lazyTree) slabKey(buf []byte, d int, cfg *Config, offset int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, lt.id)
+	buf = append(buf, byte(d))
+	for _, p := range lt.keyfoot[d] {
+		buf = appendValueKey(buf, cfg.At(offset+p))
+	}
+	return buf
+}
+
+// slabFor returns the expanded sibling block at depth d for the prefix in
+// cfg, expanding it on first touch. Expansion is deduped through in-flight
+// entries: concurrent touches of the same key block until the first
+// toucher commits.
+func (lt *lazyTree) slabFor(d int, cfg *Config, offset int, keybuf []byte) (*slab, []byte) {
+	keybuf = lt.slabKey(keybuf[:0], d, cfg, offset)
+	e, existed := lt.slabs.lookup(keybuf)
+	if existed {
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.s, keybuf
+	}
+	return lt.expand(e, d, cfg, offset), keybuf
+}
+
+// expand materializes one sibling block: it re-runs the constrained
+// enumeration of depth d under the prefix (copied into a scratch
+// configuration so the caller's is never mutated), keeps the live values —
+// accepted and, below the leaf level, with a non-zero completion count
+// from the census memo — and records block-local cumulative leaf counts.
+// The enumeration order is the eager trie's (raw range order, or sorted
+// divisor hints), so slab indices agree with arena indices bit for bit.
+func (lt *lazyTree) expand(e *slabEntry, d int, cfg *Config, offset int) *slab {
+	st := &workerState{cfg: NewConfig(lt.names)}
+	for i := 0; i < d; i++ {
+		st.cfg.set(i, cfg.At(offset+i))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err := annotatePanic(r, lt.params, st)
+			e.panicked = err
+			lt.slabs.abort(e)
+			panic(err)
+		}
+	}()
+	p := lt.params[d]
+	last := d == len(lt.params)-1
+	s := &slab{}
+	var run uint64
+
+	visit := func(v Value) {
+		st.depth, st.val = d, v
+		if !p.Accepts(v, st.cfg) {
+			return
+		}
+		if last {
+			s.vals = append(s.vals, v)
+			return
+		}
+		st.cfg.set(d, v)
+		c, _ := lt.countDescend(st, d+1)
+		if c == 0 {
+			return
+		}
+		s.vals = append(s.vals, v)
+		s.cum = append(s.cum, run)
+		run += c
+	}
+
+	if vals, ok := hintedValues(p, st.cfg, 0, p.Range.Len()); ok {
+		for _, v := range vals {
+			visit(Int(v))
+		}
+	} else {
+		full := p.Range.Len()
+		for i := 0; i < full; i++ {
+			visit(p.Range.At(i))
+		}
+	}
+	const valSize = int64(unsafe.Sizeof(Value{}))
+	s.bytes = int64(len(s.vals))*valSize + int64(len(s.cum))*8 + int64(len(e.key))
+	e.s = s
+	lt.slabs.commit(e, lt)
+	return s
+}
+
+// fill writes the configuration with in-group index idx into cfg at the
+// given parameter offset, expanding exactly the blocks on the index's
+// path. Within each block the child holding idx is found by binary search
+// over the block-local cumulative leaf counts, as in the eager arena.
+func (lt *lazyTree) fill(idx uint64, cfg *Config, offset int) {
+	if idx >= lt.total {
+		panic("core: tree index out of range")
+	}
+	var keybuf []byte
+	last := len(lt.params) - 1
+	for d := 0; d <= last; d++ {
+		var s *slab
+		s, keybuf = lt.slabFor(d, cfg, offset, keybuf)
+		if d == last {
+			cfg.set(offset+d, s.vals[idx])
+			return
+		}
+		a, b := 0, len(s.vals)
+		for b-a > 1 {
+			mid := a + (b-a)/2
+			if s.cum[mid] <= idx {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		cfg.set(offset+d, s.vals[a])
+		idx -= s.cum[a]
+	}
+}
+
+// indexOf returns the in-group index of the configuration stored in cfg at
+// the given offset, and whether it is a member. The walk expands only
+// blocks along valid prefixes: a value missing from its level's slab
+// returns false before any deeper block is touched, so non-member
+// configurations never force expansion under invalid prefixes.
+func (lt *lazyTree) indexOf(cfg *Config, offset int) (uint64, bool) {
+	var idx uint64
+	var keybuf []byte
+	last := len(lt.params) - 1
+	for d := 0; d <= last; d++ {
+		var s *slab
+		s, keybuf = lt.slabFor(d, cfg, offset, keybuf)
+		want := cfg.At(offset + d)
+		found := false
+		for j, v := range s.vals {
+			if v.Equal(want) {
+				if d == last {
+					idx += uint64(j)
+				} else {
+					idx += s.cum[j]
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return idx, true
+}

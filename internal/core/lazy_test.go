@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lazyChainParams is a divisor chain with both memoable and full-prefix-
+// keyed depths (foot of B is the whole prefix {A}; C and D share per-A
+// subtrees).
+func lazyChainParams() []*Param {
+	return []*Param{
+		NewParam("A", NewInterval(1, 48)),
+		NewParam("B", NewInterval(1, 48), Divides(Ref("A"))),
+		NewParam("C", NewInterval(1, 16), Divides(Ref("A"))),
+		NewParam("D", NewSet(1, 2, 4), Divides(Ref("A"))),
+	}
+}
+
+// lazyNoDepsParams has empty footprints everywhere: maximal sharing, one
+// census entry per level.
+func lazyNoDepsParams() []*Param {
+	return []*Param{
+		NewParam("A", NewInterval(1, 12)),
+		NewParam("B", NewInterval(1, 9), IntPred(func(v int64) bool { return v%3 == 0 })),
+		NewParam("C", NewSet(1, 2, 4)),
+		NewParam("D", BoolRange()),
+	}
+}
+
+// lazyInexactParams contains an unannotated closure mid-chain, forcing
+// full-prefix census keys at and above it.
+func lazyInexactParams() []*Param {
+	return []*Param{
+		NewParam("A", NewInterval(1, 16)),
+		NewParam("B", NewInterval(1, 16), Fn(func(v Value, c *Config) bool {
+			return v.Int() <= c.Int("A")
+		})),
+		NewParam("C", NewInterval(1, 8), Divides(Ref("A"))),
+	}
+}
+
+// TestLazyEagerEquivalence is the tentpole differential property: lazy
+// construction must be bit-identical to the eager trie — same Size, same
+// At(i) for every probed index, same IndexOf round-trips — across worker
+// counts and under eviction pressure from a tiny byte budget. The counting
+// pass must also perform exactly the constraint checks eager memoized
+// generation performs, and report the same node statistics.
+func TestLazyEagerEquivalence(t *testing.T) {
+	// tiny budgets sit above the largest single slab (the cache never
+	// evicts the slab it just committed, so one oversized slab may stay
+	// resident past the budget) but well below the space's total slab
+	// footprint, forcing eviction churn on a full index sweep.
+	cases := []struct {
+		name   string
+		params func() []*Param
+		tiny   int64
+	}{
+		{"chain", lazyChainParams, 4096},
+		{"nodeps", lazyNoDepsParams, 768},
+		{"inexact", lazyInexactParams, 2048},
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			budgets := []int64{0, tc.tiny}
+			eager, err := GenerateFlat(tc.params(), GenOptions{Workers: 1, Mode: SpaceEager})
+			if err != nil {
+				t.Fatal(err)
+			}
+			el, eu := eager.NodeCounts()
+			stats := map[string]bool{}
+			for _, w := range workerCounts {
+				for _, budget := range budgets {
+					label := fmt.Sprintf("workers=%d budget=%d", w, budget)
+					lazy, err := GenerateFlat(tc.params(),
+						GenOptions{Workers: w, Mode: SpaceLazy, MaxArenaBytes: budget})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if lazy.LazyGroups() != 1 {
+						t.Fatalf("%s: LazyGroups = %d, want 1", label, lazy.LazyGroups())
+					}
+					if lazy.Size() != eager.Size() {
+						t.Fatalf("%s: size %d, want %d", label, lazy.Size(), eager.Size())
+					}
+					if lazy.Checks() != eager.Checks() {
+						t.Errorf("%s: checks %d, want %d (eager memoized)", label, lazy.Checks(), eager.Checks())
+					}
+					if ll, lu := lazy.NodeCounts(); ll != el || lu != eu {
+						t.Errorf("%s: nodes %d/%d, want %d/%d", label, ll, lu, el, eu)
+					}
+					for idx := uint64(0); idx < eager.Size(); idx++ {
+						want := eager.At(idx)
+						got := lazy.At(idx)
+						if !got.Equal(want) {
+							t.Fatalf("%s: At(%d) = %v, want %v", label, idx, got, want)
+						}
+						ri, ok := lazy.IndexOf(got)
+						if !ok || ri != idx {
+							t.Fatalf("%s: IndexOf(At(%d)) = %d,%v", label, idx, ri, ok)
+						}
+					}
+					// Non-members must be rejected without expanding under
+					// invalid prefixes (and without panicking).
+					bad := eager.At(0).Clone()
+					bad.SetAt(0, Int(1<<40))
+					for i := 1; i < bad.Len(); i++ {
+						bad.SetAt(i, bad.At(i))
+					}
+					if _, ok := lazy.IndexOf(bad); ok {
+						t.Errorf("%s: IndexOf accepted a non-member", label)
+					}
+					exp, ev, res := lazy.LazyStats()
+					if exp == 0 {
+						t.Errorf("%s: no expansions recorded", label)
+					}
+					if budget > 0 {
+						if ev == 0 {
+							t.Errorf("%s: tiny budget produced no evictions", label)
+						}
+						if res > uint64(budget) {
+							t.Errorf("%s: resident %d exceeds budget %d", label, res, budget)
+						}
+					}
+					// Generation statistics must not depend on worker count.
+					hits, misses := lazy.MemoStats()
+					stats[fmt.Sprintf("checks=%d unique=%d hits=%d misses=%d",
+						lazy.Checks(), lu(lazy), hits, misses)] = true
+				}
+			}
+			if len(stats) != 1 {
+				t.Errorf("lazy generation statistics vary with worker count: %v", stats)
+			}
+		})
+	}
+}
+
+func lu(s *Space) uint64 {
+	_, u := s.NodeCounts()
+	return u
+}
+
+// TestLazyAutoSelection pins the SpaceAuto switchover: groups stay eager at
+// or below the raw-product threshold and go lazy above it.
+func TestLazyAutoSelection(t *testing.T) {
+	small, err := GenerateFlat(lazyNoDepsParams(), GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.LazyGroups() != 0 {
+		t.Errorf("small space should construct eagerly under SpaceAuto")
+	}
+	forced, err := GenerateFlat(lazyNoDepsParams(), GenOptions{LazyThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.LazyGroups() != 1 {
+		t.Errorf("raw product above threshold should construct lazily")
+	}
+}
+
+// TestLazyConcurrentTouch hammers a lazy space from many goroutines — the
+// race detector covers first-touch expansion dedup and LRU eviction — and
+// checks every result against the eager trie.
+func TestLazyConcurrentTouch(t *testing.T) {
+	eager, err := GenerateFlat(lazyChainParams(), GenOptions{Mode: SpaceEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 512} {
+		lazy, err := GenerateFlat(lazyChainParams(),
+			GenOptions{Mode: SpaceLazy, MaxArenaBytes: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 300; i++ {
+					idx := uint64(rng.Int63n(int64(lazy.Size())))
+					got := lazy.At(idx)
+					if !got.Equal(eager.At(idx)) {
+						errc <- fmt.Errorf("At(%d) mismatch", idx)
+						return
+					}
+					if ri, ok := lazy.IndexOf(got); !ok || ri != idx {
+						errc <- fmt.Errorf("IndexOf round-trip failed at %d", idx)
+						return
+					}
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Errorf("budget=%d: %v", budget, err)
+		}
+	}
+}
+
+// TestLazyUnconstrainedHugeSize shows why counting scales: an unconstrained
+// group counts in O(sum of range lengths) because every level collapses to
+// one census entry, so a 2^60-configuration space sizes instantly and still
+// answers At/IndexOf.
+func TestLazyUnconstrainedHugeSize(t *testing.T) {
+	params := []*Param{
+		NewParam("A", NewInterval(1, 1<<15)),
+		NewParam("B", NewInterval(1, 1<<15)),
+		NewParam("C", NewInterval(1, 1<<15)),
+		NewParam("D", NewInterval(1, 1<<15)),
+	}
+	sp, err := GenerateFlat(params, GenOptions{Mode: SpaceLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1) << 60; sp.Size() != want {
+		t.Fatalf("Size = %d, want %d", sp.Size(), want)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		idx := sp.RandomIndex(rng)
+		cfg := sp.At(idx)
+		// The mixed radix is transparent here: last parameter varies fastest.
+		want := []int64{
+			int64(idx>>45)&(1<<15-1) + 1,
+			int64(idx>>30)&(1<<15-1) + 1,
+			int64(idx>>15)&(1<<15-1) + 1,
+			int64(idx)&(1<<15-1) + 1,
+		}
+		for j, w := range want {
+			if cfg.At(j).Int() != w {
+				t.Fatalf("At(%d) position %d = %d, want %d", idx, j, cfg.At(j).Int(), w)
+			}
+		}
+		if ri, ok := sp.IndexOf(cfg); !ok || ri != idx {
+			t.Fatalf("IndexOf round-trip failed at %d: %d,%v", idx, ri, ok)
+		}
+	}
+}
+
+// TestLazySizeOverflowSurfacesAsError: a group whose valid count exceeds
+// uint64 must fail loudly, not report a wrapped size.
+func TestLazySizeOverflowSurfacesAsError(t *testing.T) {
+	params := []*Param{
+		NewParam("A", NewInterval(1, 1<<13)),
+		NewParam("B", NewInterval(1, 1<<13)),
+		NewParam("C", NewInterval(1, 1<<13)),
+		NewParam("D", NewInterval(1, 1<<13)),
+		NewParam("E", NewInterval(1, 1<<13)),
+	}
+	_, err := GenerateFlat(params, GenOptions{Mode: SpaceLazy})
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("expected overflow error, got %v", err)
+	}
+}
+
+// TestLazyPanickingConstraintSurfacesAtGeneration: the counting pass
+// evaluates every reachable constraint, so a deterministic constraint panic
+// still fails GenerateSpace — lazy mode does not defer errors to At time.
+func TestLazyPanickingConstraintSurfacesAtGeneration(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		params := []*Param{
+			NewParam("A", NewInterval(1, 8)),
+			NewParam("B", NewInterval(1, 4)),
+			NewParam("C", NewInterval(1, 8), FnReads(func(v Value, c *Config) bool {
+				if c.Int("A") == 5 && v.Int() == 3 {
+					panic("boom")
+				}
+				return true
+			}, "A")),
+		}
+		_, err := GenerateFlat(params, GenOptions{Workers: workers, Mode: SpaceLazy})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error from panicking constraint", workers)
+		}
+		for _, want := range []string{`"C"`, "depth 2", "value 3", "boom"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: error %q does not mention %q", workers, err.Error(), want)
+			}
+		}
+	}
+}
+
+// TestLazySharedBudgetAcrossGroups: several lazy groups of one space share
+// one slab cache, so MaxArenaBytes bounds the space as a whole.
+func TestLazySharedBudgetAcrossGroups(t *testing.T) {
+	groups := []*Group{
+		G(lazyChainParams()...),
+		G(
+			NewParam("X", NewInterval(1, 32)),
+			NewParam("Y", NewInterval(1, 32), Divides(Ref("X"))),
+		),
+	}
+	const budget = 8192
+	sp, err := GenerateSpace(groups, GenOptions{Mode: SpaceLazy, MaxArenaBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.LazyGroups() != 2 {
+		t.Fatalf("LazyGroups = %d, want 2", sp.LazyGroups())
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		idx := sp.RandomIndex(rng)
+		cfg := sp.At(idx)
+		if ri, ok := sp.IndexOf(cfg); !ok || ri != idx {
+			t.Fatalf("IndexOf round-trip failed at %d", idx)
+		}
+		if _, _, res := sp.LazyStats(); res > budget {
+			t.Fatalf("resident %d exceeds shared budget %d", res, budget)
+		}
+	}
+	if _, ev, _ := sp.LazyStats(); ev == 0 {
+		t.Error("expected evictions under the shared budget")
+	}
+}

@@ -27,6 +27,14 @@ var (
 	mSpacegenMemoMisses = obs.NewCounter("atf_spacegen_memo_misses_total",
 		"Subtree-memoization misses (subtrees computed) during space generation")
 
+	// Lazy (streaming) space construction (lazy.go).
+	mSpaceLazyExpansions = obs.NewCounter("atf_space_lazy_expansions_total",
+		"Sibling blocks expanded on first touch by lazy search spaces")
+	mSpaceLazyEvictions = obs.NewCounter("atf_space_lazy_evictions_total",
+		"Expanded slabs evicted by the lazy-space arena byte budget")
+	mSpaceLazyResident = obs.NewGauge("atf_space_lazy_resident_bytes",
+		"Resident expanded-slab bytes of the most recently touched lazy space")
+
 	// Exploration (Explore and ExploreParallel).
 	mEvaluations = obs.NewCounter("atf_evaluations_total",
 		"Cost evaluations committed to exploration results")

@@ -85,6 +85,32 @@ func (s *Space) ArenaBytes() uint64 {
 	return b
 }
 
+// LazyGroups returns how many group sub-spaces use lazy (streaming)
+// construction.
+func (s *Space) LazyGroups() int {
+	n := 0
+	for _, t := range s.trees {
+		if t.Lazy() {
+			n++
+		}
+	}
+	return n
+}
+
+// LazyStats returns the aggregate lazy-construction counters across
+// groups: sibling blocks expanded on first touch, slabs evicted by the
+// arena byte budget, and the bytes currently resident in expanded slabs.
+// All zero for fully eager spaces.
+func (s *Space) LazyStats() (expansions, evictions, residentBytes uint64) {
+	for _, t := range s.trees {
+		e, v, r := t.LazyStats()
+		expansions += e
+		evictions += v
+		residentBytes += r
+	}
+	return expansions, evictions, residentBytes
+}
+
 // RawSize returns the size of the *unconstrained* Cartesian product of all
 // raw parameter ranges. For XgemmDirect at 2^10×2^10 this exceeds 10^19
 // (paper §VI-A), hence the big.Int.

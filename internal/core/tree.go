@@ -64,6 +64,10 @@ type Tree struct {
 	logicalNodes         uint64
 	uniqueNodes          uint64
 	arenaBytes           uint64
+	// lazy, when non-nil, holds the streaming representation (lazy.go):
+	// the arena levels above are empty and fill/indexOf expand sibling
+	// blocks on demand instead.
+	lazy *lazyTree
 }
 
 // Params returns the group's parameters in declaration order.
@@ -90,7 +94,35 @@ func (t *Tree) Nodes() (logical, unique uint64) {
 func (t *Tree) MemoStats() (hits, misses uint64) { return t.memoHits, t.memoMisses }
 
 // ArenaBytes returns the memory footprint of the flattened trie arenas.
-func (t *Tree) ArenaBytes() uint64 { return t.arenaBytes }
+// For a lazy tree it is the bytes currently resident in expanded slabs —
+// a live figure that grows on expansion and shrinks on eviction.
+func (t *Tree) ArenaBytes() uint64 {
+	if t.lazy != nil {
+		if b := t.lazy.resident.Load(); b > 0 {
+			return uint64(b)
+		}
+		return 0
+	}
+	return t.arenaBytes
+}
+
+// Lazy reports whether this group sub-space uses lazy (streaming)
+// construction: Size came from a counting-only pass and lookups expand
+// sibling blocks on demand.
+func (t *Tree) Lazy() bool { return t.lazy != nil }
+
+// LazyStats returns the lazy tree's expansion/eviction counters and its
+// currently resident slab bytes (all zero for eager trees).
+func (t *Tree) LazyStats() (expansions, evictions, residentBytes uint64) {
+	if t.lazy == nil {
+		return 0, 0, 0
+	}
+	r := t.lazy.resident.Load()
+	if r < 0 {
+		r = 0
+	}
+	return t.lazy.expansions.Load(), t.lazy.evictions.Load(), uint64(r)
+}
 
 // Depth returns the number of parameters in the group.
 func (t *Tree) Depth() int { return len(t.params) }
@@ -100,6 +132,10 @@ func (t *Tree) Depth() int { return len(t.params) }
 // the child holding idx is found by binary search over the block-local
 // cumulative leaf counts.
 func (t *Tree) fill(idx uint64, cfg *Config, offset int) {
+	if t.lazy != nil {
+		t.lazy.fill(idx, cfg, offset)
+		return
+	}
 	if idx >= t.total {
 		panic("core: tree index out of range")
 	}
@@ -126,6 +162,9 @@ func (t *Tree) fill(idx uint64, cfg *Config, offset int) {
 // indexOf returns the in-group index of the configuration stored in cfg at
 // the given offset, and whether the configuration is present in the tree.
 func (t *Tree) indexOf(cfg *Config, offset int) (uint64, bool) {
+	if t.lazy != nil {
+		return t.lazy.indexOf(cfg, offset)
+	}
 	var idx uint64
 	lo, hi := uint32(0), t.rootN
 	last := len(t.lv) - 1

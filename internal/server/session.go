@@ -148,6 +148,12 @@ type Manager struct {
 	// closed when the session's run ends. Set before Create/Resume.
 	Evaluator func(session string, spec *atf.Spec, local atf.CostFunction, replay map[string]atf.Outcome) atf.BatchEvaluator
 
+	// MaxSpaceBytes is the default per-session memory bound on lazy space
+	// construction, applied when a spec does not set max_space_bytes
+	// itself (atfd's -max-space-bytes flag). 0 leaves lazy spaces
+	// unbounded. Set before Create/Resume.
+	MaxSpaceBytes int64
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	order    []string // creation/resume order for stable listings
@@ -363,7 +369,11 @@ func (m *Manager) start(s *Session, build *atf.SpecBuild, replayed []EvalRecord)
 // run executes one session end to end: generate the space, wrap the cost
 // function with journal replay, explore, and journal the outcome.
 func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
-	space, err := atf.GenerateSpace(build.Tuner.Workers, build.Params...)
+	tuner := build.Tuner
+	if tuner.MaxSpaceBytes == 0 {
+		tuner.MaxSpaceBytes = m.MaxSpaceBytes
+	}
+	space, err := tuner.GenerateSpace(atf.G(build.Params...))
 	if err != nil {
 		s.finish(StateFailed, nil, err)
 		return
@@ -378,7 +388,6 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 		cf = newReplayCostFunction(cf, replayed)
 	}
 
-	tuner := build.Tuner
 	tuner.Context = s.ctx
 	tuner.OnEvaluation = s.onEvaluation
 	switch {

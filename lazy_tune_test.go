@@ -1,0 +1,72 @@
+package atf_test
+
+import (
+	"testing"
+
+	"atf"
+	"atf/internal/clblast"
+)
+
+// TestLazySpaceTuneUnderMemoryBudget is the end-to-end acceptance run of
+// lazy streaming spaces: XgemmDirect with uncapped {1..1024} ranges — a
+// raw Cartesian product beyond 10^19 — tuned for 1000 evaluations under a
+// 256 MiB space-memory budget through the public Tuner surface. The
+// techniques that sample the space by index (random search, simulated
+// annealing) must complete with the expanded-slab residency never
+// exceeding the budget.
+func TestLazySpaceTuneUnderMemoryBudget(t *testing.T) {
+	const budget = 256 << 20
+	params := clblast.XgemmDirectParams(clblast.SpaceOptions{
+		RangeCap: 1024, DivisorHints: true,
+	})
+	cf := atf.CostFunc(func(c *atf.Config) (atf.Cost, error) {
+		// A cheap synthetic objective: the space, not the evaluator, is
+		// under test here.
+		return atf.Cost{float64(c.Int("WGD") * c.Int("KWID"))}, nil
+	})
+	for _, tc := range []struct {
+		name string
+		tech atf.Technique
+	}{
+		{"random", atf.RandomSearch()},
+		{"annealing", atf.SimulatedAnnealing()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tuner := atf.Tuner{
+				Technique:     tc.tech,
+				Abort:         atf.Evaluations(1000),
+				Seed:          7,
+				MaxSpaceBytes: budget,
+			}
+			space, err := tuner.GenerateSpace(atf.G(params...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if space.LazyGroups() != 1 {
+				t.Fatal("uncapped XgemmDirect must auto-select lazy construction")
+			}
+			res, err := tuner.Explore(space, cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Evaluations != 1000 {
+				t.Fatalf("evaluations = %d, want 1000", res.Evaluations)
+			}
+			if res.Best == nil {
+				t.Fatal("no best configuration found")
+			}
+			if !clblast.ValidateConfig(res.Best, params) {
+				t.Fatalf("best %v violates the constraint chain", res.Best)
+			}
+			expansions, _, resident := space.LazyStats()
+			if expansions == 0 {
+				t.Error("exploration should have expanded sibling blocks")
+			}
+			if resident > budget {
+				t.Errorf("resident slab bytes %d exceed the %d budget", resident, budget)
+			}
+			t.Logf("%s: size=%d raw=%s best=%v expansions=%d resident=%dB",
+				tc.name, space.Size(), space.RawSize(), res.Best, expansions, resident)
+		})
+	}
+}

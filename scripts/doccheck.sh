@@ -1,7 +1,8 @@
 #!/bin/sh
 # doccheck: every package in the module must carry a package-level doc
-# comment, so `go doc <pkg>` is never empty. Run by `make doccheck`
-# (part of the default `make check` chain) after `go vet`.
+# comment, so `go doc <pkg>` is never empty, and the markdown docs must
+# not contain dead intra-repo links. Run by `make doccheck` (part of the
+# default `make check` chain) after `go vet`.
 set -eu
 
 missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
@@ -11,3 +12,26 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 echo "doccheck: all packages documented"
+
+# Dead-link check: every relative markdown link target in the top-level
+# docs must exist in the repo (anchors and external URLs are out of
+# scope; a link to a missing file is what rots first).
+dead=0
+for doc in README.md DESIGN.md ROADMAP.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    links=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//; s/#.*$//' || true)
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*|"") continue ;;
+        esac
+        if [ ! -e "$dir/$link" ] && [ ! -e "$link" ]; then
+            echo "doccheck: $doc links to missing file: $link" >&2
+            dead=1
+        fi
+    done
+done
+if [ "$dead" -ne 0 ]; then
+    exit 1
+fi
+echo "doccheck: no dead intra-repo links"

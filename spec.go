@@ -60,6 +60,14 @@ type Spec struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Workers bounds space-generation parallelism (0 = NumCPU).
 	Workers int `json:"workers,omitempty"`
+	// SpaceMode selects space construction: "" or "auto" (lazy only for
+	// astronomically large groups), "eager", or "lazy".
+	SpaceMode string `json:"space_mode,omitempty"`
+	// MaxSpaceBytes bounds the memory a lazy space keeps resident in
+	// expanded sibling blocks — the per-session memory bound of
+	// memory-bounded atfd sessions (0 = the daemon default, or unbounded
+	// when running in-process).
+	MaxSpaceBytes int64 `json:"max_space_bytes,omitempty"`
 	// CacheCosts memoizes cost evaluations per configuration; unset
 	// defaults to true — services revisit configurations constantly.
 	CacheCosts *bool `json:"cache_costs,omitempty"`
@@ -212,15 +220,24 @@ func (s *Spec) Build() (*SpecBuild, error) {
 	if s.CacheCosts != nil {
 		cache = *s.CacheCosts
 	}
+	mode, err := parseSpaceMode(s.SpaceMode)
+	if err != nil {
+		return nil, err
+	}
+	if s.MaxSpaceBytes < 0 {
+		return nil, fmt.Errorf("atf: max_space_bytes must be >= 0, got %d", s.MaxSpaceBytes)
+	}
 	return &SpecBuild{
 		Tuner: Tuner{
-			Technique:   tech,
-			Abort:       s.Abort.build(),
-			Seed:        s.Seed,
-			Workers:     s.Workers,
-			Parallelism: s.Parallelism,
-			CacheCosts:  cache,
-			Record:      s.Record,
+			Technique:     tech,
+			Abort:         s.Abort.build(),
+			Seed:          s.Seed,
+			Workers:       s.Workers,
+			SpaceMode:     mode,
+			MaxSpaceBytes: s.MaxSpaceBytes,
+			Parallelism:   s.Parallelism,
+			CacheCosts:    cache,
+			Record:        s.Record,
 		},
 		Params: params,
 		Cost:   cf,
@@ -491,6 +508,19 @@ func (s *Spec) gemmShape() clblast.GemmShape {
 		shape.N = 500
 	}
 	return shape
+}
+
+func parseSpaceMode(s string) (SpaceMode, error) {
+	switch s {
+	case "", "auto":
+		return SpaceAuto, nil
+	case "eager":
+		return SpaceEager, nil
+	case "lazy":
+		return SpaceLazy, nil
+	default:
+		return SpaceAuto, fmt.Errorf("atf: unknown space_mode %q (auto, eager, lazy)", s)
+	}
 }
 
 func containsName(names []string, name string) bool {
