@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race doccheck check fmt bench e2e-dist
+.PHONY: all build vet test race doccheck check fmt bench e2e-dist e2e-load
 
 all: check
 
@@ -29,12 +29,20 @@ race:
 e2e-dist: build
 	sh scripts/e2e-dist.sh
 
+# e2e-load floods one atfd with 50 concurrent identical sessions through
+# cmd/atf-loadgen: admission control (429 + Retry-After) must hold the
+# daemon up with zero failed sessions, the cross-session caches must see
+# hits, and the headline latencies land in results/bench.json
+# (scripts/e2e-load.sh).
+e2e-load: build
+	sh scripts/e2e-load.sh
+
 # doccheck enforces usable godoc: go vet's doc diagnostics plus a package
 # comment on every package (scripts/doccheck.sh).
 doccheck: vet
 	sh scripts/doccheck.sh
 
-check: doccheck build test race
+check: doccheck build test race e2e-load
 
 # bench runs the space-generation benchmark (memo on/off × workers), the
 # exploration benches, and the kernel-interpreter engine comparison

@@ -1,0 +1,365 @@
+// Command atf-loadgen drives a running atfd with many concurrent tuning
+// sessions and reports multi-tenant throughput: sessions per second,
+// evaluation throughput, create/status latency percentiles, and the
+// cross-session cache hit rates scraped from the daemon's /metrics — the
+// numbers behind results/loadgen.md.
+//
+// Usage:
+//
+//	atfd -addr 127.0.0.1:7521 -journal-dir /tmp/j &
+//	atf-loadgen -daemon http://127.0.0.1:7521 -sessions 500
+//
+// Every client submits the same spec (a small saxpy kernel tuning by
+// default, or -spec FILE), so the daemon's shared caches — compiled
+// kernels, cost outcomes, generated spaces — see maximal cross-session
+// overlap; -min-shared-hits N turns the expected sharing into an
+// assertion. 429 responses from admission control are honored: the
+// client waits out Retry-After (capped by -max-retry-wait) and retries,
+// so an overloaded daemon slows the load down instead of failing it.
+//
+// -bench prints the headline numbers as `go test -bench`-style lines for
+// scripts/bench2json.sh; -md prints a markdown row block for pasting
+// into results/loadgen.md.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// defaultSpec tunes the saxpy kernel over a tiny divides-constrained
+// space: 12 valid configurations, each of which compiles a distinct
+// kernel variant. Identical across sessions, so session 2..N should be
+// answered almost entirely from the daemon's shared caches.
+const defaultSpec = `{
+	"name": "loadgen saxpy",
+	"parameters": [
+		{"name": "WPT", "range": {"interval": {"begin": 1, "end": 64}},
+		 "constraints": [{"op": "divides", "expr": "64"}]},
+		{"name": "LS", "range": {"interval": {"begin": 1, "end": 64}},
+		 "constraints": [{"op": "divides", "expr": "64 / WPT"}]}
+	],
+	"cost": {"kind": "saxpy", "device": "K20c", "n": 64},
+	"technique": {"kind": "exhaustive"},
+	"abort": {"evaluations": 12},
+	"parallelism": 2
+}`
+
+func main() {
+	daemon := flag.String("daemon", "http://127.0.0.1:7521", "base URL of the atfd under load")
+	sessions := flag.Int("sessions", 500, "tuning sessions to run")
+	concurrency := flag.Int("concurrency", 0, "client goroutines; 0 = one per session")
+	specPath := flag.String("spec", "", "spec file every client submits (default: built-in saxpy)")
+	poll := flag.Duration("poll", 5*time.Millisecond, "status poll interval")
+	maxRetryWait := flag.Duration("max-retry-wait", time.Second, "cap on honoring a 429 Retry-After")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	minSharedHits := flag.Int64("min-shared-hits", -1,
+		"fail unless shared cost-cache + compile-cache hits grew at least this much; -1 disables")
+	bench := flag.Bool("bench", false, "also print go test -bench style lines (scripts/bench2json.sh)")
+	md := flag.Bool("md", false, "also print a markdown table for results/loadgen.md")
+	flag.Parse()
+
+	spec := []byte(defaultSpec)
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		spec = b
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	before, err := scrapeMetrics(httpc, *daemon)
+	if err != nil {
+		fail(fmt.Errorf("scraping %s/metrics: %w", *daemon, err))
+	}
+
+	workers := *concurrency
+	if workers <= 0 || workers > *sessions {
+		workers = *sessions
+	}
+	var (
+		mu         sync.Mutex
+		createLats []time.Duration
+		statusLats []time.Duration
+		sessLats   []time.Duration // create -> done, in completion order
+		retries    int
+		failures   []string
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*timeout)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				res, err := runSession(httpc, *daemon, spec, *poll, *maxRetryWait, deadline)
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, err.Error())
+				} else {
+					createLats = append(createLats, res.create)
+					statusLats = append(statusLats, res.status...)
+					sessLats = append(sessLats, res.total)
+				}
+				retries += res.retries
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *sessions; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := scrapeMetrics(httpc, *daemon)
+	if err != nil {
+		fail(fmt.Errorf("scraping %s/metrics: %w", *daemon, err))
+	}
+	delta := func(name string) float64 { return after[name] - before[name] }
+	rate := func(hits, misses float64) string {
+		if hits+misses == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*hits/(hits+misses))
+	}
+
+	evals := delta("atf_evaluations_total")
+	costHits := delta("atf_server_cost_cache_hits_total")
+	costMisses := delta("atf_server_cost_cache_misses_total")
+	spaceHits := delta("atf_server_space_cache_hits_total")
+	spaceMisses := delta("atf_server_space_cache_misses_total")
+	compileHits := delta("atf_oclc_compile_cache_hits_total")
+	compileMisses := delta("atf_oclc_compile_cache_misses_total")
+	rejected := delta("atf_server_sessions_rejected_total")
+
+	done := *sessions - len(failures)
+	fmt.Printf("loadgen: %d sessions against %s (%d clients, wall %.2fs)\n",
+		*sessions, *daemon, workers, wall.Seconds())
+	fmt.Printf("  completed           %d (%d failed)\n", done, len(failures))
+	fmt.Printf("  sessions/sec        %.1f\n", float64(done)/wall.Seconds())
+	fmt.Printf("  evaluations         %.0f (%.0f/sec)\n", evals, evals/wall.Seconds())
+	fmt.Printf("  429 retries         %d (daemon rejected %.0f creates)\n", retries, rejected)
+	fmt.Printf("  create latency      p50 %s  p99 %s\n",
+		percentile(createLats, 50), percentile(createLats, 99))
+	fmt.Printf("  status latency      p50 %s  p99 %s\n",
+		percentile(statusLats, 50), percentile(statusLats, 99))
+	fmt.Printf("  session turnaround  first %s  median %s\n",
+		first(sessLats), percentile(sessLats, 50))
+	fmt.Printf("  cost cache          %s hit (%.0f hits / %.0f misses)\n",
+		rate(costHits, costMisses), costHits, costMisses)
+	fmt.Printf("  space cache         %s hit (%.0f hits / %.0f misses)\n",
+		rate(spaceHits, spaceMisses), spaceHits, spaceMisses)
+	fmt.Printf("  compile cache       %s hit (%.0f hits / %.0f misses)\n",
+		rate(compileHits, compileMisses), compileHits, compileMisses)
+	for i, f := range failures {
+		if i == 5 {
+			fmt.Printf("  ... %d more failures\n", len(failures)-5)
+			break
+		}
+		fmt.Printf("  FAIL: %s\n", f)
+	}
+
+	if *bench {
+		b := func(name string, v float64) {
+			fmt.Printf("BenchmarkLoadgen/%s \t       1\t%.1f ns/op\n", name, v)
+		}
+		b("create-p99", float64(percentileDur(createLats, 99)))
+		b("status-p99", float64(percentileDur(statusLats, 99)))
+		b("session-median", float64(percentileDur(sessLats, 50)))
+		if evals > 0 {
+			b("per-eval", float64(wall.Nanoseconds())/evals)
+		}
+	}
+	if *md {
+		fmt.Printf("\n| sessions | clients | sessions/sec | evals/sec | create p99 | status p99 | cost cache | space cache | compile cache | failures |\n")
+		fmt.Printf("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		fmt.Printf("| %d | %d | %.1f | %.0f | %s | %s | %s | %s | %s | %d |\n",
+			*sessions, workers, float64(done)/wall.Seconds(), evals/wall.Seconds(),
+			percentile(createLats, 99), percentile(statusLats, 99),
+			rate(costHits, costMisses), rate(spaceHits, spaceMisses),
+			rate(compileHits, compileMisses), len(failures))
+	}
+
+	if len(failures) > 0 {
+		fail(fmt.Errorf("%d of %d sessions failed", len(failures), *sessions))
+	}
+	if *minSharedHits >= 0 && int64(costHits+compileHits) < *minSharedHits {
+		fail(fmt.Errorf("shared caches hit %d times, want >= %d — is the daemon running with sharing disabled?",
+			int64(costHits+compileHits), *minSharedHits))
+	}
+}
+
+// sessionResult is one client's timings for one tuning session.
+type sessionResult struct {
+	create  time.Duration   // the accepted POST /v1/sessions round trip
+	status  []time.Duration // every GET /v1/sessions/{id} round trip
+	total   time.Duration   // create to terminal state
+	retries int             // 429 responses waited out
+}
+
+// status is the part of the daemon's session Status the client reads.
+type status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// runSession submits the spec, honoring 429 Retry-After, then polls the
+// session to its terminal state.
+func runSession(httpc *http.Client, daemon string, spec []byte, poll, maxRetryWait time.Duration, deadline time.Time) (sessionResult, error) {
+	var res sessionResult
+	begin := time.Now()
+	var st status
+	for {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("create: deadline exceeded after %d retries", res.retries)
+		}
+		t0 := time.Now()
+		resp, err := httpc.Post(daemon+"/v1/sessions", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			return res, fmt.Errorf("create: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			res.retries++
+			wait := time.Second
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				wait = time.Duration(s) * time.Second
+			}
+			if wait > maxRetryWait {
+				wait = maxRetryWait
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return res, fmt.Errorf("create: %s: %s", resp.Status, bytes.TrimSpace(body))
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return res, fmt.Errorf("create: decoding status: %w", err)
+		}
+		res.create = time.Since(t0)
+		break
+	}
+
+	for {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("session %s: deadline exceeded in state %q", st.ID, st.State)
+		}
+		t0 := time.Now()
+		resp, err := httpc.Get(daemon + "/v1/sessions/" + st.ID)
+		if err != nil {
+			return res, fmt.Errorf("session %s: %w", st.ID, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return res, fmt.Errorf("session %s: %s: %s", st.ID, resp.Status, bytes.TrimSpace(body))
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return res, fmt.Errorf("session %s: decoding status: %w", st.ID, err)
+		}
+		res.status = append(res.status, time.Since(t0))
+		if st.State != "running" {
+			break
+		}
+		time.Sleep(poll)
+	}
+	res.total = time.Since(begin)
+	if st.State != "done" {
+		return res, fmt.Errorf("session %s ended %s (%s)", st.ID, st.State, st.Error)
+	}
+	return res, nil
+}
+
+// scrapeMetrics sums the daemon's Prometheus text metrics by base name
+// (labeled series fold into their family).
+func scrapeMetrics(httpc *http.Client, daemon string) (map[string]float64, error) {
+	resp, err := httpc.Get(daemon + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Families like the compile cache export an unlabeled total alongside
+	// per-engine labeled series; prefer the total, fold labeled series into
+	// the family name only when no total exists.
+	out := make(map[string]float64)
+	labeled := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			labeled[name[:i]] += v
+			continue
+		}
+		out[name] += v
+	}
+	for name, v := range labeled {
+		if _, ok := out[name]; !ok {
+			out[name] = v
+		}
+	}
+	return out, nil
+}
+
+func percentileDur(lats []time.Duration, p int) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := (len(s)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return s[i]
+}
+
+func percentile(lats []time.Duration, p int) string {
+	if len(lats) == 0 {
+		return "n/a"
+	}
+	return percentileDur(lats, p).Round(10 * time.Microsecond).String()
+}
+
+func first(lats []time.Duration) string {
+	if len(lats) == 0 {
+		return "n/a"
+	}
+	return lats[0].Round(10 * time.Microsecond).String()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atf-loadgen:", err)
+	os.Exit(1)
+}

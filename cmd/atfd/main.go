@@ -62,6 +62,22 @@ func main() {
 		"default per-session memory bound on lazy search-space construction; 0 = unbounded (specs override with max_space_bytes)")
 	heartbeat := flag.Duration("worker-heartbeat", 2*time.Second, "worker heartbeat interval; liveness expires after 3 heartbeats")
 	straggler := flag.Duration("straggler-after", 10*time.Second, "speculatively re-dispatch a batch partition after this long")
+	sessionWorkers := flag.Int("session-workers", 0,
+		"max fleet workers one session spreads its batches across; 0 = the whole live fleet")
+	costCacheBytes := flag.Int64("shared-cost-cache-bytes", 64<<20,
+		"byte budget of the cross-session cost-outcome cache; 0 disables sharing, -1 = unbounded")
+	spaceCacheEntries := flag.Int("space-cache-entries", 64,
+		"generated search spaces kept for re-submitted specs; 0 disables the cache, -1 = unbounded")
+	compileCacheBytes := flag.Int64("compile-cache-bytes", oclc.DefaultCompileCacheBudget,
+		"byte budget of the shared compiled-kernel cache; 0 disables it, -1 = unbounded")
+	maxSessions := flag.Int("max-sessions", 0,
+		"admission control: max concurrently running sessions before POST /v1/sessions answers 429; 0 = unlimited")
+	maxInflightEvals := flag.Int("max-inflight-evals", 0,
+		"backpressure: max concurrent cost evaluations across all sessions; 0 = unlimited")
+	rotateBytes := flag.Int64("journal-rotate-bytes", 64<<20,
+		"rotate a session journal into numbered segments past this size; 0 never rotates")
+	pipeline := flag.Bool("pipeline", true,
+		"overlap batch dispatch with result merging for cost-oblivious techniques (exhaustive, random)")
 	flag.Parse()
 
 	eng, err := oclc.ParseEngine(*engine)
@@ -71,6 +87,7 @@ func main() {
 	if eng != oclc.EngineDefault {
 		oclc.SetDefaultEngine(eng)
 	}
+	oclc.SetCompileCacheBudget(*compileCacheBytes)
 
 	if *trace {
 		obs.EnableTracing(obs.NewTextTracer(os.Stderr, slog.LevelDebug))
@@ -81,6 +98,12 @@ func main() {
 		fail(err)
 	}
 	m.MaxSpaceBytes = *maxSpaceBytes
+	m.SharedCostCacheBytes = *costCacheBytes
+	m.SpaceCacheEntries = *spaceCacheEntries
+	m.MaxSessions = *maxSessions
+	m.MaxEvalsInFlight = *maxInflightEvals
+	m.RotateBytes = *rotateBytes
+	m.Pipeline = *pipeline
 	var coordinator *dist.Fleet
 	if *fleet {
 		// The evaluator factory must be in place before Resume so resumed
@@ -88,6 +111,7 @@ func main() {
 		coordinator = dist.NewFleet(dist.Options{
 			Heartbeat:      *heartbeat,
 			StragglerAfter: *straggler,
+			SessionWorkers: *sessionWorkers,
 		})
 		m.Evaluator = coordinator.SessionEvaluator
 	}
@@ -112,6 +136,7 @@ func main() {
 		// more specific than the API mux's patterns, so it wins.
 		top := http.NewServeMux()
 		top.Handle("/v1/workers", coordinator.Handler())
+		top.Handle("/v1/workers/", coordinator.Handler()) // id heartbeats
 		top.Handle("/", handler)
 		handler = top
 	}

@@ -22,6 +22,30 @@ type BatchTechnique interface {
 	ReportCosts(evals []Evaluation)
 }
 
+// CostOblivious marks a technique whose proposal sequence does not depend
+// on reported costs: the configurations it returns are a function of the
+// space and seed alone (exhaustive enumeration, seeded random sampling).
+// The parallel engine may pipeline such techniques — draw and dispatch
+// batch k+1 before batch k's costs are reported — without changing the
+// proposal walk, so results stay bit-identical to the unpipelined run.
+// Adaptive techniques (annealing, local search, OpenTuner) must not
+// implement it.
+type CostOblivious interface {
+	// CostOblivious reports whether proposals ignore reported costs.
+	CostOblivious() bool
+}
+
+// costOblivious reports whether bt is safe to pipeline, looking through
+// the Batcher adapter at the wrapped sequential technique.
+func costOblivious(bt BatchTechnique) bool {
+	if b, ok := bt.(*Batcher); ok {
+		co, ok := b.Tech.(CostOblivious)
+		return ok && co.CostOblivious()
+	}
+	co, ok := bt.(CostOblivious)
+	return ok && co.CostOblivious()
+}
+
 // Batcher adapts a sequential Technique to BatchTechnique. GetNextBatch
 // draws up to n configurations through GetNextConfig without intermediate
 // cost feedback, so for stateful techniques (annealing, local search) the

@@ -46,14 +46,40 @@ type ParallelOptions struct {
 	// the hook the atfd journal uses to write batch-boundary records so a
 	// coordinator crash mid-batch replays cleanly.
 	OnBatch func(mark BatchMark)
+	// Pipeline overlaps dispatch with merging: batch k+1 is drawn from the
+	// technique and handed to the evaluator while batch k's outcomes are
+	// still being merged and reported, so a remote fleet's workers never
+	// idle during the coordinator's commit pass. Pipelining only engages
+	// for techniques that declare themselves CostOblivious (exhaustive,
+	// seeded random — directly or through the Batcher adapter): their
+	// proposal walk ignores reported costs, so the early draw leaves
+	// results bit-identical to the unpipelined run. For every other
+	// technique the option is ignored and batches stay strictly
+	// sequential. When an abort condition fires mid-merge the speculative
+	// batch is drained and discarded — evaluated but never committed,
+	// recorded, or reported.
+	Pipeline bool
 }
 
 // BatchMark identifies one dispatched batch: its 0-based index, the
-// evaluation index of its first configuration, and its size.
+// evaluation index of its first configuration, and its size. Under
+// pipelined dispatch StartEval is the predicted first index — exact
+// unless an abort condition cut the preceding batch short, in which case
+// the speculative batch is discarded anyway.
 type BatchMark struct {
 	Index     uint64
 	StartEval uint64
 	Size      int
+}
+
+// pendingBatch is one batch handed to the evaluator: done closes when its
+// outcomes (or error) are in.
+type pendingBatch struct {
+	index    uint64
+	batch    []*Config
+	outcomes []Outcome
+	err      error
+	done     chan struct{}
 }
 
 // ExploreParallel is the parallel exploration engine: it drives a worker
@@ -143,32 +169,72 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 	mWorkers.Set(int64(workers))
 	span := obs.StartSpan("explore", slog.Int("workers", workers))
 
+	// Pipelining only engages when the technique's proposals ignore costs;
+	// anything adaptive keeps the strict draw→evaluate→report cadence.
+	pipeline := opts.Pipeline && costOblivious(bt)
+
+	// inflight is the batch currently at the evaluator. Every exit path
+	// must drain it before the deferred pool.Close tears the workers down,
+	// which is what the deferred receive guarantees (registered after the
+	// Close defer, so it runs first).
+	var inflight *pendingBatch
+	defer func() {
+		if inflight != nil {
+			<-inflight.done
+		}
+	}()
+
 	st := &State{Start: now(), SpaceSize: sp.Size()}
 	res := &Result{}
 	aborted := false
-	for batchIndex := uint64(0); !aborted && !opts.canceled(); batchIndex++ {
+
+	var batchIndex, nextStart uint64
+	// draw pulls the next batch from the technique and hands it to the
+	// evaluator without waiting. The mark's StartEval is the running total
+	// of drawn configurations — identical to the committed count whenever
+	// the unpipelined engine would have drawn, and the prediction for a
+	// speculative batch whose predecessor has not finished merging yet.
+	draw := func() *pendingBatch {
 		batch := bt.GetNextBatch(batchSize)
 		if len(batch) == 0 {
-			break // technique exhausted
+			return nil // technique exhausted
 		}
+		fb := &pendingBatch{index: batchIndex, batch: batch, done: make(chan struct{})}
+		batchIndex++
 		mBatches.Inc()
 		if opts.OnBatch != nil {
-			opts.OnBatch(BatchMark{Index: batchIndex, StartEval: st.Evaluations, Size: len(batch)})
+			opts.OnBatch(BatchMark{Index: fb.index, StartEval: nextStart, Size: len(batch)})
 		}
+		nextStart += uint64(len(batch))
+		go func() {
+			defer close(fb.done)
+			fb.outcomes, fb.err = evaluator.EvaluateBatch(ctx, fb.index, fb.batch)
+		}()
+		return fb
+	}
 
-		// Fan the batch out to the evaluator...
-		outcomes, err := evaluator.EvaluateBatch(ctx, batchIndex, batch)
-		if err != nil {
+	inflight = draw()
+	for inflight != nil && !aborted && !opts.canceled() {
+		cur := inflight
+		inflight = nil
+		<-cur.done
+		if cur.err != nil {
 			if opts.canceled() {
 				break // cancellation mid-batch: return the partial result
 			}
-			return nil, fmt.Errorf("core: evaluating batch %d: %w", batchIndex, err)
+			return nil, fmt.Errorf("core: evaluating batch %d: %w", cur.index, cur.err)
 		}
-		if len(outcomes) != len(batch) {
-			return nil, fmt.Errorf("core: evaluator returned %d outcomes for a batch of %d", len(outcomes), len(batch))
+		if len(cur.outcomes) != len(cur.batch) {
+			return nil, fmt.Errorf("core: evaluator returned %d outcomes for a batch of %d", len(cur.outcomes), len(cur.batch))
+		}
+		if pipeline && !opts.canceled() {
+			// Speculative overlap: the next batch reaches the evaluator
+			// while this one merges.
+			inflight = draw()
 		}
 
-		// ...and merge strictly in batch order.
+		// Merge strictly in batch order.
+		batch, outcomes := cur.batch, cur.outcomes
 		mergeStart := time.Now()
 		evals := make([]Evaluation, 0, len(batch))
 		for i, cfg := range batch {
@@ -217,6 +283,9 @@ func ExploreParallel(sp *Space, tech Technique, cf CostFunction, abort AbortCond
 		}
 		bt.ReportCosts(evals)
 		mBatchMergeSeconds.Observe(time.Since(mergeStart).Seconds())
+		if !pipeline && !aborted && !opts.canceled() {
+			inflight = draw()
+		}
 	}
 
 	res.Best = st.BestConfig

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"runtime"
@@ -39,6 +40,14 @@ type Options struct {
 	// dispatch included, before the in-process fallback takes over
 	// (default 3).
 	MaxAttempts int
+	// SessionWorkers caps how many workers any one session spreads its
+	// batches across (atfd -session-workers); 0 means the whole live
+	// fleet. Under multi-tenant load the quota keeps one wide session from
+	// monopolizing every worker: each session gets a rotation of the live
+	// set starting at an offset hashed from its id, so concurrent sessions
+	// land on different subsets while a lone session still uses up to its
+	// quota.
+	SessionWorkers int
 	// Retry handles refused connections on dispatch (default
 	// client.DefaultRetry). Dispatches are safe to retry: evaluation is
 	// deterministic and outcome merging is first-wins.
@@ -252,7 +261,7 @@ func (e *sessionEvaluator) EvaluateBatch(ctx context.Context, batchIndex uint64,
 // live workers when there are any, in process otherwise, and always
 // finishing locally whatever the remote attempts left open.
 func (e *sessionEvaluator) evaluatePending(ctx context.Context, batchIndex uint64, batch []*core.Config, st *batchState, pending []int) error {
-	live := e.fleet.registry.Live()
+	live := e.liveWorkers()
 	if len(live) == 0 {
 		// Zero workers: plain atfd behavior, the whole batch in process.
 		mBatchesLocal.Add(1)
@@ -365,13 +374,34 @@ func (e *sessionEvaluator) runPartition(ctx context.Context, batchIndex uint64, 
 }
 
 // nextWorker picks a live worker for a re-dispatch, rotating through the
-// current live set; nil when the fleet has none left.
+// session's worker subset; nil when the fleet has none left.
 func (e *sessionEvaluator) nextWorker(slot int) *worker {
-	live := e.fleet.registry.Live()
+	live := e.liveWorkers()
 	if len(live) == 0 {
 		return nil
 	}
 	return live[slot%len(live)]
+}
+
+// liveWorkers returns the live workers this session may dispatch to:
+// the whole fleet without a quota, otherwise SessionWorkers of them
+// starting at an offset hashed from the session id — stable for the
+// session, different across sessions, and self-healing as the live set
+// changes.
+func (e *sessionEvaluator) liveWorkers() []*worker {
+	live := e.fleet.registry.Live()
+	quota := e.fleet.opts.SessionWorkers
+	if quota <= 0 || quota >= len(live) {
+		return live
+	}
+	h := fnv.New32a()
+	h.Write([]byte(e.session))
+	offset := int(h.Sum32() % uint32(len(live)))
+	subset := make([]*worker, 0, quota)
+	for i := 0; i < quota; i++ {
+		subset = append(subset, live[(offset+i)%len(live)])
+	}
+	return subset
 }
 
 // dispatch POSTs the partition's still-open configurations to one worker

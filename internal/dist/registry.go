@@ -27,8 +27,14 @@ type Registry struct {
 
 	mu      sync.Mutex
 	workers map[string]*worker // by URL
+	byID    map[string]*worker // by assigned id, for lightweight heartbeats
 	order   []string           // registration order, for stable listings
 }
+
+// ErrUnknownWorker rejects an id-based heartbeat for an id this registry
+// never issued — the signature of a coordinator restart. The HTTP layer
+// maps it to 404; workers react by re-registering in full.
+var ErrUnknownWorker = fmt.Errorf("dist: unknown worker id")
 
 // worker is one registered eval worker. The counters are atomic so the
 // dispatch path never takes the registry lock.
@@ -61,6 +67,7 @@ func NewRegistry(heartbeat, ttl time.Duration) *Registry {
 		ttl:       ttl,
 		now:       time.Now,
 		workers:   make(map[string]*worker),
+		byID:      make(map[string]*worker),
 	}
 }
 
@@ -86,6 +93,7 @@ func (r *Registry) Heartbeat(req RegisterRequest) (*worker, bool, error) {
 			evalsTotal: workerEvalsCounter(name),
 		}
 		r.workers[req.URL] = w
+		r.byID[w.id] = w
 		r.order = append(r.order, req.URL)
 	}
 	w.mu.Lock()
@@ -95,6 +103,26 @@ func (r *Registry) Heartbeat(req RegisterRequest) (*worker, bool, error) {
 	w.mu.Unlock()
 	r.updateLiveGauge()
 	return w, !ok, nil
+}
+
+// HeartbeatByID refreshes a registered worker's liveness by its assigned
+// id — the steady-state heartbeat, cheaper than a full registration and
+// the probe that detects coordinator restarts: a fresh registry has never
+// issued the id and answers ErrUnknownWorker, telling the worker to
+// re-register.
+func (r *Registry) HeartbeatByID(id string) (*worker, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownWorker, id)
+	}
+	w.mu.Lock()
+	w.lastSeen = r.now()
+	w.benched = false
+	w.mu.Unlock()
+	r.updateLiveGauge()
+	return w, nil
 }
 
 // Live returns the workers eligible for dispatch, in registration order.
@@ -161,12 +189,26 @@ func (r *Registry) Status() []WorkerStatus {
 
 // Handler serves the coordinator's worker-facing endpoints:
 //
-//	POST /v1/workers  register / heartbeat
-//	GET  /v1/workers  fleet status
+//	POST /v1/workers                 register (also re-registration after a 404)
+//	POST /v1/workers/{id}/heartbeat  steady-state heartbeat; 404 for unknown ids
+//	GET  /v1/workers                 fleet status
 //
-// atfd mounts it next to the session API on the same listener.
+// atfd mounts it next to the session API on the same listener (both the
+// exact path and the trailing-slash subtree).
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", func(w http.ResponseWriter, req *http.Request) {
+		wk, err := r.HeartbeatByID(req.PathValue("id"))
+		if err != nil {
+			writeJSONError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, RegisterResponse{
+			ID:          wk.id,
+			HeartbeatMs: r.heartbeat.Milliseconds(),
+			TTLMs:       r.ttl.Milliseconds(),
+		})
+	})
 	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, req *http.Request) {
 		var body RegisterRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&body); err != nil {

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatSurvivesCoordinatorRestart: a live worker whose
+// coordinator restarts (fresh process, empty registry, same address)
+// must detect the 404 on its id heartbeat and re-register instead of
+// going silent.
+func TestHeartbeatSurvivesCoordinatorRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	f1 := NewFleet(Options{Heartbeat: 20 * time.Millisecond})
+	srv1 := &http.Server{Handler: f1.Handler()}
+	go srv1.Serve(ln)
+
+	var mu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hbDone := make(chan error, 1)
+	go func() {
+		hbDone <- RunHeartbeat(ctx, nil, "http://"+addr,
+			RegisterRequest{Name: "survivor", URL: "http://127.0.0.1:9"}, logf)
+	}()
+
+	waitLive := func(f *Fleet, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for len(f.registry.Live()) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker never became live %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitLive(f1, "on the first coordinator")
+
+	// "Restart" the coordinator: same address, brand-new registry that
+	// has never issued the worker's id.
+	srv1.Close()
+	var ln2 net.Listener
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	f2 := NewFleet(Options{Heartbeat: 20 * time.Millisecond})
+	srv2 := &http.Server{Handler: f2.Handler()}
+	defer srv2.Close()
+	go srv2.Serve(ln2)
+
+	waitLive(f2, "after the coordinator restart")
+
+	mu.Lock()
+	var reRegistered bool
+	for _, l := range logs {
+		if strings.Contains(l, "re-registering") {
+			reRegistered = true
+		}
+	}
+	mu.Unlock()
+	if !reRegistered {
+		t.Fatalf("worker recovered without the 404 re-register path; log: %q", logs)
+	}
+	cancel()
+	<-hbDone
+}
+
+// TestSessionWorkersQuota: with SessionWorkers set, one session dispatches
+// to at most that many workers, the subset is stable for the session, and
+// results stay bit-identical to a local run.
+func TestSessionWorkersQuota(t *testing.T) {
+	spec := parseDistSpec(t)
+	want := runLocal(t, spec)
+
+	opts := fastOptions()
+	opts.SessionWorkers = 2
+	f := NewFleet(opts)
+	const fleetSize = 4
+	for i := 0; i < fleetSize; i++ {
+		srv := httptest.NewServer(newWorkerHandler(t, fmt.Sprintf("q%d", i)))
+		t.Cleanup(srv.Close)
+		if _, _, err := f.registry.Heartbeat(RegisterRequest{Name: fmt.Sprintf("q%d", i), URL: srv.URL}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The subset is a stable window per session id.
+	ev := f.SessionEvaluator("tenant-a", spec, nil, nil).(*sessionEvaluator)
+	subset1 := ev.liveWorkers()
+	subset2 := ev.liveWorkers()
+	if len(subset1) != 2 {
+		t.Fatalf("session subset has %d workers, quota is 2", len(subset1))
+	}
+	for i := range subset1 {
+		if subset1[i] != subset2[i] {
+			t.Fatal("session's worker subset is not stable")
+		}
+	}
+	ev.Close()
+
+	build, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := f.SessionEvaluator("tenant-b", spec, build.Cost, nil)
+	t.Cleanup(func() { ev2.(io.Closer).Close() })
+	tuner := build.Tuner
+	tuner.Evaluator = ev2
+	res, err := tuner.Tune(build.Cost, build.Params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "quota fleet vs local", res, want)
+
+	dispatched := 0
+	for _, st := range f.registry.Status() {
+		if st.Dispatches > 0 {
+			dispatched++
+		}
+	}
+	if dispatched == 0 || dispatched > 2 {
+		t.Fatalf("session dispatched to %d workers, quota is 2", dispatched)
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
 	"sync"
 	"time"
@@ -178,13 +180,22 @@ func (s *WorkerServer) Close() error {
 	return nil
 }
 
-// RunHeartbeat registers the worker with the coordinator and keeps
-// re-registering at the interval the coordinator announces, until ctx
-// cancels. Transient failures — a down or restarting coordinator — are
-// retried forever under the shared backoff policy, so a worker started
-// before its coordinator (or surviving a coordinator restart) joins the
-// fleet as soon as it comes up. Only a permanent rejection (a 4xx, e.g.
-// a malformed advertise URL) stops the loop.
+// errHeartbeatUnknown marks a 404 on the id-heartbeat endpoint: the
+// coordinator does not know the worker's id, which after a successful
+// registration can only mean the coordinator restarted and lost its
+// registry. The cure is a fresh full registration, not a retry.
+var errHeartbeatUnknown = errors.New("dist: coordinator does not know this worker id")
+
+// RunHeartbeat registers the worker with the coordinator, then keeps it
+// live with lightweight id-based heartbeats at the interval the
+// coordinator announces, until ctx cancels. Transient failures — a down
+// or restarting coordinator — are retried forever under the shared
+// backoff policy, so a worker started before its coordinator joins the
+// fleet as soon as it comes up. A heartbeat answered 404 means the
+// coordinator restarted and lost the registry: the worker immediately
+// re-registers in full instead of going silent. Only a permanent
+// rejection of the registration itself (a 4xx, e.g. a malformed
+// advertise URL) stops the loop.
 func RunHeartbeat(ctx context.Context, httpc *http.Client, coordinatorURL string, reg RegisterRequest, logf func(format string, args ...any)) error {
 	if httpc == nil {
 		httpc = http.DefaultClient
@@ -194,12 +205,19 @@ func RunHeartbeat(ctx context.Context, httpc *http.Client, coordinatorURL string
 	}
 	retry := client.RetryPolicy{Attempts: 5}
 	interval := 2 * time.Second
-	registered := false
+	id := ""
 	for {
 		var resp RegisterResponse
-		err := retry.Do(ctx, func() error {
-			return registerOnce(ctx, httpc, coordinatorURL, reg, &resp)
-		})
+		var err error
+		if id == "" {
+			err = retry.Do(ctx, func() error {
+				return registerOnce(ctx, httpc, coordinatorURL, reg, &resp)
+			})
+		} else {
+			err = retry.Do(ctx, func() error {
+				return heartbeatOnce(ctx, httpc, coordinatorURL, id, &resp)
+			})
+		}
 		switch {
 		case ctx.Err() != nil:
 			return ctx.Err()
@@ -207,13 +225,18 @@ func RunHeartbeat(ctx context.Context, httpc *http.Client, coordinatorURL string
 			if hb := time.Duration(resp.HeartbeatMs) * time.Millisecond; hb > 0 {
 				interval = hb
 			}
-			if !registered {
-				registered = true
-				logf("registered with %s as %s (heartbeat %v)", coordinatorURL, resp.ID, interval)
+			if id != resp.ID {
+				id = resp.ID
+				logf("registered with %s as %s (heartbeat %v)", coordinatorURL, id, interval)
 			}
+		case errors.Is(err, errHeartbeatUnknown):
+			logf("heartbeat: coordinator lost worker %s (restarted?); re-registering", id)
+			id = ""
+			continue // re-register right away, not a heartbeat later
 		case client.IsTransient(err):
-			// Coordinator down: keep knocking at the heartbeat cadence.
-			registered = false
+			// Coordinator down: keep knocking at the heartbeat cadence. The
+			// id is kept — if the same process recovers the heartbeat goes
+			// through, and a restarted one answers 404 above.
 			logf("heartbeat: %v (retrying)", err)
 		default:
 			return err
@@ -223,6 +246,34 @@ func RunHeartbeat(ctx context.Context, httpc *http.Client, coordinatorURL string
 			return ctx.Err()
 		case <-time.After(interval):
 		}
+	}
+}
+
+// heartbeatOnce POSTs one id-based heartbeat. A 404 maps to
+// errHeartbeatUnknown; transport failures and 5xx are transient.
+func heartbeatOnce(ctx context.Context, httpc *http.Client, coordinatorURL, id string, resp *RegisterResponse) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		coordinatorURL+"/v1/workers/"+url.PathEscape(id)+"/heartbeat", nil)
+	if err != nil {
+		return err
+	}
+	res, err := httpc.Do(req)
+	if err != nil {
+		return client.Transient(err)
+	}
+	defer res.Body.Close()
+	switch {
+	case res.StatusCode == http.StatusOK:
+		return json.NewDecoder(res.Body).Decode(resp)
+	case res.StatusCode == http.StatusNotFound:
+		return errHeartbeatUnknown
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 1024))
+		err := fmt.Errorf("dist: heartbeat with %s: %s: %s", coordinatorURL, res.Status, bytes.TrimSpace(msg))
+		if client.TransientStatus(res.StatusCode) {
+			return client.Transient(err)
+		}
+		return err
 	}
 }
 

@@ -98,25 +98,88 @@ func TestCompileCachedConcurrentDedup(t *testing.T) {
 
 func TestCompileCacheEvictionBounded(t *testing.T) {
 	ResetCompileCache()
-	defer ResetCompileCache()
-	sharedProgCache.mu.Lock()
-	sharedProgCache.cap = 8
-	sharedProgCache.mu.Unlock()
 	defer func() {
-		sharedProgCache.mu.Lock()
-		sharedProgCache.cap = compileCacheCap
-		sharedProgCache.mu.Unlock()
+		SetCompileCacheBudget(DefaultCompileCacheBudget)
+		ResetCompileCache()
 	}()
+	// Room for roughly four entries of this kernel's footprint.
+	budget := 4 * progFootprint(cacheTestKernel, progCacheKey(cacheTestKernel, nil))
+	SetCompileCacheBudget(budget)
 	for i := 0; i < 40; i++ {
 		if _, err := CompileCached(cacheTestKernel,
 			map[string]string{"FACTOR": fmt.Sprint(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sharedProgCache.mu.Lock()
-	n := len(sharedProgCache.entries)
-	sharedProgCache.mu.Unlock()
-	if n > 8 {
-		t.Fatalf("cache holds %d entries, cap is 8", n)
+	entries, bytes, evictions := CompileCacheUsage()
+	if bytes > budget {
+		t.Fatalf("cache holds %d estimated bytes, budget is %d", bytes, budget)
+	}
+	if entries == 0 || entries > 5 {
+		t.Fatalf("cache holds %d entries, want a handful under the budget", entries)
+	}
+	if evictions == 0 {
+		t.Fatal("overflowing the budget evicted nothing")
+	}
+}
+
+func TestCompileCacheLRUKeepsHotEntries(t *testing.T) {
+	ResetCompileCache()
+	defer func() {
+		SetCompileCacheBudget(DefaultCompileCacheBudget)
+		ResetCompileCache()
+	}()
+	budget := 4 * progFootprint(cacheTestKernel, progCacheKey(cacheTestKernel, nil))
+	SetCompileCacheBudget(budget)
+	hot := map[string]string{"FACTOR": "9999"}
+	if _, err := CompileCached(cacheTestKernel, hot); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		// Re-touch the hot entry between cold inserts: recency must keep
+		// it resident while the cold entries churn through the budget.
+		if _, err := CompileCached(cacheTestKernel, hot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompileCached(cacheTestKernel,
+			map[string]string{"FACTOR": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits0, misses0 := CompileCacheStats()
+	if _, err := CompileCached(cacheTestKernel, hot); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := CompileCacheStats()
+	if hits1 != hits0+1 || misses1 != misses0 {
+		t.Fatalf("hot entry was evicted: stats went (%d,%d) -> (%d,%d)",
+			hits0, misses0, hits1, misses1)
+	}
+}
+
+func TestCompileCacheDisabledByZeroBudget(t *testing.T) {
+	ResetCompileCache()
+	defer func() {
+		SetCompileCacheBudget(DefaultCompileCacheBudget)
+		ResetCompileCache()
+	}()
+	SetCompileCacheBudget(0)
+	defs := map[string]string{"FACTOR": "2"}
+	p1, err := CompileCached(cacheTestKernel, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CompileCached(cacheTestKernel, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("a zero budget must disable caching entirely")
+	}
+	if hits, misses := CompileCacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("stats = (%d hits, %d misses), want (0, 2)", hits, misses)
+	}
+	if entries, bytes, _ := CompileCacheUsage(); entries != 0 || bytes != 0 {
+		t.Fatalf("disabled cache retains %d entries / %d bytes", entries, bytes)
 	}
 }

@@ -42,6 +42,10 @@ func (e *Exhaustive) GetNextConfig() *core.Config {
 // ReportCost is void for exhaustive search.
 func (e *Exhaustive) ReportCost(core.Cost) {}
 
+// CostOblivious marks exhaustive search as safe for pipelined dispatch:
+// the enumeration order never depends on reported costs.
+func (e *Exhaustive) CostOblivious() bool { return true }
+
 // DefaultAnnealingTemperature is the temperature the paper reports as
 // suitable for OpenCL and CUDA search spaces (T = 4, citing CLTune).
 const DefaultAnnealingTemperature = 4.0
@@ -202,6 +206,10 @@ func (r *Random) GetNextConfig() *core.Config { return r.sp.Random(r.rng) }
 
 // ReportCost is void.
 func (r *Random) ReportCost(core.Cost) {}
+
+// CostOblivious marks random search as safe for pipelined dispatch: the
+// seeded sample sequence never depends on reported costs.
+func (r *Random) CostOblivious() bool { return true }
 
 // LocalSearch is a simple first-improvement hill climber over the index
 // neighbourhood. It is not in the paper's set of three techniques; it

@@ -2,10 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"atf"
 	"atf/internal/obs"
@@ -103,6 +106,18 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	s, err := a.Manager.Create(spec)
 	if err != nil {
+		var overloaded *OverloadedError
+		if errors.As(err, &overloaded) {
+			// Admission control: tell the client when to come back instead
+			// of letting it hammer a saturated daemon.
+			secs := int(math.Ceil(overloaded.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"atf"
+	"atf/internal/obs"
 )
 
 // The journal is one JSONL file per session under the manager's journal
@@ -25,6 +28,13 @@ import (
 // replayed into the cost cache and the search resumes where it stopped. A
 // torn final line (the write a crash cut short) is detected and dropped —
 // everything before it is intact by construction of append-only writes.
+//
+// Long sessions rotate: once the active file exceeds Journal.RotateBytes
+// it is renamed to <id>.seg<N>.jsonl (N counting up from 1) and a fresh
+// active file is started with the same spec header, so every file parses
+// standalone and the active file stays small for tail-follow tooling.
+// ReadSessionJournal stitches the segments back together in order;
+// ListJournals lists only active files, never segments.
 
 // Record is one journal line; Type selects which payload is set.
 type Record struct {
@@ -78,25 +88,42 @@ type DoneRecord struct {
 	Error       string      `json:"error,omitempty"`
 }
 
+// mJournalRotations counts journal segment rotations daemon-wide.
+var mJournalRotations = obs.NewCounter("atf_server_journal_rotations_total",
+	"Session journal files rotated into numbered segments")
+
 // Journal is the append-only writer for one session. Every append is
 // followed by an fsync: the journal's whole point is surviving the daemon,
 // and the simulated cost evaluations dwarf the sync latency.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	// RotateBytes rolls the active file into a numbered segment once it
+	// grows past this size; 0 never rotates. Set right after
+	// CreateJournal/OpenJournalAppend, before the first Append race.
+	RotateBytes int64
+
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	header []byte // spec-header line, replayed into each fresh segment
+	size   int64  // bytes written to the active file
+	seg    int    // rotated segments already on disk
 }
 
 // CreateJournal starts a new session journal with its spec header.
 func CreateJournal(path, session, name string, spec *atf.Spec, createdUnixNs int64) (*Journal, error) {
+	header, err := marshalLine(Record{
+		Type: "spec", Session: session, Name: name,
+		CreatedUnixNs: createdUnixNs, Spec: spec,
+	})
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: creating journal: %w", err)
 	}
-	j := &Journal{f: f}
-	if err := j.Append(Record{
-		Type: "spec", Session: session, Name: name,
-		CreatedUnixNs: createdUnixNs, Spec: spec,
-	}); err != nil {
+	j := &Journal{f: f, path: path, header: header}
+	if err := j.writeLocked(header); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -104,30 +131,154 @@ func CreateJournal(path, session, name string, spec *atf.Spec, createdUnixNs int
 }
 
 // OpenJournalAppend reopens an interrupted session's journal for resume.
-func OpenJournalAppend(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+// The header record is re-journaled into every segment the resumed run
+// rotates into; if a crash between rotation steps left no active file,
+// one is recreated from it.
+func OpenJournalAppend(path string, header Record) (*Journal, error) {
+	hdr, err := marshalLine(header)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: reopening journal: %w", err)
 	}
-	return &Journal{f: f}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: reopening journal: %w", err)
+	}
+	segs, err := listSegments(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, header: hdr, size: st.Size(), seg: len(segs)}
+	if j.size == 0 {
+		// A rotation the old process never finished (segment renamed, new
+		// active not yet headed) — or finished headless; either way the
+		// active file needs its header before anything else.
+		if err := j.writeLocked(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
 }
 
-// Append writes one record as a JSON line and syncs it to disk.
-func (j *Journal) Append(rec Record) error {
+// Path returns the active journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+func marshalLine(rec Record) ([]byte, error) {
 	data, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("server: marshaling journal record: %w", err)
+		return nil, fmt.Errorf("server: marshaling journal record: %w", err)
 	}
-	data = append(data, '\n')
+	return append(data, '\n'), nil
+}
+
+// Append writes one record as a JSON line, syncs it to disk, and rotates
+// the active file into a segment if it has outgrown RotateBytes.
+func (j *Journal) Append(rec Record) error {
+	data, err := marshalLine(rec)
+	if err != nil {
+		return err
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.writeLocked(data); err != nil {
+		return err
+	}
+	// Terminal records close the journal anyway; rotating after one would
+	// leave an active file holding nothing but a header.
+	if j.RotateBytes > 0 && j.size >= j.RotateBytes && rec.Type != "done" {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+func (j *Journal) writeLocked(data []byte) error {
 	if j.f == nil {
 		return fmt.Errorf("server: journal closed")
 	}
 	if _, err := j.f.Write(data); err != nil {
 		return fmt.Errorf("server: writing journal: %w", err)
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("server: syncing journal: %w", err)
+	}
+	j.size += int64(len(data))
+	return nil
+}
+
+// rotateLocked renames the active file to the next segment and starts a
+// fresh active file with the spec header. The rename is atomic; a crash
+// between rename and the new header leaves no active file, which
+// OpenJournalAppend repairs on resume.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Close(); err != nil {
+		j.f = nil
+		return fmt.Errorf("server: rotating journal: %w", err)
+	}
+	j.f = nil
+	j.seg++
+	if err := os.Rename(j.path, segmentPath(j.path, j.seg)); err != nil {
+		j.seg--
+		return fmt.Errorf("server: rotating journal: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: rotating journal: %w", err)
+	}
+	j.f = f
+	j.size = 0
+	mJournalRotations.Inc()
+	return j.writeLocked(j.header)
+}
+
+// segmentPath names rotated segment n of the journal at path:
+// <id>.jsonl -> <id>.seg<n>.jsonl.
+func segmentPath(path string, n int) string {
+	base := strings.TrimSuffix(path, ".jsonl")
+	return fmt.Sprintf("%s.seg%d.jsonl", base, n)
+}
+
+// listSegments returns the journal's rotated segments in rotation order.
+func listSegments(path string) ([]string, error) {
+	base := strings.TrimSuffix(path, ".jsonl")
+	paths, err := filepath.Glob(base + ".seg*.jsonl")
+	if err != nil {
+		return nil, err
+	}
+	type seg struct {
+		n    int
+		path string
+	}
+	segs := make([]seg, 0, len(paths))
+	for _, p := range paths {
+		if n, ok := segmentNumber(base, p); ok {
+			segs = append(segs, seg{n, p})
+		}
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].n < segs[k].n })
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+// segmentNumber extracts N from <base>.seg<N>.jsonl.
+func segmentNumber(base, path string) (int, bool) {
+	s := strings.TrimSuffix(strings.TrimPrefix(path, base+".seg"), ".jsonl")
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Close closes the underlying file; further appends fail.
@@ -159,21 +310,59 @@ type JournalData struct {
 	Truncated bool
 }
 
-// ReadJournalFile parses a session journal. The spec header must parse —
-// without it the session cannot be rebuilt — while a broken tail only sets
-// Truncated: every intact evaluation before it is kept for replay.
+// ReadJournalFile parses a single journal file — one segment or an
+// unrotated journal. The spec header must parse — without it the session
+// cannot be rebuilt — while a broken tail only sets Truncated: every
+// intact evaluation before it is kept for replay.
 func ReadJournalFile(path string) (*JournalData, error) {
-	f, err := os.Open(path)
+	d := &JournalData{Path: path}
+	if err := readJournalInto(d, path, true, make(map[uint64]bool)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadSessionJournal parses a session's whole journal — every rotated
+// segment in order, then the active file — into one JournalData. Each
+// file restates the spec header (dropped past the first); evaluation
+// indices continue across the file boundaries. A damaged file stops the
+// merge there with Truncated set: later files cannot be trusted to
+// continue a broken sequence.
+func ReadSessionJournal(path string) (*JournalData, error) {
+	segs, err := listSegments(path)
 	if err != nil {
 		return nil, err
 	}
+	files := append(segs, path)
+	d := &JournalData{Path: path}
+	seenBatches := make(map[uint64]bool)
+	for i, p := range files {
+		if i > 0 && (d.Truncated || d.Done != nil) {
+			break
+		}
+		if err := readJournalInto(d, p, i == 0, seenBatches); err != nil {
+			if i > 0 && os.IsNotExist(err) {
+				continue // active file lost to a mid-rotation crash
+			}
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// readJournalInto parses one journal file, appending into d. For the
+// first file the header populates d; for continuation files it must name
+// the same session and is otherwise skipped.
+func readJournalInto(d *JournalData, path string, first bool, seenBatches map[uint64]bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
 	defer f.Close()
 
-	d := &JournalData{Path: path}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	first := true
-	seenBatches := make(map[uint64]bool)
+	firstLine := true
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -181,31 +370,36 @@ func ReadJournalFile(path string) (*JournalData, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			if first {
-				return nil, fmt.Errorf("server: journal %s: bad spec header: %w", path, err)
+			if firstLine && first {
+				return fmt.Errorf("server: journal %s: bad spec header: %w", path, err)
 			}
 			d.Truncated = true
-			break
+			return nil
 		}
 		switch rec.Type {
 		case "spec":
-			if !first {
-				return nil, fmt.Errorf("server: journal %s: duplicate spec header", path)
+			if !firstLine {
+				return fmt.Errorf("server: journal %s: duplicate spec header", path)
 			}
-			d.Session, d.Name = rec.Session, rec.Name
-			d.CreatedUnixNs, d.Spec = rec.CreatedUnixNs, rec.Spec
+			if first {
+				d.Session, d.Name = rec.Session, rec.Name
+				d.CreatedUnixNs, d.Spec = rec.CreatedUnixNs, rec.Spec
+			} else if rec.Session != d.Session {
+				return fmt.Errorf("server: journal %s continues session %q, not %q",
+					path, rec.Session, d.Session)
+			}
 		case "eval":
 			if rec.Eval == nil || rec.Eval.Index != uint64(len(d.Evals)) {
 				// An out-of-sequence eval means the tail is damaged;
 				// everything up to here is still a valid prefix.
 				d.Truncated = true
-				return d, nil
+				return nil
 			}
 			d.Evals = append(d.Evals, *rec.Eval)
 		case "batch":
 			if rec.Batch == nil {
 				d.Truncated = true
-				return d, nil
+				return nil
 			}
 			if !seenBatches[rec.Batch.Index] {
 				seenBatches[rec.Batch.Index] = true
@@ -213,32 +407,44 @@ func ReadJournalFile(path string) (*JournalData, error) {
 			}
 		case "done":
 			d.Done = rec.Done
-			return d, nil
+			return nil
 		default:
 			d.Truncated = true
-			return d, nil
+			return nil
 		}
-		first = false
+		firstLine = false
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("server: reading journal %s: %w", path, err)
+		return fmt.Errorf("server: reading journal %s: %w", path, err)
 	}
-	if first {
-		return nil, fmt.Errorf("server: journal %s is empty", path)
+	if firstLine && first {
+		return fmt.Errorf("server: journal %s is empty", path)
 	}
-	if d.Spec == nil {
-		return nil, fmt.Errorf("server: journal %s has no spec header", path)
+	if first && d.Spec == nil {
+		return fmt.Errorf("server: journal %s has no spec header", path)
 	}
-	return d, nil
+	return nil
 }
 
-// ListJournals returns the journal files under dir, sorted by name.
+// ListJournals returns the active journal files under dir, sorted by
+// name; rotated segments (<id>.seg<N>.jsonl) belong to their session's
+// active journal and are excluded.
 func ListJournals(dir string) ([]string, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
 	if err != nil {
 		return nil, err
 	}
-	return paths, nil
+	out := paths[:0]
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".jsonl")
+		if i := strings.LastIndex(name, ".seg"); i >= 0 {
+			if n, err := strconv.Atoi(name[i+4:]); err == nil && n >= 1 {
+				continue // a rotated segment, owned by its active journal
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // sanitizeName turns a session name into a file-system- and URL-safe slug.

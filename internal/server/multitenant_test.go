@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"atf"
+)
+
+// Multi-tenant determinism suite: many concurrent sessions on one
+// Manager with every sharing and throttling feature enabled — shared
+// cost cache, space cache, eval-slot semaphore, admission-exempt load,
+// pipelined dispatch — must each produce a journal bit-identical to the
+// same spec run alone on a private Manager with sharing off. Run under
+// -race this doubles as the data-race suite for the shared caches.
+
+// mtSpecs are the distinct tenant workloads: exhaustive and seeded
+// random over an expression cost, and a saxpy kernel spec whose cost
+// function goes through the shared compiled-kernel cache in oclc.
+func mtSpecs(t *testing.T) []*atf.Spec {
+	t.Helper()
+	raw := []string{
+		`{
+			"name": "mt exhaustive",
+			"parameters": [
+				{"name": "X", "range": {"interval": {"begin": 1, "end": 32}}},
+				{"name": "Y", "range": {"interval": {"begin": 1, "end": 6}}}
+			],
+			"cost": {"kind": "expr", "expr": "(X - 20) * (X - 20) + Y * Y"},
+			"technique": {"kind": "exhaustive"},
+			"abort": {"evaluations": 90},
+			"parallelism": 3
+		}`,
+		`{
+			"name": "mt random",
+			"parameters": [
+				{"name": "X", "range": {"interval": {"begin": 1, "end": 200}}}
+			],
+			"cost": {"kind": "expr", "expr": "(X - 77) * (X - 77)"},
+			"technique": {"kind": "random"},
+			"abort": {"evaluations": 60},
+			"seed": 9,
+			"parallelism": 2
+		}`,
+		`{
+			"name": "mt saxpy",
+			"parameters": [
+				{"name": "WPT", "range": {"interval": {"begin": 1, "end": 64}},
+				 "constraints": [{"op": "divides", "expr": "64"}]},
+				{"name": "LS", "range": {"interval": {"begin": 1, "end": 64}},
+				 "constraints": [{"op": "divides", "expr": "64 / WPT"}]}
+			],
+			"cost": {"kind": "saxpy", "device": "K20c", "n": 64},
+			"technique": {"kind": "exhaustive"},
+			"abort": {"evaluations": 12},
+			"parallelism": 2
+		}`,
+	}
+	specs := make([]*atf.Spec, len(raw))
+	for i, r := range raw {
+		spec, err := atf.ParseSpec([]byte(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+// evalFingerprint is the part of a journaled evaluation that must be
+// bit-identical across isolated and shared runs (AtNs is wall time).
+func evalFingerprint(evals []EvalRecord) []string {
+	out := make([]string, len(evals))
+	for i, ev := range evals {
+		out[i] = fmt.Sprintf("%d|%s|%s|%s|%v", ev.Index, ev.Key, ev.Cost, ev.Error, ev.Cached)
+	}
+	return out
+}
+
+func TestMultiTenantSessionsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant suite is not short")
+	}
+	specs := mtSpecs(t)
+
+	// Reference: each spec alone, private manager, all sharing off.
+	refs := make([][]string, len(specs))
+	refBest := make([]Status, len(specs))
+	for i, spec := range specs {
+		m, err := NewManager(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Wait()
+		st := s.Status()
+		if st.State != StateDone {
+			t.Fatalf("reference %q ended %s (%s)", spec.Name, st.State, st.Error)
+		}
+		d, err := ReadSessionJournal(m.journalPath(s.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = evalFingerprint(d.Evals)
+		refBest[i] = st
+		m.Shutdown()
+	}
+
+	// The crowd: 36 sessions (12 per spec) on one fully shared manager.
+	const perSpec = 12
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	m.SharedCostCacheBytes = 8 << 20
+	m.SpaceCacheEntries = 16
+	m.MaxEvalsInFlight = 16
+	m.RotateBytes = 16 << 10 // force rotations under concurrency too
+	m.Pipeline = true
+
+	type tenant struct {
+		spec int
+		sess *Session
+	}
+	var tenants []tenant
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < perSpec; i++ {
+		for si, spec := range specs {
+			wg.Add(1)
+			go func(si int, spec *atf.Spec) {
+				defer wg.Done()
+				s, err := m.Create(spec)
+				if err != nil {
+					t.Errorf("create %q: %v", spec.Name, err)
+					return
+				}
+				mu.Lock()
+				tenants = append(tenants, tenant{spec: si, sess: s})
+				mu.Unlock()
+			}(si, spec)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(tenants) != perSpec*len(specs) {
+		t.Fatalf("started %d sessions, want %d", len(tenants), perSpec*len(specs))
+	}
+	for _, tn := range tenants {
+		tn.sess.Wait()
+	}
+
+	for _, tn := range tenants {
+		st := tn.sess.Status()
+		want := refBest[tn.spec]
+		if st.State != StateDone {
+			t.Fatalf("session %s ended %s (%s)", tn.sess.ID, st.State, st.Error)
+		}
+		if st.Evaluations != want.Evaluations || st.Valid != want.Valid ||
+			!st.Best.Equal(want.Best) || st.BestCost.String() != want.BestCost.String() {
+			t.Fatalf("session %s differs from isolated run: %d/%d best %v/%v, want %d/%d best %v/%v",
+				tn.sess.ID, st.Evaluations, st.Valid, st.Best, st.BestCost,
+				want.Evaluations, want.Valid, want.Best, want.BestCost)
+		}
+		d, err := ReadSessionJournal(m.journalPath(tn.sess.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evalFingerprint(d.Evals)
+		ref := refs[tn.spec]
+		if len(got) != len(ref) {
+			t.Fatalf("session %s journaled %d evaluations, isolated run %d", tn.sess.ID, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("session %s evaluation %d = %s, isolated run %s", tn.sess.ID, i, got[i], ref[i])
+			}
+		}
+	}
+
+	// The whole point of sharing: the crowd must have hit the caches.
+	costHits, _, _, _, _ := m.sharedCosts.stats()
+	if costHits == 0 {
+		t.Error("36 overlapping sessions never hit the shared cost cache")
+	}
+	spaceHits, _, _, _ := m.spaces.stats()
+	if spaceHits == 0 {
+		t.Error("36 overlapping sessions never hit the space cache")
+	}
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atf"
+)
+
+// appendEvals writes n sequential evaluation records starting at index
+// from, reusing one configuration.
+func appendEvals(t *testing.T, j *Journal, spec *atf.Spec, from, n int) {
+	t.Helper()
+	cfg := configOf(t, spec, 3)
+	for i := 0; i < n; i++ {
+		ev := EvalRecord{Index: uint64(from + i), Key: cfg.Key(), Config: cfg, Cost: atf.Cost{3}}
+		if err := j.Append(Record{Type: "eval", Eval: &ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJournalRotationSegments: a journal past its rotate threshold rolls
+// into numbered segments, every file still opens with the spec header,
+// ReadSessionJournal merges the segments back into one contiguous
+// evaluation sequence, and ListJournals hides the segments.
+func TestJournalRotationSegments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rot.jsonl")
+	spec := testSpec(t)
+
+	j, err := CreateJournal(path, "rot", "rot", spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RotateBytes = 1 << 10
+	const evals = 40
+	appendEvals(t, j, spec, 0, evals)
+	if err := j.Append(Record{Type: "done", Done: &DoneRecord{State: "done", Evaluations: evals}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	segs, err := listSegments(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected >= 2 rotated segments, got %d", len(segs))
+	}
+	for _, p := range append(append([]string(nil), segs...), path) {
+		d, err := ReadJournalFile(p)
+		if err != nil {
+			t.Fatalf("segment %s does not parse standalone: %v", p, err)
+		}
+		if d.Session != "rot" {
+			t.Fatalf("segment %s headed for session %q", p, d.Session)
+		}
+	}
+
+	d, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truncated {
+		t.Fatal("clean rotated journal reported truncated")
+	}
+	if len(d.Evals) != evals {
+		t.Fatalf("merged %d evaluations across segments, want %d", len(d.Evals), evals)
+	}
+	for i, ev := range d.Evals {
+		if ev.Index != uint64(i) {
+			t.Fatalf("merged evaluation %d has index %d", i, ev.Index)
+		}
+	}
+	if d.Done == nil || d.Done.State != "done" {
+		t.Fatalf("done record lost in merge: %+v", d.Done)
+	}
+
+	listed, err := ListJournals(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0] != path {
+		t.Fatalf("ListJournals = %v, want just %s (segments hidden)", listed, path)
+	}
+}
+
+// TestJournalRotationMidCrashRepair: a crash between the segment rename
+// and the new active file leaves no active journal. The session must
+// still read from its segments, and OpenJournalAppend must recreate the
+// active file with its header.
+func TestJournalRotationMidCrashRepair(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.jsonl")
+	spec := testSpec(t)
+
+	j, err := CreateJournal(path, "crash", "crash", spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RotateBytes = 1 << 10
+	appendEvals(t, j, spec, 0, 20)
+	j.Close()
+	segs, err := listSegments(path)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	// Simulate the crash window: the rename happened, the new active
+	// file never did.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Evals) == 0 || d.Session != "crash" {
+		t.Fatalf("segments unreadable without active file: %d evals, session %q",
+			len(d.Evals), d.Session)
+	}
+
+	header := Record{Type: "spec", Session: d.Session, Name: d.Name,
+		CreatedUnixNs: d.CreatedUnixNs, Spec: d.Spec}
+	j2, err := OpenJournalAppend(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.RotateBytes = 1 << 10
+	appendEvals(t, j2, spec, len(d.Evals), 5)
+	j2.Close()
+
+	d2, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(d.Evals) + 5; len(d2.Evals) != want {
+		t.Fatalf("after repair: %d evaluations, want %d", len(d2.Evals), want)
+	}
+}
+
+// TestManagerRotatedResumeDeterminism runs the checkpoint/resume contract
+// with journal rotation on: the interrupted run rotates mid-flight, a
+// fresh manager stitches the segments back together, resumes, keeps
+// rotating, and finishes with the same evaluation sequence as an
+// unrotated, uninterrupted run.
+func TestManagerRotatedResumeDeterminism(t *testing.T) {
+	spec := parseResumeSpec(t)
+	want, wantKeys := runUninterrupted(t, spec)
+
+	dir := t.TempDir()
+	m1, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.RotateBytes = 4 << 10 // rotate every few dozen evaluations
+	s1, err := m1.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForEvals(t, s1, 60)
+	m1.Shutdown()
+	if segs, _ := listSegments(m1.journalPath(s1.ID)); len(segs) == 0 {
+		t.Fatal("interrupted run never rotated; threshold too high for the test")
+	}
+
+	m2, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Shutdown()
+	m2.RotateBytes = 4 << 10
+	resumed, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d sessions, want 1", len(resumed))
+	}
+	s2 := resumed[0]
+	s2.Wait()
+	st2 := s2.Status()
+	if st2.State != StateDone {
+		t.Fatalf("resumed run ended %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Divergence != "" {
+		t.Fatalf("resumed run diverged: %s", st2.Divergence)
+	}
+	if st2.Evaluations != want.Evaluations || st2.Valid != want.Valid {
+		t.Errorf("resumed counters %d/%d, uninterrupted %d/%d",
+			st2.Evaluations, st2.Valid, want.Evaluations, want.Valid)
+	}
+	if !st2.Best.Equal(want.Best) || st2.BestCost.String() != want.BestCost.String() {
+		t.Errorf("resumed best %v/%v, uninterrupted %v/%v",
+			st2.Best, st2.BestCost, want.Best, want.BestCost)
+	}
+
+	d, err := ReadSessionJournal(m2.journalPath(s2.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Evals) != len(wantKeys) {
+		t.Fatalf("rotated journal has %d evaluations, uninterrupted %d", len(d.Evals), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if d.Evals[i].Key != wantKeys[i] {
+			t.Fatalf("evaluation %d: rotated journal %q, uninterrupted %q",
+				i, d.Evals[i].Key, wantKeys[i])
+		}
+	}
+
+	// Terminal after resume: nothing left for a third manager.
+	m3, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Shutdown()
+	again, err := m3.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Errorf("finished rotated session resumed again: %d", len(again))
+	}
+}

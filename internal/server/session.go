@@ -154,12 +154,74 @@ type Manager struct {
 	// unbounded. Set before Create/Resume.
 	MaxSpaceBytes int64
 
+	// SharedCostCacheBytes budgets the daemon-wide cost-outcome cache
+	// shared across sessions (atfd -shared-cost-cache-bytes). 0 disables
+	// cross-session outcome sharing; < 0 leaves the cache unbounded.
+	// Specs that set cache_costs=false opt their sessions out. Set before
+	// Create/Resume.
+	SharedCostCacheBytes int64
+
+	// SpaceCacheEntries bounds the generated-space cache (atfd
+	// -space-cache-entries): re-submitted specs skip space generation and
+	// the lazy census pass entirely. 0 disables the cache; < 0 leaves it
+	// unbounded. Set before Create/Resume.
+	SpaceCacheEntries int
+
+	// MaxSessions caps concurrently running sessions; Create returns
+	// *OverloadedError beyond it (the HTTP layer answers 429 with
+	// Retry-After). Resume ignores the cap — interrupted work is owed.
+	// 0 = unlimited. Set before Create/Resume.
+	MaxSessions int
+
+	// MaxEvalsInFlight caps concurrent cost evaluations across ALL
+	// sessions: every non-replayed, non-cached evaluation takes a slot
+	// before running, so a thousand admitted sessions contend for a fixed
+	// evaluation bandwidth instead of a thousand uncoordinated pools.
+	// 0 = unlimited. Set before Create/Resume.
+	MaxEvalsInFlight int
+
+	// RotateBytes rolls each session's journal into numbered segments
+	// once the active file exceeds this size; 0 never rotates. Set
+	// before Create/Resume.
+	RotateBytes int64
+
+	// Pipeline turns on pipelined batch dispatch (Tuner.Pipeline) for
+	// every session; it only engages for cost-oblivious techniques. Set
+	// before Create/Resume.
+	Pipeline bool
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	order    []string // creation/resume order for stable listings
+	running  int      // sessions currently in StateRunning
 	closed   bool
 
+	sharedOnce  sync.Once
+	sharedCosts *outcomeCache  // nil when SharedCostCacheBytes == 0
+	spaces      *spaceCache    // nil when SpaceCacheEntries == 0
+	evalSlots   chan struct{}  // nil when MaxEvalsInFlight == 0
+
 	wg sync.WaitGroup
+}
+
+// sharedInit materializes the cross-session structures on first use, so
+// the knobs stay plain fields settable after NewManager.
+func (m *Manager) sharedInit() {
+	m.sharedOnce.Do(func() {
+		if m.SharedCostCacheBytes != 0 {
+			m.sharedCosts = newOutcomeCache(m.SharedCostCacheBytes)
+		}
+		if m.SpaceCacheEntries != 0 {
+			max := m.SpaceCacheEntries
+			if max < 0 {
+				max = 0 // unbounded
+			}
+			m.spaces = newSpaceCache(max)
+		}
+		if m.MaxEvalsInFlight > 0 {
+			m.evalSlots = make(chan struct{}, m.MaxEvalsInFlight)
+		}
+	})
 }
 
 // NewManager creates a session manager journaling under dir (created if
@@ -176,6 +238,9 @@ func NewManager(dir string) (*Manager, error) {
 func (m *Manager) Dir() string { return m.dir }
 
 // Create validates the spec, opens its journal, and starts the tuning run.
+// When the daemon is at MaxSessions running sessions it returns
+// *OverloadedError instead — admission control, so load beyond capacity
+// queues at the clients rather than thrashing inside the process.
 func (m *Manager) Create(spec *atf.Spec) (*Session, error) {
 	build, err := spec.Build()
 	if err != nil {
@@ -188,11 +253,14 @@ func (m *Manager) Create(spec *atf.Spec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	j.RotateBytes = m.RotateBytes
 	s := m.newSession(id, spec, created, j, nil)
-	if err := m.register(s); err != nil {
+	if err := m.register(s, true); err != nil {
 		j.Close()
+		os.Remove(j.Path())
 		return nil, err
 	}
+	mSessionsCreated.Inc()
 	m.start(s, build, nil)
 	return s, nil
 }
@@ -210,7 +278,7 @@ func (m *Manager) Resume() ([]*Session, error) {
 	var resumed []*Session
 	var errs []error
 	for _, path := range paths {
-		d, err := ReadJournalFile(path)
+		d, err := ReadSessionJournal(path)
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -227,17 +295,21 @@ func (m *Manager) Resume() ([]*Session, error) {
 			errs = append(errs, fmt.Errorf("server: journal %s: %w", path, err))
 			continue
 		}
-		j, err := OpenJournalAppend(path)
+		j, err := OpenJournalAppend(path, Record{
+			Type: "spec", Session: d.Session, Name: d.Name,
+			CreatedUnixNs: d.CreatedUnixNs, Spec: d.Spec,
+		})
 		if err != nil {
 			errs = append(errs, err)
 			continue
 		}
+		j.RotateBytes = m.RotateBytes
 		id := d.Session
 		if id == "" {
 			id = strings.TrimSuffix(filepath.Base(path), ".jsonl")
 		}
 		s := m.newSession(id, d.Spec, d.CreatedUnixNs, j, d.Evals)
-		if err := m.register(s); err != nil {
+		if err := m.register(s, false); err != nil {
 			j.Close()
 			errs = append(errs, err)
 			continue
@@ -342,18 +414,35 @@ func (m *Manager) newSession(id string, spec *atf.Spec, created int64, j *Journa
 	return s
 }
 
-func (m *Manager) register(s *Session) error {
+// register adds the session to the manager's tables; with admit set it
+// also enforces the MaxSessions cap (Create goes through admission,
+// Resume does not).
+func (m *Manager) register(s *Session, admit bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return fmt.Errorf("server: manager is shut down")
+	}
+	if admit && m.MaxSessions > 0 && m.running >= m.MaxSessions {
+		mSessionsRejected.Inc()
+		return &OverloadedError{Limit: m.MaxSessions, RetryAfter: time.Second}
 	}
 	if _, dup := m.sessions[s.ID]; dup {
 		return fmt.Errorf("server: duplicate session id %q", s.ID)
 	}
 	m.sessions[s.ID] = s
 	m.order = append(m.order, s.ID)
+	m.running++
+	mSessionsActive.Set(int64(m.running))
 	return nil
+}
+
+// sessionDone releases the session's admission slot when its run ends.
+func (m *Manager) sessionDone() {
+	m.mu.Lock()
+	m.running--
+	mSessionsActive.Set(int64(m.running))
+	m.mu.Unlock()
 }
 
 // start launches the session's exploration goroutine.
@@ -362,18 +451,36 @@ func (m *Manager) start(s *Session, build *atf.SpecBuild, replayed []EvalRecord)
 	go func() {
 		defer m.wg.Done()
 		defer close(s.done)
+		defer m.sessionDone()
 		m.run(s, build, replayed)
 	}()
 }
 
-// run executes one session end to end: generate the space, wrap the cost
-// function with journal replay, explore, and journal the outcome.
+// run executes one session end to end: generate the space (or take it
+// from the shared space cache), wrap the cost function with the shared
+// layers and journal replay, explore, and journal the outcome.
+//
+// The wrapper chain is, outermost first,
+//
+//	replay( shared( slot( build.Cost ) ) )
+//
+// so replayed evaluations cost nothing, shared-cache hits skip both the
+// eval slot and the device, and only genuinely new evaluations contend
+// for the daemon's evaluation bandwidth.
 func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
+	m.sharedInit()
 	tuner := build.Tuner
 	if tuner.MaxSpaceBytes == 0 {
 		tuner.MaxSpaceBytes = m.MaxSpaceBytes
 	}
-	space, err := tuner.GenerateSpace(atf.G(build.Params...))
+	gen := func() (*atf.Space, error) { return tuner.GenerateSpace(atf.G(build.Params...)) }
+	var space *atf.Space
+	var err error
+	if m.spaces != nil {
+		space, err = m.spaces.getOrGenerate(specSpaceHash(s.Spec, tuner.MaxSpaceBytes), gen)
+	} else {
+		space, err = gen()
+	}
 	if err != nil {
 		s.finish(StateFailed, nil, err)
 		return
@@ -384,10 +491,20 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 	s.mu.Unlock()
 
 	cf := build.Cost
+	if m.evalSlots != nil {
+		cf = &slotCostFunction{inner: cf, slots: m.evalSlots}
+	}
+	if m.sharedCosts != nil && tuner.CacheCosts {
+		// cache_costs=false is the spec's way of saying "my cost function
+		// is not a pure function of the configuration" — such sessions
+		// must not share outcomes either.
+		cf = &sharedCostFunction{inner: cf, cache: m.sharedCosts, scope: specCostHash(s.Spec)}
+	}
 	if len(replayed) > 0 {
 		cf = newReplayCostFunction(cf, replayed)
 	}
 
+	tuner.Pipeline = m.Pipeline
 	tuner.Context = s.ctx
 	tuner.OnEvaluation = s.onEvaluation
 	switch {

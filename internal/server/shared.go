@@ -1,0 +1,348 @@
+// Cross-session shared caches and admission control (DESIGN.md §3h).
+//
+// Every session used to own its caches outright: a private cost cache in
+// its evaluation pool and a freshly generated search space, with only the
+// oclc compile cache amortizing work across runs. Multi-tenant atfd lifts
+// the rest to Manager scope: a byte-budgeted cost-outcome cache keyed by
+// (spec cost hash, configuration key), a generated-space cache keyed by
+// the spec's space-construction inputs, and an eval-slot semaphore that
+// bounds concurrent cost evaluations across all sessions so overload
+// degrades to queueing instead of collapse.
+
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"atf"
+	"atf/internal/core"
+	"atf/internal/obs"
+)
+
+// Daemon-wide multi-tenancy metrics, served on /metrics.
+var (
+	mSessionsCreated = obs.NewCounter("atf_server_sessions_created_total",
+		"Sessions admitted by Create (resumed sessions excluded)")
+	mSessionsRejected = obs.NewCounter("atf_server_sessions_rejected_total",
+		"Session creations rejected by admission control (HTTP 429)")
+	mSessionsActive = obs.NewGauge("atf_server_sessions_active",
+		"Sessions currently in the running state")
+	mEvalSlotWait = obs.NewHistogram("atf_server_eval_slot_wait_seconds",
+		"Time a cost evaluation waited for a free eval slot", nil)
+
+	mCostCacheHits = obs.NewCounter("atf_server_cost_cache_hits_total",
+		"Shared cost-cache lookups served from another (or an earlier) session's outcome")
+	mCostCacheMisses = obs.NewCounter("atf_server_cost_cache_misses_total",
+		"Shared cost-cache lookups that ran the cost function")
+	mCostCacheEvictions = obs.NewCounter("atf_server_cost_cache_evictions_total",
+		"Outcomes evicted to keep the shared cost cache under its byte budget")
+	mCostCacheBytes = obs.NewGauge("atf_server_cost_cache_bytes",
+		"Estimated bytes of outcomes resident in the shared cost cache")
+
+	mSpaceCacheHits = obs.NewCounter("atf_server_space_cache_hits_total",
+		"Sessions whose generated search space (census included) was served from the cache")
+	mSpaceCacheMisses = obs.NewCounter("atf_server_space_cache_misses_total",
+		"Sessions that generated their search space cold")
+	mSpaceCacheEvictions = obs.NewCounter("atf_server_space_cache_evictions_total",
+		"Generated spaces evicted from the cache (LRU beyond the entry bound)")
+)
+
+// OverloadedError is Create's admission-control rejection: the daemon is
+// at its concurrent-session limit. The HTTP layer maps it to 429 with a
+// Retry-After header; RetryAfter is the backoff hint.
+type OverloadedError struct {
+	Limit      int
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("server: at the concurrent-session limit (%d); retry in %v",
+		e.Limit, e.RetryAfter)
+}
+
+// specCostHash scopes the shared cost cache: two sessions share outcomes
+// exactly when their parameter declarations and cost spec marshal
+// identically — the inputs that determine a configuration's cost. Seeds,
+// techniques, abort conditions and parallelism settings deliberately stay
+// out of the key.
+func specCostHash(spec *atf.Spec) string {
+	data, _ := json.Marshal(struct {
+		P []atf.ParamSpec `json:"p"`
+		C atf.CostSpec    `json:"c"`
+	}{spec.Parameters, spec.Cost})
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:12])
+}
+
+// specSpaceHash keys the generated-space cache on everything space
+// construction reads: the parameter declarations, the cost spec (the gemm
+// kind derives its built-in parameter space from it), the space mode, and
+// the effective memory bound. Generation is deterministic in these
+// inputs at any worker count, so a cached *Space is interchangeable with
+// a fresh one.
+func specSpaceHash(spec *atf.Spec, maxSpaceBytes int64) string {
+	data, _ := json.Marshal(struct {
+		P []atf.ParamSpec `json:"p"`
+		C atf.CostSpec    `json:"c"`
+		M string          `json:"m"`
+		B int64           `json:"b"`
+	}{spec.Parameters, spec.Cost, spec.SpaceMode, maxSpaceBytes})
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:12])
+}
+
+// outcomeCache is the daemon-wide cost-outcome cache: a byte-budgeted LRU
+// keyed by (spec cost hash | configuration key) with in-flight
+// deduplication, so concurrent sessions tuning the same kernel neither
+// repeat each other's evaluations nor race to compute the same one.
+// Outcomes are deterministic in the key, which is what makes serving one
+// session's outcome to another bit-identical to recomputing it.
+type outcomeCache struct {
+	mu      sync.Mutex
+	entries map[string]*outcomeEntry
+	lru     *list.List // *outcomeEntry; front = most recently used
+	budget  int64
+	bytes   int64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type outcomeEntry struct {
+	key   string
+	elem  *list.Element
+	bytes int64 // 0 while the evaluation is in flight
+	done  chan struct{}
+	cost  core.Cost
+	err   error
+}
+
+func newOutcomeCache(budget int64) *outcomeCache {
+	return &outcomeCache{
+		entries: make(map[string]*outcomeEntry),
+		lru:     list.New(),
+		budget:  budget,
+	}
+}
+
+// getOrCompute returns the cached outcome for key, waiting on an in-flight
+// computation or running compute itself on a miss. Errors are cached too:
+// cost functions are deterministic, so a failed configuration fails for
+// every session.
+func (c *outcomeCache) getOrCompute(key string, compute func() (core.Cost, error)) (core.Cost, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		mCostCacheHits.Inc()
+		<-e.done
+		return e.cost, e.err
+	}
+	c.misses++
+	e := &outcomeEntry{key: key, done: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.mu.Unlock()
+	mCostCacheMisses.Inc()
+
+	e.cost, e.err = compute()
+
+	c.mu.Lock()
+	if c.entries[key] == e {
+		e.bytes = int64(len(key)) + int64(len(e.cost))*16 + 160
+		c.bytes += e.bytes
+		c.evictOverBudgetLocked()
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return e.cost, e.err
+}
+
+func (c *outcomeCache) evictOverBudgetLocked() {
+	if c.budget > 0 {
+		for elem := c.lru.Back(); elem != nil && c.bytes > c.budget; {
+			prev := elem.Prev()
+			e := elem.Value.(*outcomeEntry)
+			if e.bytes > 0 { // in-flight entries are never evicted
+				c.lru.Remove(elem)
+				delete(c.entries, e.key)
+				c.bytes -= e.bytes
+				c.evictions++
+				mCostCacheEvictions.Inc()
+			}
+			elem = prev
+		}
+	}
+	mCostCacheBytes.Set(c.bytes)
+}
+
+// stats snapshots the cache counters (tests, the load harness).
+func (c *outcomeCache) stats() (hits, misses, evictions uint64, bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.bytes, len(c.entries)
+}
+
+// spaceCache memoizes generated search spaces — and with them the lazy
+// census Size() pass — across sessions, keyed by specSpaceHash. Spaces
+// are immutable (or internally synchronized, for lazy slab expansion)
+// after generation, so one instance serves any number of concurrent
+// sessions. Bounded by entry count with LRU eviction; in-flight
+// generations are deduplicated so a burst of identical specs generates
+// once.
+type spaceCache struct {
+	mu      sync.Mutex
+	entries map[string]*spaceEntry
+	lru     *list.List // *spaceEntry
+	max     int
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type spaceEntry struct {
+	key   string
+	elem  *list.Element
+	done  chan struct{}
+	space *atf.Space
+	err   error
+}
+
+func newSpaceCache(maxEntries int) *spaceCache {
+	return &spaceCache{
+		entries: make(map[string]*spaceEntry),
+		lru:     list.New(),
+		max:     maxEntries,
+	}
+}
+
+// getOrGenerate returns the cached space for key, waiting on an in-flight
+// generation or running gen itself on a miss. Generation errors are NOT
+// cached: they can be transient (the memory bound), and a failed create
+// should not poison later retries.
+func (c *spaceCache) getOrGenerate(key string, gen func() (*atf.Space, error)) (*atf.Space, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		mSpaceCacheHits.Inc()
+		<-e.done
+		if e.err == nil {
+			return e.space, nil
+		}
+		// The generation this lookup latched onto failed; retry cold.
+		return gen()
+	}
+	c.misses++
+	e := &spaceEntry{key: key, done: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.mu.Unlock()
+	mSpaceCacheMisses.Inc()
+
+	e.space, e.err = gen()
+
+	c.mu.Lock()
+	if e.err != nil {
+		if c.entries[key] == e {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+		}
+	} else {
+		for c.max > 0 && len(c.entries) > c.max {
+			back := c.lru.Back()
+			if back == nil {
+				break
+			}
+			v := back.Value.(*spaceEntry)
+			if v == e {
+				break // never evict the entry just generated
+			}
+			c.lru.Remove(back)
+			delete(c.entries, v.key)
+			c.evictions++
+			mSpaceCacheEvictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return e.space, e.err
+}
+
+// stats snapshots the cache counters (tests).
+func (c *spaceCache) stats() (hits, misses, evictions uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, len(c.entries)
+}
+
+// slotCostFunction throttles cost evaluations through the manager-wide
+// eval-slot semaphore — the backpressure half of admission control. It
+// wraps the raw cost function, inside every cache layer, so replayed and
+// cached evaluations never consume a slot.
+type slotCostFunction struct {
+	inner core.CostFunction
+	slots chan struct{}
+}
+
+// Cost implements core.CostFunction.
+func (f *slotCostFunction) Cost(cfg *core.Config) (core.Cost, error) {
+	start := time.Now()
+	f.slots <- struct{}{}
+	mEvalSlotWait.Observe(time.Since(start).Seconds())
+	defer func() { <-f.slots }()
+	return f.inner.Cost(cfg)
+}
+
+// Clone implements core.CloneableCostFunction; clones share the semaphore.
+func (f *slotCostFunction) Clone() (core.CostFunction, error) {
+	cl, ok := f.inner.(core.CloneableCostFunction)
+	if !ok {
+		return f, nil
+	}
+	inner, err := cl.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &slotCostFunction{inner: inner, slots: f.slots}, nil
+}
+
+// sharedCostFunction consults the daemon-wide outcome cache before paying
+// the inner cost function. scope is the session's spec cost hash, so only
+// sessions with identical cost semantics share outcomes.
+type sharedCostFunction struct {
+	inner core.CostFunction
+	cache *outcomeCache
+	scope string
+}
+
+// Cost implements core.CostFunction.
+func (f *sharedCostFunction) Cost(cfg *core.Config) (core.Cost, error) {
+	return f.cache.getOrCompute(f.scope+"|"+cfg.Key(), func() (core.Cost, error) {
+		return f.inner.Cost(cfg)
+	})
+}
+
+// Clone implements core.CloneableCostFunction; clones share the cache.
+func (f *sharedCostFunction) Clone() (core.CostFunction, error) {
+	cl, ok := f.inner.(core.CloneableCostFunction)
+	if !ok {
+		return f, nil
+	}
+	inner, err := cl.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &sharedCostFunction{inner: inner, cache: f.cache, scope: f.scope}, nil
+}

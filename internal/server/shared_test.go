@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"atf"
+	"atf/internal/core"
+)
+
+// TestOutcomeCacheDedup: concurrent lookups of one key run the compute
+// function exactly once; everyone else waits on the in-flight entry.
+func TestOutcomeCacheDedup(t *testing.T) {
+	c := newOutcomeCache(-1)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cost, err := c.getOrCompute("k", func() (core.Cost, error) {
+				computes.Add(1)
+				return core.Cost{42}, nil
+			})
+			if err != nil || cost[0] != 42 {
+				t.Errorf("getOrCompute = %v, %v", cost, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	hits, misses, _, _, entries := c.stats()
+	if misses != 1 || hits != 15 || entries != 1 {
+		t.Fatalf("stats = %d hits / %d misses / %d entries, want 15/1/1", hits, misses, entries)
+	}
+}
+
+// TestOutcomeCacheEvictionBounded: the cache never holds more bytes than
+// its budget once computations settle, and eviction is LRU.
+func TestOutcomeCacheEvictionBounded(t *testing.T) {
+	const budget = 2048
+	c := newOutcomeCache(budget)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%02d", i)
+		if _, err := c.getOrCompute(key, func() (core.Cost, error) {
+			return core.Cost{float64(i)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, evictions, bytes, entries := c.stats()
+	if bytes > budget {
+		t.Fatalf("cache holds %d bytes over budget %d", bytes, budget)
+	}
+	if evictions == 0 {
+		t.Fatal("64 inserts into a tiny budget evicted nothing")
+	}
+	// The newest key must have survived; the oldest must not have.
+	if _, ok := c.entries["key-63"]; !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, ok := c.entries["key-00"]; ok && entries < 64 {
+		t.Fatal("oldest entry survived while others were evicted")
+	}
+}
+
+// TestSpaceCacheDedupAndEviction: concurrent generations of one key run
+// once; the entry bound evicts least-recently-used spaces.
+func TestSpaceCacheDedupAndEviction(t *testing.T) {
+	c := newSpaceCache(2)
+	var gens atomic.Int64
+	gen := func() (*atf.Space, error) {
+		gens.Add(1)
+		return atf.GenerateSpace(0, atf.TP("X", atf.Interval(1, 4)))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.getOrGenerate("a", gen); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := gens.Load(); n != 1 {
+		t.Fatalf("space generated %d times, want 1", n)
+	}
+	for _, key := range []string{"b", "c", "d"} {
+		if _, err := c.getOrGenerate(key, gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, _, evictions, entries := c.stats()
+	if entries > 2 {
+		t.Fatalf("cache holds %d spaces, bound is 2", entries)
+	}
+	if evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", evictions)
+	}
+	if hits != 7 {
+		t.Fatalf("hits = %d, want 7", hits)
+	}
+}
+
+// TestSlotCostFunctionBoundsConcurrency: the eval-slot semaphore caps
+// concurrent inner Cost calls at its capacity.
+func TestSlotCostFunctionBoundsConcurrency(t *testing.T) {
+	const cap = 2
+	var inflight, peak atomic.Int64
+	inner := costFuncFunc(func(cfg *core.Config) (core.Cost, error) {
+		n := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inflight.Add(-1)
+		return core.Cost{1}, nil
+	})
+	f := &slotCostFunction{inner: inner, slots: make(chan struct{}, cap)}
+	cfg := configOf(t, testSpec(t), 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.Cost(cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("%d evaluations in flight, slot cap is %d", p, cap)
+	}
+}
+
+// costFuncFunc adapts a function to core.CostFunction.
+type costFuncFunc func(cfg *core.Config) (core.Cost, error)
+
+func (f costFuncFunc) Cost(cfg *core.Config) (core.Cost, error) { return f(cfg) }
+
+// TestManagerAdmissionControl: past MaxSessions running sessions, Create
+// answers *OverloadedError without leaving a journal behind; a freed slot
+// admits again. Resume is exempt.
+func TestManagerAdmissionControl(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	m.MaxSessions = 1
+
+	s1, err := m.Create(parseResumeSpec(t)) // ~1ms per eval: runs long enough
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Create(parseResumeSpec(t))
+	var overloaded *OverloadedError
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("second create = %v, want OverloadedError", err)
+	}
+	if overloaded.Limit != 1 || overloaded.RetryAfter <= 0 {
+		t.Fatalf("OverloadedError = %+v", overloaded)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("rejected create left journals behind: %d files", len(files))
+	}
+
+	if err := m.Cancel(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Create(parseResumeSpec(t))
+	if err != nil {
+		t.Fatalf("create after a freed slot: %v", err)
+	}
+	m.Cancel(s2.ID)
+}
+
+// TestCreateSessionReturns429: the HTTP layer maps admission rejection to
+// 429 Too Many Requests with a Retry-After hint.
+func TestCreateSessionReturns429(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	m.MaxSessions = 1
+	srv := httptest.NewServer((&API{Manager: m}).Handler())
+	defer srv.Close()
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/sessions", "application/json",
+			bytes.NewReader([]byte(resumeSpecJSON)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1 := post()
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusCreated {
+		t.Fatalf("first create = %d", r1.StatusCode)
+	}
+	r2 := post()
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded create = %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}
+
+// TestManagerSharedCachesAcrossSessions: a second identical-spec session
+// draws its space from the space cache and its outcomes from the shared
+// cost cache, and still produces a bit-identical run.
+func TestManagerSharedCachesAcrossSessions(t *testing.T) {
+	spec, err := atf.ParseSpec([]byte(`{
+		"name": "warm",
+		"parameters": [
+			{"name": "X", "range": {"interval": {"begin": 1, "end": 48}}},
+			{"name": "Y", "range": {"interval": {"begin": 1, "end": 8}}}
+		],
+		"cost": {"kind": "expr", "expr": "(X - 31) * (X - 31) + Y"},
+		"technique": {"kind": "exhaustive"},
+		"abort": {"evaluations": 120},
+		"parallelism": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	m.SharedCostCacheBytes = 1 << 20
+	m.SpaceCacheEntries = 8
+	m.Pipeline = true
+
+	run := func() Status {
+		t.Helper()
+		s, err := m.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Wait()
+		st := s.Status()
+		if st.State != StateDone {
+			t.Fatalf("session ended %s (%s)", st.State, st.Error)
+		}
+		return st
+	}
+	st1 := run()
+	costHits0, _, _, _, _ := m.sharedCosts.stats()
+	spaceHits0, _, _, _ := m.spaces.stats()
+	st2 := run()
+	costHits1, _, _, _, _ := m.sharedCosts.stats()
+	spaceHits1, _, _, _ := m.spaces.stats()
+
+	if costHits1 <= costHits0 {
+		t.Error("second identical-spec session hit the shared cost cache zero times")
+	}
+	if spaceHits1 != spaceHits0+1 {
+		t.Errorf("space cache hits went %d -> %d, want +1", spaceHits0, spaceHits1)
+	}
+	if st1.Evaluations != st2.Evaluations || !st1.Best.Equal(st2.Best) ||
+		st1.BestCost.String() != st2.BestCost.String() {
+		t.Errorf("warm session differs: %v/%v vs %v/%v",
+			st1.Best, st1.BestCost, st2.Best, st2.BestCost)
+	}
+}
