@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race doccheck check fmt bench e2e-dist e2e-load
+.PHONY: all build vet test race doccheck check fmt bench benchgate e2e-dist e2e-load e2e-state
+
+# The benchmark suite `make bench` records and `make benchgate` gates on.
+BENCHES = BenchmarkGenerateSpace|BenchmarkExploreParallel|BenchmarkKernelInterpreter|BenchmarkExhaustiveSweep
 
 all: check
 
@@ -37,12 +40,18 @@ e2e-dist: build
 e2e-load: build
 	sh scripts/e2e-load.sh
 
+# e2e-state kills and restarts a real atfd on one -state-dir and asserts
+# via /metrics that the warm session recounts no census and recompiles no
+# kernel (scripts/e2e-state.sh).
+e2e-state: build
+	sh scripts/e2e-state.sh
+
 # doccheck enforces usable godoc: go vet's doc diagnostics plus a package
 # comment on every package (scripts/doccheck.sh).
 doccheck: vet
 	sh scripts/doccheck.sh
 
-check: doccheck build test race e2e-load
+check: doccheck build test race e2e-load benchgate
 
 # bench runs the space-generation benchmark (memo on/off × workers), the
 # exploration benches, and the kernel-interpreter engine comparison
@@ -54,8 +63,18 @@ check: doccheck build test race e2e-load
 #   scripts/benchdiff.sh old-bench.json results/bench.json
 bench:
 	@mkdir -p results
-	$(GO) test -run '^$$' -bench 'BenchmarkGenerateSpace|BenchmarkExploreParallel|BenchmarkKernelInterpreter' -count=5 . | tee results/bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -count=5 . | tee results/bench.txt
 	@sh scripts/bench2json.sh results/bench.txt > results/bench.json
+
+# benchgate is the performance regression gate (part of `make check`): a
+# fresh -count=3 run of the bench suite diffed against the committed
+# results/bench.json; any benchmark more than 25% slower fails the build.
+# After an intentional perf change, re-baseline with `make bench` and
+# commit the refreshed results/.
+benchgate:
+	@tmp=$$(mktemp) && trap 'rm -f $$tmp' EXIT && \
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -count=3 . > $$tmp && \
+	sh scripts/benchdiff.sh -gate 25 results/bench.json $$tmp
 
 fmt:
 	gofmt -w .

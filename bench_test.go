@@ -464,6 +464,47 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExhaustiveSweep measures streaming slab iteration against the
+// point-by-point At(i) decode it replaced in the exhaustive technique, on
+// the capped XgemmDirect space (ISSUE 10 target: sweep ≥3× at). Both
+// sub-benches walk the identical full configuration sequence; the sweep
+// amortizes the root-to-leaf descent across each chunk and overlaps the
+// next chunk's decode with the consumer.
+func BenchmarkExhaustiveSweep(b *testing.B) {
+	params := clblast.XgemmDirectParams(clblast.SpaceOptions{RangeCap: 16})
+	sp, err := core.GenerateFlat(params, core.GenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := sp.Size()
+	b.Run("at", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for idx := uint64(0); idx < size; idx++ {
+				_ = sp.At(idx)
+			}
+		}
+		b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sw := sp.Sweep(0, core.SweepOptions{Prefetch: true})
+			n := uint64(0)
+			for {
+				chunk := sw.NextChunk(256)
+				if chunk == nil {
+					break
+				}
+				n += uint64(len(chunk))
+			}
+			sw.Close()
+			if n != size {
+				b.Fatalf("sweep yielded %d configs, want %d", n, size)
+			}
+		}
+		b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+	})
+}
+
 // BenchmarkOclcCompileCache measures the compiled-program cache: a cold
 // compile pays the preprocess+lex+parse pipeline, a cached one returns the
 // shared immutable Program.

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime, interp, vec, lazyspace")
+		"experiment: all, fig2cpu, fig2gpu, spacegen, sizes, relaxed, otvalid, defaults, groups, gentime, interp, vec, lazyspace, sweep")
 	cap := flag.Int64("cap", 64, "XgemmDirect integer range cap")
 	sizeCaps := flag.String("sizecaps", "16,64,256",
 		"comma-separated range caps for the E4 size census (1024 reproduces the paper's 2^10 setting; allow a few minutes)")
@@ -173,6 +173,22 @@ func main() {
 			}
 		}
 		emit(harness.LazySpaceTable(rs))
+	}
+	if want("sweep") {
+		// E15: streaming sweep vs At(i) full walks, plus the census
+		// warm-start on the lazy row.
+		var rs []*harness.SweepResult
+		for _, cell := range []struct {
+			cap  int64
+			lazy bool
+		}{{16, false}, {32, false}, {1024, true}} {
+			r, err := harness.SweepWalk(cell.cap, cell.lazy, 0)
+			if err != nil {
+				fail(err)
+			}
+			rs = append(rs, r)
+		}
+		emit(harness.SweepTable(rs))
 	}
 	if want("interp") {
 		r, err := harness.Interp("Xeon", *interpEvals, opts)

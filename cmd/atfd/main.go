@@ -76,6 +76,12 @@ func main() {
 		"backpressure: max concurrent cost evaluations across all sessions; 0 = unlimited")
 	rotateBytes := flag.Int64("journal-rotate-bytes", 64<<20,
 		"rotate a session journal into numbered segments past this size; 0 never rotates")
+	journalCompact := flag.Bool("journal-compact", false,
+		"rewrite rotated journal segments down to their deduplicated outcome maps")
+	stateDir := flag.String("state-dir", "",
+		"persistent warm-start directory (lazy-space censuses, cost outcomes, compiled kernels); empty disables")
+	stateSync := flag.Duration("state-sync", 30*time.Second,
+		"how often the warm-start state flushes to -state-dir; 0 only saves at shutdown")
 	pipeline := flag.Bool("pipeline", true,
 		"overlap batch dispatch with result merging for cost-oblivious techniques (exhaustive, random)")
 	flag.Parse()
@@ -103,7 +109,16 @@ func main() {
 	m.MaxSessions = *maxSessions
 	m.MaxEvalsInFlight = *maxInflightEvals
 	m.RotateBytes = *rotateBytes
+	m.CompactSegments = *journalCompact
 	m.Pipeline = *pipeline
+	if *stateDir != "" {
+		// Load the warm-start store before Resume so resumed sessions see
+		// the restored censuses, outcomes and compiled kernels.
+		if err := m.OpenState(*stateDir, *stateSync); err != nil {
+			fail(err)
+		}
+		fmt.Printf("atfd: warm-start state in %s\n", *stateDir)
+	}
 	var coordinator *dist.Fleet
 	if *fleet {
 		// The evaluator factory must be in place before Resume so resumed

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Census persistence: the counting pass of a lazy space (lazy.go) takes
+// seconds on 10^19-range spaces, yet its result — the footprint-keyed
+// census memo plus the per-group totals — is a pure function of the
+// parameter specification. CensusSnapshot serializes that result;
+// GenOptions.Census replays it into a later generation of the same
+// specification, which then skips the counting pass entirely (a warm atfd
+// restart sizes the space in microseconds). Restored entries prefill the
+// same countTable consulted by slab expansion, and because a sealed lazy
+// tree recomputes any *missing* table entry on demand, a truncated or
+// partial snapshot degrades to extra counting work, never to wrong answers.
+//
+// The snapshot carries a per-group signature (parameter names and raw range
+// lengths) as a guard against gross mismatches, but the real cache key is
+// the caller's: atfd keys persisted censuses by the spec space hash, so a
+// changed constraint invalidates the entry before this code ever sees it.
+
+// censusVersion is the snapshot format version; a mismatch discards the
+// snapshot (cold generation, never an error).
+const censusVersion = 1
+
+// censusEntry is one memoized subtree census: the memo key and the entry's
+// completion count, logical vertex count, and block width.
+type censusEntry struct {
+	K []byte `json:"k"`
+	C uint64 `json:"c"`
+	V uint64 `json:"v"`
+	W uint64 `json:"w"`
+}
+
+// censusGroup is the persisted census of one lazy group.
+type censusGroup struct {
+	Sig     string        `json:"sig"`
+	Total   uint64        `json:"total"`
+	Checks  uint64        `json:"checks"`
+	Hits    uint64        `json:"hits"`
+	Misses  uint64        `json:"misses"`
+	Logical uint64        `json:"logical"`
+	Unique  uint64        `json:"unique"`
+	Entries []censusEntry `json:"entries"`
+}
+
+// censusSnapshot is the on-disk census of a space's lazy groups.
+type censusSnapshot struct {
+	Version int           `json:"version"`
+	Groups  []censusGroup `json:"groups"`
+}
+
+// censusSig identifies a group's raw enumeration shape: parameter names and
+// range lengths in declaration order. Constraint changes that keep the
+// shape are not detectable here — callers persisting censuses must key them
+// by a hash of the full specification.
+func censusSig(params []*Param) string {
+	var b strings.Builder
+	for _, p := range params {
+		fmt.Fprintf(&b, "%s:%d;", p.Name, p.Range.Len())
+	}
+	return b.String()
+}
+
+// CensusSnapshot serializes the census memos of the space's lazy groups for
+// GenOptions.Census replay. ok is false when the space has no lazy groups
+// (eager arenas need no warm-start). Safe to call concurrently with lookups
+// on the space; entries still in flight at snapshot time are skipped.
+func (s *Space) CensusSnapshot() (data []byte, ok bool) {
+	snap := censusSnapshot{Version: censusVersion}
+	for _, t := range s.trees {
+		lt := t.lazy
+		if lt == nil || !lt.sealed {
+			continue
+		}
+		g := censusGroup{
+			Sig:     censusSig(lt.params),
+			Total:   lt.total,
+			Checks:  t.checks,
+			Hits:    t.memoHits,
+			Misses:  t.memoMisses,
+			Logical: t.logicalNodes,
+			Unique:  t.uniqueNodes,
+		}
+		for i := range lt.counts.shards {
+			sh := &lt.counts.shards[i]
+			sh.mu.Lock()
+			for k, e := range sh.m {
+				if e.ready.Load() != 1 || e.panicked != nil {
+					continue
+				}
+				g.Entries = append(g.Entries, censusEntry{
+					K: []byte(k), C: e.count, V: e.vertices, W: e.width,
+				})
+			}
+			sh.mu.Unlock()
+		}
+		sort.Slice(g.Entries, func(i, j int) bool {
+			return string(g.Entries[i].K) < string(g.Entries[j].K)
+		})
+		snap.Groups = append(snap.Groups, g)
+	}
+	if len(snap.Groups) == 0 {
+		return nil, false
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// decodeCensus parses a snapshot into a signature-keyed group map. Any
+// decoding problem yields nil — generation falls back to counting.
+func decodeCensus(data []byte) map[string]*censusGroup {
+	if len(data) == 0 {
+		return nil
+	}
+	var snap censusSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil || snap.Version != censusVersion {
+		return nil
+	}
+	m := make(map[string]*censusGroup, len(snap.Groups))
+	for i := range snap.Groups {
+		g := &snap.Groups[i]
+		m[g.Sig] = g
+	}
+	return m
+}
+
+// restoreCensus replays a persisted group census into a freshly constructed
+// lazy tree: the memo table is prefilled with completed entries and the
+// tree is sealed with the persisted totals, so no counting pass runs.
+func restoreCensus(t *Tree, lt *lazyTree, g *censusGroup) {
+	for i := range g.Entries {
+		en := &g.Entries[i]
+		e, sh, existed := lt.counts.lookup(en.K)
+		if existed {
+			continue
+		}
+		e.count, e.vertices, e.width = en.C, en.V, en.W
+		sh.complete(e)
+	}
+	lt.total = g.Total
+	lt.sealed = true
+	t.total = g.Total
+	t.checks = g.Checks
+	t.memoHits = g.Hits
+	t.memoMisses = g.Misses
+	t.logicalNodes = g.Logical
+	t.uniqueNodes = g.Unique
+	mCensusRestored.Inc()
+}

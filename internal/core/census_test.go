@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestCensusRoundTrip: a generation warm-started from a persisted census
+// must skip the counting pass (zero census runs) yet answer Size, At,
+// IndexOf, and full sweeps identically to the cold generation.
+func TestCensusRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		params func() []*Param
+	}{
+		{"chain", lazyChainParams},
+		{"nodeps", lazyNoDepsParams},
+		{"inexact", lazyInexactParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cold, err := GenerateFlat(tc.params(), GenOptions{Mode: SpaceLazy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, ok := cold.CensusSnapshot()
+			if !ok || len(snap) == 0 {
+				t.Fatal("lazy space produced no census snapshot")
+			}
+			runsBefore := mCensusRuns.Value()
+			restoredBefore := mCensusRestored.Value()
+			warm, err := GenerateFlat(tc.params(), GenOptions{Mode: SpaceLazy, Census: snap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mCensusRuns.Value() - runsBefore; got != 0 {
+				t.Errorf("warm generation ran %d counting passes, want 0", got)
+			}
+			if got := mCensusRestored.Value() - restoredBefore; got != 1 {
+				t.Errorf("warm generation restored %d censuses, want 1", got)
+			}
+			if warm.Size() != cold.Size() {
+				t.Fatalf("warm Size = %d, want %d", warm.Size(), cold.Size())
+			}
+			if warm.Checks() != cold.Checks() {
+				t.Errorf("warm Checks = %d, want %d (restored statistics)", warm.Checks(), cold.Checks())
+			}
+			wl, wu := warm.NodeCounts()
+			cl, cu := cold.NodeCounts()
+			if wl != cl || wu != cu {
+				t.Errorf("warm nodes %d/%d, want %d/%d", wl, wu, cl, cu)
+			}
+			for idx := uint64(0); idx < cold.Size(); idx++ {
+				want := cold.At(idx)
+				got := warm.At(idx)
+				if !got.Equal(want) {
+					t.Fatalf("warm At(%d) = %v, want %v", idx, got, want)
+				}
+				if ri, ok := warm.IndexOf(got); !ok || ri != idx {
+					t.Fatalf("warm IndexOf(At(%d)) = %d,%v", idx, ri, ok)
+				}
+			}
+			got := sweepCollect(warm.Sweep(0, SweepOptions{Prefetch: true}), 32)
+			if uint64(len(got)) != cold.Size() {
+				t.Fatalf("warm sweep emitted %d configs, want %d", len(got), cold.Size())
+			}
+			for i, k := range got {
+				if want := cold.At(uint64(i)).Key(); k != want {
+					t.Fatalf("warm sweep config %d = %q, want %q", i, k, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCensusRejectsMismatch: snapshots that are corrupt, wrong-versioned,
+// or from a different parameter shape are ignored — generation falls back
+// to a cold counting pass with correct results.
+func TestCensusRejectsMismatch(t *testing.T) {
+	cold, err := GenerateFlat(lazyChainParams(), GenOptions{Mode: SpaceLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := cold.CensusSnapshot()
+	bad := [][]byte{
+		[]byte("not json"),
+		[]byte(`{"version":99,"groups":[]}`),
+		snap[:len(snap)/3], // truncated mid-document
+	}
+	for i, b := range bad {
+		sp, err := GenerateFlat(lazyChainParams(), GenOptions{Mode: SpaceLazy, Census: b})
+		if err != nil {
+			t.Fatalf("bad snapshot %d: %v", i, err)
+		}
+		if sp.Size() != cold.Size() {
+			t.Fatalf("bad snapshot %d: Size = %d, want %d", i, sp.Size(), cold.Size())
+		}
+	}
+	// A different shape must not match the embedded signature.
+	other, err := GenerateFlat(lazyNoDepsParams(), GenOptions{Mode: SpaceLazy, Census: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := GenerateFlat(lazyNoDepsParams(), GenOptions{Mode: SpaceLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Size() != ref.Size() {
+		t.Fatalf("foreign snapshot corrupted generation: Size = %d, want %d", other.Size(), ref.Size())
+	}
+}
+
+// TestCensusEagerSpacesSnapshotNothing: fully eager spaces have no census
+// to persist.
+func TestCensusEagerSpacesSnapshotNothing(t *testing.T) {
+	sp, err := GenerateFlat(lazyChainParams(), GenOptions{Mode: SpaceEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, ok := sp.CensusSnapshot(); ok || snap != nil {
+		t.Fatal("eager space produced a census snapshot")
+	}
+}

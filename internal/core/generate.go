@@ -46,10 +46,20 @@ type GenOptions struct {
 	// LazyThreshold overrides the SpaceAuto raw-range-product switchover
 	// (0 means DefaultLazyThreshold).
 	LazyThreshold uint64
+	// Census replays a persisted census snapshot (Space.CensusSnapshot) of
+	// an earlier generation of the same specification: lazy groups whose
+	// signature matches skip the counting pass entirely. An unusable
+	// snapshot (wrong version, different shape, corrupt) is ignored and
+	// generation counts as usual. Callers are responsible for keying
+	// snapshots by the full specification — the embedded signature only
+	// guards the raw enumeration shape, not constraint semantics.
+	Census []byte
 	// slabs, when set by GenerateSpace, is the slab cache shared by all
 	// lazy groups of one space so MaxArenaBytes bounds the space, not each
 	// group separately.
 	slabs *slabCache
+	// census is Census decoded once per GenerateSpace call.
+	census map[string]*censusGroup
 }
 
 // groupBuilder holds the state shared by the workers generating one group.
@@ -311,6 +321,10 @@ func GenerateSpace(groups []*Group, opts GenOptions) (*Space, error) {
 			names = append(names, p.Name)
 			params = append(params, p)
 		}
+	}
+
+	if opts.census == nil {
+		opts.census = decodeCensus(opts.Census)
 	}
 
 	// One slab cache per space: when any group constructs lazily, all lazy

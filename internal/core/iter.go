@@ -1,0 +1,373 @@
+package core
+
+import "fmt"
+
+// Streaming slab iteration (ROADMAP item 2 follow-up): exhaustive sweeps
+// used to fetch configurations one At(i) at a time — every call re-descends
+// each group trie from the root (binary searches over prefix sums on the
+// eager arena, slab-cache lookups on the lazy representation) and allocates
+// a fresh Config with its own name index. A Sweep instead keeps one cursor
+// per group holding the full root-to-leaf path — sibling-block bounds and
+// the position within each block — so stepping to the next configuration is
+// an increment at the deepest non-exhausted level plus a leftmost re-descent
+// below it. Dead prefixes are pruned by generation in both representations
+// (every stored node has at least one leaf beneath it), which is what makes
+// the leftmost descent unconditionally valid. On lazy trees the cursor
+// additionally pins the slabs along its path: an expanded block stays
+// reachable through the cursor even after the byte-budgeted LRU evicts it,
+// so a sweep never re-expands the block it is currently walking no matter
+// how small the budget is.
+//
+// The enumeration order is exactly At(0), At(1), ... — the cursors advance
+// in the same mixed-radix order Space.At decodes (first group slowest) and
+// emit clones of one scratch configuration, so an exhaustive exploration
+// over a Sweep is bit-identical to the index-loop path at any worker count.
+//
+// NextChunk optionally overlaps production of the next chunk with the
+// caller's evaluation of the current one (SweepOptions.Prefetch): at most
+// one producer goroutine is in flight, hand-off happens through a buffered
+// channel (which also publishes the cursor state back to the consumer), and
+// Close drains the in-flight chunk so no goroutine leaks.
+
+// SweepOptions configures a streaming sweep.
+type SweepOptions struct {
+	// Prefetch overlaps production of the next chunk with the caller's
+	// processing of the current one. Safe for any single-consumer use;
+	// exploration enables it so slab expansion of batch k+1 hides behind
+	// the cost evaluations of batch k.
+	Prefetch bool
+}
+
+// Sweep is a resumable streaming cursor over a Space's configurations in
+// index order. It is single-consumer: NextChunk and Close must not be
+// called concurrently. Close must be called when the sweep is abandoned
+// before exhaustion and Prefetch is on.
+type Sweep struct {
+	sp      *Space
+	next    uint64 // index of the next configuration to emit
+	size    uint64
+	curs    []groupCursor
+	scratch *Config
+	primed  bool
+
+	prefetch bool
+	pre      chan sweepChunk
+	inflight bool
+	closed   bool
+	buf      []*Config // prefetched configurations not yet handed out
+}
+
+// sweepChunk is one prefetched chunk hand-off; panicked carries a producer
+// panic to be re-raised on the consumer.
+type sweepChunk struct {
+	cfgs     []*Config
+	panicked any
+}
+
+// groupCursor holds the current root-to-leaf path through one group trie.
+// Exactly one of the eager (pos/lo/hi) or lazy (slabs/spos) path states is
+// used, matching the tree's representation.
+type groupCursor struct {
+	t      *Tree
+	offset int // first parameter position of this group in the space
+	// Eager arena path: at depth d the cursor sits on node pos[d] of the
+	// sibling block [lo[d], hi[d]) of t.lv[d].
+	pos, lo, hi []uint32
+	// Lazy path: at depth d the cursor sits on entry spos[d] of slabs[d].
+	// Holding the *slab pins it against LRU eviction for the cursor's
+	// lifetime on this path.
+	slabs  []*slab
+	spos   []int
+	keybuf []byte
+}
+
+// Sweep returns a streaming cursor positioned at configuration index start
+// (the first NextChunk emits At(start), At(start+1), ...). start == Size()
+// yields an immediately exhausted sweep; larger values panic.
+func (s *Space) Sweep(start uint64, opts SweepOptions) *Sweep {
+	if start > s.size {
+		panic(fmt.Sprintf("core: sweep start %d out of range (size %d)", start, s.size))
+	}
+	sw := &Sweep{
+		sp:       s,
+		next:     start,
+		size:     s.size,
+		scratch:  NewConfig(s.names),
+		prefetch: opts.Prefetch,
+	}
+	if opts.Prefetch {
+		sw.pre = make(chan sweepChunk, 1)
+	}
+	offset := 0
+	for _, t := range s.trees {
+		c := groupCursor{t: t, offset: offset}
+		depth := len(t.params)
+		if t.lazy != nil {
+			c.slabs = make([]*slab, depth)
+			c.spos = make([]int, depth)
+		} else {
+			c.pos = make([]uint32, depth)
+			c.lo = make([]uint32, depth)
+			c.hi = make([]uint32, depth)
+		}
+		sw.curs = append(sw.curs, c)
+		offset += depth
+	}
+	return sw
+}
+
+// Position returns the index of the next configuration the sweep will emit.
+func (sw *Sweep) Position() uint64 {
+	if sw.inflight {
+		// The producer goroutine owns the cursor; the last published state
+		// is the buffered chunk boundary, which the consumer cannot know
+		// without draining. Positions are only meaningful between chunks.
+		panic("core: Sweep.Position called with a prefetch in flight")
+	}
+	return sw.next - uint64(len(sw.buf))
+}
+
+// NextChunk returns the next n configurations in index order, fewer when
+// the space is exhausted mid-chunk, and nil once (or if) it is exhausted.
+// The returned configurations are independent clones, safe to retain and to
+// evaluate concurrently.
+func (sw *Sweep) NextChunk(n int) []*Config {
+	if n <= 0 || sw.closed {
+		return nil
+	}
+	out := make([]*Config, 0, n)
+	if len(sw.buf) > 0 {
+		k := n
+		if k > len(sw.buf) {
+			k = len(sw.buf)
+		}
+		out = append(out, sw.buf[:k]...)
+		sw.buf = sw.buf[k:]
+	}
+	if len(out) < n && sw.inflight {
+		ck := <-sw.pre
+		sw.inflight = false
+		if ck.panicked != nil {
+			panic(ck.panicked)
+		}
+		mIterPrefetched.Inc()
+		sw.buf = ck.cfgs
+		k := n - len(out)
+		if k > len(sw.buf) {
+			k = len(sw.buf)
+		}
+		out = append(out, sw.buf[:k]...)
+		sw.buf = sw.buf[k:]
+	}
+	if len(out) < n {
+		out = sw.produce(out, n)
+	}
+	if sw.prefetch && !sw.inflight && len(sw.buf) == 0 && sw.next < sw.size {
+		sw.inflight = true
+		go func() {
+			var ck sweepChunk
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						ck.panicked = r
+					}
+				}()
+				ck.cfgs = sw.produce(make([]*Config, 0, n), n)
+			}()
+			sw.pre <- ck
+		}()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	mIterChunks.Inc()
+	mIterConfigs.Add(uint64(len(out)))
+	return out
+}
+
+// Close releases the sweep, draining any in-flight prefetch. Idempotent.
+// A producer panic held by the drained chunk is swallowed — the caller is
+// abandoning the sweep and the panic already failed to reach anyone.
+func (sw *Sweep) Close() {
+	if sw.closed {
+		return
+	}
+	sw.closed = true
+	sw.buf = nil
+	if sw.inflight {
+		<-sw.pre
+		sw.inflight = false
+	}
+}
+
+// produce appends up to n-len(out) configurations to out by walking the
+// cursors. Runs on the consumer or on the single prefetch goroutine, never
+// both at once (NextChunk drains the in-flight chunk before producing).
+func (sw *Sweep) produce(out []*Config, n int) []*Config {
+	for len(out) < n && sw.next < sw.size {
+		if !sw.primed {
+			sw.prime()
+			sw.primed = true
+		} else {
+			sw.advance()
+		}
+		out = append(out, sw.scratch.Clone())
+		sw.next++
+	}
+	return out
+}
+
+// prime seeks every group cursor to the decomposition of sw.next, writing
+// the configuration into the scratch. The mixed-radix decomposition matches
+// Space.At: the first group varies slowest.
+func (sw *Sweep) prime() {
+	subs := make([]uint64, len(sw.curs))
+	idx := sw.next
+	for i := len(sw.curs) - 1; i >= 0; i-- {
+		t := sw.curs[i].t
+		subs[i] = idx % t.total
+		idx /= t.total
+	}
+	// Seeks run in declaration order because Config.set truncates the
+	// filled watermark: each group writes strictly increasing positions.
+	for i := range sw.curs {
+		sw.curs[i].seek(subs[i], sw.scratch)
+	}
+}
+
+// advance steps the cursors to the next configuration: the last group moves
+// fastest; a group that exhausts wraps to its first configuration and the
+// previous group advances. sw.next < sw.size guarantees some group can move.
+func (sw *Sweep) advance() {
+	for i := len(sw.curs) - 1; i >= 0; i-- {
+		if sw.curs[i].advance(sw.scratch) {
+			for j := i + 1; j < len(sw.curs); j++ {
+				sw.curs[j].seek(0, sw.scratch)
+			}
+			return
+		}
+	}
+	panic("core: sweep advanced past the end of the space")
+}
+
+// seek positions the cursor on in-group index sub, writing the group's
+// values into cfg. One full root-to-leaf descent.
+func (c *groupCursor) seek(sub uint64, cfg *Config) {
+	mIterDescents.Inc()
+	if c.t.lazy != nil {
+		c.seekLazy(sub, cfg)
+		return
+	}
+	t := c.t
+	if sub >= t.total {
+		panic("core: sweep cursor index out of range")
+	}
+	lo, hi := uint32(0), t.rootN
+	last := len(t.lv) - 1
+	for d := 0; d < last; d++ {
+		lv := &t.lv[d]
+		c.lo[d], c.hi[d] = lo, hi
+		a, b := lo, hi
+		for b-a > 1 {
+			mid := a + (b-a)/2
+			if lv.cum[mid] <= sub {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		c.pos[d] = a
+		cfg.set(c.offset+d, lv.vals[a])
+		sub -= lv.cum[a]
+		lo, hi = lv.childLo[a], lv.childHi[a]
+	}
+	c.lo[last], c.hi[last] = lo, hi
+	c.pos[last] = lo + uint32(sub)
+	cfg.set(c.offset+last, t.lv[last].vals[c.pos[last]])
+}
+
+// seekLazy is seek over the lazy representation, expanding (or fetching
+// from the slab cache) exactly the blocks on the path and pinning them.
+func (c *groupCursor) seekLazy(sub uint64, cfg *Config) {
+	lt := c.t.lazy
+	if sub >= lt.total {
+		panic("core: sweep cursor index out of range")
+	}
+	last := len(lt.params) - 1
+	for d := 0; d <= last; d++ {
+		var s *slab
+		s, c.keybuf = lt.slabFor(d, cfg, c.offset, c.keybuf)
+		c.slabs[d] = s
+		if d == last {
+			c.spos[d] = int(sub)
+			cfg.set(c.offset+d, s.vals[sub])
+			return
+		}
+		a, b := 0, len(s.vals)
+		for b-a > 1 {
+			mid := a + (b-a)/2
+			if s.cum[mid] <= sub {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		c.spos[d] = a
+		cfg.set(c.offset+d, s.vals[a])
+		sub -= s.cum[a]
+	}
+}
+
+// advance steps the cursor to the group's next configuration, or reports
+// exhaustion. The deepest level whose sibling block still has entries to
+// the right advances by one; everything below re-descends leftmost, which
+// is always valid because generation prunes dead prefixes.
+func (c *groupCursor) advance(cfg *Config) bool {
+	if c.t.lazy != nil {
+		return c.advanceLazy(cfg)
+	}
+	t := c.t
+	last := len(t.lv) - 1
+	d := last
+	for d >= 0 && c.pos[d]+1 >= c.hi[d] {
+		d--
+	}
+	if d < 0 {
+		return false
+	}
+	c.pos[d]++
+	cfg.set(c.offset+d, t.lv[d].vals[c.pos[d]])
+	for ; d < last; d++ {
+		lo, hi := t.lv[d].childLo[c.pos[d]], t.lv[d].childHi[c.pos[d]]
+		c.lo[d+1], c.hi[d+1] = lo, hi
+		c.pos[d+1] = lo
+		cfg.set(c.offset+d+1, t.lv[d+1].vals[lo])
+	}
+	return true
+}
+
+// advanceLazy is advance over the lazy representation. Stepping within the
+// pinned slabs is allocation- and lock-free; only the re-descent below the
+// advanced level touches the slab cache (and each such block is usually
+// already resident).
+func (c *groupCursor) advanceLazy(cfg *Config) bool {
+	lt := c.t.lazy
+	last := len(lt.params) - 1
+	d := last
+	for d >= 0 && c.spos[d]+1 >= len(c.slabs[d].vals) {
+		d--
+	}
+	if d < 0 {
+		return false
+	}
+	c.spos[d]++
+	cfg.set(c.offset+d, c.slabs[d].vals[c.spos[d]])
+	for dd := d + 1; dd <= last; dd++ {
+		var s *slab
+		s, c.keybuf = lt.slabFor(dd, cfg, c.offset, c.keybuf)
+		c.slabs[dd] = s
+		c.spos[dd] = 0
+		cfg.set(c.offset+dd, s.vals[0])
+	}
+	return true
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sweepCollect drains a sweep through NextChunk(chunk) and returns the
+// cache keys of every emitted configuration in order.
+func sweepCollect(sw *Sweep, chunk int) []string {
+	defer sw.Close()
+	var keys []string
+	for {
+		batch := sw.NextChunk(chunk)
+		if len(batch) == 0 {
+			return keys
+		}
+		for _, cfg := range batch {
+			keys = append(keys, cfg.Key())
+		}
+	}
+}
+
+// TestSweepMatchesAt is the tentpole differential property of streaming
+// iteration: a Sweep must emit exactly At(start), At(start+1), ... for any
+// start offset, chunk size, prefetch setting, and representation (eager
+// arena, lazy with and without eviction pressure) — the exhaustive
+// technique's bit-identical journals ride on this.
+func TestSweepMatchesAt(t *testing.T) {
+	cases := []struct {
+		name   string
+		params func() []*Param
+		tiny   int64
+	}{
+		{"chain", lazyChainParams, 4096},
+		{"nodeps", lazyNoDepsParams, 768},
+		{"inexact", lazyInexactParams, 2048},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			modes := []struct {
+				label string
+				opts  GenOptions
+			}{
+				{"eager", GenOptions{Mode: SpaceEager}},
+				{"lazy", GenOptions{Mode: SpaceLazy}},
+				{"lazy-tiny", GenOptions{Mode: SpaceLazy, MaxArenaBytes: tc.tiny}},
+			}
+			eager, err := GenerateFlat(tc.params(), GenOptions{Mode: SpaceEager})
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := eager.Size()
+			want := make([]string, size)
+			for i := uint64(0); i < size; i++ {
+				want[i] = eager.At(i).Key()
+			}
+			starts := []uint64{0, 1, size / 2, size - 1, size}
+			for _, m := range modes {
+				sp, err := GenerateFlat(tc.params(), m.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, chunk := range []int{1, 7, 64} {
+					for _, prefetch := range []bool{false, true} {
+						for _, start := range starts {
+							label := fmt.Sprintf("%s chunk=%d prefetch=%v start=%d",
+								m.label, chunk, prefetch, start)
+							got := sweepCollect(sp.Sweep(start, SweepOptions{Prefetch: prefetch}), chunk)
+							if uint64(len(got)) != size-start {
+								t.Fatalf("%s: emitted %d configs, want %d", label, len(got), size-start)
+							}
+							for i, k := range got {
+								if k != want[start+uint64(i)] {
+									t.Fatalf("%s: config %d = %q, want %q (At order violated)",
+										label, i, k, want[start+uint64(i)])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepMultiGroup covers the mixed-radix carry: advancing across group
+// boundaries (last group wraps, earlier group steps, later cursors reset)
+// must preserve At order on a multi-group space with lazy groups sharing
+// one evicting slab cache.
+func TestSweepMultiGroup(t *testing.T) {
+	groups := []*Group{
+		G(lazyChainParams()...),
+		G(
+			NewParam("X", NewInterval(1, 32)),
+			NewParam("Y", NewInterval(1, 32), Divides(Ref("X"))),
+		),
+	}
+	for _, opts := range []GenOptions{
+		{Mode: SpaceEager},
+		{Mode: SpaceLazy, MaxArenaBytes: 8192},
+	} {
+		sp, err := GenerateSpace(groups, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := GenerateSpace(groups, GenOptions{Mode: SpaceEager})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sweepCollect(sp.Sweep(0, SweepOptions{Prefetch: true}), 33)
+		if uint64(len(got)) != ref.Size() {
+			t.Fatalf("emitted %d configs, want %d", len(got), ref.Size())
+		}
+		for i, k := range got {
+			if want := ref.At(uint64(i)).Key(); k != want {
+				t.Fatalf("config %d = %q, want %q", i, k, want)
+			}
+		}
+	}
+}
+
+// TestSweepEmittedConfigsIndependent: chunk configurations are clones — a
+// later advance must not mutate earlier emissions, and emitted configs must
+// round-trip through IndexOf at their sweep index.
+func TestSweepEmittedConfigsIndependent(t *testing.T) {
+	sp, err := GenerateFlat(lazyChainParams(), GenOptions{Mode: SpaceLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sp.Sweep(0, SweepOptions{})
+	defer sw.Close()
+	var all []*Config
+	for {
+		batch := sw.NextChunk(16)
+		if len(batch) == 0 {
+			break
+		}
+		all = append(all, batch...)
+	}
+	for i, cfg := range all {
+		if idx, ok := sp.IndexOf(cfg); !ok || idx != uint64(i) {
+			t.Fatalf("IndexOf(config %d) = %d,%v", i, idx, ok)
+		}
+	}
+}
+
+// TestSweepCloseMidStream: abandoning a prefetching sweep mid-stream must
+// not leak its producer goroutine or panic (Close drains the in-flight
+// chunk; exercised under -race by the regular suite).
+func TestSweepCloseMidStream(t *testing.T) {
+	sp, err := GenerateFlat(lazyChainParams(), GenOptions{Mode: SpaceLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sw := sp.Sweep(0, SweepOptions{Prefetch: true})
+		sw.NextChunk(8)
+		sw.NextChunk(8)
+		sw.Close()
+		if got := sw.NextChunk(8); got != nil {
+			t.Fatal("NextChunk after Close returned configurations")
+		}
+		sw.Close() // idempotent
+	}
+}
+
+// TestSweepEmptyAndExhausted covers the degenerate boundaries: an empty
+// request, a sweep starting at Size, and an out-of-range start.
+func TestSweepEmptyAndExhausted(t *testing.T) {
+	sp, err := GenerateFlat(lazyNoDepsParams(), GenOptions{Mode: SpaceEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sp.Sweep(sp.Size(), SweepOptions{})
+	if got := sw.NextChunk(4); got != nil {
+		t.Fatalf("sweep at Size() emitted %d configs", len(got))
+	}
+	sw2 := sp.Sweep(0, SweepOptions{})
+	if got := sw2.NextChunk(0); got != nil {
+		t.Fatal("NextChunk(0) returned configurations")
+	}
+	sw2.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sweep(Size()+1) did not panic")
+		}
+	}()
+	sp.Sweep(sp.Size()+1, SweepOptions{})
+}

@@ -381,6 +381,11 @@ type lazyTree struct {
 // prefix, so they too are counted once per visit), which also means any
 // deterministic constraint panic still surfaces at generation time.
 func generateLazyGroup(g *Group, opts GenOptions) (*Tree, error) {
+	if opts.census == nil {
+		// GenerateSpace decodes once for all groups; direct GenerateGroup
+		// callers decode here.
+		opts.census = decodeCensus(opts.Census)
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -423,6 +428,14 @@ func generateLazyGroup(g *Group, opts GenOptions) (*Tree, error) {
 	if rootLen == 0 {
 		return t, nil
 	}
+	// Warm start: a persisted census of this group's signature replaces the
+	// counting pass (census.go); sealed trees recompute any missing memo
+	// entry on demand, so a partial snapshot is still safe.
+	if cg, ok := opts.census[censusSig(g.Params)]; ok {
+		restoreCensus(t, lt, cg)
+		return t, nil
+	}
+	mCensusRuns.Inc()
 	if workers > rootLen {
 		workers = rootLen
 	}

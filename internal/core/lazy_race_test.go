@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLazySlabEvictionConcurrentBoundary hammers the shared slab cache
+// with concurrent random-access readers and streaming sweeps while the
+// byte budget sits exactly at (and just under, and well under) the space's
+// full resident footprint — the regime where every commit races an
+// eviction of a slab some other goroutine is about to touch or is holding
+// pinned. Run under -race this is the evict-while-expanding guard: evicted
+// in-flight entries must still complete for their waiters, sweeps must
+// keep their pinned path slabs alive, and every access must keep decoding
+// the exact eager-reference configuration.
+func TestLazySlabEvictionConcurrentBoundary(t *testing.T) {
+	params := lazyChainParams()
+	eager, err := GenerateFlat(params, GenOptions{Mode: SpaceEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := eager.Size()
+	want := make([]string, size)
+	for i := uint64(0); i < size; i++ {
+		want[i] = eager.At(i).Key()
+	}
+
+	// Measure the space's full resident slab footprint: walk an unbounded
+	// lazy copy and read the resident gauge (tests in this package run
+	// sequentially, so the gauge reflects this cache alone).
+	probe, err := GenerateFlat(params, GenOptions{Mode: SpaceLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < size; i++ {
+		probe.At(i)
+	}
+	full := mSpaceLazyResident.Value()
+	if full <= 0 {
+		t.Fatalf("resident gauge %d after full walk; lazy path not exercised", full)
+	}
+
+	// Exactly at the boundary, one byte under (every commit must evict),
+	// and far under (constant thrash).
+	for _, budget := range []int64{full, full - 1, full / 4} {
+		sp, err := GenerateFlat(params, GenOptions{Mode: SpaceLazy, MaxArenaBytes: budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		evictions0 := mSpaceLazyEvictions.Value()
+
+		var wg sync.WaitGroup
+		const readers = 8
+		for w := 0; w < readers; w++ {
+			w := uint64(w)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Strided forward pass: workers expand different slabs
+				// concurrently, so commits evict what neighbours need next.
+				for i := w; i < size; i += readers {
+					if got := sp.At(i).Key(); got != want[i] {
+						t.Errorf("budget %d: At(%d) = %q, want %q", budget, i, got, want[i])
+						return
+					}
+				}
+				// Reverse pass: re-expands whatever the forward passes
+				// evicted, in the opposite order.
+				for i := int64(size-1) - int64(w); i >= 0; i -= readers {
+					if got := sp.At(uint64(i)).Key(); got != want[i] {
+						t.Errorf("budget %d: At(%d) = %q, want %q", budget, i, got, want[i])
+						return
+					}
+				}
+			}()
+		}
+		// Two streaming sweeps pin their cursor path's slabs while the
+		// readers churn the LRU around them.
+		for s := 0; s < 2; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sw := sp.Sweep(0, SweepOptions{Prefetch: true})
+				defer sw.Close()
+				i := uint64(0)
+				for {
+					chunk := sw.NextChunk(17)
+					if chunk == nil {
+						break
+					}
+					for _, cfg := range chunk {
+						if got := cfg.Key(); got != want[i] {
+							t.Errorf("budget %d: sweep position %d = %q, want %q", budget, i, got, want[i])
+							return
+						}
+						i++
+					}
+				}
+				if i != size {
+					t.Errorf("budget %d: sweep yielded %d configs, want %d", budget, i, size)
+				}
+			}()
+		}
+		wg.Wait()
+
+		if budget < full {
+			if evicted := mSpaceLazyEvictions.Value() - evictions0; evicted == 0 {
+				t.Errorf("budget %d under footprint %d evicted nothing; boundary not exercised", budget, full)
+			}
+		}
+	}
+}

@@ -35,6 +35,23 @@ var (
 	mSpaceLazyResident = obs.NewGauge("atf_space_lazy_resident_bytes",
 		"Resident expanded-slab bytes of the most recently touched lazy space")
 
+	// Streaming space sweeps (iter.go).
+	mIterChunks = obs.NewCounter("atf_space_iter_chunks_total",
+		"Configuration chunks handed out by streaming space sweeps")
+	mIterConfigs = obs.NewCounter("atf_space_iter_configs_total",
+		"Configurations emitted by streaming space sweeps")
+	mIterDescents = obs.NewCounter("atf_space_iter_descents_total",
+		"Full root-to-leaf cursor descents performed by streaming sweeps (seeks and group resets)")
+	mIterPrefetched = obs.NewCounter("atf_space_iter_prefetched_chunks_total",
+		"Sweep chunks served from an overlapped prefetch instead of a synchronous walk")
+
+	// Census persistence (census.go): restores of a persisted lazy-space
+	// census vs. counting passes actually run.
+	mCensusRuns = obs.NewCounter("atf_space_census_runs_total",
+		"Lazy-space counting passes executed (cold census runs)")
+	mCensusRestored = obs.NewCounter("atf_space_census_restored_total",
+		"Lazy-space group censuses restored from a persisted snapshot")
+
 	// Exploration (Explore and ExploreParallel).
 	mEvaluations = obs.NewCounter("atf_evaluations_total",
 		"Cost evaluations committed to exploration results")

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"atf/internal/clblast"
+	"atf/internal/core"
+)
+
+// SweepResult is one row of experiment E15: a full walk of the capped
+// XgemmDirect space point-by-point (At(i), one root-to-leaf index decode
+// per configuration — the exhaustive technique's old inner loop) against
+// one streaming sweep (resumable DFS cursor, chunked, prefetch overlapped
+// with the consumer). Lazy rows additionally time the warm-start half of
+// the same change: a cold generation pays the census counting pass, a
+// generation handed the persisted snapshot skips it.
+type SweepResult struct {
+	RangeCap    int64
+	Lazy        bool
+	Valid       uint64
+	AtTime      time.Duration
+	SweepTime   time.Duration
+	Speedup     float64
+	CensusTime  time.Duration // lazy: cold generation (census pass dominates)
+	RestoreTime time.Duration // lazy: generation from the persisted snapshot
+}
+
+// SweepWalk runs E15 for one (cap, mode) cell. The sweep's output is
+// spot-checked for bit-identity against At outside the timed region
+// (the exhaustive differential tests pin the full sequence).
+func SweepWalk(cap int64, lazy bool, workers int) (*SweepResult, error) {
+	params := clblast.XgemmDirectParams(clblast.SpaceOptions{
+		RangeCap: cap, DivisorHints: true,
+	})
+	mode := core.SpaceEager
+	if lazy {
+		mode = core.SpaceLazy
+	}
+	genStart := time.Now()
+	sp, err := core.GenerateFlat(params, core.GenOptions{
+		Workers: workers, Mode: mode, MaxArenaBytes: 256 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	censusTime := time.Since(genStart)
+	size := sp.Size()
+
+	atStart := time.Now()
+	for idx := uint64(0); idx < size; idx++ {
+		_ = sp.At(idx)
+	}
+	atTime := time.Since(atStart)
+
+	sweepStart := time.Now()
+	sw := sp.Sweep(0, core.SweepOptions{Prefetch: true})
+	walked := uint64(0)
+	for {
+		chunk := sw.NextChunk(256)
+		if chunk == nil {
+			break
+		}
+		walked += uint64(len(chunk))
+	}
+	sw.Close()
+	sweepTime := time.Since(sweepStart)
+	if walked != size {
+		return nil, fmt.Errorf("harness: sweep yielded %d configs, want %d (cap %d)", walked, size, cap)
+	}
+	// Sampled bit-identity, untimed: seek a sweep to scattered positions
+	// and compare against the At decode.
+	step := size/64 + 1
+	for idx := uint64(0); idx < size; idx += step {
+		probe := sp.Sweep(idx, core.SweepOptions{})
+		chunk := probe.NextChunk(1)
+		probe.Close()
+		if len(chunk) != 1 || chunk[0].Key() != sp.At(idx).Key() {
+			return nil, fmt.Errorf("harness: sweep at %d diverges from At (cap %d)", idx, cap)
+		}
+	}
+
+	r := &SweepResult{
+		RangeCap:  cap,
+		Lazy:      lazy,
+		Valid:     size,
+		AtTime:    atTime,
+		SweepTime: sweepTime,
+		Speedup:   atTime.Seconds() / sweepTime.Seconds(),
+	}
+	if lazy {
+		if snap, ok := sp.CensusSnapshot(); ok {
+			restoreStart := time.Now()
+			warm, err := core.GenerateFlat(params, core.GenOptions{
+				Workers: workers, Mode: mode, MaxArenaBytes: 256 << 20, Census: snap,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r.RestoreTime = time.Since(restoreStart)
+			if warm.Size() != size {
+				return nil, fmt.Errorf("harness: restored census sizes the space %d, want %d", warm.Size(), size)
+			}
+		}
+		r.CensusTime = censusTime
+	}
+	return r, nil
+}
+
+// SweepTable renders E15.
+func SweepTable(rs []*SweepResult) *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "streaming exhaustive sweeps vs point-by-point At(i), plus census warm-start (XgemmDirect)",
+		Columns: []string{"range cap", "mode", "valid configs", "At walk", "sweep walk", "speedup", "cold census gen", "warm restore gen"},
+	}
+	for _, r := range rs {
+		mode, census, restore := "eager", "—", "—"
+		if r.Lazy {
+			mode = "lazy"
+			census = r.CensusTime.Round(time.Microsecond).String()
+			restore = r.RestoreTime.Round(time.Microsecond).String()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.RangeCap),
+			mode,
+			fmt.Sprintf("%d", r.Valid),
+			r.AtTime.Round(time.Microsecond).String(),
+			r.SweepTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			census,
+			restore,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"both walks emit the identical full configuration sequence (spot-checked here; pinned exactly by the differential tests)",
+		"the sweep amortizes the root-to-leaf descent across each 256-config chunk and decodes the next chunk while the caller consumes the current one",
+		"lazy rows: cold generation runs the census counting pass, warm generation restores the persisted snapshot (atfd -state-dir) and skips it")
+	return t
+}

@@ -1,0 +1,51 @@
+package oclc
+
+// The compile-cache manifest makes the shared program cache survive
+// restarts. Cache keys hash kernel source with a per-process maphash seed
+// and compiled Programs hold unserializable ASTs, so neither keys nor
+// entries can be persisted directly; instead the manifest records each
+// resident entry's compile *inputs* (source + define set) and a restarting
+// daemon replays them through the normal compile path. The replay pays the
+// compile cost once at startup — off every session's critical path — so a
+// warm daemon serves all previously seen configurations without a single
+// in-session compile.
+
+// ManifestEntry reproduces one cached compile: the kernel source and the
+// configuration's define set.
+type ManifestEntry struct {
+	Source  string            `json:"source"`
+	Defines map[string]string `json:"defines"`
+}
+
+// CompileManifest snapshots the shared cache's resident, successfully
+// compiled programs in most-recently-used-first order (failed and in-flight
+// compiles are skipped — neither is worth replaying).
+func CompileManifest() []ManifestEntry {
+	c := sharedProgCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ManifestEntry
+	for elem := c.lru.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*progCacheEntry)
+		if e.bytes == 0 || e.err != nil || e.prog == nil {
+			continue
+		}
+		out = append(out, ManifestEntry{Source: e.source, Defines: e.defines})
+	}
+	return out
+}
+
+// PrewarmCompileCache replays a manifest through the shared cache,
+// compiling entries least-recently-used first so the manifest's MRU order
+// is reproduced in the LRU list (the budget then evicts the same cold tail
+// it would have). Entries that fail to compile are skipped. Returns how
+// many programs are resident afterwards from this replay.
+func PrewarmCompileCache(entries []ManifestEntry) int {
+	warmed := 0
+	for i := len(entries) - 1; i >= 0; i-- {
+		if _, err := CompileCached(entries[i].Source, entries[i].Defines); err == nil {
+			warmed++
+		}
+	}
+	return warmed
+}

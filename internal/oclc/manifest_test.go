@@ -1,0 +1,63 @@
+package oclc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCompileManifestRoundTrip: dumping the cache to a manifest and
+// replaying it into an empty cache must make every previously cached
+// (source, defines) pair a hit, in the same MRU order.
+func TestCompileManifestRoundTrip(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	var defs []map[string]string
+	for i := 0; i < 5; i++ {
+		d := map[string]string{"FACTOR": fmt.Sprint(i + 2)}
+		defs = append(defs, d)
+		if _, err := CompileCached(cacheTestKernel, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A failed compile must not enter the manifest.
+	CompileCached(`__kernel void b(__global float* x) { x[0] = ; }`, nil)
+
+	m := CompileManifest()
+	if len(m) != 5 {
+		t.Fatalf("manifest has %d entries, want 5", len(m))
+	}
+	// MRU-first: the last compile comes first.
+	if m[0].Defines["FACTOR"] != "6" || m[4].Defines["FACTOR"] != "2" {
+		t.Fatalf("manifest order not MRU-first: %v ... %v", m[0].Defines, m[4].Defines)
+	}
+
+	ResetCompileCache()
+	if warmed := PrewarmCompileCache(m); warmed != 5 {
+		t.Fatalf("prewarmed %d programs, want 5", warmed)
+	}
+	hitsBefore, missesBefore := CompileCacheStats()
+	for _, d := range defs {
+		if _, err := CompileCached(cacheTestKernel, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := CompileCacheStats()
+	if hits-hitsBefore != 5 || misses != missesBefore {
+		t.Fatalf("after prewarm: %d new hits %d new misses, want 5 hits 0 misses",
+			hits-hitsBefore, misses-missesBefore)
+	}
+}
+
+// TestCompileManifestSurvivesCorruptEntries: unparseable manifest entries
+// are skipped, the rest still warm the cache.
+func TestCompileManifestSurvivesCorruptEntries(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	m := []ManifestEntry{
+		{Source: `__kernel void b(__global float* x) { x[0] = ; }`},
+		{Source: cacheTestKernel, Defines: map[string]string{"FACTOR": "2"}},
+	}
+	if warmed := PrewarmCompileCache(m); warmed != 1 {
+		t.Fatalf("prewarmed %d programs, want 1", warmed)
+	}
+}

@@ -97,6 +97,12 @@ type progCacheEntry struct {
 	done  chan struct{}
 	prog  *Program
 	err   error
+	// source and defines reproduce the compile for the persistent
+	// warm-start manifest (manifest.go): cache keys hash the source with a
+	// per-process seed, so persisting keys would be useless across
+	// restarts — the manifest persists the compile inputs instead.
+	source  string
+	defines map[string]string
 }
 
 // DefaultCompileCacheBudget is the default byte budget of the shared
@@ -220,7 +226,11 @@ func (c *programCache) compile(source string, defines map[string]string) (*Progr
 		return e.prog, e.err
 	}
 	c.misses++
-	e := &progCacheEntry{key: key, done: make(chan struct{})}
+	defCopy := make(map[string]string, len(defines))
+	for k, v := range defines {
+		defCopy[k] = v
+	}
+	e := &progCacheEntry{key: key, done: make(chan struct{}), source: source, defines: defCopy}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.mu.Unlock()

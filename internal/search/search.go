@@ -14,33 +14,81 @@ import (
 // Exhaustive iterates the search space in index order and therefore finds
 // the provably best configuration (Section IV-A). finalize and report_cost
 // are no-ops, exactly as in the paper.
+//
+// Enumeration streams through a core.Sweep cursor instead of per-index
+// At(i) lookups: one resumable descent is amortized across whole chunks,
+// and production of the next chunk overlaps the caller's evaluation of the
+// current one. Exhaustive implements core.BatchTechnique directly, so the
+// parallel engine (and through it the distributed coordinator's batch
+// partitioning) draws whole batches straight off the sweep; the emitted
+// sequence is bit-identical to the historical At(0), At(1), ... walk.
 type Exhaustive struct {
-	sp   *core.Space
-	next uint64
+	sp    *core.Space
+	sweep *core.Sweep
+	buf   []*core.Config
 }
+
+// sequentialChunk is how many configurations GetNextConfig draws from the
+// sweep at a time when exhaustive search runs under the sequential engine.
+const sequentialChunk = 64
 
 // NewExhaustive returns an exhaustive search technique.
 func NewExhaustive() *Exhaustive { return &Exhaustive{} }
 
-// Initialize stores a reference to the search space.
-func (e *Exhaustive) Initialize(sp *core.Space, seed int64) { e.sp, e.next = sp, 0 }
+// Initialize opens a streaming sweep over the space at index 0.
+func (e *Exhaustive) Initialize(sp *core.Space, seed int64) {
+	if e.sweep != nil {
+		e.sweep.Close()
+	}
+	e.sp = sp
+	e.buf = nil
+	e.sweep = sp.Sweep(0, core.SweepOptions{Prefetch: true})
+}
 
-// Finalize is void for exhaustive search.
-func (e *Exhaustive) Finalize() {}
+// Finalize releases the sweep (draining any prefetch in flight).
+func (e *Exhaustive) Finalize() {
+	if e.sweep != nil {
+		e.sweep.Close()
+		e.sweep = nil
+	}
+	e.buf = nil
+}
 
 // GetNextConfig returns each configuration of the space exactly once, then
 // nil.
 func (e *Exhaustive) GetNextConfig() *core.Config {
-	if e.next >= e.sp.Size() {
-		return nil
+	if len(e.buf) == 0 {
+		e.buf = e.sweep.NextChunk(sequentialChunk)
+		if len(e.buf) == 0 {
+			return nil
+		}
 	}
-	c := e.sp.At(e.next)
-	e.next++
+	c := e.buf[0]
+	e.buf = e.buf[1:]
 	return c
+}
+
+// GetNextBatch returns the next n configurations in index order straight
+// off the sweep, a short batch at the end of the space, then nil.
+func (e *Exhaustive) GetNextBatch(n int) []*core.Config {
+	if len(e.buf) >= n {
+		batch := e.buf[:n:n]
+		e.buf = e.buf[n:]
+		return batch
+	}
+	batch := e.buf
+	e.buf = nil
+	if more := e.sweep.NextChunk(n - len(batch)); len(more) > 0 {
+		batch = append(batch, more...)
+	}
+	return batch
 }
 
 // ReportCost is void for exhaustive search.
 func (e *Exhaustive) ReportCost(core.Cost) {}
+
+// ReportCosts is void for exhaustive search.
+func (e *Exhaustive) ReportCosts([]core.Evaluation) {}
 
 // CostOblivious marks exhaustive search as safe for pipelined dispatch:
 // the enumeration order never depends on reported costs.

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// countLines returns the number of non-empty lines in a journal file.
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCompactSegment: compacting a rotated segment folds its eval lines
+// into one deduplicated compact record, preserves the merged read, and is
+// idempotent.
+func TestCompactSegment(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cmp.jsonl")
+	spec := testSpec(t)
+
+	j, err := CreateJournal(path, "cmp", "cmp", spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RotateBytes = 1 << 10
+	const evals = 40
+	appendEvals(t, j, spec, 0, evals) // one repeated config: max dedup
+	j.Close()
+
+	segs, err := listSegments(path)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	before, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range segs {
+		if err := CompactSegment(p); err != nil {
+			t.Fatalf("compacting %s: %v", p, err)
+		}
+		if n := countLines(t, p); n != 2 {
+			t.Fatalf("compacted segment %s has %d lines, want 2 (header + compact)", p, n)
+		}
+	}
+
+	after, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Truncated {
+		t.Fatal("compacted journal reads as truncated")
+	}
+	total := after.Compacted + uint64(len(after.Evals))
+	if total != uint64(len(before.Evals)) {
+		t.Fatalf("compacted journal accounts for %d evaluations, want %d", total, len(before.Evals))
+	}
+	if after.Compacted == 0 {
+		t.Fatal("no evaluations were folded")
+	}
+	// Dedup is per segment: one repeated config folds to exactly one
+	// outcome per compacted segment (replay's merge is first-wins anyway).
+	if len(after.Outcomes) != len(segs) {
+		t.Fatalf("deduplicated outcomes = %d, want %d (one per compacted segment)",
+			len(after.Outcomes), len(segs))
+	}
+	// The retained suffix continues the folded prefix exactly.
+	for i, ev := range after.Evals {
+		if ev.Index != after.Compacted+uint64(i) {
+			t.Fatalf("retained eval %d has index %d, want %d", i, ev.Index, after.Compacted+uint64(i))
+		}
+	}
+
+	// Idempotent: recompacting a compact segment rewrites the same content.
+	for _, p := range segs {
+		if err := CompactSegment(p); err != nil {
+			t.Fatalf("recompacting %s: %v", p, err)
+		}
+	}
+	again, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Compacted != after.Compacted || len(again.Outcomes) != len(after.Outcomes) {
+		t.Fatalf("recompaction changed the journal: %d/%d folded, %d/%d outcomes",
+			again.Compacted, after.Compacted, len(again.Outcomes), len(after.Outcomes))
+	}
+}
+
+// TestManagerRotatedCompactedResumeDeterminism is the resume contract with
+// both rotation AND segment compaction on: the interrupted run's rotated
+// segments are rewritten down to their outcome maps, and a fresh manager
+// still resumes to the same best, the same counters, and the same retained
+// evaluation sequence as an uninterrupted run.
+func TestManagerRotatedCompactedResumeDeterminism(t *testing.T) {
+	spec := parseResumeSpec(t)
+	want, wantKeys := runUninterrupted(t, spec)
+
+	dir := t.TempDir()
+	m1, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.RotateBytes = 4 << 10
+	m1.CompactSegments = true
+	s1, err := m1.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForEvals(t, s1, 60)
+	m1.Shutdown() // waits for in-flight compactions too
+	path := m1.journalPath(s1.ID)
+	segs, _ := listSegments(path)
+	if len(segs) == 0 {
+		t.Fatal("interrupted run never rotated; threshold too high for the test")
+	}
+	for _, p := range segs {
+		if n := countLines(t, p); n != 2 {
+			t.Fatalf("segment %s not compacted: %d lines", p, n)
+		}
+	}
+	interrupted, err := ReadSessionJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interrupted.Compacted == 0 {
+		t.Fatal("no evaluations were folded before resume")
+	}
+
+	m2, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RotateBytes = 4 << 10
+	m2.CompactSegments = true
+	resumed, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d sessions, want 1", len(resumed))
+	}
+	s2 := resumed[0]
+	s2.Wait()
+	st2 := s2.Status()
+	if st2.State != StateDone {
+		t.Fatalf("resumed run ended %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Divergence != "" {
+		t.Fatalf("resumed run diverged: %s", st2.Divergence)
+	}
+	if st2.Evaluations != want.Evaluations || st2.Valid != want.Valid {
+		t.Errorf("resumed counters %d/%d, uninterrupted %d/%d",
+			st2.Evaluations, st2.Valid, want.Evaluations, want.Valid)
+	}
+	if !st2.Best.Equal(want.Best) || st2.BestCost.String() != want.BestCost.String() {
+		t.Errorf("resumed best %v/%v, uninterrupted %v/%v",
+			st2.Best, st2.BestCost, want.Best, want.BestCost)
+	}
+	m2.Shutdown()
+
+	d, err := ReadSessionJournal(m2.journalPath(s2.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compacted+uint64(len(d.Evals)) != uint64(len(wantKeys)) {
+		t.Fatalf("compacted journal accounts for %d evaluations, uninterrupted %d",
+			d.Compacted+uint64(len(d.Evals)), len(wantKeys))
+	}
+	// The retained suffix must match the uninterrupted run's tail exactly;
+	// the folded prefix is covered by the counters and best above.
+	for i, ev := range d.Evals {
+		if ev.Key != wantKeys[d.Compacted+uint64(i)] {
+			t.Fatalf("evaluation %d: compacted journal %q, uninterrupted %q",
+				d.Compacted+uint64(i), ev.Key, wantKeys[d.Compacted+uint64(i)])
+		}
+	}
+
+	// Terminal after resume: nothing left for a third manager.
+	m3, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Shutdown()
+	again, err := m3.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Errorf("finished compacted session resumed again: %d", len(again))
+	}
+}

@@ -38,7 +38,7 @@ import (
 
 // Record is one journal line; Type selects which payload is set.
 type Record struct {
-	Type string `json:"type"` // "spec" | "eval" | "batch" | "done"
+	Type string `json:"type"` // "spec" | "eval" | "batch" | "done" | "compact"
 
 	// spec header fields.
 	Session       string    `json:"session,omitempty"`
@@ -46,9 +46,35 @@ type Record struct {
 	CreatedUnixNs int64     `json:"created_unix_ns,omitempty"`
 	Spec          *atf.Spec `json:"spec,omitempty"`
 
-	Eval  *EvalRecord  `json:"eval,omitempty"`
-	Batch *BatchRecord `json:"batch,omitempty"`
-	Done  *DoneRecord  `json:"done,omitempty"`
+	Eval    *EvalRecord    `json:"eval,omitempty"`
+	Batch   *BatchRecord   `json:"batch,omitempty"`
+	Done    *DoneRecord    `json:"done,omitempty"`
+	Compact *CompactRecord `json:"compact,omitempty"`
+}
+
+// CompactRecord summarizes a rotated segment's evaluations after
+// compaction: the folded index range, the running valid/best counters over
+// it, and the deduplicated outcome map — everything resume needs (replay
+// serves outcomes by configuration key, and the technique's deterministic
+// walk regenerates the order), at a fraction of the eval lines' size.
+// Compact records are only valid before the first eval record of a
+// stitched journal; Start pins the folded range so reordered or missing
+// segments read as damage, not silent data loss.
+type CompactRecord struct {
+	Start    uint64           `json:"start"` // index of the first folded evaluation
+	Evals    uint64           `json:"evals"` // evaluations folded by this record
+	Valid    uint64           `json:"valid"`
+	Best     *atf.Config      `json:"best,omitempty"`
+	BestCost atf.Cost         `json:"best_cost,omitempty"`
+	Outcomes []CompactOutcome `json:"outcomes"`
+}
+
+// CompactOutcome is one deduplicated (first-wins, in first-seen order)
+// evaluation outcome of a compacted segment.
+type CompactOutcome struct {
+	Key   string   `json:"key"`
+	Cost  atf.Cost `json:"cost,omitempty"`
+	Error string   `json:"error,omitempty"`
 }
 
 // BatchRecord journals one batch boundary of the parallel engine: batch
@@ -92,6 +118,10 @@ type DoneRecord struct {
 var mJournalRotations = obs.NewCounter("atf_server_journal_rotations_total",
 	"Session journal files rotated into numbered segments")
 
+// mJournalCompactions counts rotated segments rewritten to compact form.
+var mJournalCompactions = obs.NewCounter("atf_server_journal_compactions_total",
+	"Rotated journal segments compacted to their deduplicated outcome map")
+
 // Journal is the append-only writer for one session. Every append is
 // followed by an fsync: the journal's whole point is surviving the daemon,
 // and the simulated cost evaluations dwarf the sync latency.
@@ -101,12 +131,20 @@ type Journal struct {
 	// CreateJournal/OpenJournalAppend, before the first Append race.
 	RotateBytes int64
 
+	// Compact rewrites each freshly rotated segment down to a spec header
+	// plus one compact record (the deduplicated outcome map). Compaction
+	// runs asynchronously off the append path; WaitCompaction blocks until
+	// in-flight rewrites finish. Set alongside RotateBytes.
+	Compact bool
+
 	mu     sync.Mutex
 	f      *os.File
 	path   string
 	header []byte // spec-header line, replayed into each fresh segment
 	size   int64  // bytes written to the active file
 	seg    int    // rotated segments already on disk
+
+	compactWG sync.WaitGroup
 }
 
 // CreateJournal starts a new session journal with its spec header.
@@ -233,7 +271,140 @@ func (j *Journal) rotateLocked() error {
 	j.f = f
 	j.size = 0
 	mJournalRotations.Inc()
+	if j.Compact {
+		seg := segmentPath(j.path, j.seg)
+		j.compactWG.Add(1)
+		go func() {
+			defer j.compactWG.Done()
+			CompactSegment(seg)
+		}()
+	}
 	return j.writeLocked(j.header)
+}
+
+// WaitCompaction blocks until all in-flight segment compactions finish
+// (tests, shutdown ordering).
+func (j *Journal) WaitCompaction() { j.compactWG.Wait() }
+
+// CompactSegment rewrites one closed journal segment to its compact form:
+// the spec header followed by a single compact record folding every eval
+// line into a deduplicated outcome map. The rewrite is atomic (tmp +
+// fsync + rename); anything unexpected in the segment — a done record, a
+// torn line, a gap in the eval indices — aborts the rewrite and leaves the
+// segment untouched. Idempotent: an already compacted segment folds its
+// compact record and rewrites to the same content.
+func CompactSegment(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var header []byte
+	var cr CompactRecord
+	seen := make(map[string]bool)
+	evalLines := 0
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	firstLine := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("server: compacting %s: bad line: %w", path, err)
+		}
+		switch rec.Type {
+		case "spec":
+			if !firstLine {
+				return fmt.Errorf("server: compacting %s: duplicate spec header", path)
+			}
+			header = append(append([]byte(nil), line...), '\n')
+		case "compact":
+			if rec.Compact == nil || cr.Evals > 0 || evalLines > 0 {
+				return fmt.Errorf("server: compacting %s: misplaced compact record", path)
+			}
+			cr = *rec.Compact
+			for _, o := range cr.Outcomes {
+				seen[o.Key] = true
+			}
+		case "eval":
+			if rec.Eval == nil {
+				return fmt.Errorf("server: compacting %s: empty eval record", path)
+			}
+			if evalLines == 0 && cr.Evals == 0 {
+				cr.Start = rec.Eval.Index
+			} else if rec.Eval.Index != cr.Start+cr.Evals {
+				return fmt.Errorf("server: compacting %s: eval index %d, want %d",
+					path, rec.Eval.Index, cr.Start+cr.Evals)
+			}
+			evalLines++
+			cr.Evals++
+			ev := rec.Eval
+			if len(ev.Cost) > 0 && !ev.Cost.IsInf() {
+				cr.Valid++
+				if cr.Best == nil || ev.Cost.Less(cr.BestCost) {
+					cr.Best, cr.BestCost = ev.Config, ev.Cost
+				}
+			}
+			if !seen[ev.Key] {
+				seen[ev.Key] = true
+				cr.Outcomes = append(cr.Outcomes,
+					CompactOutcome{Key: ev.Key, Cost: ev.Cost, Error: ev.Error})
+			}
+		case "batch":
+			// Batch boundaries only matter for the active file's crash
+			// attribution; a closed segment's are dead weight.
+		case "done":
+			return fmt.Errorf("server: compacting %s: segment holds a done record", path)
+		default:
+			return fmt.Errorf("server: compacting %s: unknown record type %q", path, rec.Type)
+		}
+		firstLine = false
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("server: compacting %s: %w", path, err)
+	}
+	if header == nil {
+		return fmt.Errorf("server: compacting %s: no spec header", path)
+	}
+	if evalLines == 0 {
+		return nil // nothing to fold (already compact, or batch-only)
+	}
+
+	line, err := marshalLine(Record{Type: "compact", Compact: &cr})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("server: compacting %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	write := func() error {
+		if _, err := tmp.Write(header); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(line); err != nil {
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		return tmp.Close()
+	}
+	if err := write(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: compacting %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: compacting %s: %w", path, err)
+	}
+	mJournalCompactions.Inc()
+	return nil
 }
 
 // segmentPath names rotated segment n of the journal at path:
@@ -301,6 +472,18 @@ type JournalData struct {
 	CreatedUnixNs int64
 	Spec          *atf.Spec
 	Evals         []EvalRecord
+	// Compacted counts the evaluations folded into compact records by
+	// segment compaction: Evals[i] is the evaluation with absolute index
+	// Compacted+i, and the folded prefix survives only as Outcomes plus the
+	// Compact* running counters.
+	Compacted       uint64
+	CompactValid    uint64
+	CompactBest     *atf.Config
+	CompactBestCost atf.Cost
+	// Outcomes are the deduplicated outcomes of the folded prefix, in
+	// first-seen order — what replay serves for re-proposed configurations
+	// whose eval lines were compacted away.
+	Outcomes []CompactOutcome
 	// Batches are the journaled batch boundaries, deduplicated by batch
 	// index (a resumed run re-journals the mark it was interrupted in).
 	Batches []BatchRecord
@@ -389,13 +572,28 @@ func readJournalInto(d *JournalData, path string, first bool, seenBatches map[ui
 					path, rec.Session, d.Session)
 			}
 		case "eval":
-			if rec.Eval == nil || rec.Eval.Index != uint64(len(d.Evals)) {
+			if rec.Eval == nil || rec.Eval.Index != d.Compacted+uint64(len(d.Evals)) {
 				// An out-of-sequence eval means the tail is damaged;
 				// everything up to here is still a valid prefix.
 				d.Truncated = true
 				return nil
 			}
 			d.Evals = append(d.Evals, *rec.Eval)
+		case "compact":
+			// Compact records may only extend the folded prefix: one
+			// appearing after individual evals means segments were
+			// reordered or lost, which reads as damage.
+			if rec.Compact == nil || len(d.Evals) > 0 || rec.Compact.Start != d.Compacted {
+				d.Truncated = true
+				return nil
+			}
+			d.Compacted += rec.Compact.Evals
+			d.CompactValid += rec.Compact.Valid
+			if rec.Compact.Best != nil &&
+				(d.CompactBest == nil || rec.Compact.BestCost.Less(d.CompactBestCost)) {
+				d.CompactBest, d.CompactBestCost = rec.Compact.Best, rec.Compact.BestCost
+			}
+			d.Outcomes = append(d.Outcomes, rec.Compact.Outcomes...)
 		case "batch":
 			if rec.Batch == nil {
 				d.Truncated = true

@@ -15,6 +15,7 @@ import (
 
 	"atf"
 	"atf/internal/core"
+	"atf/internal/state"
 )
 
 // State is a session's lifecycle state.
@@ -47,6 +48,14 @@ type Session struct {
 	done    chan struct{}
 	metrics *sessionMetrics
 
+	// compacted is the count of journaled evaluations folded away by
+	// segment compaction before this process started: evals[i] has
+	// absolute evaluation index compacted+i, and the folded prefix
+	// survives only as compactOutcomes (for replay) plus the seeded
+	// valid/best counters. Immutable after newSession.
+	compacted       uint64
+	compactOutcomes []CompactOutcome
+
 	mu           sync.Mutex
 	cond         *sync.Cond
 	state        State
@@ -77,6 +86,16 @@ type Status struct {
 	ResumedEvaluations int         `json:"resumed_evaluations,omitempty"`
 	Divergence         string      `json:"divergence,omitempty"`
 	Error              string      `json:"error,omitempty"`
+	// Sweep reports exhaustive-sweep progress (set only for sessions whose
+	// technique walks the whole space and whose space size is known).
+	Sweep *SweepProgress `json:"sweep,omitempty"`
+}
+
+// SweepProgress is an exhaustive session's progress through its space.
+type SweepProgress struct {
+	Evaluated uint64  `json:"evaluated"`
+	Total     uint64  `json:"total"`
+	Percent   float64 `json:"percent"`
 }
 
 // Status snapshots the session under its lock.
@@ -90,11 +109,18 @@ func (s *Session) Status() Status {
 		CreatedUnixNs:      s.CreatedUnixNs,
 		SpaceSize:          s.spaceSize,
 		RawSpaceSize:       s.rawSpaceSize,
-		Evaluations:        uint64(len(s.evals)),
+		Evaluations:        s.compacted + uint64(len(s.evals)),
 		Valid:              s.valid,
 		Best:               s.best,
 		BestCost:           s.bestCost,
-		ResumedEvaluations: s.replayed,
+		ResumedEvaluations: int(s.compacted) + s.replayed,
+	}
+	if k := s.Spec.Technique.Kind; (k == "" || k == "exhaustive") && s.spaceSize > 0 {
+		st.Sweep = &SweepProgress{
+			Evaluated: st.Evaluations,
+			Total:     s.spaceSize,
+			Percent:   100 * float64(st.Evaluations) / float64(s.spaceSize),
+		}
 	}
 	if s.divergence != nil {
 		st.Divergence = s.divergence.Error()
@@ -107,7 +133,9 @@ func (s *Session) Status() Status {
 
 // EvalsSince blocks until the session has committed more than `from`
 // evaluations or reached a terminal state, then returns the new suffix and
-// whether the session is terminal. A canceled ctx returns early.
+// whether the session is terminal. A canceled ctx returns early. Indices
+// below the compacted prefix (whose eval records no longer exist) clamp to
+// the oldest retained evaluation.
 func (s *Session) EvalsSince(ctx context.Context, from int) ([]EvalRecord, bool, error) {
 	stop := context.AfterFunc(ctx, func() {
 		s.mu.Lock()
@@ -118,16 +146,21 @@ func (s *Session) EvalsSince(ctx context.Context, from int) ([]EvalRecord, bool,
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.evals) <= from && s.state == StateRunning && ctx.Err() == nil {
+	rel := from - int(s.compacted)
+	if rel < 0 {
+		rel = 0
+	}
+	for len(s.evals) <= rel && s.state == StateRunning && ctx.Err() == nil {
 		s.cond.Wait()
 	}
-	if err := ctx.Err(); err != nil && len(s.evals) <= from {
+	if err := ctx.Err(); err != nil && len(s.evals) <= rel {
 		return nil, false, err
 	}
-	if from > len(s.evals) {
-		return nil, false, fmt.Errorf("server: evaluation index %d beyond %d", from, len(s.evals))
+	if rel > len(s.evals) {
+		return nil, false, fmt.Errorf("server: evaluation index %d beyond %d",
+			from, s.compacted+uint64(len(s.evals)))
 	}
-	suffix := append([]EvalRecord(nil), s.evals[from:]...)
+	suffix := append([]EvalRecord(nil), s.evals[rel:]...)
 	return suffix, s.state != StateRunning, nil
 }
 
@@ -189,6 +222,19 @@ type Manager struct {
 	// every session; it only engages for cost-oblivious techniques. Set
 	// before Create/Resume.
 	Pipeline bool
+
+	// CompactSegments rewrites each rotated journal segment down to its
+	// deduplicated outcome map (atfd -journal-compact): resume keeps its
+	// determinism (replay serves outcomes by key, the technique's walk
+	// regenerates the order) while long sessions' disk footprint stays
+	// proportional to distinct configurations. Set before Create/Resume.
+	CompactSegments bool
+
+	// Persistent warm-start store (state.go); nil until OpenState.
+	stateStore *state.Store
+	stateStop  chan struct{}
+	stateOnce  sync.Once // closes stateStop exactly once
+	stateWG    sync.WaitGroup
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -254,6 +300,7 @@ func (m *Manager) Create(spec *atf.Spec) (*Session, error) {
 		return nil, err
 	}
 	j.RotateBytes = m.RotateBytes
+	j.Compact = m.CompactSegments
 	s := m.newSession(id, spec, created, j, nil)
 	if err := m.register(s, true); err != nil {
 		j.Close()
@@ -304,11 +351,12 @@ func (m *Manager) Resume() ([]*Session, error) {
 			continue
 		}
 		j.RotateBytes = m.RotateBytes
+		j.Compact = m.CompactSegments
 		id := d.Session
 		if id == "" {
 			id = strings.TrimSuffix(filepath.Base(path), ".jsonl")
 		}
-		s := m.newSession(id, d.Spec, d.CreatedUnixNs, j, d.Evals)
+		s := m.newSession(id, d.Spec, d.CreatedUnixNs, j, d)
 		if err := m.register(s, false); err != nil {
 			j.Close()
 			errs = append(errs, err)
@@ -375,14 +423,22 @@ func (m *Manager) Shutdown() {
 		s.cancel()
 	}
 	m.wg.Wait()
+	for _, s := range sessions {
+		s.journal.WaitCompaction()
+	}
+	m.closeState()
 }
 
 func (m *Manager) journalPath(id string) string {
 	return filepath.Join(m.dir, id+".jsonl")
 }
 
-func (m *Manager) newSession(id string, spec *atf.Spec, created int64, j *Journal, replayed []EvalRecord) *Session {
+func (m *Manager) newSession(id string, spec *atf.Spec, created int64, j *Journal, data *JournalData) *Session {
 	ctx, cancel := context.WithCancel(context.Background())
+	var replayed []EvalRecord
+	if data != nil {
+		replayed = data.Evals
+	}
 	s := &Session{
 		ID:            id,
 		Name:          spec.Name,
@@ -398,6 +454,14 @@ func (m *Manager) newSession(id string, spec *atf.Spec, created int64, j *Journa
 		metrics:       newSessionMetrics(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if data != nil {
+		// Seed the counters with the compacted prefix's running totals;
+		// the replayed suffix below then continues them.
+		s.compacted = data.Compacted
+		s.compactOutcomes = data.Outcomes
+		s.valid = data.CompactValid
+		s.best, s.bestCost = data.CompactBest, data.CompactBestCost
+	}
 	// Rebuild the live counters and metrics from the replayed prefix.
 	var prevAtNs int64
 	for i := range s.evals {
@@ -473,11 +537,22 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 	if tuner.MaxSpaceBytes == 0 {
 		tuner.MaxSpaceBytes = m.MaxSpaceBytes
 	}
-	gen := func() (*atf.Space, error) { return tuner.GenerateSpace(atf.G(build.Params...)) }
+	spaceKey := specSpaceHash(s.Spec, tuner.MaxSpaceBytes)
+	gen := func() (*atf.Space, error) {
+		// Warm start: a persisted census snapshot (keyed by the same hash
+		// as the space cache) lets lazy generation skip its counting pass;
+		// a cold generation persists its census for the next daemon.
+		tuner.SpaceCensus = m.loadCensus(spaceKey)
+		sp, err := tuner.GenerateSpace(atf.G(build.Params...))
+		if err == nil {
+			m.saveCensus(spaceKey, sp)
+		}
+		return sp, err
+	}
 	var space *atf.Space
 	var err error
 	if m.spaces != nil {
-		space, err = m.spaces.getOrGenerate(specSpaceHash(s.Spec, tuner.MaxSpaceBytes), gen)
+		space, err = m.spaces.getOrGenerate(spaceKey, gen)
 	} else {
 		space, err = gen()
 	}
@@ -500,8 +575,8 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 		// must not share outcomes either.
 		cf = &sharedCostFunction{inner: cf, cache: m.sharedCosts, scope: specCostHash(s.Spec)}
 	}
-	if len(replayed) > 0 {
-		cf = newReplayCostFunction(cf, replayed)
+	if len(replayed) > 0 || len(s.compactOutcomes) > 0 {
+		cf = newReplayCostFunction(cf, s.compactOutcomes, replayed)
 	}
 
 	tuner.Pipeline = m.Pipeline
@@ -512,7 +587,7 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 		// Fleet-backed session: the factory's evaluator substitutes the
 		// in-process pool, with the replay-wrapped cost function as its
 		// local fallback and the journaled outcomes resolved up front.
-		ev := m.Evaluator(s.ID, s.Spec, cf, replayOutcomes(replayed))
+		ev := m.Evaluator(s.ID, s.Spec, cf, replayOutcomes(s.compactOutcomes, replayed))
 		if c, ok := ev.(io.Closer); ok {
 			defer c.Close()
 		}
@@ -552,7 +627,7 @@ func (m *Manager) run(s *Session, build *atf.SpecBuild, replayed []EvalRecord) {
 func (s *Session) onBatch(mark atf.BatchMark) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if mark.StartEval < uint64(s.replayed) {
+	if mark.StartEval < s.compacted+uint64(s.replayed) {
 		return
 	}
 	rec := BatchRecord{Index: mark.Index, StartEval: mark.StartEval, Size: mark.Size}
@@ -564,13 +639,24 @@ func (s *Session) onBatch(mark atf.BatchMark) {
 	}
 }
 
-// replayOutcomes indexes journaled evaluations by configuration key for
+// replayOutcomes indexes journaled evaluations — the compacted prefix's
+// outcome map plus the retained eval records — by configuration key for
 // the fleet evaluator (first outcome wins, matching the cost cache).
-func replayOutcomes(evals []EvalRecord) map[string]atf.Outcome {
-	if len(evals) == 0 {
+func replayOutcomes(compact []CompactOutcome, evals []EvalRecord) map[string]atf.Outcome {
+	if len(compact) == 0 && len(evals) == 0 {
 		return nil
 	}
-	replay := make(map[string]atf.Outcome, len(evals))
+	replay := make(map[string]atf.Outcome, len(compact)+len(evals))
+	for _, o := range compact {
+		if _, dup := replay[o.Key]; dup {
+			continue
+		}
+		out := atf.Outcome{Cost: o.Cost}
+		if o.Error != "" {
+			out.Err = errors.New(o.Error)
+		}
+		replay[o.Key] = out
+	}
 	for _, rec := range evals {
 		if _, dup := replay[rec.Key]; dup {
 			continue
@@ -591,8 +677,14 @@ func replayOutcomes(evals []EvalRecord) map[string]atf.Outcome {
 func (s *Session) onEvaluation(ev atf.Evaluation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ev.Index < uint64(s.replayed) {
-		want := s.evals[ev.Index].Key
+	if ev.Index < s.compacted {
+		// The folded prefix: its outcomes replayed by key, but the eval
+		// records (and their keys-by-index) are gone, so there is nothing
+		// left to check the proposal order against.
+		return
+	}
+	if rel := ev.Index - s.compacted; rel < uint64(s.replayed) {
+		want := s.evals[rel].Key
 		if got := ev.Config.Key(); got != want && s.divergence == nil {
 			s.divergence = fmt.Errorf(
 				"resumed run diverged at evaluation %d: journal has %q, technique proposed %q",
@@ -645,7 +737,7 @@ func (s *Session) finish(state State, res *atf.Result, err error) {
 	}
 	done := &DoneRecord{
 		State:       string(state),
-		Evaluations: uint64(len(s.evals)),
+		Evaluations: s.compacted + uint64(len(s.evals)),
 		Valid:       s.valid,
 		Best:        s.best,
 		BestCost:    s.bestCost,
@@ -677,11 +769,21 @@ type replayOutcome struct {
 	err  error
 }
 
-func newReplayCostFunction(inner core.CostFunction, evals []EvalRecord) *replayCostFunction {
-	replay := make(map[string]replayOutcome, len(evals))
+func newReplayCostFunction(inner core.CostFunction, compact []CompactOutcome, evals []EvalRecord) *replayCostFunction {
+	replay := make(map[string]replayOutcome, len(compact)+len(evals))
+	for _, o := range compact {
+		if _, dup := replay[o.Key]; dup {
+			continue // first outcome wins, matching the cost cache
+		}
+		out := replayOutcome{cost: o.Cost}
+		if o.Error != "" {
+			out.err = errors.New(o.Error)
+		}
+		replay[o.Key] = out
+	}
 	for _, rec := range evals {
 		if _, dup := replay[rec.Key]; dup {
-			continue // first outcome wins, matching the cost cache
+			continue
 		}
 		out := replayOutcome{cost: rec.Cost}
 		if rec.Error != "" {

@@ -192,6 +192,74 @@ func (c *outcomeCache) stats() (hits, misses, evictions uint64, bytes int64, ent
 	return c.hits, c.misses, c.evictions, c.bytes, len(c.entries)
 }
 
+// outcomeDump is one persisted cost-cache entry (state-dir warm start).
+type outcomeDump struct {
+	Key   string    `json:"k"`
+	Cost  core.Cost `json:"c,omitempty"`
+	Error string    `json:"e,omitempty"`
+}
+
+// dump serializes the cache's completed entries, most recently used first,
+// for the persistent warm-start store. In-flight entries are skipped —
+// their outcome is unknown and they will be recomputed cold next start.
+func (c *outcomeCache) dump() []byte {
+	c.mu.Lock()
+	var out []outcomeDump
+	for elem := c.lru.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*outcomeEntry)
+		if e.bytes == 0 {
+			continue
+		}
+		d := outcomeDump{Key: e.key, Cost: e.cost}
+		if e.err != nil {
+			d.Error = e.err.Error()
+		}
+		out = append(out, d)
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// load restores a dump into the cache as completed entries, preserving the
+// dump's MRU-first order, then enforces the byte budget (so an oversized
+// dump sheds its cold tail exactly as live inserts would). Existing entries
+// win over dumped ones. Returns how many entries were restored.
+func (c *outcomeCache) load(data []byte) int {
+	var in []outcomeDump
+	if err := json.Unmarshal(data, &in); err != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	restored := 0
+	// Insert least recently used first so PushFront reproduces the order.
+	for i := len(in) - 1; i >= 0; i-- {
+		d := in[i]
+		if d.Key == "" {
+			continue
+		}
+		if _, ok := c.entries[d.Key]; ok {
+			continue
+		}
+		e := &outcomeEntry{key: d.Key, done: make(chan struct{}), cost: d.Cost}
+		if d.Error != "" {
+			e.err = fmt.Errorf("%s", d.Error)
+		}
+		close(e.done)
+		e.bytes = int64(len(e.key)) + int64(len(e.cost))*16 + 160
+		e.elem = c.lru.PushFront(e)
+		c.entries[d.Key] = e
+		c.bytes += e.bytes
+		restored++
+	}
+	c.evictOverBudgetLocked()
+	return restored
+}
+
 // spaceCache memoizes generated search spaces — and with them the lazy
 // census Size() pass — across sessions, keyed by specSpaceHash. Spaces
 // are immutable (or internally synchronized, for lazy slab expansion)

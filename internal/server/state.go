@@ -1,0 +1,149 @@
+// Persistent warm-start glue (atfd -state-dir): the Manager side of
+// internal/state. A daemon with a state directory persists the three
+// things that make a cold start slow — the lazy-space census (the 1–3 s
+// counting pass over a 10^19-combination space), the daemon-wide
+// cost-outcome cache, and the compiled-kernel manifest — and loads them on
+// the next start, so a warm session neither recounts its space nor
+// recompiles a single kernel. Everything in the store is a cache of
+// deterministic computation: losing it costs a cold start, never
+// correctness, which is why load failures read as misses.
+
+package server
+
+import (
+	"encoding/json"
+	"time"
+
+	"atf"
+	"atf/internal/obs"
+	"atf/internal/oclc"
+	"atf/internal/state"
+)
+
+// Blob names inside the state directory. The census is keyed per space
+// (census-<specSpaceHash>); the outcome and compile blobs are daemon-wide.
+const (
+	stateOutcomes = "outcomes"
+	stateCompile  = "compile"
+)
+
+var (
+	mStateCensusHits = obs.NewCounter("atf_state_hit_census_total",
+		"Space generations that found a persisted census snapshot for their spec hash")
+	mStateOutcomeHits = obs.NewCounter("atf_state_hit_outcomes_total",
+		"Cost outcomes restored into the shared cache from the state directory")
+	mStateCompileHits = obs.NewCounter("atf_state_hit_compile_total",
+		"Compiled programs rebuilt from the persisted compile manifest at startup")
+)
+
+// OpenState attaches the persistent warm-start store under dir and loads
+// it: persisted cost outcomes fill the shared cache, and the compile
+// manifest is replayed through the oclc cache (paying the compiles once,
+// off every session's critical path). Census snapshots load lazily, per
+// space, inside each session's generation path. When syncEvery > 0 a
+// background flush persists the live caches at that cadence; Shutdown
+// always writes a final snapshot. Call after the cache knobs are set and
+// before Resume, so resumed sessions start warm too.
+func (m *Manager) OpenState(dir string, syncEvery time.Duration) error {
+	st, err := state.Open(dir)
+	if err != nil {
+		return err
+	}
+	m.sharedInit()
+	m.stateStore = st
+
+	if m.sharedCosts != nil {
+		if data, ok := st.Load(stateOutcomes); ok {
+			if n := m.sharedCosts.load(data); n > 0 {
+				mStateOutcomeHits.Add(uint64(n))
+			}
+		}
+	}
+	if data, ok := st.Load(stateCompile); ok {
+		var entries []oclc.ManifestEntry
+		if json.Unmarshal(data, &entries) == nil {
+			if n := oclc.PrewarmCompileCache(entries); n > 0 {
+				mStateCompileHits.Add(uint64(n))
+			}
+		}
+	}
+
+	if syncEvery > 0 {
+		m.stateStop = make(chan struct{})
+		m.stateWG.Add(1)
+		go func() {
+			defer m.stateWG.Done()
+			t := time.NewTicker(syncEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					m.saveState()
+				case <-m.stateStop:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// saveState persists the daemon-wide caches. Each blob is written
+// atomically; errors are already counted by the store and are not worth
+// failing a flush tick over.
+func (m *Manager) saveState() {
+	st := m.stateStore
+	if st == nil {
+		return
+	}
+	if m.sharedCosts != nil {
+		if data := m.sharedCosts.dump(); data != nil {
+			st.Save(stateOutcomes, data)
+		}
+	}
+	if entries := oclc.CompileManifest(); len(entries) > 0 {
+		if data, err := json.Marshal(entries); err == nil {
+			st.Save(stateCompile, data)
+		}
+	}
+}
+
+// closeState stops the periodic flush and writes the final snapshot
+// (Shutdown; safe to call repeatedly).
+func (m *Manager) closeState() {
+	if m.stateStore == nil {
+		return
+	}
+	m.stateOnce.Do(func() {
+		if m.stateStop != nil {
+			close(m.stateStop)
+		}
+		m.stateWG.Wait()
+		m.saveState()
+	})
+}
+
+// loadCensus fetches the persisted census snapshot for one space key, nil
+// when the store is closed or the blob is missing/corrupt (a cold count).
+func (m *Manager) loadCensus(key string) []byte {
+	if m.stateStore == nil {
+		return nil
+	}
+	data, ok := m.stateStore.Load("census-" + key)
+	if !ok {
+		return nil
+	}
+	mStateCensusHits.Inc()
+	return data
+}
+
+// saveCensus persists a freshly generated space's census snapshot under
+// its space key (eager spaces snapshot nothing and save nothing).
+func (m *Manager) saveCensus(key string, sp *atf.Space) {
+	if m.stateStore == nil {
+		return
+	}
+	if snap, ok := sp.CensusSnapshot(); ok {
+		m.stateStore.Save("census-"+key, snap)
+	}
+}

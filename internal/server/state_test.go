@@ -1,0 +1,170 @@
+package server
+
+import (
+	"testing"
+
+	"atf"
+	"atf/internal/obs"
+	"atf/internal/oclc"
+)
+
+// warmSpecJSON is a small lazy-mode saxpy run: lazy construction runs the
+// census pass (what the persisted snapshot must skip on a warm start) and
+// the OpenCL cost function compiles one kernel per configuration (what the
+// persisted compile manifest must prewarm).
+const warmSpecJSON = `{
+	"name": "warm start",
+	"parameters": [
+		{"name": "WPT", "range": {"interval": {"begin": 1, "end": 64}},
+		 "constraints": [{"op": "divides", "expr": "64"}]},
+		{"name": "LS", "range": {"interval": {"begin": 1, "end": 64}},
+		 "constraints": [{"op": "divides", "expr": "64 / WPT"}]}
+	],
+	"cost": {"kind": "saxpy", "n": 64},
+	"space_mode": "lazy"
+}`
+
+// TestManagerWarmStartState is the warm-restart contract: a daemon with a
+// state directory persists its census, outcomes and compile manifest at
+// shutdown, and a fresh daemon on the same state directory runs an
+// identical session with zero census counting passes, zero kernel
+// compiles, and zero cost-cache misses.
+func TestManagerWarmStartState(t *testing.T) {
+	spec, err := atf.ParseSpec([]byte(warmSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateDir := t.TempDir()
+
+	// Cold daemon: generate, count, compile, evaluate; save at shutdown.
+	m1, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.SharedCostCacheBytes = 1 << 20
+	if err := m1.OpenState(stateDir, 0); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m1.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Wait()
+	st1 := s1.Status()
+	if st1.State != StateDone {
+		t.Fatalf("cold run ended %s (%s)", st1.State, st1.Error)
+	}
+	m1.Shutdown()
+
+	// A new process starts with an empty compile cache; simulate that.
+	oclc.ResetCompileCache()
+
+	snap0 := obs.Default().Snapshot()
+	censusRuns0 := snap0.Counter("atf_space_census_runs_total").Value
+	censusRestored0 := snap0.Counter("atf_space_census_restored_total").Value
+	compileWarm0 := snap0.Counter("atf_state_hit_compile_total").Value
+	outcomeWarm0 := snap0.Counter("atf_state_hit_outcomes_total").Value
+
+	// Warm daemon: same state dir, fresh journal dir (a new session, not a
+	// resume — the warm start must come from the state store alone).
+	m2, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.SharedCostCacheBytes = 1 << 20
+	if err := m2.OpenState(stateDir, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Shutdown()
+	snap1 := obs.Default().Snapshot()
+	if got := snap1.Counter("atf_state_hit_compile_total").Value; got <= compileWarm0 {
+		t.Errorf("compile manifest prewarmed nothing (counter %d -> %d)", compileWarm0, got)
+	}
+	if got := snap1.Counter("atf_state_hit_outcomes_total").Value; got <= outcomeWarm0 {
+		t.Errorf("no outcomes restored into the shared cache (counter %d -> %d)", outcomeWarm0, got)
+	}
+	_, missesAfterOpen := oclc.CompileCacheStats()
+
+	s2, err := m2.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Wait()
+	st2 := s2.Status()
+	if st2.State != StateDone {
+		t.Fatalf("warm run ended %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Evaluations != st1.Evaluations || !st2.Best.Equal(st1.Best) {
+		t.Errorf("warm run result differs: %d evals best %v, cold %d evals best %v",
+			st2.Evaluations, st2.Best, st1.Evaluations, st1.Best)
+	}
+
+	snap2 := obs.Default().Snapshot()
+	if got := snap2.Counter("atf_space_census_runs_total").Value; got != censusRuns0 {
+		t.Errorf("warm session ran %d census counting passes, want 0", got-censusRuns0)
+	}
+	if got := snap2.Counter("atf_space_census_restored_total").Value; got <= censusRestored0 {
+		t.Errorf("warm session restored no census (counter %d -> %d)", censusRestored0, got)
+	}
+	if _, misses := oclc.CompileCacheStats(); misses != missesAfterOpen {
+		t.Errorf("warm session compiled %d kernels, want 0", misses-missesAfterOpen)
+	}
+	_, misses, _, _, _ := m2.sharedCosts.stats()
+	if misses != 0 {
+		t.Errorf("warm session missed the shared cost cache %d times, want 0", misses)
+	}
+}
+
+// TestOutcomeCacheDumpLoad: the persisted outcome dump restores completed
+// entries (costs and cached errors) in MRU order and respects the budget.
+func TestOutcomeCacheDumpLoad(t *testing.T) {
+	c := newOutcomeCache(-0) // 0 = no budget enforcement path below
+	c.budget = -1            // unbounded
+	for i, key := range []string{"a", "b", "c"} {
+		cost := atf.Cost{float64(i)}
+		c.getOrCompute("scope|"+key, func() (atf.Cost, error) { return cost, nil })
+	}
+	c.getOrCompute("scope|err", func() (atf.Cost, error) { return nil, errDumpTest })
+
+	data := c.dump()
+	if data == nil {
+		t.Fatal("dump returned nil")
+	}
+	fresh := newOutcomeCache(-1)
+	if n := fresh.load(data); n != 4 {
+		t.Fatalf("restored %d entries, want 4", n)
+	}
+	for i, key := range []string{"a", "b", "c"} {
+		cost, err := fresh.getOrCompute("scope|"+key, func() (atf.Cost, error) {
+			t.Fatalf("restored key %q recomputed", key)
+			return nil, nil
+		})
+		if err != nil || len(cost) != 1 || cost[0] != float64(i) {
+			t.Fatalf("restored %q = %v, %v", key, cost, err)
+		}
+	}
+	if _, err := fresh.getOrCompute("scope|err", func() (atf.Cost, error) {
+		t.Fatal("restored error recomputed")
+		return nil, nil
+	}); err == nil || err.Error() != errDumpTest.Error() {
+		t.Fatalf("restored error = %v, want %v", err, errDumpTest)
+	}
+	hits, misses, _, _, _ := fresh.stats()
+	if misses != 0 || hits != 4 {
+		t.Fatalf("restored cache stats: %d hits %d misses, want 4/0", hits, misses)
+	}
+
+	// A tight budget sheds the dump's cold (LRU) tail on load.
+	tight := newOutcomeCache(400)
+	n := tight.load(data)
+	_, _, _, bytes, entries := tight.stats()
+	if bytes > 400 || entries >= 4 || n != 4 {
+		t.Fatalf("budgeted load kept %d entries / %d bytes (restored %d)", entries, bytes, n)
+	}
+}
+
+var errDumpTest = errTest("boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

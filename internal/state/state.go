@@ -1,0 +1,145 @@
+// Package state is atfd's persistent warm-start store: a directory of
+// small, versioned, checksummed blobs written crash-safely (tmp file +
+// fsync + rename), holding state that is expensive to recompute but safe
+// to lose — lazy-space censuses keyed by spec hash, the daemon-wide
+// cost-outcome cache, and the compiled-kernel manifest. Every load verifies
+// the magic header and a SHA-256 checksum of the payload; anything that
+// fails verification reads as a miss, never as an error, so a corrupt or
+// torn file only costs a cold start.
+package state
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atf/internal/obs"
+)
+
+// magic is the file format header; bumping it invalidates every persisted
+// blob at once (format version 1).
+const magic = "ATFSTATE1\n"
+
+var (
+	mSaves = obs.NewCounter("atf_state_save_total",
+		"Warm-start state blobs written to the state directory")
+	mSaveErrors = obs.NewCounter("atf_state_save_errors_total",
+		"Warm-start state writes that failed")
+	mLoads = obs.NewCounter("atf_state_load_total",
+		"Warm-start state blobs loaded and verified from the state directory")
+	mLoadErrors = obs.NewCounter("atf_state_load_errors_total",
+		"Warm-start state loads that failed verification (missing, corrupt, or torn)")
+)
+
+// Store is a handle on one state directory. Methods are safe for
+// concurrent use on distinct names; concurrent writers of the same name
+// last-write-win atomically (rename never exposes a torn file).
+type Store struct {
+	dir string
+}
+
+// Open creates the state directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("state: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a blob name to its file, sanitizing path separators so names
+// derived from hashes or specs cannot escape the directory.
+func (s *Store) path(name string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+	if clean == "" {
+		clean = "_"
+	}
+	return filepath.Join(s.dir, clean+".atfstate")
+}
+
+// Save atomically persists payload under name: the blob is written to a
+// temporary file with its checksum header, fsynced, and renamed into
+// place, so a crash at any point leaves either the old blob or the new one
+// — never a torn mix.
+func (s *Store) Save(name string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	path := s.path(name)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		mSaveErrors.Inc()
+		return fmt.Errorf("state: save %s: %w", name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	write := func() error {
+		if _, err := tmp.WriteString(magic); err != nil {
+			return err
+		}
+		if _, err := tmp.WriteString(hex.EncodeToString(sum[:]) + "\n"); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		return tmp.Close()
+	}
+	if err := write(); err != nil {
+		tmp.Close()
+		mSaveErrors.Inc()
+		return fmt.Errorf("state: save %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		mSaveErrors.Inc()
+		return fmt.Errorf("state: save %s: %w", name, err)
+	}
+	mSaves.Inc()
+	return nil
+}
+
+// Load reads and verifies the blob under name. ok is false — and the
+// payload nil — when the blob is missing, has a foreign or outdated format
+// header, or fails its checksum; verification failures are counted but
+// deliberately not errors (a bad blob means a cold start, nothing more).
+func (s *Store) Load(name string) (payload []byte, ok bool) {
+	data, err := os.ReadFile(s.path(name))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			mLoadErrors.Inc()
+		}
+		return nil, false
+	}
+	rest, found := strings.CutPrefix(string(data), magic)
+	if !found {
+		mLoadErrors.Inc()
+		return nil, false
+	}
+	sumHex, body, found := strings.Cut(rest, "\n")
+	if !found || len(sumHex) != sha256.Size*2 {
+		mLoadErrors.Inc()
+		return nil, false
+	}
+	sum := sha256.Sum256([]byte(body))
+	if hex.EncodeToString(sum[:]) != sumHex {
+		mLoadErrors.Inc()
+		return nil, false
+	}
+	mLoads.Inc()
+	return []byte(body), true
+}

@@ -1,0 +1,108 @@
+package state
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"hello":"world","n":42}`)
+	if err := s.Save("census-abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load("census-abc123")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Load = %q,%v, want %q,true", got, ok, payload)
+	}
+	// Overwrite wins atomically.
+	if err := s.Save("census-abc123", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load("census-abc123"); !ok || string(got) != "v2" {
+		t.Fatalf("Load after overwrite = %q,%v", got, ok)
+	}
+	// Empty payloads round-trip too.
+	if err := s.Save("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load("empty"); !ok || len(got) != 0 {
+		t.Fatalf("empty Load = %q,%v", got, ok)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("never-saved"); ok {
+		t.Fatal("missing blob loaded")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("blob", []byte("important payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "blob.atfstate")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"flipped-byte":  append(append([]byte{}, orig[:len(orig)-3]...), orig[len(orig)-3]^1, orig[len(orig)-2], orig[len(orig)-1]),
+		"truncated":     orig[:len(orig)/2],
+		"wrong-magic":   append([]byte("NOTSTATE1\n"), orig[len("ATFSTATE1\n"):]...),
+		"empty-file":    {},
+		"short-header":  []byte("ATFSTATE1\nabc"),
+		"no-body-break": []byte("ATFSTATE1\n" + strings.Repeat("0", 64)),
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Load("blob"); ok {
+			t.Errorf("%s: corrupt blob loaded as %q", name, got)
+		}
+	}
+	// Restore and verify it loads again (corruption detection is pure).
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load("blob"); !ok || string(got) != "important payload" {
+		t.Fatalf("restored blob Load = %q,%v", got, ok)
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("../escape/../../attempt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || strings.Contains(entries[0].Name(), "/") {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+	if got, ok := s.Load("../escape/../../attempt"); !ok || string(got) != "x" {
+		t.Fatalf("sanitized name failed round-trip: %q,%v", got, ok)
+	}
+}

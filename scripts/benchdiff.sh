@@ -12,10 +12,23 @@
 # confidence interval), and the delta. Run benchmarks with -count=5 or more
 # so the spread means something (JSON inputs carry only the mean, so their
 # spread column is blank).
+#
+# benchdiff.sh -gate PCT OLD NEW additionally FAILS (exit 1) when any
+# common benchmark's mean regressed by more than PCT percent — the
+# regression gate behind `make benchgate`, which diffs a fresh run against
+# the committed results/bench.json. Benchmarks present in only one file
+# never gate (the committed json carries e2e-load's Loadgen numbers, a
+# fresh bench run doesn't).
 set -eu
 
+gate=""
+if [ "${1-}" = "-gate" ]; then
+    [ $# -ge 2 ] || { echo "benchdiff: -gate needs a percentage" >&2; exit 2; }
+    gate=$2
+    shift 2
+fi
 if [ $# -ne 2 ]; then
-    echo "usage: $0 old.txt new.txt" >&2
+    echo "usage: $0 [-gate PCT] old.txt new.txt" >&2
     exit 2
 fi
 old=$1
@@ -23,7 +36,7 @@ new=$2
 [ -r "$old" ] || { echo "benchdiff: cannot read $old" >&2; exit 1; }
 [ -r "$new" ] || { echo "benchdiff: cannot read $new" >&2; exit 1; }
 
-awk -v OLD="$old" -v NEW="$new" '
+awk -v OLD="$old" -v NEW="$new" -v GATE="$gate" '
 function collect(file, sum, sumsq, cnt, mn, mx,    line, parts, name, val, n, i, nb, names, vals, common, sfx, b) {
     # Buffer every (name, ns/op) pair first: the -GOMAXPROCS suffix is
     # appended only when GOMAXPROCS > 1, and sub-benchmark names can
@@ -115,6 +128,7 @@ BEGIN {
     else collect(NEW, nsum, nsumsq, ncnt, nmn, nmx)
     printf "%-55s %14s %7s %14s %7s %9s\n", "benchmark", "old", "", "new", "", "delta"
     any = 0
+    nbad = 0
     for (name in ocnt) {
         if (!(name in ncnt)) continue
         any = 1
@@ -124,10 +138,22 @@ BEGIN {
         printf "%-55s %14s %7s %14s %7s %+8.1f%%\n",
             name, fmt_ns(om), spread(name, omn, omx, ocnt, om),
             fmt_ns(nm), spread(name, nmn, nmx, ncnt, nm), delta
+        if (GATE != "" && delta > GATE + 0) {
+            nbad++
+            bad[nbad] = sprintf("%s regressed %+.1f%% (gate %s%%)", name, delta, GATE)
+        }
     }
     if (!any) {
         print "benchdiff: no common benchmarks between the two files" > "/dev/stderr"
         exit 1
+    }
+    if (GATE != "") {
+        if (nbad > 0) {
+            for (i = 1; i <= nbad; i++)
+                print "benchdiff: FAIL: " bad[i] > "/dev/stderr"
+            exit 1
+        }
+        print "benchdiff: gate ok (no benchmark regressed more than " GATE "%)"
     }
 }
 '

@@ -1,0 +1,119 @@
+#!/bin/sh
+# e2e-state.sh — warm-restart smoke of the real atfd (`make e2e-state`).
+# A daemon with -state-dir runs a lazy-space OpenCL session cold, is
+# killed, and restarts on the same state directory; the restarted daemon
+# must prove through /metrics that the warm session paid for nothing
+# twice: zero census counting passes (the snapshot restores instead),
+# zero kernel compiles after the startup prewarm, and state-store hits
+# for the outcome cache and compile manifest at load.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "e2e-state: $*"; }
+command -v jq >/dev/null || { say "jq is required"; exit 1; }
+
+ADDR=127.0.0.1:7553
+BASE="http://$ADDR"
+
+say "building atfd into $workdir"
+$GO build -o "$workdir/atfd" ./cmd/atfd
+
+# A lazy-mode saxpy spec: forces the census counting pass (what the
+# persisted snapshot must skip on restart) and compiles a kernel per
+# distinct configuration (what the compile manifest must prewarm).
+cat > "$workdir/spec.json" <<'EOF'
+{
+    "name": "warm e2e",
+    "parameters": [
+        {"name": "WPT", "range": {"interval": {"begin": 1, "end": 64}},
+         "constraints": [{"op": "divides", "expr": "64"}]},
+        {"name": "LS", "range": {"interval": {"begin": 1, "end": 64}},
+         "constraints": [{"op": "divides", "expr": "64 / WPT"}]}
+    ],
+    "cost": {"kind": "saxpy", "n": 64},
+    "space_mode": "lazy"
+}
+EOF
+
+start_daemon() {
+    "$workdir/atfd" -addr "$ADDR" -journal-dir "$workdir/journals" \
+        -state-dir "$workdir/state" >>"$workdir/atfd.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+        curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    say "atfd never came up"; cat "$workdir/atfd.log"; exit 1
+}
+
+# metric NAME — read one counter off /metrics (0 when it never fired).
+metric() {
+    curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2; f=1} END {if (!f) print 0}'
+}
+
+run_session() {
+    id=$(curl -fsS -d @"$workdir/spec.json" "$BASE/v1/sessions" | jq -r .id)
+    for _ in $(seq 1 600); do
+        st=$(curl -fsS "$BASE/v1/sessions/$id")
+        case $(echo "$st" | jq -r .state) in
+            running) sleep 0.1 ;;
+            done) echo "$st"; return 0 ;;
+            *) say "session $id failed: $st"; exit 1 ;;
+        esac
+    done
+    say "session $id never finished"; exit 1
+}
+
+say "cold daemon: census + compiles paid once, state saved at shutdown"
+start_daemon
+cold=$(run_session)
+cold_census=$(metric atf_space_census_runs_total)
+[ "$cold_census" -gt 0 ] || { say "cold run counted no census?"; exit 1; }
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+[ -n "$(ls "$workdir/state" 2>/dev/null)" ] || {
+    say "FAIL: shutdown left no state blobs in $workdir/state"; exit 1
+}
+
+say "warm daemon: same state dir, restored caches"
+start_daemon
+hit_outcomes=$(metric atf_state_hit_outcomes_total)
+hit_compile=$(metric atf_state_hit_compile_total)
+[ "$hit_outcomes" -gt 0 ] || { say "FAIL: no outcomes restored from state"; exit 1; }
+[ "$hit_compile" -gt 0 ] || { say "FAIL: no compiled kernels prewarmed from manifest"; exit 1; }
+
+# Baselines AFTER startup: the manifest prewarm legitimately compiles (it
+# is the point — once, off the session's critical path).
+census0=$(metric atf_space_census_runs_total)
+misses0=$(metric atf_oclc_compile_cache_misses_total)
+
+warm=$(run_session)
+for field in evaluations valid best best_cost; do
+    c=$(echo "$cold" | jq -c ".$field")
+    w=$(echo "$warm" | jq -c ".$field")
+    [ "$c" = "$w" ] || { say "FAIL: warm $field $w differs from cold $c"; exit 1; }
+done
+sweep=$(echo "$warm" | jq -r '.sweep.percent')
+[ "$sweep" = "100" ] || { say "FAIL: exhaustive sweep progress $sweep%, want 100"; exit 1; }
+
+census1=$(metric atf_space_census_runs_total)
+restored=$(metric atf_space_census_restored_total)
+misses1=$(metric atf_oclc_compile_cache_misses_total)
+[ "$census1" = "$census0" ] || {
+    say "FAIL: warm session re-counted its space ($census0 -> $census1 census runs)"; exit 1
+}
+[ "$restored" -gt 0 ] || { say "FAIL: census snapshot was never restored"; exit 1; }
+[ "$misses1" = "$misses0" ] || {
+    say "FAIL: warm session recompiled kernels ($misses0 -> $misses1 compile misses)"; exit 1
+}
+
+say "PASS: warm restart — 0 census recounts, 0 recompiles, $hit_outcomes outcomes + $hit_compile kernels restored"
